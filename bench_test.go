@@ -1,0 +1,254 @@
+package v2v
+
+// Benchmark harness regenerating every figure of the paper's evaluation
+// (§V). Run with:
+//
+//	go test -bench=. -benchmem            # quick scale (reduced durations)
+//	V2V_BENCH_SCALE=full go test -bench=Fig -timeout 60m
+//
+// The numbers to read are ns/op per query and mode; the cmd/v2vbench tool
+// renders the same measurements as the paper's tables with speedup columns.
+//
+//   - BenchmarkFig3ToS:      Q1–Q10, unoptimized vs optimized, ToS-sim.
+//   - BenchmarkFig4KABR:     Q1–Q10, unoptimized vs optimized, KABR-sim.
+//   - BenchmarkFig5DataJoin: Q5/Q10, Python+OpenCV-equivalent baseline vs
+//     V2V, both datasets.
+//   - BenchmarkAblation*:    per-pass and parallelism ablations of the
+//     design choices called out in DESIGN.md.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"v2v/internal/benchkit"
+	"v2v/internal/core"
+	"v2v/internal/dataset"
+	"v2v/internal/opt"
+	"v2v/internal/rational"
+)
+
+func benchScale() benchkit.Scale {
+	if os.Getenv("V2V_BENCH_SCALE") == "full" {
+		return benchkit.FullScale()
+	}
+	return benchkit.QuickScale()
+}
+
+var (
+	benchOnce sync.Once
+	benchToS  *benchkit.Dataset
+	benchKABR *benchkit.Dataset
+	benchErr  error
+	benchOut  string
+)
+
+func benchSetup(b *testing.B) (*benchkit.Dataset, *benchkit.Dataset) {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir := benchkit.DefaultDir()
+		sc := benchScale()
+		benchToS, benchErr = benchkit.ProvisionToS(dir, sc)
+		if benchErr != nil {
+			return
+		}
+		benchKABR, benchErr = benchkit.ProvisionKABR(dir, sc)
+		if benchErr != nil {
+			return
+		}
+		benchOut, benchErr = os.MkdirTemp("", "v2v-bench-out-")
+	})
+	if benchErr != nil {
+		b.Fatalf("bench setup: %v", benchErr)
+	}
+	return benchToS, benchKABR
+}
+
+func benchQueries(b *testing.B, ds *benchkit.Dataset) {
+	b.Helper()
+	sc := benchScale()
+	for _, q := range benchkit.Queries() {
+		for _, mode := range []benchkit.Mode{benchkit.ModeUnopt, benchkit.ModeOpt} {
+			b.Run(fmt.Sprintf("%s/%s", q.ID, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := benchkit.RunOnce(ds, q, sc, mode, benchOut, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3ToS regenerates Fig. 3: benchmark queries on the ToS-sim
+// dataset, unoptimized vs optimized plans (paper: 3.44x average speedup;
+// Q1's plans identical for lack of keyframes).
+func BenchmarkFig3ToS(b *testing.B) {
+	tos, _ := benchSetup(b)
+	benchQueries(b, tos)
+}
+
+// BenchmarkFig4KABR regenerates Fig. 4: the same queries on KABR-sim
+// (paper: 5.07x average; Q6 ~16x thanks to dense keyframes).
+func BenchmarkFig4KABR(b *testing.B) {
+	_, kabr := benchSetup(b)
+	benchQueries(b, kabr)
+}
+
+// BenchmarkFig5DataJoin regenerates Fig. 5: the data-joining queries
+// (Q5/Q10) on both datasets, V2V vs the Python+OpenCV-equivalent baseline
+// (paper: 4.4x average, dominated by KABR's data-aware rewrites).
+func BenchmarkFig5DataJoin(b *testing.B) {
+	tos, kabr := benchSetup(b)
+	sc := benchScale()
+	for _, ds := range []*benchkit.Dataset{tos, kabr} {
+		for _, qid := range []string{"Q5", "Q10"} {
+			q, _ := benchkit.QueryByID(qid)
+			for _, mode := range []benchkit.Mode{benchkit.ModeBaseline, benchkit.ModeOpt} {
+				b.Run(fmt.Sprintf("%s/%s/%s", ds.Name, q.ID, mode), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := benchkit.RunOnce(ds, q, sc, mode, benchOut, 0); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPasses isolates each optimizer pass on the KABR splice
+// query (Q7), the query where every pass has an opportunity.
+func BenchmarkAblationPasses(b *testing.B) {
+	_, kabr := benchSetup(b)
+	sc := benchScale()
+	q, _ := benchkit.QueryByID("Q7")
+	src := q.BuildSpecSource(kabr, sc)
+	spec, err := ParseSpec(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name   string
+		passes *opt.Options
+		on     bool
+	}{
+		{"none", nil, false},
+		{"copy-only", &opt.Options{StreamCopy: true}, true},
+		{"smartcut-only", &opt.Options{SmartCut: true}, true},
+		{"merge-only", &opt.Options{MergeFilters: true, MergeSegments: true}, true},
+		{"shard-only", &opt.Options{Shard: true}, true},
+		{"all", nil, true},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := filepath.Join(benchOut, "ablate.vmf")
+				o := core.Options{Optimize: cfg.on, OptPasses: cfg.passes}
+				if _, err := core.Synthesize(spec, out, o); err != nil {
+					b.Fatal(err)
+				}
+				os.Remove(out)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParallelism sweeps shard parallelism on the KABR blur
+// query (Q9), the CPU-bound per-pixel workload.
+func BenchmarkAblationParallelism(b *testing.B) {
+	_, kabr := benchSetup(b)
+	sc := benchScale()
+	q, _ := benchkit.QueryByID("Q9")
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := benchkit.RunOnce(kabr, q, sc, benchkit.ModeOpt, benchOut, par); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGOP sweeps the source keyframe interval for a mid-GOP
+// clip query, exposing the smart-cut crossover the paper observed between
+// ToS (10 s GOPs: no cut) and KABR (1 s GOPs: big win).
+func BenchmarkAblationGOP(b *testing.B) {
+	dir, err := os.MkdirTemp("", "v2v-gopsweep-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	outDir := b.TempDir()
+	for _, gopSec := range []int64{1, 2, 5, 10} {
+		p := dataset.KABRProfile()
+		p.GOPSeconds = rational.FromInt(gopSec)
+		vid := filepath.Join(dir, fmt.Sprintf("gop%d.vmf", gopSec))
+		if _, err := dataset.Generate(vid, "", p, rational.FromInt(14)); err != nil {
+			b.Fatal(err)
+		}
+		src := fmt.Sprintf(`
+			timedomain range(0, 10, 1/30);
+			videos { v: %q; }
+			render(t) = v[t + 67/30];`, vid)
+		spec, err := ParseSpec(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("gop%ds", gopSec), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := filepath.Join(outDir, "gop.vmf")
+				if _, err := Synthesize(spec, out, DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+				os.Remove(out)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuality sweeps the codec quantizer: coarser quantizers
+// shrink streams (cheaper copies) but re-encode costs stay flat, so the
+// optimizer's advantage is robust to quality settings.
+func BenchmarkAblationQuality(b *testing.B) {
+	dir, err := os.MkdirTemp("", "v2v-qsweep-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	outDir := b.TempDir()
+	for _, quality := range []int{1, 4, 16} {
+		p := dataset.KABRProfile()
+		p.Quality = quality
+		vid := filepath.Join(dir, fmt.Sprintf("q%d.vmf", quality))
+		if _, err := dataset.Generate(vid, "", p, rational.FromInt(14)); err != nil {
+			b.Fatal(err)
+		}
+		src := fmt.Sprintf(`
+			timedomain range(0, 10, 1/30);
+			videos { v: %q; }
+			render(t) = v[t + 67/30];`, vid)
+		spec, err := ParseSpec(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []string{"unopt", "opt"} {
+			o := Options{}
+			if mode == "opt" {
+				o = DefaultOptions()
+			}
+			b.Run(fmt.Sprintf("q%d/%s", quality, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out := filepath.Join(outDir, "q.vmf")
+					if _, err := Synthesize(spec, out, o); err != nil {
+						b.Fatal(err)
+					}
+					os.Remove(out)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package v2v
+
+import (
+	"fmt"
+
+	"v2v/internal/rational"
+	"v2v/internal/vql"
+)
+
+// Rat is an exact rational number, the unit of all V2V timestamps.
+type Rat = rational.Rat
+
+// R builds the rational num/den.
+func R(num, den int64) Rat { return rational.New(num, den) }
+
+// Sec builds the rational n/1 (whole seconds).
+func Sec(n int64) Rat { return rational.FromInt(n) }
+
+// SpecBuilder assembles specs programmatically — the API a host VDBMS uses
+// to turn relational query results into a synthesis spec, as opposed to
+// the textual grammar end users write.
+type SpecBuilder struct {
+	spec *vql.Spec
+	arms []vql.MatchArm
+	err  error
+}
+
+// NewSpec starts a spec whose output timeline is Range(start, end, step).
+func NewSpec(start, end, step Rat) *SpecBuilder {
+	b := &SpecBuilder{spec: &vql.Spec{
+		Videos:    map[string]string{},
+		DataFiles: map[string]string{},
+		DataSQL:   map[string]string{},
+	}}
+	if step.Sign() <= 0 {
+		b.err = fmt.Errorf("v2v: time domain step must be positive")
+		return b
+	}
+	b.spec.TimeDomain = rational.NewRange(start, end, step)
+	return b
+}
+
+// Video binds a logical video name to a VMF file path.
+func (b *SpecBuilder) Video(name, path string) *SpecBuilder {
+	if b.err == nil {
+		if _, dup := b.spec.Videos[name]; dup {
+			b.err = fmt.Errorf("v2v: duplicate video %q", name)
+		} else {
+			b.spec.Videos[name] = path
+		}
+	}
+	return b
+}
+
+// Data binds a logical data-array name to an annotation JSON file.
+func (b *SpecBuilder) Data(name, path string) *SpecBuilder {
+	if b.err == nil {
+		if b.spec.IsDataName(name) {
+			b.err = fmt.Errorf("v2v: duplicate data array %q", name)
+		} else {
+			b.spec.DataFiles[name] = path
+		}
+	}
+	return b
+}
+
+// SQL binds a logical data-array name to a SELECT statement over the DB
+// passed at synthesis time. The query must yield (RAT timestamp, value)
+// rows.
+func (b *SpecBuilder) SQL(name, query string) *SpecBuilder {
+	if b.err == nil {
+		if b.spec.IsDataName(name) {
+			b.err = fmt.Errorf("v2v: duplicate data array %q", name)
+		} else {
+			b.spec.DataSQL[name] = query
+		}
+	}
+	return b
+}
+
+// Output forces an explicit output format (disabling stream copies); by
+// default the output inherits the sources' format.
+func (b *SpecBuilder) Output(width, height int, fps Rat) *SpecBuilder {
+	if b.err == nil {
+		b.spec.Output = &vql.OutputFormat{Width: width, Height: height, FPS: fps}
+	}
+	return b
+}
+
+// Render sets the whole-domain render expression (textual grammar). Use
+// Arm/ArmSet instead to build a match.
+func (b *SpecBuilder) Render(exprSrc string) *SpecBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.spec.Render != nil || len(b.arms) > 0 {
+		b.err = fmt.Errorf("v2v: render already set")
+		return b
+	}
+	e, err := vql.ParseExpr(exprSrc)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.spec.Render = e
+	return b
+}
+
+// Arm appends a match arm rendering exprSrc for output times in
+// Range(start, end, step).
+func (b *SpecBuilder) Arm(start, end, step Rat, exprSrc string) *SpecBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.spec.Render != nil {
+		b.err = fmt.Errorf("v2v: render already set")
+		return b
+	}
+	if step.Sign() <= 0 {
+		b.err = fmt.Errorf("v2v: arm step must be positive")
+		return b
+	}
+	e, err := vql.ParseExpr(exprSrc)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.arms = append(b.arms, vql.MatchArm{
+		Guard: vql.RangeGuard(rational.NewRange(start, end, step)),
+		Body:  e,
+	})
+	return b
+}
+
+// ArmSet appends a match arm for an explicit set of times.
+func (b *SpecBuilder) ArmSet(times []Rat, exprSrc string) *SpecBuilder {
+	if b.err != nil {
+		return b
+	}
+	if b.spec.Render != nil {
+		b.err = fmt.Errorf("v2v: render already set")
+		return b
+	}
+	e, err := vql.ParseExpr(exprSrc)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.arms = append(b.arms, vql.MatchArm{Guard: vql.SetGuard(times), Body: e})
+	return b
+}
+
+// Build finalizes the spec, resolving video/data references.
+func (b *SpecBuilder) Build() (*Spec, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if b.spec.Render == nil {
+		if len(b.arms) == 0 {
+			return nil, fmt.Errorf("v2v: spec has no render expression")
+		}
+		b.spec.Render = vql.Match{Arms: b.arms}
+	}
+	if err := b.spec.ResolveRefs(); err != nil {
+		return nil, err
+	}
+	return b.spec, nil
+}

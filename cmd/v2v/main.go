@@ -1,0 +1,103 @@
+// Command v2v synthesizes a video from a declarative spec file.
+//
+// Usage:
+//
+//	v2v [flags] spec.v2v output.vmf
+//
+// The spec may be in the textual grammar or the JSON format (detected by a
+// leading '{'). Flags toggle the pipeline stages so unoptimized and
+// optimized runs can be compared, and -explain prints the plan without
+// executing it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"v2v"
+	"v2v/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "v2v:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("v2v", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		noOpt     = fs.Bool("no-opt", false, "disable the plan optimizer")
+		noRewrite = fs.Bool("no-data-rewrite", false, "disable data-dependent spec rewriting")
+		parallel  = fs.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
+		explain   = fs.Bool("explain", false, "print the plan instead of executing")
+		dot       = fs.Bool("dot", false, "with -explain, print Graphviz DOT")
+		stats     = fs.Bool("stats", false, "print execution metrics")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rest := fs.Args()
+	if *explain {
+		if len(rest) < 1 {
+			fs.Usage()
+			return fmt.Errorf("-explain needs a spec file")
+		}
+	} else if len(rest) != 2 {
+		fs.Usage()
+		return fmt.Errorf("want a spec file and an output path, got %d arguments", len(rest))
+	}
+
+	spec, err := v2v.LoadSpec(rest[0])
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Optimize:    !*noOpt,
+		DataRewrite: !*noRewrite,
+		Parallelism: *parallel,
+	}
+
+	if *explain {
+		var out string
+		if *dot {
+			out, err = v2v.ExplainDOT(spec, opts)
+		} else {
+			out, err = v2v.Explain(spec, opts)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, out)
+		return nil
+	}
+
+	res, err := v2v.Synthesize(spec, rest[1], opts)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		m := res.Metrics
+		fmt.Fprintf(stdout, "wall            %v\n", m.Wall)
+		fmt.Fprintf(stdout, "first output    %v\n", m.FirstOutput)
+		fmt.Fprintf(stdout, "source decodes  %d\n", m.Source.FramesDecoded)
+		fmt.Fprintf(stdout, "intermediate    %d enc / %d dec\n", m.Intermediate.FramesEncoded, m.Intermediate.FramesDecoded)
+		fmt.Fprintf(stdout, "output encodes  %d\n", m.Output.FramesEncoded)
+		fmt.Fprintf(stdout, "packets copied  %d (%d bytes)\n", m.Output.PacketsCopied, m.Output.BytesCopied)
+		if !res.RewriteStats.Skipped {
+			fmt.Fprintf(stdout, "data rewrites   %v (arms %d -> %d)\n",
+				res.RewriteStats.Applied, res.RewriteStats.ArmsBefore, res.RewriteStats.ArmsAfter)
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", rest[1])
+	return nil
+}

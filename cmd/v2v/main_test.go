@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v2v/internal/dataset"
+	"v2v/internal/media"
+	"v2v/internal/rational"
+)
+
+func writeSpec(t *testing.T, dir string) (specPath string) {
+	t.Helper()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specPath = filepath.Join(dir, "demo.v2v")
+	src := fmt.Sprintf(`
+		timedomain range(0, 1, 1/24);
+		videos { cam: %q; }
+		render(t) = cam[t + 1];`, vid)
+	if err := os.WriteFile(specPath, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return specPath
+}
+
+func TestRunSynthesizeWithStats(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	out := filepath.Join(dir, "out.vmf")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-stats", spec, out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\n%s", err, stderr.String())
+	}
+	for _, want := range []string{"packets copied  24", "wrote "} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+	r, err := media.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumFrames() != 24 {
+		t.Errorf("frames = %d", r.NumFrames())
+	}
+}
+
+func TestRunExplainModes(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-explain", spec}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "copy cam") {
+		t.Errorf("explain missing copy:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if err := run([]string{"-explain", "-no-opt", spec}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "unoptimized") {
+		t.Errorf("unopt explain wrong:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	if err := run([]string{"-explain", "-dot", spec}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "digraph") {
+		t.Errorf("dot explain wrong:\n%s", stdout.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{spec}, &stdout, &stderr); err == nil {
+		t.Error("missing output arg should fail")
+	}
+	if err := run([]string{"-explain"}, &stdout, &stderr); err == nil {
+		t.Error("explain without spec should fail")
+	}
+	if err := run([]string{filepath.Join(dir, "nope.v2v"), "o.vmf"}, &stdout, &stderr); err == nil {
+		t.Error("missing spec file should fail")
+	}
+	if err := run([]string{"-badflag"}, &stdout, &stderr); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

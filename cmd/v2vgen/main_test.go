@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v2v/internal/data"
+	"v2v/internal/media"
+)
+
+func TestRunGeneratesVideoAndAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "v.vmf")
+	ann := filepath.Join(dir, "v.boxes.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-profile", "tiny", "-seconds", "2", "-out", out, "-ann", ann,
+		"-gop", "1", "-quality", "2", "-seed", "42", "-width", "192", "-height", "96"},
+		&stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "48 frames") || !strings.Contains(stdout.String(), "192x96") {
+		t.Errorf("stdout:\n%s", stdout.String())
+	}
+	r, err := media.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumFrames() != 48 || r.Info().Quality != 2 || r.Info().Width != 192 {
+		t.Errorf("info = %+v frames = %d", r.Info(), r.NumFrames())
+	}
+	arr, err := data.LoadJSON(ann)
+	if err != nil || arr.Len() != 48 {
+		t.Errorf("annotations: %v len=%d", err, arr.Len())
+	}
+}
+
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	for _, prof := range []string{"tos", "kabr"} {
+		out := filepath.Join(dir, prof+".vmf")
+		if err := run([]string{"-profile", prof, "-seconds", "1", "-out", out}, &stdout, &stderr); err != nil {
+			t.Errorf("%s: %v", prof, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-seconds", "2"}, &stdout, &stderr); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run([]string{"-profile", "bogus", "-out", "x.vmf"}, &stdout, &stderr); err == nil {
+		t.Error("bad profile should fail")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.vmf"}, &stdout, &stderr); err == nil {
+		t.Error("bad path should fail")
+	}
+	if err := run([]string{"-nosuchflag"}, &stdout, &stderr); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/dataset"
+	"v2v/internal/rational"
+)
+
+func TestProbe(t *testing.T) {
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "a.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	// probe prints to stdout; we only assert it succeeds in every mode.
+	old := os.Stdout
+	devnull, _ := os.Open(os.DevNull)
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = null
+	defer func() {
+		os.Stdout = old
+		null.Close()
+		devnull.Close()
+	}()
+	if err := probe(vid, false, false); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if err := probe(vid, true, true); err != nil {
+		t.Fatalf("probe -packets -stamps: %v", err)
+	}
+	if err := probe(filepath.Join(dir, "missing.vmf"), false, false); err == nil {
+		t.Error("missing file should fail")
+	}
+}

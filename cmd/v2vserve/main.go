@@ -1,0 +1,171 @@
+// Command v2vserve is the on-demand synthesis server the paper envisions
+// a VDBMS embedding: clients POST a spec and receive the result video as a
+// progressive VMS stream — playback-ready packets start flowing while
+// later segments are still rendering.
+//
+// Serve:
+//
+//	v2vserve -listen :8370 -specs ./specs
+//
+// Endpoints:
+//
+//	POST /synthesize          spec text in the body -> VMS stream
+//	GET  /synthesize?spec=X   loads <specs>/X -> VMS stream
+//	GET  /healthz             liveness probe
+//
+// Fetch (client mode): retrieve a stream and save it as a seekable VMF
+// file:
+//
+//	v2vserve -fetch http://host:8370/synthesize?spec=demo.v2v -out result.vmf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"v2v"
+	"v2v/internal/media"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8370", "serve address")
+		specs    = flag.String("specs", ".", "directory for GET ?spec= lookups")
+		noOpt    = flag.Bool("no-opt", false, "disable the optimizer (for demos)")
+		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
+		out      = flag.String("out", "", "client mode: output VMF path")
+	)
+	flag.Parse()
+
+	if *fetchURL != "" {
+		if *out == "" {
+			log.Fatal("v2vserve: -fetch requires -out")
+		}
+		if err := fetch(*fetchURL, *out); err != nil {
+			log.Fatal("v2vserve: ", err)
+		}
+		return
+	}
+
+	srv := &server{specDir: *specs, optimize: !*noOpt}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", srv.synthesize)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("v2vserve: listening on %s (specs from %s)", *listen, *specs)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+type server struct {
+	specDir  string
+	optimize bool
+}
+
+func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
+	var spec *v2v.Spec
+	var err error
+	switch r.Method {
+	case http.MethodPost:
+		body, rerr := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if rerr != nil {
+			http.Error(w, rerr.Error(), http.StatusBadRequest)
+			return
+		}
+		spec, err = parseAny(body)
+	case http.MethodGet:
+		name := r.URL.Query().Get("spec")
+		if name == "" || strings.Contains(name, "..") || strings.ContainsRune(name, os.PathSeparator) && filepath.IsAbs(name) {
+			http.Error(w, "missing or invalid ?spec=", http.StatusBadRequest)
+			return
+		}
+		spec, err = v2v.LoadSpec(filepath.Join(s.specDir, name))
+	default:
+		http.Error(w, "POST a spec or GET ?spec=", http.StatusMethodNotAllowed)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	opts := v2v.Options{}
+	if s.optimize {
+		opts = v2v.DefaultOptions()
+	}
+	w.Header().Set("Content-Type", "application/x-v2v-stream")
+	start := time.Now()
+	res, err := v2v.SynthesizeStream(spec, w, opts)
+	if err != nil {
+		// Headers may already be out; log and drop the connection.
+		log.Printf("v2vserve: synthesis failed after %v: %v", time.Since(start), err)
+		return
+	}
+	log.Printf("v2vserve: streamed %d packets in %v (first packet after %v, %d copied)",
+		res.Metrics.Output.PacketsCopied+res.Metrics.Output.FramesEncoded,
+		res.Metrics.Wall, res.Metrics.FirstOutput, res.Metrics.Output.PacketsCopied)
+}
+
+func parseAny(raw []byte) (*v2v.Spec, error) {
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return v2v.ParseSpecJSON(raw)
+		default:
+			return v2v.ParseSpec(string(raw))
+		}
+	}
+	return nil, fmt.Errorf("empty spec")
+}
+
+// fetch retrieves a VMS stream and re-muxes it into a seekable VMF file,
+// decoding nothing (pure packet copy).
+func fetch(url, outPath string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("server: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	sr, err := media.NewStreamReader(resp.Body)
+	if err != nil {
+		return err
+	}
+	w, err := media.CreateWriter(outPath, sr.Info())
+	if err != nil {
+		return err
+	}
+	n := 0
+	for {
+		key, data, err := sr.NextPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.WriteRawPacket(key, data); err != nil {
+			w.Close()
+			return err
+		}
+		n++
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("fetched %d packets into %s\n", n, outPath)
+	return nil
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v2v/internal/dataset"
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/rational"
+)
+
+func testServer(t *testing.T) (*httptest.Server, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specText := fmt.Sprintf(`
+		timedomain range(0, 1, 1/24);
+		videos { cam: %q; }
+		render(t) = cam[t + 1];`, vid)
+	specPath := filepath.Join(dir, "demo.v2v")
+	if err := os.WriteFile(specPath, []byte(specText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{specDir: dir, optimize: true}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", srv.synthesize)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, specText, "demo.v2v"
+}
+
+func readStream(t *testing.T, body io.Reader) []uint32 {
+	t.Helper()
+	sr, err := media.NewStreamReader(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	for {
+		fr, err := sr.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, ok := frame.ReadStamp(fr); ok {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func TestPostSpecStreams(t *testing.T) {
+	ts, specText, _ := testServer(t)
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	ids := readStream(t, resp.Body)
+	if len(ids) != 24 {
+		t.Fatalf("frames = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint32(24+i) {
+			t.Fatalf("frame %d stamp = %d", i, id)
+		}
+	}
+}
+
+func TestGetSpecByName(t *testing.T) {
+	ts, _, name := testServer(t)
+	resp, err := http.Get(ts.URL + "/synthesize?spec=" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if got := len(readStream(t, resp.Body)); got != 24 {
+		t.Fatalf("frames = %d", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _, _ := testServer(t)
+	cases := []struct {
+		method, url, body string
+	}{
+		{"GET", "/synthesize", ""},                    // missing spec
+		{"GET", "/synthesize?spec=../etc/passwd", ""}, // traversal
+		{"GET", "/synthesize?spec=nope.v2v", ""},      // missing file
+		{"POST", "/synthesize", "not a spec"},         // parse error
+		{"POST", "/synthesize", ""},                   // empty
+		{"PUT", "/synthesize", ""},                    // bad method
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, ts.URL+c.url, strings.NewReader(c.body))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s %s: expected failure", c.method, c.url)
+		}
+	}
+}
+
+func TestFetchRemuxesToVMF(t *testing.T) {
+	ts, _, name := testServer(t)
+	out := filepath.Join(t.TempDir(), "fetched.vmf")
+	if err := fetch(ts.URL+"/synthesize?spec="+name, out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := media.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumFrames() != 24 {
+		t.Fatalf("frames = %d", r.NumFrames())
+	}
+	fr, err := r.FrameAtIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := frame.ReadStamp(fr); !ok || id != 24 {
+		t.Errorf("first frame stamp = %d,%v", id, ok)
+	}
+	// Fetch error paths.
+	if err := fetch(ts.URL+"/synthesize?spec=missing.v2v", out); err == nil {
+		t.Error("missing spec fetch should fail")
+	}
+	if err := fetch("http://127.0.0.1:1/nope", out); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Multicam: "show me the event from multiple cameras as a 2x2 grid with
+// object overlays" — four synchronized cameras composed into one result,
+// with per-camera object boxes and a graded look.
+//
+//	go run ./examples/multicam
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"v2v"
+	"v2v/internal/dataset"
+	"v2v/internal/media"
+	"v2v/internal/rational"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "v2v-multicam-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Four cameras observing the same scene (different seeds = different
+	// viewpoints), each with detector annotations.
+	prof := dataset.TinyProfile()
+	prof.Objects = 2
+	var cams, anns []string
+	for i := 0; i < 4; i++ {
+		p := prof
+		p.Seed = int64(100 + i*17)
+		cam := filepath.Join(dir, fmt.Sprintf("cam%d.vmf", i))
+		ann := filepath.Join(dir, fmt.Sprintf("cam%d.boxes.json", i))
+		if _, err := dataset.Generate(cam, ann, p, rational.FromInt(8)); err != nil {
+			log.Fatal(err)
+		}
+		cams, anns = append(cams, cam), append(anns, ann)
+	}
+	fmt.Println("generated 4 camera feeds")
+
+	// Spec built programmatically, the way a VDBMS integration would:
+	// the "event" spans seconds 3..6 on every camera.
+	spec, err := v2v.NewSpec(v2v.Sec(0), v2v.Sec(3), v2v.R(1, 24)).
+		Video("cam0", cams[0]).Video("cam1", cams[1]).
+		Video("cam2", cams[2]).Video("cam3", cams[3]).
+		Data("bb0", anns[0]).Data("bb1", anns[1]).
+		Data("bb2", anns[2]).Data("bb3", anns[3]).
+		Render(`grade(grid(
+			boxes(cam0[t + 3], bb0[t + 3]),
+			boxes(cam1[t + 3], bb1[t + 3]),
+			boxes(cam2[t + 3], bb2[t + 3]),
+			boxes(cam3[t + 3], bb3[t + 3])), 5, 1.1, 1.2)`).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare the unoptimized and optimized plans: merging removes the
+	// four clip materializations and the grid/grade boundary.
+	unopt, err := v2v.Explain(spec, v2v.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opted, err := v2v.Explain(spec, v2v.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nunoptimized plan:")
+	fmt.Print(unopt)
+	fmt.Println("\noptimized plan:")
+	fmt.Print(opted)
+
+	out := filepath.Join(dir, "event-grid.vmf")
+	res, err := v2v.Synthesize(spec, out, v2v.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsynthesized %s in %v (%d frames rendered, %d intermediate codec passes)\n",
+		out, res.Metrics.Wall, res.Metrics.FramesRendered, res.Metrics.Intermediate.FramesEncoded)
+
+	resUnopt, err := v2v.Synthesize(spec, filepath.Join(dir, "event-grid-unopt.vmf"), v2v.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unoptimized run: %v (%d intermediate codec passes)\n",
+		resUnopt.Metrics.Wall, resUnopt.Metrics.Intermediate.FramesEncoded)
+
+	r, err := media.OpenReader(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer r.Close()
+	fmt.Printf("result: %d frames at %dx%d\n", r.NumFrames(), r.Info().Width, r.Info().Height)
+}

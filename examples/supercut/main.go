@@ -1,0 +1,86 @@
+// Supercut: assemble a highlight reel from many short clips of a long
+// film. Because the clips are plain references, the optimizer turns almost
+// the whole job into stream copies and smart cuts — the class of edit the
+// paper calls "the fastest class of video edits operating near the speed
+// of a memory copy."
+//
+//	go run ./examples/supercut
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"v2v"
+	"v2v/internal/dataset"
+	"v2v/internal/rational"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "v2v-supercut-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A 60-second "film" with keyframes every second (easy smart cuts).
+	film := filepath.Join(dir, "film.vmf")
+	prof := dataset.TinyProfile()
+	if _, err := dataset.Generate(film, "", prof, rational.FromInt(60)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated", film)
+
+	// Eight "iconic moments": 1.5-second clips at scattered positions,
+	// deliberately off the keyframe grid. A highlight reel is their
+	// concatenation with a crossfaded sting at the end.
+	moments := []int64{3, 9, 17, 22, 31, 38, 44, 52}
+	clipLen := rational.New(3, 2)
+	var arms []string
+	cursor := rational.Zero
+	for _, m := range moments {
+		lo, hi := cursor, cursor.Add(clipLen)
+		shift := rational.FromInt(m).Add(rational.New(5, 24)).Sub(lo)
+		arms = append(arms, fmt.Sprintf("  t in range(%s, %s, 1/24) => film[t + %s],", lo, hi, shift))
+		cursor = hi
+	}
+	// Final second: crossfade between the first and last moments.
+	end := cursor.Add(rational.One)
+	arms = append(arms, fmt.Sprintf(
+		"  t in range(%s, %s, 1/24) => crossfade(film[t - %s + %d], film[t - %s + %d], (t - %s)),",
+		cursor, end, cursor, moments[0], cursor, moments[len(moments)-1], cursor))
+
+	src := fmt.Sprintf(`
+		timedomain range(0, %s, 1/24);
+		videos { film: %q; }
+		render(t) = match t {
+%s
+		};
+	`, end, film, strings.Join(arms, "\n"))
+
+	spec, err := v2v.ParseSpec(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := filepath.Join(dir, "supercut.vmf")
+	res, err := v2v.Synthesize(spec, out, v2v.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	unopt, err := v2v.Synthesize(spec, filepath.Join(dir, "supercut-unopt.vmf"), v2v.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsupercut: %d clips + crossfade = %s seconds\n", len(moments), end)
+	fmt.Printf("optimized:   %8v  (%d packets copied, %d frames re-encoded)\n",
+		res.Metrics.Wall, res.Metrics.Output.PacketsCopied, res.Metrics.Output.FramesEncoded)
+	fmt.Printf("unoptimized: %8v  (%d packets copied, %d frames re-encoded)\n",
+		unopt.Metrics.Wall, unopt.Metrics.Output.PacketsCopied, unopt.Metrics.Output.FramesEncoded)
+	speedup := float64(unopt.Metrics.Wall) / float64(res.Metrics.Wall)
+	fmt.Printf("speedup:     %.2fx\n", speedup)
+}

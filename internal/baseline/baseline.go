@@ -1,0 +1,121 @@
+// Package baseline implements the Python+OpenCV-equivalent engine the
+// paper compares against in Fig. 5: a straightforward script that decodes
+// every needed frame, applies the transforms frame-by-frame in memory, and
+// encodes every output frame. No data-dependent rewrites, no stream
+// copies, no operator merging decisions (a script is already "merged"),
+// and no parallelism.
+//
+// The codec layer is shared with V2V — as in the paper, where both used
+// FFmpeg for coding — so measured differences isolate engine behaviour:
+// the work V2V's rewriter and optimizer skip.
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"v2v/internal/check"
+	"v2v/internal/data"
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/raster"
+	"v2v/internal/rational"
+	"v2v/internal/sqlmini"
+	"v2v/internal/vql"
+)
+
+// Metrics reports the work the baseline run performed.
+type Metrics struct {
+	Wall           time.Duration
+	Source         media.Stats
+	Output         media.Stats
+	FramesRendered int64
+}
+
+// Run synthesizes the spec naively and writes the output to outPath.
+func Run(spec *vql.Spec, outPath string, db *sqlmini.DB) (*Metrics, error) {
+	start := time.Now()
+	// A script author still validates inputs; reuse the checker purely to
+	// load sources/arrays and resolve the output format.
+	c, err := check.Check(spec, check.Options{DB: db})
+	if err != nil {
+		return nil, err
+	}
+	info := c.Output
+	info.Start = rational.Zero
+	w, err := media.CreateWriter(outPath, info)
+	if err != nil {
+		return nil, err
+	}
+	m := &Metrics{}
+	paths := make(map[string]string, len(c.Sources))
+	for name, src := range c.Sources {
+		paths[name] = src.Path
+	}
+	env := &scriptEnv{checked: c, cursors: media.NewCursors(paths, 0)}
+	defer func() { m.Source.Add(env.cursors.Close()) }()
+
+	domain := spec.TimeDomain
+	for i, n := 0, domain.Count(); i < n; i++ {
+		at := domain.At(i)
+		body := spec.RenderFor(at)
+		if body == nil {
+			w.Close()
+			return nil, fmt.Errorf("baseline: no render arm covers t=%s", at)
+		}
+		v, err := vql.Eval(body, &vql.Env{T: at, Frames: env, Data: env})
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("baseline: render t=%s: %w", at, err)
+		}
+		if v.Type != vql.TypeFrame || v.Frame == nil {
+			w.Close()
+			return nil, fmt.Errorf("baseline: render t=%s produced %v", at, v.Type)
+		}
+		fr := v.Frame
+		if fr.W != info.Width || fr.H != info.Height {
+			fr = raster.Scale(fr, info.Width, info.Height)
+		}
+		if err := w.WriteFrame(fr); err != nil {
+			w.Close()
+			return nil, err
+		}
+		m.FramesRendered++
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	m.Output.Add(w.Stats())
+	m.Wall = time.Since(start)
+	return m, nil
+}
+
+// RunSource parses and runs a textual spec.
+func RunSource(src, outPath string, db *sqlmini.DB) (*Metrics, error) {
+	spec, err := vql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Run(spec, outPath, db)
+}
+
+// scriptEnv provides frames and data to the evaluator the way a script
+// would: one cv2.VideoCapture-style cursor per access pattern, in-memory
+// arrays.
+type scriptEnv struct {
+	checked *check.Checked
+	cursors *media.Cursors
+}
+
+func (e *scriptEnv) SourceFrame(video string, t rational.Rat) (*frame.Frame, error) {
+	return e.cursors.FrameAt(video, t)
+}
+
+func (e *scriptEnv) DataAt(name string, t rational.Rat) (data.Value, bool, error) {
+	arr, ok := e.checked.Arrays[name]
+	if !ok {
+		return data.Value{}, false, fmt.Errorf("baseline: unknown data array %q", name)
+	}
+	v, ok := arr.At(t)
+	return v, ok, nil
+}

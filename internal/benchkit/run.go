@@ -1,0 +1,176 @@
+package benchkit
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"v2v/internal/baseline"
+	"v2v/internal/core"
+	"v2v/internal/vql"
+)
+
+// Mode selects the engine configuration for one measurement.
+type Mode string
+
+const (
+	// ModeUnopt runs the unoptimized V2V plan (Figs. 3 and 4 left bars).
+	ModeUnopt Mode = "unopt"
+	// ModeOpt runs the fully optimized V2V pipeline (right bars).
+	ModeOpt Mode = "opt"
+	// ModeBaseline runs the Python+OpenCV-equivalent engine (Fig. 5).
+	ModeBaseline Mode = "baseline"
+)
+
+// Measurement is one timed run.
+type Measurement struct {
+	Dataset string
+	Query   string
+	Mode    Mode
+	Wall    time.Duration
+	// Work counters (copies/encodes/decodes across the run).
+	Encodes int64
+	Decodes int64
+	Copies  int64
+	// OutFrames is the output frame count (sanity check between modes).
+	OutFrames int64
+}
+
+// RunOnce synthesizes the query once in the given mode and returns the
+// measurement. The output file is written under outDir and removed
+// afterwards.
+func RunOnce(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, parallelism int) (Measurement, error) {
+	src := q.BuildSpecSource(ds, sc)
+	spec, err := vql.Parse(src)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("benchkit: %s/%s: %w", ds.Name, q.ID, err)
+	}
+	out := filepath.Join(outDir, fmt.Sprintf("%s-%s-%s.vmf", ds.Name, q.ID, mode))
+	defer os.Remove(out)
+
+	m := Measurement{Dataset: ds.Name, Query: q.ID, Mode: mode}
+	start := time.Now()
+	switch mode {
+	case ModeBaseline:
+		bm, err := baseline.Run(spec, out, nil)
+		if err != nil {
+			return m, err
+		}
+		m.Wall = time.Since(start)
+		m.Encodes = bm.Output.FramesEncoded
+		m.Decodes = bm.Source.FramesDecoded
+		m.OutFrames = bm.FramesRendered
+	default:
+		o := core.Options{Parallelism: parallelism}
+		if mode == ModeOpt {
+			o.Optimize = true
+			o.DataRewrite = true
+		}
+		res, err := core.Synthesize(spec, out, o)
+		if err != nil {
+			return m, err
+		}
+		m.Wall = time.Since(start)
+		m.Encodes = res.Metrics.TotalEncodes()
+		m.Decodes = res.Metrics.TotalDecodes()
+		m.Copies = res.Metrics.Output.PacketsCopied
+		m.OutFrames = m.Copies + res.Metrics.Output.FramesEncoded
+	}
+	return m, nil
+}
+
+// Repeat runs RunOnce n times (after one discarded warm-up, like the
+// paper's methodology) and returns the measurement with the average wall
+// time.
+func Repeat(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, parallelism, n int) (Measurement, error) {
+	if n < 1 {
+		n = 1
+	}
+	if _, err := RunOnce(ds, q, sc, mode, outDir, parallelism); err != nil {
+		return Measurement{}, err // warm-up
+	}
+	var acc Measurement
+	for i := 0; i < n; i++ {
+		m, err := RunOnce(ds, q, sc, mode, outDir, parallelism)
+		if err != nil {
+			return Measurement{}, err
+		}
+		if i == 0 {
+			acc = m
+		}
+		if i > 0 {
+			acc.Wall += m.Wall
+		}
+	}
+	acc.Wall /= time.Duration(n)
+	return acc, nil
+}
+
+// Row is one line of a Fig. 3/4 table.
+type Row struct {
+	Query   string
+	Unopt   time.Duration
+	Opt     time.Duration
+	Speedup float64
+}
+
+// CompareRun produces the unopt-vs-opt rows for every query on ds — the
+// data behind Fig. 3 (ToS) and Fig. 4 (KABR).
+func CompareRun(ds *Dataset, sc Scale, outDir string, parallelism, repeats int) ([]Row, error) {
+	var rows []Row
+	for _, q := range Queries() {
+		u, err := Repeat(ds, q, sc, ModeUnopt, outDir, parallelism, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s unopt: %w", ds.Name, q.ID, err)
+		}
+		o, err := Repeat(ds, q, sc, ModeOpt, outDir, parallelism, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s opt: %w", ds.Name, q.ID, err)
+		}
+		if u.OutFrames != o.OutFrames {
+			return nil, fmt.Errorf("benchkit: %s %s output frame mismatch: %d vs %d",
+				ds.Name, q.ID, u.OutFrames, o.OutFrames)
+		}
+		rows = append(rows, Row{
+			Query: q.ID, Unopt: u.Wall, Opt: o.Wall,
+			Speedup: seconds(u.Wall) / seconds(o.Wall),
+		})
+	}
+	return rows, nil
+}
+
+// DataJoinRow is one line of the Fig. 5 table.
+type DataJoinRow struct {
+	Dataset  string
+	Query    string
+	Baseline time.Duration
+	V2V      time.Duration
+	Speedup  float64
+}
+
+// DataJoinRun measures the data-joining queries (Q5, Q10) against the
+// baseline engine on ds — the data behind Fig. 5.
+func DataJoinRun(ds *Dataset, sc Scale, outDir string, parallelism, repeats int) ([]DataJoinRow, error) {
+	var rows []DataJoinRow
+	for _, q := range Queries() {
+		if !q.JoinsData {
+			continue
+		}
+		b, err := Repeat(ds, q, sc, ModeBaseline, outDir, parallelism, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s baseline: %w", ds.Name, q.ID, err)
+		}
+		o, err := Repeat(ds, q, sc, ModeOpt, outDir, parallelism, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s v2v: %w", ds.Name, q.ID, err)
+		}
+		rows = append(rows, DataJoinRow{
+			Dataset: ds.Name, Query: q.ID, Baseline: b.Wall, V2V: o.Wall,
+			Speedup: seconds(b.Wall) / seconds(o.Wall),
+		})
+	}
+	return rows, nil
+}
+
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }

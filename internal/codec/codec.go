@@ -1,0 +1,373 @@
+// Package codec implements GV1, a GOP-structured predictive video codec
+// over YUV420 frames.
+//
+// GV1 stands in for H.264 in this reproduction. What matters to the V2V
+// optimizer is not compression quality but the structural properties shared
+// with every inter-frame codec:
+//
+//   - Keyframes (I-frames) are decodable in isolation; delta frames
+//     (P-frames) require every frame since the previous keyframe, so
+//     decoding must start at a keyframe boundary (a group of pictures).
+//   - Encoding is much more expensive than decoding (prediction plus
+//     entropy-coding search vs. entropy decode plus reconstruction).
+//   - Copying an encoded packet is near memcpy speed.
+//
+// These asymmetries are exactly what stream copying and smart cuts exploit.
+//
+// Coding scheme: I-frames use left/top spatial prediction, P-frames use
+// temporal prediction from the previously *reconstructed* frame (so encoder
+// and decoder reconstructions match bit-for-bit). Residuals are uniformly
+// quantized by Quality (Quality 1 uses modular arithmetic and is exactly
+// lossless) and entropy-coded with DEFLATE.
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"errors"
+	"fmt"
+	"io"
+
+	"v2v/internal/frame"
+)
+
+// FourCC identifies the codec in container stream headers.
+const FourCC = "GV10"
+
+// Frame type markers, the first byte of every packet.
+const (
+	frameTypeI = 0x49 // 'I'
+	frameTypeP = 0x50 // 'P'
+)
+
+// Config holds the coding parameters shared by encoder and decoder. Width
+// and Height must be positive and even. Quality is the quantizer step
+// (1 = lossless, larger = lossier and smaller). GOP is the keyframe
+// interval in frames (1 = all-intra). Level is the DEFLATE effort.
+type Config struct {
+	Width, Height int
+	Quality       int
+	GOP           int
+	Level         int
+}
+
+// Defaults fills unset fields: Quality 1, GOP 48, Level 6.
+func (c Config) Defaults() Config {
+	if c.Quality <= 0 {
+		c.Quality = 1
+	}
+	if c.GOP <= 0 {
+		c.GOP = 48
+	}
+	if c.Level == 0 {
+		c.Level = 6
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("codec: invalid dimensions %dx%d", c.Width, c.Height)
+	}
+	if c.Width%2 != 0 || c.Height%2 != 0 {
+		return fmt.Errorf("codec: dimensions %dx%d must be even", c.Width, c.Height)
+	}
+	if c.Quality < 1 || c.Quality > 64 {
+		return fmt.Errorf("codec: quality %d out of range [1,64]", c.Quality)
+	}
+	if c.GOP < 1 {
+		return fmt.Errorf("codec: GOP %d must be >= 1", c.GOP)
+	}
+	if c.Level < -2 || c.Level > 9 {
+		return fmt.Errorf("codec: flate level %d out of range", c.Level)
+	}
+	return nil
+}
+
+// Packet is one encoded frame.
+type Packet struct {
+	Key  bool
+	Data []byte
+}
+
+// Encoder encodes a sequence of frames into packets. Not safe for
+// concurrent use.
+type Encoder struct {
+	cfg      Config
+	prev     *frame.Frame // previous reconstruction; nil before first frame
+	count    int          // frames since last keyframe
+	forceKey bool
+	resid    []byte
+	buf      bytes.Buffer
+	fw       *flate.Writer
+}
+
+// NewEncoder returns an encoder for the given configuration.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fw, err := flate.NewWriter(io.Discard, cfg.Level)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return &Encoder{cfg: cfg, fw: fw, resid: make([]byte, frame.FormatYUV420.Size(cfg.Width, cfg.Height))}, nil
+}
+
+// Config returns the encoder's configuration (with defaults applied).
+func (e *Encoder) Config() Config { return e.cfg }
+
+// ForceKeyframe makes the next encoded frame an I-frame. Smart cuts use
+// this to restart prediction at splice boundaries.
+func (e *Encoder) ForceKeyframe() { e.forceKey = true }
+
+// Encode compresses fr and returns its packet. fr must be YUV420 with the
+// configured dimensions.
+func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
+	if fr.Format != frame.FormatYUV420 || fr.W != e.cfg.Width || fr.H != e.cfg.Height {
+		return Packet{}, fmt.Errorf("codec: frame %dx%d %v does not match config %dx%d yuv420",
+			fr.W, fr.H, fr.Format, e.cfg.Width, e.cfg.Height)
+	}
+	isKey := e.prev == nil || e.count >= e.cfg.GOP || e.forceKey
+	e.forceKey = false
+
+	recon := frame.New(e.cfg.Width, e.cfg.Height, frame.FormatYUV420)
+	if isKey {
+		e.encodeIntra(fr, recon)
+	} else {
+		e.encodePredicted(fr, recon)
+	}
+
+	e.buf.Reset()
+	if isKey {
+		e.buf.WriteByte(frameTypeI)
+	} else {
+		e.buf.WriteByte(frameTypeP)
+	}
+	e.fw.Reset(&e.buf)
+	if _, err := e.fw.Write(e.resid); err != nil {
+		return Packet{}, fmt.Errorf("codec: compress: %w", err)
+	}
+	if err := e.fw.Close(); err != nil {
+		return Packet{}, fmt.Errorf("codec: compress: %w", err)
+	}
+
+	e.prev = recon
+	if isKey {
+		e.count = 1
+	} else {
+		e.count++
+	}
+	data := make([]byte, e.buf.Len())
+	copy(data, e.buf.Bytes())
+	return Packet{Key: isKey, Data: data}, nil
+}
+
+// encodeIntra writes the I-frame residual for fr into e.resid and the
+// reconstruction into recon.
+func (e *Encoder) encodeIntra(fr, recon *frame.Frame) {
+	q := e.cfg.Quality
+	off := 0
+	sp, rp := fr.Planes(), recon.Planes()
+	for pi := range sp {
+		w, h := planeDims(e.cfg, pi)
+		intraPlane(sp[pi], rp[pi], e.resid[off:off+w*h], w, h, q)
+		off += w * h
+	}
+}
+
+func intraPlane(src, recon, resid []byte, w, h, q int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			var pred int
+			switch {
+			case x > 0:
+				pred = int(recon[i-1])
+			case y > 0:
+				pred = int(recon[i-w])
+			default:
+				pred = 128
+			}
+			resid[i], recon[i] = code(int(src[i]), pred, q)
+		}
+	}
+}
+
+// encodePredicted writes the P-frame residual (vs. e.prev) into e.resid.
+func (e *Encoder) encodePredicted(fr, recon *frame.Frame) {
+	q := e.cfg.Quality
+	src, prev, rec := fr.Pix, e.prev.Pix, recon.Pix
+	if q == 1 {
+		for i := range src {
+			b := src[i] - prev[i]
+			e.resid[i] = b
+			rec[i] = prev[i] + b
+		}
+		return
+	}
+	for i := range src {
+		e.resid[i], rec[i] = code(int(src[i]), int(prev[i]), q)
+	}
+}
+
+// code quantizes cur against pred with step q, returning the residual byte
+// and the reconstructed value. q==1 is exactly lossless via modular
+// arithmetic; q>1 zigzag-codes the quantized delta.
+func code(cur, pred, q int) (resid, recon byte) {
+	if q == 1 {
+		b := byte(cur - pred)
+		return b, byte(pred + int(b))
+	}
+	d := cur - pred
+	var qv int
+	if d >= 0 {
+		qv = (d + q/2) / q
+	} else {
+		qv = -((-d + q/2) / q)
+	}
+	if qv > 127 {
+		qv = 127
+	} else if qv < -127 {
+		qv = -127
+	}
+	r := pred + qv*q
+	if r < 0 {
+		r = 0
+	} else if r > 255 {
+		r = 255
+	}
+	return zigzag(qv), byte(r)
+}
+
+func zigzag(v int) byte {
+	if v >= 0 {
+		return byte(v << 1)
+	}
+	return byte(-v<<1 - 1)
+}
+
+func unzigzag(b byte) int {
+	if b&1 == 0 {
+		return int(b >> 1)
+	}
+	return -int(b>>1) - 1
+}
+
+// Decoder decodes packets back into frames. Decoding must start at a
+// keyframe; feeding a P-packet first returns ErrNeedKeyframe. Not safe for
+// concurrent use.
+type Decoder struct {
+	cfg   Config
+	prev  *frame.Frame
+	resid []byte
+}
+
+// ErrNeedKeyframe is returned when a P-frame arrives with no reference —
+// the structural constraint that forces plans to open GOPs at keyframes.
+var ErrNeedKeyframe = errors.New("codec: packet stream must start at a keyframe")
+
+// NewDecoder returns a decoder for the given configuration.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	cfg = cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg, resid: make([]byte, frame.FormatYUV420.Size(cfg.Width, cfg.Height))}, nil
+}
+
+// Reset drops the reference frame, e.g. before seeking to a keyframe.
+func (d *Decoder) Reset() { d.prev = nil }
+
+// Decode decompresses one packet. The returned frame is owned by the
+// caller (it is not reused by subsequent Decode calls).
+func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
+	if len(data) < 1 {
+		return nil, errors.New("codec: empty packet")
+	}
+	ftype := data[0]
+	if ftype != frameTypeI && ftype != frameTypeP {
+		return nil, fmt.Errorf("codec: unknown frame type 0x%02x", ftype)
+	}
+	if ftype == frameTypeP && d.prev == nil {
+		return nil, ErrNeedKeyframe
+	}
+	fr := flate.NewReader(bytes.NewReader(data[1:]))
+	if _, err := io.ReadFull(fr, d.resid); err != nil {
+		return nil, fmt.Errorf("codec: decompress: %w", err)
+	}
+	fr.Close()
+
+	out := frame.New(d.cfg.Width, d.cfg.Height, frame.FormatYUV420)
+	q := d.cfg.Quality
+	if ftype == frameTypeI {
+		off := 0
+		op := out.Planes()
+		for pi := range op {
+			w, h := planeDims(d.cfg, pi)
+			decodeIntraPlane(d.resid[off:off+w*h], op[pi], w, h, q)
+			off += w * h
+		}
+	} else {
+		prev := d.prev.Pix
+		if q == 1 {
+			for i := range out.Pix {
+				out.Pix[i] = prev[i] + d.resid[i]
+			}
+		} else {
+			for i := range out.Pix {
+				r := int(prev[i]) + unzigzag(d.resid[i])*q
+				if r < 0 {
+					r = 0
+				} else if r > 255 {
+					r = 255
+				}
+				out.Pix[i] = byte(r)
+			}
+		}
+	}
+	d.prev = out
+	return out, nil
+}
+
+func decodeIntraPlane(resid, out []byte, w, h, q int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			var pred int
+			switch {
+			case x > 0:
+				pred = int(out[i-1])
+			case y > 0:
+				pred = int(out[i-w])
+			default:
+				pred = 128
+			}
+			if q == 1 {
+				out[i] = byte(pred + int(resid[i]))
+			} else {
+				r := pred + unzigzag(resid[i])*q
+				if r < 0 {
+					r = 0
+				} else if r > 255 {
+					r = 255
+				}
+				out[i] = byte(r)
+			}
+		}
+	}
+}
+
+// PacketIsKey inspects a raw packet without decoding it.
+func PacketIsKey(data []byte) bool {
+	return len(data) > 0 && data[0] == frameTypeI
+}
+
+func planeDims(cfg Config, plane int) (w, h int) {
+	if plane == 0 {
+		return cfg.Width, cfg.Height
+	}
+	return cfg.Width / 2, cfg.Height / 2
+}

@@ -1,0 +1,384 @@
+// Package container implements VMF ("V2V Media Format"), the seekable
+// single-stream packet container the execution engine reads and writes.
+//
+// VMF stands in for MP4/MKV. Its on-disk layout mirrors what matters for
+// query execution: packets are stored contiguously, and a compact index at
+// the end of the file records every packet's presentation timestamp, byte
+// extent, and keyframe flag. The index is what makes time-seeks and
+// smart-cut planning cheap (find keyframes in a clipped range without
+// touching packet data), the same role keyframe indexes play in Scanner
+// and LosslessCut.
+//
+// Layout:
+//
+//	magic "VMF1" | u32 header length | JSON StreamInfo
+//	packet bytes ...
+//	index: per packet { i64 pts, u64 offset, u32 size, u8 key }
+//	footer: u64 index offset | u32 packet count | magic "XFMV"
+//
+// Timestamps are frame counts: packet PTS n has presentation time
+// Start + n/FPS, kept exact with rationals.
+package container
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"v2v/internal/rational"
+)
+
+const (
+	magicHead     = "VMF1"
+	magicFoot     = "XFMV"
+	indexRecSize  = 8 + 8 + 4 + 1
+	footerSize    = 8 + 4 + 4
+	maxHeaderSize = 1 << 20
+)
+
+// StreamInfo describes the single video stream in a VMF file. Codec
+// parameters are carried in the container so a reader can construct a
+// decoder without out-of-band data.
+type StreamInfo struct {
+	Codec   string       `json:"codec"` // codec fourcc, e.g. "GV10"
+	Width   int          `json:"width"`
+	Height  int          `json:"height"`
+	FPS     rational.Rat `json:"fps"`
+	Start   rational.Rat `json:"start"`             // presentation time of PTS 0
+	Quality int          `json:"quality,omitempty"` // codec quantizer
+	GOP     int          `json:"gop,omitempty"`     // keyframe interval hint
+	Level   int          `json:"level,omitempty"`   // codec effort
+}
+
+// Validate reports whether the stream info is usable.
+func (si StreamInfo) Validate() error {
+	if si.Codec == "" {
+		return errors.New("container: empty codec")
+	}
+	if si.Width <= 0 || si.Height <= 0 {
+		return fmt.Errorf("container: invalid dimensions %dx%d", si.Width, si.Height)
+	}
+	if si.FPS.Sign() <= 0 {
+		return fmt.Errorf("container: non-positive fps %v", si.FPS)
+	}
+	return nil
+}
+
+// Compatible reports whether packets from a stream with info o can be
+// spliced into a stream with this info without re-encoding — the FFmpeg
+// "concatenating compatible streams" condition.
+func (si StreamInfo) Compatible(o StreamInfo) bool {
+	return si.Codec == o.Codec && si.Width == o.Width && si.Height == o.Height &&
+		si.FPS.Equal(o.FPS) && si.Quality == o.Quality && si.Level == o.Level
+}
+
+// TimeOf returns the presentation time of the packet with the given PTS.
+func (si StreamInfo) TimeOf(pts int64) rational.Rat {
+	return si.Start.Add(rational.FromInt(pts).Div(si.FPS))
+}
+
+// PTSOf returns the PTS whose presentation time is t and whether t lands
+// exactly on a frame boundary.
+func (si StreamInfo) PTSOf(t rational.Rat) (int64, bool) {
+	k := t.Sub(si.Start).Mul(si.FPS)
+	return k.Floor(), k.IsInt()
+}
+
+// FrameDur returns the duration of one frame (1/FPS).
+func (si StreamInfo) FrameDur() rational.Rat {
+	return rational.One.Div(si.FPS)
+}
+
+// PacketRecord is one index entry.
+type PacketRecord struct {
+	PTS    int64
+	Offset int64
+	Size   int
+	Key    bool
+}
+
+// Writer writes a VMF file. Packets must be appended in strictly
+// increasing PTS order and the first packet must be a keyframe.
+type Writer struct {
+	f      *os.File
+	info   StreamInfo
+	recs   []PacketRecord
+	off    int64
+	closed bool
+}
+
+// Create opens path for writing and emits the header.
+func Create(path string, info StreamInfo) (*Writer, error) {
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(info)
+	if err != nil {
+		return nil, fmt.Errorf("container: marshal header: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+	w := &Writer{f: f, info: info}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	for _, b := range [][]byte{[]byte(magicHead), lenBuf[:], hdr} {
+		n, err := f.Write(b)
+		if err != nil {
+			f.Close()
+			os.Remove(path)
+			return nil, fmt.Errorf("container: write header: %w", err)
+		}
+		w.off += int64(n)
+	}
+	return w, nil
+}
+
+// Info returns the stream info the writer was created with.
+func (w *Writer) Info() StreamInfo { return w.info }
+
+// WritePacket appends one packet.
+func (w *Writer) WritePacket(pts int64, key bool, data []byte) error {
+	if w.closed {
+		return errors.New("container: writer closed")
+	}
+	if len(w.recs) == 0 && !key {
+		return errors.New("container: first packet must be a keyframe")
+	}
+	if n := len(w.recs); n > 0 && pts <= w.recs[n-1].PTS {
+		return fmt.Errorf("container: PTS %d not increasing (last %d)", pts, w.recs[n-1].PTS)
+	}
+	if len(data) == 0 {
+		return errors.New("container: empty packet")
+	}
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("container: write packet: %w", err)
+	}
+	w.recs = append(w.recs, PacketRecord{PTS: pts, Offset: w.off, Size: len(data), Key: key})
+	w.off += int64(len(data))
+	return nil
+}
+
+// Close writes the index and footer and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	idxOff := w.off
+	buf := make([]byte, 0, len(w.recs)*indexRecSize+footerSize)
+	var rec [indexRecSize]byte
+	for _, r := range w.recs {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(r.PTS))
+		binary.LittleEndian.PutUint64(rec[8:], uint64(r.Offset))
+		binary.LittleEndian.PutUint32(rec[16:], uint32(r.Size))
+		rec[20] = 0
+		if r.Key {
+			rec[20] = 1
+		}
+		buf = append(buf, rec[:]...)
+	}
+	var foot [footerSize]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(idxOff))
+	binary.LittleEndian.PutUint32(foot[8:], uint32(len(w.recs)))
+	copy(foot[12:], magicFoot)
+	buf = append(buf, foot[:]...)
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return fmt.Errorf("container: write index: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("container: close: %w", err)
+	}
+	return nil
+}
+
+// Reader reads a VMF file. Safe for concurrent ReadPacket calls (it uses
+// positioned reads).
+type Reader struct {
+	f    *os.File
+	info StreamInfo
+	recs []PacketRecord
+}
+
+// Open opens and indexes a VMF file.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+	r, err := newReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func newReader(f *os.File) (*Reader, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(f, head[:]); err != nil {
+		return nil, fmt.Errorf("container: read magic: %w", err)
+	}
+	if string(head[:4]) != magicHead {
+		return nil, fmt.Errorf("container: bad magic %q", head[:4])
+	}
+	hdrLen := binary.LittleEndian.Uint32(head[4:])
+	if hdrLen == 0 || hdrLen > maxHeaderSize {
+		return nil, fmt.Errorf("container: implausible header length %d", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("container: read header: %w", err)
+	}
+	var info StreamInfo
+	if err := json.Unmarshal(hdr, &info); err != nil {
+		return nil, fmt.Errorf("container: parse header: %w", err)
+	}
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("container: %w", err)
+	}
+	if end < footerSize {
+		return nil, errors.New("container: truncated file (no footer)")
+	}
+	var foot [footerSize]byte
+	if _, err := f.ReadAt(foot[:], end-footerSize); err != nil {
+		return nil, fmt.Errorf("container: read footer: %w", err)
+	}
+	if string(foot[12:]) != magicFoot {
+		return nil, errors.New("container: bad footer magic (unclosed writer?)")
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	count := int(binary.LittleEndian.Uint32(foot[8:]))
+	if idxOff < 0 || idxOff > end-footerSize || int64(count)*indexRecSize != end-footerSize-idxOff {
+		return nil, errors.New("container: corrupt index geometry")
+	}
+	idx := make([]byte, count*indexRecSize)
+	if _, err := f.ReadAt(idx, idxOff); err != nil {
+		return nil, fmt.Errorf("container: read index: %w", err)
+	}
+	headerEnd := int64(8 + hdrLen)
+	recs := make([]PacketRecord, count)
+	for i := range recs {
+		rec := idx[i*indexRecSize:]
+		recs[i] = PacketRecord{
+			PTS:    int64(binary.LittleEndian.Uint64(rec[0:])),
+			Offset: int64(binary.LittleEndian.Uint64(rec[8:])),
+			Size:   int(binary.LittleEndian.Uint32(rec[16:])),
+			Key:    rec[20] == 1,
+		}
+		// Validate each record against the file geometry so that a
+		// corrupted index cannot demand absurd allocations or reads.
+		r := recs[i]
+		if r.Size <= 0 || r.Offset < headerEnd || r.Offset+int64(r.Size) > idxOff {
+			return nil, fmt.Errorf("container: corrupt index record %d (offset %d size %d)", i, r.Offset, r.Size)
+		}
+		if rec[20] > 1 {
+			return nil, fmt.Errorf("container: corrupt key flag in record %d", i)
+		}
+		if i > 0 && r.PTS <= recs[i-1].PTS {
+			return nil, fmt.Errorf("container: non-increasing PTS in record %d", i)
+		}
+	}
+	if count > 0 && !recs[0].Key {
+		return nil, errors.New("container: stream does not start at a keyframe")
+	}
+	return &Reader{f: f, info: info, recs: recs}, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Info returns the stream description.
+func (r *Reader) Info() StreamInfo { return r.info }
+
+// NumPackets returns the number of packets in the file.
+func (r *Reader) NumPackets() int { return len(r.recs) }
+
+// Record returns the index entry for packet i.
+func (r *Reader) Record(i int) PacketRecord { return r.recs[i] }
+
+// Records returns the full packet index (do not mutate).
+func (r *Reader) Records() []PacketRecord { return r.recs }
+
+// ReadPacket reads the payload of packet i.
+func (r *Reader) ReadPacket(i int) ([]byte, error) {
+	if i < 0 || i >= len(r.recs) {
+		return nil, fmt.Errorf("container: packet %d out of range [0,%d)", i, len(r.recs))
+	}
+	buf := make([]byte, r.recs[i].Size)
+	if _, err := r.f.ReadAt(buf, r.recs[i].Offset); err != nil {
+		return nil, fmt.Errorf("container: read packet %d: %w", i, err)
+	}
+	return buf, nil
+}
+
+// IndexOfPTS returns the packet index with the given PTS, or (-1, false).
+func (r *Reader) IndexOfPTS(pts int64) (int, bool) {
+	i := sort.Search(len(r.recs), func(i int) bool { return r.recs[i].PTS >= pts })
+	if i < len(r.recs) && r.recs[i].PTS == pts {
+		return i, true
+	}
+	return -1, false
+}
+
+// KeyframeAtOrBefore returns the index of the last keyframe packet at or
+// before packet i, or (-1, false) if none exists (corrupt file).
+func (r *Reader) KeyframeAtOrBefore(i int) (int, bool) {
+	if i >= len(r.recs) {
+		i = len(r.recs) - 1
+	}
+	for ; i >= 0; i-- {
+		if r.recs[i].Key {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// NextKeyframeAfter returns the index of the first keyframe packet at or
+// after packet i, or (-1, false).
+func (r *Reader) NextKeyframeAfter(i int) (int, bool) {
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(r.recs); i++ {
+		if r.recs[i].Key {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Duration returns the presentation duration of the stream (packet count
+// over FPS for a complete stream).
+func (r *Reader) Duration() rational.Rat {
+	if len(r.recs) == 0 {
+		return rational.Zero
+	}
+	last := r.recs[len(r.recs)-1].PTS
+	first := r.recs[0].PTS
+	return rational.FromInt(last - first + 1).Div(r.info.FPS)
+}
+
+// TimeRange returns the half-open presentation interval covered by the
+// stream.
+func (r *Reader) TimeRange() rational.Interval {
+	if len(r.recs) == 0 {
+		return rational.Interval{}
+	}
+	return rational.Interval{
+		Lo: r.info.TimeOf(r.recs[0].PTS),
+		Hi: r.info.TimeOf(r.recs[len(r.recs)-1].PTS).Add(r.info.FrameDur()),
+	}
+}

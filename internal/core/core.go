@@ -1,0 +1,153 @@
+// Package core is the V2V system façade: it wires the paper's pipeline —
+// data-aware rewriting (§IV-C), checking (§III-B), planning (§III-C),
+// heuristic optimization (§III-D), and execution (§IV-A) — behind one
+// Synthesize call, with every stage independently toggleable so the
+// evaluation harness can run unoptimized, optimized, and ablated
+// configurations of the same spec.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"v2v/internal/check"
+	"v2v/internal/exec"
+	"v2v/internal/media"
+	"v2v/internal/opt"
+	"v2v/internal/plan"
+	"v2v/internal/rational"
+	"v2v/internal/rewrite"
+	"v2v/internal/sqlmini"
+	"v2v/internal/vql"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Optimize runs the heuristic plan optimizer. Off reproduces the
+	// paper's "unoptimized" bars.
+	Optimize bool
+	// DataRewrite runs the data-dependent spec rewriter before planning.
+	DataRewrite bool
+	// OptPasses overrides the optimizer pass selection (nil = all passes
+	// when Optimize is set). Used by the ablation benchmarks.
+	OptPasses *opt.Options
+	// Parallelism caps shard fan-out (0 = GOMAXPROCS).
+	Parallelism int
+	// DB provides tables for sql-declared data arrays.
+	DB *sqlmini.DB
+}
+
+// DefaultOptions enables the full V2V pipeline.
+func DefaultOptions() Options {
+	return Options{Optimize: true, DataRewrite: true}
+}
+
+// Result reports everything a synthesis run produced.
+type Result struct {
+	OutPath      string
+	Plan         *plan.Plan
+	Metrics      *exec.Metrics
+	RewriteStats rewrite.Stats
+	OptStats     opt.Stats
+}
+
+// Plan validates the spec and produces the (optionally rewritten and
+// optimized) execution plan without running it — the EXPLAIN entry point.
+func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, error) {
+	var rStats rewrite.Stats
+	var oStats opt.Stats
+
+	checked, err := check.Check(spec, check.Options{DB: o.DB})
+	if err != nil {
+		return nil, rStats, oStats, err
+	}
+	if o.DataRewrite {
+		rewritten, stats, err := rewrite.Rewrite(checked)
+		if err != nil {
+			return nil, rStats, oStats, fmt.Errorf("core: data rewrite: %w", err)
+		}
+		rStats = stats
+		if rewritten != checked.Spec {
+			// The rewritten spec references the same sources and arrays
+			// (its dependencies are a subset of the validated originals),
+			// so the checked context carries over with the new render.
+			c2 := *checked
+			c2.Spec = rewritten
+			checked = &c2
+		}
+	}
+	p, err := plan.Build(checked)
+	if err != nil {
+		return nil, rStats, oStats, err
+	}
+	if o.Optimize {
+		passes := opt.Default()
+		if o.OptPasses != nil {
+			passes = *o.OptPasses
+		}
+		passes.Parallelism = o.Parallelism
+		stats, err := opt.Optimize(p, passes)
+		if err != nil {
+			return nil, rStats, oStats, fmt.Errorf("core: optimize: %w", err)
+		}
+		oStats = stats
+	}
+	return p, rStats, oStats, nil
+}
+
+// Synthesize runs the full pipeline and writes the result video to
+// outPath.
+func Synthesize(spec *vql.Spec, outPath string, o Options) (*Result, error) {
+	p, rStats, oStats, err := Plan(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := exec.Execute(p, outPath, exec.Options{Parallelism: o.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		OutPath:      outPath,
+		Plan:         p,
+		Metrics:      metrics,
+		RewriteStats: rStats,
+		OptStats:     oStats,
+	}, nil
+}
+
+// SynthesizeSource parses the textual spec grammar and synthesizes it.
+func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
+	spec, err := vql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Synthesize(spec, outPath, o)
+}
+
+// SynthesizeStream runs the pipeline and delivers the result progressively
+// to w in the VMS stream format: packets flow as segments complete, so a
+// consumer can begin playback while later segments are still rendering —
+// the paper's "begin playback within seconds" property. The result's
+// Metrics.FirstOutput records the latency to the first packet.
+func SynthesizeStream(spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
+	p, rStats, oStats, err := Plan(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	info := p.Checked.Output
+	info.Start = rational.Zero
+	sink, err := media.NewStreamWriter(w, info)
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := exec.ExecuteTo(p, sink, exec.Options{Parallelism: o.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Plan:         p,
+		Metrics:      metrics,
+		RewriteStats: rStats,
+		OptStats:     oStats,
+	}, nil
+}

@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/dataset"
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/opt"
+	"v2v/internal/plan"
+	"v2v/internal/rational"
+	"v2v/internal/sqlmini"
+	"v2v/internal/vql"
+)
+
+var (
+	fxDir    string
+	fxVid    string // tiny: 24fps, GOP 1s
+	fxVid2   string
+	fxSparse string // GOP 10s
+	fxAnn    string // annotations for fxVid
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "v2v-core-")
+	if err != nil {
+		panic(err)
+	}
+	fxDir = dir
+	p := dataset.TinyProfile()
+	fxVid = filepath.Join(dir, "a.vmf")
+	fxAnn = filepath.Join(dir, "a.boxes.json")
+	if _, err := dataset.Generate(fxVid, fxAnn, p, rational.FromInt(6)); err != nil {
+		panic(err)
+	}
+	p2 := p
+	p2.Seed = 77
+	fxVid2 = filepath.Join(dir, "b.vmf")
+	if _, err := dataset.Generate(fxVid2, "", p2, rational.FromInt(6)); err != nil {
+		panic(err)
+	}
+	sp := p
+	sp.GOPSeconds = rational.FromInt(10)
+	fxSparse = filepath.Join(dir, "sparse.vmf")
+	if _, err := dataset.Generate(fxSparse, "", sp, rational.FromInt(6)); err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func specSrc(body string) string {
+	return fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { v: %q; w: %q; s: %q; }
+		data { bb: %q; }
+		%s`, fxVid, fxVid2, fxSparse, fxAnn, body)
+}
+
+// readFrames decodes all frames of a VMF file.
+func readFrames(t *testing.T, path string) []*frame.Frame {
+	t.Helper()
+	r, err := media.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out := make([]*frame.Frame, r.NumFrames())
+	for i := range out {
+		fr, err := r.FrameAtIndex(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = fr.Clone()
+	}
+	return out
+}
+
+// stamps extracts the frame-ID of every frame.
+func stamps(t *testing.T, frames []*frame.Frame) []uint32 {
+	t.Helper()
+	out := make([]uint32, len(frames))
+	for i, fr := range frames {
+		id, ok := frame.ReadStamp(fr)
+		if !ok {
+			t.Fatalf("frame %d carries no stamp", i)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// synth runs the pipeline on src with the given options.
+func synth(t *testing.T, src, name string, o Options) *Result {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), name)
+	res, err := SynthesizeSource(src, out, o)
+	if err != nil {
+		t.Fatalf("synthesize %s: %v", name, err)
+	}
+	return res
+}
+
+// assertEquivalent synthesizes src unoptimized and optimized and verifies
+// both outputs are pixel-identical (the codec is lossless at Q=1).
+func assertEquivalent(t *testing.T, src string) (unopt, opted *Result) {
+	t.Helper()
+	u := synth(t, src, "unopt.vmf", Options{})
+	o := synth(t, src, "opt.vmf", DefaultOptions())
+	fu := readFrames(t, u.OutPath)
+	fo := readFrames(t, o.OutPath)
+	if len(fu) != len(fo) {
+		t.Fatalf("frame counts: unopt %d vs opt %d", len(fu), len(fo))
+	}
+	for i := range fu {
+		if !fu[i].Equal(fo[i]) {
+			t.Fatalf("frame %d differs between unoptimized and optimized plans", i)
+		}
+	}
+	return u, o
+}
+
+func TestQ1StyleClipEquivalence(t *testing.T) {
+	// Clip 1 second starting at t=1 (keyframe-aligned in v).
+	src := specSrc(`render(t) = v[t + 1];`)
+	u, o := assertEquivalent(t, src)
+	got := stamps(t, readFrames(t, o.OutPath))
+	for i, id := range got {
+		if id != uint32(24+i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, id, 24+i)
+		}
+	}
+	// The optimized plan must be a pure copy: zero encodes, zero decodes.
+	if o.Metrics.TotalEncodes() != 0 || o.Metrics.TotalDecodes() != 0 {
+		t.Errorf("optimized clip did work: enc=%d dec=%d", o.Metrics.TotalEncodes(), o.Metrics.TotalDecodes())
+	}
+	if o.Metrics.Output.PacketsCopied != 48 {
+		t.Errorf("copied = %d", o.Metrics.Output.PacketsCopied)
+	}
+	// The unoptimized plan decodes and encodes everything.
+	if u.Metrics.TotalEncodes() == 0 || u.Metrics.TotalDecodes() == 0 {
+		t.Error("unoptimized plan should decode and encode")
+	}
+}
+
+func TestSmartCutEquivalence(t *testing.T) {
+	// Mid-GOP clip: smart cut re-encodes only the head.
+	src := specSrc(`render(t) = v[t + 31/24];`)
+	_, o := assertEquivalent(t, src)
+	got := stamps(t, readFrames(t, o.OutPath))
+	for i, id := range got {
+		if id != uint32(31+i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, id, 31+i)
+		}
+	}
+	// Head is frames 31..47 (17 frames) until keyframe 48.
+	if enc := o.Metrics.TotalEncodes(); enc != 17 {
+		t.Errorf("smart cut encodes = %d, want 17", enc)
+	}
+	if o.Metrics.Output.PacketsCopied != 48-17 {
+		t.Errorf("copied = %d, want 31", o.Metrics.Output.PacketsCopied)
+	}
+}
+
+func TestSparseKeyframesFallBack(t *testing.T) {
+	// Q1-on-ToS: no keyframes in range, optimized == unoptimized plan
+	// shape (both render).
+	src := specSrc(`render(t) = s[t + 1/24];`)
+	u, o := assertEquivalent(t, src)
+	if o.Plan.Segments[0].Kind != plan.SegFrames {
+		t.Error("sparse source should stay a render segment")
+	}
+	// Both plans decode the same source volume.
+	if u.Metrics.Source.FramesDecoded != o.Metrics.Source.FramesDecoded {
+		t.Errorf("decodes differ: %d vs %d", u.Metrics.Source.FramesDecoded, o.Metrics.Source.FramesDecoded)
+	}
+}
+
+func TestQ2StyleSpliceEquivalence(t *testing.T) {
+	// Splice 4 half-second clips, all keyframe-aligned.
+	src := specSrc(`render(t) = match t {
+		t in range(0, 1/2, 1/24) => v[t + 1],
+		t in range(1/2, 1, 1/24) => w[t - 1/2],
+		t in range(1, 3/2, 1/24) => v[t + 2],
+		t in range(3/2, 2, 1/24) => w[t + 1/2],
+	};`)
+	_, o := assertEquivalent(t, src)
+	got := stamps(t, readFrames(t, o.OutPath))
+	want := make([]uint32, 0, 96)
+	for i := 0; i < 12; i++ {
+		want = append(want, uint32(24+i))
+	}
+	for i := 0; i < 12; i++ {
+		want = append(want, uint32(i))
+	}
+	for i := 0; i < 12; i++ {
+		want = append(want, uint32(72+i))
+	}
+	for i := 0; i < 12; i++ {
+		want = append(want, uint32(48+i))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d stamp = %d, want %d", i, got[i], want[i])
+		}
+	}
+	// Half-second clips start at keyframes every second only for the
+	// integer-second offsets; others smart-cut. Either way copies happen.
+	if o.Metrics.Output.PacketsCopied == 0 {
+		t.Error("optimized splice should copy packets")
+	}
+}
+
+func TestQ3StyleGridEquivalence(t *testing.T) {
+	src := specSrc(`render(t) = grid(v[t], w[t], v[t + 1], w[t + 1]);`)
+	u, o := assertEquivalent(t, src)
+	// Optimized plan avoids the intermediate materializations.
+	if o.Metrics.Intermediate.FramesEncoded != 0 {
+		t.Errorf("optimized grid materialized %d frames", o.Metrics.Intermediate.FramesEncoded)
+	}
+	if u.Metrics.Intermediate.FramesEncoded == 0 {
+		t.Error("unoptimized grid should materialize operator boundaries")
+	}
+}
+
+func TestQ4StyleBlurEquivalence(t *testing.T) {
+	src := specSrc(`render(t) = blur(v[t], 1.2);`)
+	assertEquivalent(t, src)
+}
+
+func TestQ5StyleBoxesEquivalence(t *testing.T) {
+	src := specSrc(`render(t) = boxes(v[t], bb[t]);`)
+	u := synth(t, src, "unopt.vmf", Options{})
+	o := synth(t, src, "opt.vmf", DefaultOptions())
+	fu, fo := readFrames(t, u.OutPath), readFrames(t, o.OutPath)
+	if len(fu) != len(fo) {
+		t.Fatalf("frame counts differ")
+	}
+	for i := range fu {
+		if !fu[i].Equal(fo[i]) {
+			t.Fatalf("frame %d differs (data-aware rewrite broke equivalence)", i)
+		}
+	}
+	// The tiny profile has objects on half the frames; the rewrite should
+	// have split arms and enabled copies on the object-free stretches.
+	if o.RewriteStats.Skipped || o.RewriteStats.ArmsAfter < 2 {
+		t.Errorf("rewrite stats = %+v", o.RewriteStats)
+	}
+	if o.Metrics.Output.PacketsCopied == 0 {
+		t.Error("object-free stretches should stream-copy")
+	}
+	// Without the data rewrite, no copies are possible (boxes() wraps
+	// every frame).
+	oNoRewrite := synth(t, src, "opt-norewrite.vmf", Options{Optimize: true})
+	if oNoRewrite.Metrics.Output.PacketsCopied != 0 {
+		t.Error("without data rewrite there should be no copies")
+	}
+}
+
+func TestIfThenElseDataRewriteEndToEnd(t *testing.T) {
+	// Paper §IV-C shape: condition from SQL data selects between videos.
+	db := sqlmini.NewDB()
+	db.CreateTable("sel", []sqlmini.Column{
+		{Name: "ts", Type: sqlmini.TypeRat},
+		{Name: "usea", Type: sqlmini.TypeBool},
+	})
+	for i := 0; i < 48; i++ {
+		db.Insert("sel", []sqlmini.Cell{
+			sqlmini.RatCell(rational.New(int64(i), 24)),
+			sqlmini.BoolCell(i < 24),
+		})
+	}
+	src := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { v: %q; w: %q; }
+		sql { usea: "SELECT ts, usea FROM sel"; }
+		render(t) = ifthenelse(usea[t], v[t], w[t]);`, fxVid, fxVid2)
+	o := synth(t, src, "ite.vmf", Options{Optimize: true, DataRewrite: true, DB: db})
+	// Both halves are plain clips post-rewrite -> all 48 frames copy
+	// (first second from v, second second from w, both keyframe-aligned).
+	if o.Metrics.Output.PacketsCopied != 48 {
+		t.Errorf("copied = %d, want 48", o.Metrics.Output.PacketsCopied)
+	}
+	got := stamps(t, readFrames(t, o.OutPath))
+	if len(got) != 48 {
+		t.Fatalf("frames = %d, want 48", len(got))
+	}
+	for i := 0; i < 48; i++ {
+		if got[i] != uint32(i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, got[i], i)
+		}
+	}
+	// Equivalence against the unrewritten, unoptimized run.
+	u := synth(t, src, "ite-unopt.vmf", Options{DB: db})
+	fu, fo := readFrames(t, u.OutPath), readFrames(t, o.OutPath)
+	for i := range fu {
+		if !fu[i].Equal(fo[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+func TestExplicitOutputScales(t *testing.T) {
+	src := fmt.Sprintf(`
+		timedomain range(0, 1, 1/24);
+		videos { v: %q; }
+		output { width: 64; height: 48; fps: 24; }
+		render(t) = v[t];`, fxVid)
+	o := synth(t, src, "scaled.vmf", DefaultOptions())
+	r, err := media.OpenReader(o.OutPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Info().Width != 64 || r.Info().Height != 48 {
+		t.Errorf("output dims = %dx%d", r.Info().Width, r.Info().Height)
+	}
+	if r.NumFrames() != 24 {
+		t.Errorf("frames = %d", r.NumFrames())
+	}
+	if o.Metrics.Output.PacketsCopied != 0 {
+		t.Error("scaled output cannot copy packets")
+	}
+}
+
+func TestParallelShardsMatchSequential(t *testing.T) {
+	src := specSrc(`render(t) = blur(v[t], 1.0);`)
+	seq := synth(t, src, "seq.vmf", Options{Optimize: true, Parallelism: 1})
+	par := synth(t, src, "par.vmf", Options{Optimize: true, Parallelism: 4})
+	fs, fp := readFrames(t, seq.OutPath), readFrames(t, par.OutPath)
+	if len(fs) != len(fp) {
+		t.Fatalf("counts differ: %d vs %d", len(fs), len(fp))
+	}
+	for i := range fs {
+		if !fs[i].Equal(fp[i]) {
+			t.Fatalf("frame %d differs between sequential and parallel execution", i)
+		}
+	}
+}
+
+func TestAblationPassCombinations(t *testing.T) {
+	// Every single-pass configuration must still produce correct output.
+	src := specSrc(`render(t) = match t {
+		t in range(0, 1, 1/24) => v[t + 1],
+		t in range(1, 2, 1/24) => blur(zoom(w[t - 1], 2), 1.0),
+	};`)
+	ref := synth(t, src, "ref.vmf", Options{})
+	refFrames := readFrames(t, ref.OutPath)
+	passSets := map[string]opt.Options{
+		"copy-only":  {StreamCopy: true},
+		"smart-only": {SmartCut: true},
+		"merge-only": {MergeFilters: true},
+		"shard-only": {Shard: true},
+		"seg-only":   {MergeSegments: true},
+	}
+	for name, passes := range passSets {
+		passes := passes
+		res := synth(t, src, name+".vmf", Options{Optimize: true, OptPasses: &passes})
+		got := readFrames(t, res.OutPath)
+		if len(got) != len(refFrames) {
+			t.Fatalf("%s: counts differ", name)
+		}
+		for i := range got {
+			if !got[i].Equal(refFrames[i]) {
+				t.Fatalf("%s: frame %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestPlanOnlyEntryPoint(t *testing.T) {
+	s, err := vql.Parse(specSrc(`render(t) = v[t + 1];`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, oStats, err := Plan(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Optimized || oStats.Copies != 1 {
+		t.Errorf("plan = optimized %v, stats %+v", p.Optimized, oStats)
+	}
+	if p.Explain() == "" || p.DOT() == "" {
+		t.Error("explain output empty")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := SynthesizeSource("not a spec", "/tmp/x.vmf", Options{}); err == nil {
+		t.Error("bad source should fail")
+	}
+	src := specSrc(`render(t) = v[t + 100];`) // out of range
+	if _, err := SynthesizeSource(src, filepath.Join(t.TempDir(), "x.vmf"), Options{}); err == nil {
+		t.Error("failing check should fail")
+	}
+}
+
+func TestFig2PlanShapes(t *testing.T) {
+	// The paper's Fig. 2 spec: a simple clip spliced with a 2x2 grid
+	// spliced with a simple filter (specs Q1, Q3, Q4). The optimized plan
+	// applies a smart cut to the clip, pulls clips into the grid filter,
+	// and shards the last filter.
+	src := fmt.Sprintf(`
+	timedomain range(0, 4, 1/24);
+	videos { v: %q; w: %q; }
+	render(t) = match t {
+		t in range(0, 1, 1/24) => v[t + 31/24],
+		t in range(1, 2, 1/24) => grid(v[t], w[t], v[t + 1], w[t + 1]),
+		t in range(2, 4, 1/24) => blur(v[t], 1.0),
+	};`, fxVid, fxVid2)
+	s, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unopt, _, _, err := Plan(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unopt.Segments) != 3 {
+		t.Fatalf("unopt segments = %d", len(unopt.Segments))
+	}
+	for _, seg := range unopt.Segments {
+		if seg.Kind != plan.SegFrames {
+			t.Error("unoptimized plan must render everything")
+		}
+	}
+	opted, _, _, err := Plan(s, Options{Optimize: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opted.Segments[0].Kind != plan.SegSmartCut {
+		t.Errorf("segment 0 = %v, want smartcut", opted.Segments[0].Kind)
+	}
+	if opted.Segments[1].Kind != plan.SegFrames || opted.Segments[1].Root.CountOps() != 1 {
+		t.Error("grid should merge into one filter")
+	}
+	if opted.Segments[2].Shards < 2 {
+		t.Errorf("filter segment shards = %d, want parallel split", opted.Segments[2].Shards)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Time remapping needs no dedicated operators: any index expression over t
+// works, with dependency analysis falling back to per-sample enumeration.
+
+func TestReversePlayback(t *testing.T) {
+	// render(t) = v[2 - 1/24 - t]: the first two seconds, backwards.
+	src := specSrc(`render(t) = v[2 - 1/24 - t];`)
+	u := synth(t, src, "rev-unopt.vmf", Options{})
+	o := synth(t, src, "rev-opt.vmf", DefaultOptions())
+	fu, fo := readFrames(t, u.OutPath), readFrames(t, o.OutPath)
+	if len(fu) != 48 || len(fo) != 48 {
+		t.Fatalf("counts = %d / %d", len(fu), len(fo))
+	}
+	ids := stamps(t, fo)
+	for i, id := range ids {
+		if id != uint32(47-i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, id, 47-i)
+		}
+	}
+	for i := range fu {
+		if !fu[i].Equal(fo[i]) {
+			t.Fatalf("frame %d differs between plans", i)
+		}
+	}
+	// Reverse playback cannot stream-copy (not a plain affine clip).
+	if o.Metrics.Output.PacketsCopied != 0 {
+		t.Error("reverse playback should not copy packets")
+	}
+}
+
+func TestTimelapse(t *testing.T) {
+	// render(t) = v[2*t]: 2x speed over a 2-second output window reads the
+	// first 4 seconds of source, every other frame.
+	src := specSrc(`render(t) = v[2 * t];`)
+	o := synth(t, src, "lapse.vmf", DefaultOptions())
+	ids := stamps(t, readFrames(t, o.OutPath))
+	if len(ids) != 48 {
+		t.Fatalf("frames = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint32(2*i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, id, 2*i)
+		}
+	}
+}
+
+func TestSlowMotionRequiresGridAlignment(t *testing.T) {
+	// render(t) = v[t/2] reads half-frame times for odd output frames —
+	// off the source grid, so the checker rejects it (the data model has
+	// no interpolation; a UDF would provide one).
+	src := specSrc(`render(t) = v[t / 2];`)
+	if _, err := SynthesizeSource(src, t.TempDir()+"/x.vmf", Options{}); err == nil {
+		t.Fatal("half-speed without frame interpolation should fail the grid check")
+	}
+	// Frame-doubling slow motion on the output grid works: each source
+	// frame shown twice via two interleaved arms is inexpressible with
+	// affine guards, but doubling via a coarser source step works.
+	srcOK := fmt.Sprintf(`
+		timedomain range(0, 2, 1/12);
+		videos { v: %q; }
+		output { width: 160; height: 96; fps: 12; }
+		render(t) = v[t];`, fxVid)
+	o := synth(t, srcOK, "halfrate.vmf", DefaultOptions())
+	ids := stamps(t, readFrames(t, o.OutPath))
+	if len(ids) != 24 {
+		t.Fatalf("frames = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != uint32(2*i) {
+			t.Fatalf("frame %d stamp = %d, want %d", i, id, 2*i)
+		}
+	}
+}
+
+func TestRemapEquivalenceUnderOptimization(t *testing.T) {
+	// Mixed remap spec: forward clip, reversed middle, timelapse tail.
+	src := specSrc(`render(t) = match t {
+		t in range(0, 1/2, 1/24) => v[t + 1],
+		t in range(1/2, 1, 1/24) => v[3/2 - 1/24 - t],
+		t in range(1, 2, 1/24) => v[2 * t],
+	};`)
+	u := synth(t, src, "mix-unopt.vmf", Options{})
+	o := synth(t, src, "mix-opt.vmf", DefaultOptions())
+	fu, fo := readFrames(t, u.OutPath), readFrames(t, o.OutPath)
+	for i := range fu {
+		if !fu[i].Equal(fo[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+	// The forward clip arm still copies even though its neighbours can't.
+	if o.Metrics.Output.PacketsCopied == 0 {
+		t.Error("forward arm should stream-copy")
+	}
+}

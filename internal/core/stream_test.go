@@ -1,0 +1,95 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/vql"
+)
+
+func TestSynthesizeStreamMatchesFile(t *testing.T) {
+	src := specSrc(`render(t) = match t {
+		t in range(0, 1, 1/24) => v[t + 1],
+		t in range(1, 2, 1/24) => zoom(w[t], 2),
+	};`)
+	spec, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// File path.
+	fileRes := synth(t, src, "file.vmf", DefaultOptions())
+	fileFrames := readFrames(t, fileRes.OutPath)
+
+	// Stream path.
+	var buf bytes.Buffer
+	streamRes, err := SynthesizeStream(spec, &buf, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := media.NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamFrames []*frame.Frame
+	for {
+		fr, err := sr.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamFrames = append(streamFrames, fr)
+	}
+	if len(streamFrames) != len(fileFrames) {
+		t.Fatalf("stream %d frames vs file %d", len(streamFrames), len(fileFrames))
+	}
+	for i := range fileFrames {
+		if !fileFrames[i].Equal(streamFrames[i]) {
+			t.Fatalf("frame %d differs between file and stream outputs", i)
+		}
+	}
+	// First output arrives strictly before the run completes, and for a
+	// copy-led plan essentially immediately.
+	m := streamRes.Metrics
+	if m.FirstOutput <= 0 || m.FirstOutput > m.Wall {
+		t.Errorf("first output %v, wall %v", m.FirstOutput, m.Wall)
+	}
+}
+
+func TestFirstOutputLatencyCopyVsRender(t *testing.T) {
+	// A copy-led spec delivers its first packet far sooner than the same
+	// duration of rendering — the interactivity claim.
+	copySrc := specSrc(`render(t) = v[t + 1];`)
+	renderSrc := specSrc(`render(t) = blur(v[t + 1], 1.5);`)
+	var bufA, bufB bytes.Buffer
+	specA, _ := vql.Parse(copySrc)
+	specB, _ := vql.Parse(renderSrc)
+	a, err := SynthesizeStream(specA, &bufA, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthesizeStream(specB, &bufB, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.FirstOutput >= b.Metrics.Wall {
+		t.Errorf("copy first-output %v should beat full render wall %v",
+			a.Metrics.FirstOutput, b.Metrics.Wall)
+	}
+}
+
+func TestSynthesizeStreamErrors(t *testing.T) {
+	spec, err := vql.Parse(specSrc(`render(t) = v[t + 100];`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := SynthesizeStream(spec, &buf, DefaultOptions()); err == nil {
+		t.Error("failing check should propagate")
+	}
+}

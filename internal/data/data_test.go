@@ -1,0 +1,247 @@
+package data
+
+import (
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/raster"
+	"v2v/internal/rational"
+)
+
+func rat(n, d int64) rational.Rat { return rational.New(n, d) }
+
+func TestValueTruthy(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want bool
+	}{
+		{Null(), false},
+		{BoolVal(true), true},
+		{BoolVal(false), false},
+		{NumVal(0), false},
+		{NumVal(-1), true},
+		{StrVal(""), false},
+		{StrVal("x"), true},
+		{BoxesVal(nil), false},
+		{BoxesVal([]raster.Box{{W: 1, H: 1}}), true},
+	}
+	for _, c := range cases {
+		if got := c.v.Truthy(); got != c.want {
+			t.Errorf("Truthy(%v) = %v", c.v, got)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	b1 := BoxesVal([]raster.Box{{X: 1, Y: 2, W: 3, H: 4, Class: "Z", Track: 1}})
+	b2 := BoxesVal([]raster.Box{{X: 1, Y: 2, W: 3, H: 4, Class: "Z", Track: 1}})
+	b3 := BoxesVal([]raster.Box{{X: 9, Y: 2, W: 3, H: 4, Class: "Z", Track: 1}})
+	if !b1.Equal(b2) || b1.Equal(b3) {
+		t.Error("box equality wrong")
+	}
+	if NumVal(1).Equal(BoolVal(true)) {
+		t.Error("cross-kind equality should be false")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("null equals null")
+	}
+	if !NumVal(2.5).Equal(NumVal(2.5)) || NumVal(1).Equal(NumVal(2)) {
+		t.Error("num equality wrong")
+	}
+	if !StrVal("a").Equal(StrVal("a")) || StrVal("a").Equal(StrVal("b")) {
+		t.Error("str equality wrong")
+	}
+	if b1.Equal(BoxesVal(nil)) {
+		t.Error("different lengths should differ")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindNull: "null", KindBool: "bool", KindNum: "num", KindStr: "str", KindBoxes: "boxes"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestNewArraySortsAndRejectsDuplicates(t *testing.T) {
+	a, err := NewArray([]Entry{
+		{T: rat(2, 1), V: NumVal(2)},
+		{T: rat(0, 1), V: NumVal(0)},
+		{T: rat(1, 1), V: NumVal(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := a.Entries()
+	for i := 0; i < 3; i++ {
+		if !es[i].T.Equal(rational.FromInt(int64(i))) {
+			t.Errorf("entry %d time = %v", i, es[i].T)
+		}
+	}
+	if _, err := NewArray([]Entry{{T: rat(1, 2)}, {T: rat(2, 4)}}); err == nil {
+		t.Error("duplicate rational timestamps should be rejected")
+	}
+}
+
+func TestArrayAt(t *testing.T) {
+	a, _ := NewArray([]Entry{
+		{T: rat(0, 1), V: NumVal(10)},
+		{T: rat(1, 30), V: NumVal(11)},
+		{T: rat(2, 30), V: NumVal(12)},
+	})
+	if v, ok := a.At(rat(1, 30)); !ok || v.Num != 11 {
+		t.Errorf("At(1/30) = %v,%v", v, ok)
+	}
+	if _, ok := a.At(rat(1, 60)); ok {
+		t.Error("missing time should not be found")
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestCoversRange(t *testing.T) {
+	var entries []Entry
+	r := rational.NewRange(rational.Zero, rational.One, rat(1, 10))
+	for i := 0; i < r.Count(); i++ {
+		entries = append(entries, Entry{T: r.At(i), V: NumVal(float64(i))})
+	}
+	a, _ := NewArray(entries)
+	if !a.CoversRange(r) {
+		t.Error("should cover its own range")
+	}
+	wider := rational.NewRange(rational.Zero, rational.FromInt(2), rat(1, 10))
+	if a.CoversRange(wider) {
+		t.Error("should not cover a wider range")
+	}
+	finer := rational.NewRange(rational.Zero, rational.One, rat(1, 20))
+	if a.CoversRange(finer) {
+		t.Error("should not cover a finer range")
+	}
+}
+
+func TestAllInAndAllFalsyIn(t *testing.T) {
+	a, _ := NewArray([]Entry{
+		{T: rat(0, 1), V: BoxesVal(nil)},
+		{T: rat(1, 1), V: BoxesVal(nil)},
+		{T: rat(2, 1), V: BoxesVal([]raster.Box{{W: 5, H: 5}})},
+		{T: rat(3, 1), V: BoxesVal(nil)},
+	})
+	got := a.AllIn(rational.Interval{Lo: rat(1, 1), Hi: rat(3, 1)})
+	if len(got) != 2 || !got[0].T.Equal(rational.One) {
+		t.Errorf("AllIn = %v", got)
+	}
+	if !a.AllFalsyIn(rational.Interval{Lo: rat(0, 1), Hi: rat(2, 1)}) {
+		t.Error("[0,2) should be all falsy")
+	}
+	if a.AllFalsyIn(rational.Interval{Lo: rat(0, 1), Hi: rat(3, 1)}) {
+		t.Error("[0,3) contains boxes")
+	}
+	if !a.AllFalsyIn(rational.Interval{Lo: rat(10, 1), Hi: rat(20, 1)}) {
+		t.Error("empty window is vacuously falsy")
+	}
+}
+
+func TestSpan(t *testing.T) {
+	a, _ := NewArray([]Entry{{T: rat(1, 1)}, {T: rat(5, 1)}})
+	sp := a.Span()
+	if !sp.Lo.Equal(rational.One) || !sp.Hi.Equal(rational.FromInt(5)) {
+		t.Errorf("Span = %v", sp)
+	}
+	empty, _ := NewArray(nil)
+	if !empty.Span().Empty() {
+		t.Error("empty array span should be empty")
+	}
+}
+
+func TestParseJSONAllKinds(t *testing.T) {
+	raw := []byte(`[
+		{"t": [0,1], "value": null},
+		{"t": [1,30], "value": true},
+		{"t": [2,30], "value": 3.5},
+		{"t": [3,30], "value": "zebra"},
+		{"t": [4,30], "value": [{"x":10,"y":20,"w":30,"h":40,"class":"ZEBRA","track":7}]}
+	]`)
+	a, err := ParseJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	if v, _ := a.At(rat(0, 1)); v.Kind != KindNull {
+		t.Errorf("null entry = %v", v)
+	}
+	if v, _ := a.At(rat(1, 30)); v.Kind != KindBool || !v.Bool {
+		t.Errorf("bool entry = %v", v)
+	}
+	if v, _ := a.At(rat(2, 30)); v.Kind != KindNum || v.Num != 3.5 {
+		t.Errorf("num entry = %v", v)
+	}
+	if v, _ := a.At(rat(3, 30)); v.Kind != KindStr || v.Str != "zebra" {
+		t.Errorf("str entry = %v", v)
+	}
+	v, _ := a.At(rat(4, 30))
+	if v.Kind != KindBoxes || len(v.Boxes) != 1 {
+		t.Fatalf("boxes entry = %v", v)
+	}
+	b := v.Boxes[0]
+	if b.X != 10 || b.Y != 20 || b.W != 30 || b.H != 40 || b.Class != "ZEBRA" || b.Track != 7 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	for name, raw := range map[string]string{
+		"not json":  "nope",
+		"bad value": `[{"t":[0,1],"value":{"x":1}}]`,
+		"bad boxes": `[{"t":[0,1],"value":[{"x":"no"}]}]`,
+		"dup times": `[{"t":[0,1],"value":1},{"t":[0,1],"value":2}]`,
+	} {
+		if _, err := ParseJSON([]byte(raw)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	a, _ := NewArray([]Entry{
+		{T: rat(0, 1), V: Null()},
+		{T: rat(1, 3), V: BoolVal(false)},
+		{T: rat(2, 3), V: NumVal(-2.25)},
+		{T: rat(1, 1), V: StrVal("hi")},
+		{T: rat(4, 3), V: BoxesVal([]raster.Box{{X: 1, Y: 2, W: 3, H: 4, Class: "C", Track: 9}, {X: 5, Y: 6, W: 7, H: 8}})},
+	})
+	path := filepath.Join(t.TempDir(), "ann.json")
+	if err := a.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != a.Len() {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for i, e := range a.Entries() {
+		ge := got.Entries()[i]
+		if !ge.T.Equal(e.T) || !ge.V.Equal(e.V) {
+			t.Errorf("entry %d: %v %v vs %v %v", i, ge.T, ge.V, e.T, e.V)
+		}
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Null().String() != "null" || BoolVal(true).String() != "true" ||
+		NumVal(2).String() != "2" || StrVal("a").String() != `"a"` ||
+		BoxesVal([]raster.Box{{}}).String() != "boxes(1)" {
+		t.Error("value strings wrong")
+	}
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/data"
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/rational"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range []Profile{ToSProfile(), KABRProfile(), TinyProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	bad := TinyProfile()
+	bad.Width = 16
+	if err := bad.Validate(); err == nil {
+		t.Error("tiny width should fail stamp requirement")
+	}
+	bad2 := TinyProfile()
+	bad2.VisibleEvery = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero visibility window should fail")
+	}
+}
+
+func TestGOPFrames(t *testing.T) {
+	if got := ToSProfile().GOPFrames(); got != 240 {
+		t.Errorf("ToS GOP = %d, want 240", got)
+	}
+	if got := KABRProfile().GOPFrames(); got != 30 {
+		t.Errorf("KABR GOP = %d, want 30", got)
+	}
+}
+
+func TestGenerateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := TinyProfile()
+	path := filepath.Join(dir, "v.vmf")
+	ann := filepath.Join(dir, "v.boxes.json")
+	n, err := Generate(path, ann, p, rational.FromInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 48 {
+		t.Fatalf("frames = %d, want 48", n)
+	}
+	r, err := media.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumFrames() != 48 {
+		t.Fatalf("NumFrames = %d", r.NumFrames())
+	}
+	info := r.Info()
+	if info.GOP != p.GOPFrames() || !info.FPS.Equal(p.FPS) {
+		t.Errorf("info = %+v", info)
+	}
+	// Every frame carries its index stamp (codec is lossless at Q=1).
+	for _, i := range []int{0, 1, 24, 47} {
+		fr, err := r.FrameAtIndex(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, ok := frame.ReadStamp(fr)
+		if !ok || id != uint32(i) {
+			t.Fatalf("frame %d stamp = %d,%v", i, id, ok)
+		}
+	}
+	// Keyframe cadence: every second at 24 fps.
+	c := r.Container()
+	for i := 0; i < r.NumFrames(); i++ {
+		wantKey := i%24 == 0
+		if c.Record(i).Key != wantKey {
+			t.Fatalf("packet %d key = %v", i, c.Record(i).Key)
+		}
+	}
+	// Annotations parse and align with objectsAt.
+	arr, err := data.LoadJSON(ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 48 {
+		t.Fatalf("annotations = %d", arr.Len())
+	}
+	for i := 0; i < 48; i++ {
+		at := rational.New(int64(i), 24)
+		v, ok := arr.At(at)
+		if !ok {
+			t.Fatalf("no annotation at %s", at)
+		}
+		want := p.objectsAt(i)
+		if len(v.Boxes) != len(want) {
+			t.Fatalf("frame %d boxes = %d, want %d", i, len(v.Boxes), len(want))
+		}
+	}
+}
+
+func TestVisibilityDensityDiffers(t *testing.T) {
+	// ToS-sim has objects on every frame; KABR-sim only occasionally.
+	tos, kabr := ToSProfile(), KABRProfile()
+	n := 300 // 10-12.5 seconds worth
+	tosWith, kabrWith := 0, 0
+	for i := 0; i < n; i++ {
+		if len(tos.objectsAt(i)) > 0 {
+			tosWith++
+		}
+		if len(kabr.objectsAt(i)) > 0 {
+			kabrWith++
+		}
+	}
+	if tosWith != n {
+		t.Errorf("ToS objects on %d/%d frames, want all", tosWith, n)
+	}
+	if kabrWith == 0 || kabrWith > n/2 {
+		t.Errorf("KABR objects on %d/%d frames, want sparse but non-zero", kabrWith, n)
+	}
+}
+
+func TestAnnotationsMatchGenerate(t *testing.T) {
+	p := TinyProfile()
+	arr, err := Annotations(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 10 {
+		t.Fatalf("len = %d", arr.Len())
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := arr.At(rational.New(int64(i), 24))
+		if !ok {
+			t.Fatal("missing entry")
+		}
+		want := p.objectsAt(i)
+		if len(v.Boxes) != len(want) {
+			t.Errorf("frame %d: %d vs %d boxes", i, len(v.Boxes), len(want))
+		}
+		for j := range want {
+			if v.Boxes[j] != want[j] {
+				t.Errorf("frame %d box %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := TinyProfile()
+	if _, err := Generate(filepath.Join(dir, "x.vmf"), "", p, rational.Zero); err == nil {
+		t.Error("zero duration should fail")
+	}
+	bad := p
+	bad.Width = 8
+	if _, err := Generate(filepath.Join(dir, "x.vmf"), "", bad, rational.One); err == nil {
+		t.Error("invalid profile should fail")
+	}
+	if _, err := Generate("/nonexistent-dir/x.vmf", "", p, rational.One); err == nil {
+		t.Error("bad path should fail")
+	}
+}
+
+func TestRenderFrameDeterministic(t *testing.T) {
+	p := TinyProfile()
+	a, b := p.RenderFrame(7), p.RenderFrame(7)
+	if !a.Equal(b) {
+		t.Error("RenderFrame must be deterministic")
+	}
+	c := p.RenderFrame(8)
+	if a.Equal(c) {
+		t.Error("different frames should differ")
+	}
+}
+
+func TestObjectsStayMostlyInFrame(t *testing.T) {
+	p := KABRProfile()
+	for i := 0; i < 600; i += 7 {
+		for _, b := range p.objectsAt(i) {
+			if b.X < -b.W || b.Y < -b.H || b.X > p.Width || b.Y > p.Height {
+				t.Fatalf("frame %d: box %+v far outside %dx%d", i, b, p.Width, p.Height)
+			}
+		}
+	}
+}

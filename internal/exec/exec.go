@@ -1,0 +1,467 @@
+// Package exec is V2V's execution engine: it runs a plan against the
+// sources and writes the output stream, parallelizing sharded segments
+// with a worker pool and collecting work metrics.
+//
+// The engine is deliberately plan-driven and policy-free: whether an
+// operator boundary materializes, whether a segment copies packets or
+// renders frames, and how many shards run in parallel are all decisions
+// already baked into the plan by the optimizer. Executing an unoptimized
+// plan therefore faithfully pays the costs the optimizer would have
+// removed.
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"v2v/internal/codec"
+	"v2v/internal/data"
+	"v2v/internal/frame"
+	"v2v/internal/media"
+	"v2v/internal/plan"
+	"v2v/internal/raster"
+	"v2v/internal/rational"
+	"v2v/internal/vql"
+)
+
+// Options configures execution.
+type Options struct {
+	// Parallelism caps concurrently running shards; 0 means unlimited
+	// (the plan's shard counts already reflect the optimizer's cap).
+	Parallelism int
+}
+
+// Metrics reports the work a plan execution performed.
+type Metrics struct {
+	Wall time.Duration
+	// FirstOutput is the latency until the first output packet was
+	// delivered — the paper's interactivity measure ("begin playback
+	// within seconds"). Stream copies make this near-instant.
+	FirstOutput time.Duration
+	// Source counts frames decoded from input files.
+	Source media.Stats
+	// Intermediate counts the encode/decode pairs spent materializing
+	// operator boundaries (unoptimized plans only).
+	Intermediate media.Stats
+	// Output counts frames encoded into / packets copied into the output.
+	Output media.Stats
+	// FramesRendered is the number of output frames produced by render
+	// segments (copied packets excluded).
+	FramesRendered int64
+}
+
+// TotalEncodes sums every frame encode performed anywhere in the plan.
+func (m *Metrics) TotalEncodes() int64 {
+	return m.Source.FramesEncoded + m.Intermediate.FramesEncoded + m.Output.FramesEncoded
+}
+
+// TotalDecodes sums every frame decode performed anywhere in the plan.
+func (m *Metrics) TotalDecodes() int64 {
+	return m.Source.FramesDecoded + m.Intermediate.FramesDecoded + m.Output.FramesDecoded
+}
+
+// Execute runs the plan and writes the synthesized video to outPath.
+func Execute(p *plan.Plan, outPath string, o Options) (*Metrics, error) {
+	info := p.Checked.Output
+	info.Start = rational.Zero
+	w, err := media.CreateWriter(outPath, info)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteTo(p, w, o)
+}
+
+// ExecuteTo runs the plan against an arbitrary packet sink (a VMF file
+// writer or a progressive stream) and closes the sink. Pipelined shard
+// output means a streaming consumer starts receiving packets while later
+// segments are still rendering.
+func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
+	start := time.Now()
+	m := &Metrics{}
+	markFirst := func() {
+		if m.FirstOutput == 0 && w.FramesWritten() > 0 {
+			m.FirstOutput = time.Since(start)
+		}
+	}
+	readers := newReaderCache(p)
+	defer readers.closeAll(m)
+
+	for _, s := range p.Segments {
+		switch s.Kind {
+		case plan.SegCopy:
+			r, err := readers.get(s.Video)
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			if err := media.CopyRange(w, r, s.From, s.To); err != nil {
+				w.Close()
+				return nil, fmt.Errorf("exec: copy segment: %w", err)
+			}
+		case plan.SegSmartCut:
+			r, err := readers.get(s.Video)
+			if err != nil {
+				w.Close()
+				return nil, err
+			}
+			if _, _, err := media.SmartCut(w, r, s.From, s.To); err != nil {
+				w.Close()
+				return nil, fmt.Errorf("exec: smart cut segment: %w", err)
+			}
+		case plan.SegFrames:
+			if err := runFrameSegment(p, s, w, m, o, markFirst); err != nil {
+				w.Close()
+				return nil, err
+			}
+		default:
+			w.Close()
+			return nil, fmt.Errorf("exec: unknown segment kind %v", s.Kind)
+		}
+		markFirst()
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	m.Output.Add(w.Stats())
+	m.Wall = time.Since(start)
+	return m, nil
+}
+
+// readerCache shares sequential readers across same-goroutine segments.
+type readerCache struct {
+	p  *plan.Plan
+	mu sync.Mutex
+	rs map[string]*media.Reader
+}
+
+func newReaderCache(p *plan.Plan) *readerCache {
+	return &readerCache{p: p, rs: map[string]*media.Reader{}}
+}
+
+func (c *readerCache) get(video string) (*media.Reader, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.rs[video]; ok {
+		return r, nil
+	}
+	src, ok := c.p.Checked.Sources[video]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown video %q", video)
+	}
+	r, err := media.OpenReader(src.Path)
+	if err != nil {
+		return nil, err
+	}
+	c.rs[video] = r
+	return r, nil
+}
+
+func (c *readerCache) closeAll(m *Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range c.rs {
+		m.Source.Add(r.Stats())
+		r.Close()
+	}
+	c.rs = map[string]*media.Reader{}
+}
+
+// arraySource adapts the checked data arrays to the evaluator.
+type arraySource map[string]*data.Array
+
+func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, error) {
+	arr, ok := s[name]
+	if !ok {
+		return data.Value{}, false, fmt.Errorf("exec: unknown data array %q", name)
+	}
+	v, ok := arr.At(t)
+	return v, ok, nil
+}
+
+// runFrameSegment renders one segment, splitting it into shards when the
+// plan asks for parallelism.
+func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func()) error {
+	frames := s.FrameCount()
+	if frames == 0 {
+		return nil
+	}
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if o.Parallelism > 0 && shards > o.Parallelism {
+		shards = o.Parallelism
+	}
+	if shards == 1 {
+		// Sequential: encode through the output writer directly.
+		run := newSegmentRunner(p, s)
+		defer run.close(m)
+		for i := 0; i < frames; i++ {
+			fr, err := run.renderAt(s.Times.At(i))
+			if err != nil {
+				return err
+			}
+			if err := w.WriteFrame(fr); err != nil {
+				return err
+			}
+			m.FramesRendered++
+			markFirst()
+		}
+		return nil
+	}
+
+	// Parallel shards: each renders and encodes its chunk into memory;
+	// packets splice in order afterwards.
+	gop := p.Checked.Output.GOP
+	if gop <= 0 {
+		gop = 48
+	}
+	per := (frames + shards - 1) / shards
+	// Align chunk length to GOP so forced shard keyframes match cadence.
+	if rem := per % gop; rem != 0 {
+		per += gop - rem
+	}
+	type chunk struct {
+		lo, hi int
+		pkts   []codec.Packet
+		err    error
+		done   chan struct{}
+	}
+	var chunks []*chunk
+	for lo := 0; lo < frames; lo += per {
+		hi := lo + per
+		if hi > frames {
+			hi = frames
+		}
+		chunks = append(chunks, &chunk{lo: lo, hi: hi, done: make(chan struct{})})
+	}
+	var mu sync.Mutex // guards metrics accumulation
+	for _, ch := range chunks {
+		go func(ch *chunk) {
+			defer close(ch.done)
+			run := newSegmentRunner(p, s)
+			defer func() {
+				mu.Lock()
+				run.close(m)
+				mu.Unlock()
+			}()
+			enc, err := codec.NewEncoder(codec.Config{
+				Width: p.Checked.Output.Width, Height: p.Checked.Output.Height,
+				Quality: p.Checked.Output.Quality, GOP: p.Checked.Output.GOP,
+				Level: p.Checked.Output.Level,
+			})
+			if err != nil {
+				ch.err = err
+				return
+			}
+			for i := ch.lo; i < ch.hi; i++ {
+				fr, err := run.renderAt(s.Times.At(i))
+				if err != nil {
+					ch.err = err
+					return
+				}
+				pkt, err := enc.Encode(fr)
+				if err != nil {
+					ch.err = err
+					return
+				}
+				ch.pkts = append(ch.pkts, pkt)
+			}
+		}(ch)
+	}
+	// Deliver chunks in output order as each completes (pipelined with the
+	// still-running later shards), so streaming consumers see packets as
+	// soon as the first shard lands.
+	var firstErr error
+	for _, ch := range chunks {
+		<-ch.done
+		if ch.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain remaining shards, deliver nothing further
+		}
+		for _, pkt := range ch.pkts {
+			if err := w.WriteEncodedFrame(pkt.Key, pkt.Data); err != nil {
+				return err
+			}
+			m.FramesRendered++
+		}
+		markFirst()
+	}
+	return firstErr
+}
+
+// segmentRunner executes one segment's operator tree for one goroutine.
+type segmentRunner struct {
+	p       *plan.Plan
+	seg     *plan.Segment
+	cursors *media.Cursors
+	data    arraySource
+	root    *nodeRunner
+}
+
+func newSegmentRunner(p *plan.Plan, s *plan.Segment) *segmentRunner {
+	paths := make(map[string]string, len(p.Checked.Sources))
+	for name, src := range p.Checked.Sources {
+		paths[name] = src.Path
+	}
+	run := &segmentRunner{
+		p: p, seg: s,
+		cursors: media.NewCursors(paths, 0),
+		data:    arraySource(p.Checked.Arrays),
+	}
+	run.root = run.buildRunner(s.Root)
+	return run
+}
+
+func (r *segmentRunner) close(m *Metrics) {
+	m.Source.Add(r.cursors.Close())
+	r.root.walk(func(nr *nodeRunner) {
+		m.Intermediate.FramesEncoded += nr.matEncodes
+		m.Intermediate.FramesDecoded += nr.matDecodes
+	})
+}
+
+// SourceFrame implements vql.FrameSource over the segment's cursor pool.
+func (r *segmentRunner) SourceFrame(video string, t rational.Rat) (*frame.Frame, error) {
+	return r.cursors.FrameAt(video, t)
+}
+
+// renderAt produces the output frame for time t, scaling to the output
+// format when the rendered frame differs. Panics from transform internals
+// (UDFs, raster precondition violations on data-driven arguments) are
+// converted to errors so one bad frame fails the run instead of crashing
+// the process.
+func (r *segmentRunner) renderAt(t rational.Rat) (fr *frame.Frame, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			fr, err = nil, fmt.Errorf("exec: render t=%s panicked: %v", t, p)
+		}
+	}()
+	fr, err = r.root.renderAt(t)
+	if err != nil {
+		return nil, err
+	}
+	out := r.p.Checked.Output
+	if fr.W != out.Width || fr.H != out.Height {
+		fr = raster.Scale(fr, out.Width, out.Height)
+	}
+	return fr, nil
+}
+
+// nodeRunner carries per-node execution state: the intermediate codec pair
+// for materialized boundaries and the rendered child frames.
+type nodeRunner struct {
+	run      *segmentRunner
+	node     *plan.Node
+	children []*nodeRunner
+	frames   []*frame.Frame // children's frames for the current time
+
+	enc        *codec.Encoder
+	dec        *codec.Decoder
+	matW, matH int
+	matEncodes int64
+	matDecodes int64
+}
+
+func (r *segmentRunner) buildRunner(n *plan.Node) *nodeRunner {
+	nr := &nodeRunner{run: r, node: n}
+	for _, in := range n.Inputs {
+		nr.children = append(nr.children, r.buildRunner(in))
+	}
+	nr.frames = make([]*frame.Frame, len(nr.children))
+	return nr
+}
+
+func (nr *nodeRunner) walk(visit func(*nodeRunner)) {
+	visit(nr)
+	for _, c := range nr.children {
+		c.walk(visit)
+	}
+}
+
+func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
+	var fr *frame.Frame
+	if nr.node.IsLeaf() {
+		idx, err := vql.Eval(nr.node.Clip.Index, &vql.Env{T: t})
+		if err != nil {
+			return nil, fmt.Errorf("exec: clip index: %w", err)
+		}
+		fr, err = nr.run.SourceFrame(nr.node.Clip.Video, idx.Num)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i, c := range nr.children {
+			cf, err := c.renderAt(t)
+			if err != nil {
+				return nil, err
+			}
+			nr.frames[i] = cf
+		}
+		env := &vql.Env{
+			T:      t,
+			Frames: nr.run,
+			Data:   nr.run.data,
+			Ext: func(e vql.Expr, _ *vql.Env) (vql.Val, bool, error) {
+				if p, ok := e.(plan.PortRef); ok {
+					if p.Port < 0 || p.Port >= len(nr.frames) {
+						return vql.Val{}, true, fmt.Errorf("exec: port %d out of range", p.Port)
+					}
+					return vql.FrameVal(nr.frames[p.Port]), true, nil
+				}
+				return vql.Val{}, false, nil
+			},
+		}
+		v, err := vql.Eval(nr.node.Expr, env)
+		if err != nil {
+			return nil, fmt.Errorf("exec: filter %s at t=%s: %w", nr.node.Expr, t, err)
+		}
+		if v.Type != vql.TypeFrame || v.Frame == nil {
+			return nil, fmt.Errorf("exec: filter %s produced %v, want a frame", nr.node.Expr, v.Type)
+		}
+		fr = v.Frame
+	}
+	if !nr.node.Materialize {
+		return fr, nil
+	}
+	return nr.materialize(fr)
+}
+
+// materialize round-trips the frame through the node's intermediate codec
+// pair, paying the cost of an operator boundary that writes its result as
+// an encoded stream for the next operator to decode.
+func (nr *nodeRunner) materialize(fr *frame.Frame) (*frame.Frame, error) {
+	out := nr.run.p.Checked.Output
+	if nr.enc == nil || nr.matW != fr.W || nr.matH != fr.H {
+		cfg := codec.Config{
+			Width: fr.W, Height: fr.H,
+			Quality: out.Quality, GOP: out.GOP, Level: out.Level,
+		}
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := codec.NewDecoder(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nr.enc, nr.dec, nr.matW, nr.matH = enc, dec, fr.W, fr.H
+	}
+	pkt, err := nr.enc.Encode(fr)
+	if err != nil {
+		return nil, fmt.Errorf("exec: materialize encode: %w", err)
+	}
+	nr.matEncodes++
+	got, err := nr.dec.Decode(pkt.Data)
+	if err != nil {
+		return nil, fmt.Errorf("exec: materialize decode: %w", err)
+	}
+	nr.matDecodes++
+	return got, nil
+}

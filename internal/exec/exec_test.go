@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/check"
+	"v2v/internal/dataset"
+	"v2v/internal/media"
+	"v2v/internal/opt"
+	"v2v/internal/plan"
+	"v2v/internal/rational"
+	"v2v/internal/vql"
+)
+
+var fxVid string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "v2v-exec-")
+	if err != nil {
+		panic(err)
+	}
+	fxVid = filepath.Join(dir, "a.vmf")
+	if _, err := dataset.Generate(fxVid, "", dataset.TinyProfile(), rational.FromInt(4)); err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func buildPlan(t *testing.T, body string, optimize bool) *plan.Plan {
+	t.Helper()
+	src := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { v: %q; }
+		%s`, fxVid, body)
+	s, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := check.Check(s, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := plan.Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optimize {
+		if _, err := opt.Optimize(p, opt.Default()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+func TestExecuteMetricsUnoptimizedFilterChain(t *testing.T) {
+	p := buildPlan(t, `render(t) = grade(zoom(v[t], 2), 10, 1.1, 1.0);`, false)
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 48 output frames: 48 source decodes, 2 materialized boundaries
+	// (clip, zoom) = 96 intermediate enc+dec, 48 output encodes.
+	if m.Source.FramesDecoded != 48 {
+		t.Errorf("source decodes = %d", m.Source.FramesDecoded)
+	}
+	if m.Intermediate.FramesEncoded != 96 || m.Intermediate.FramesDecoded != 96 {
+		t.Errorf("intermediate = %+v", m.Intermediate)
+	}
+	if m.Output.FramesEncoded != 48 || m.Output.PacketsCopied != 0 {
+		t.Errorf("output = %+v", m.Output)
+	}
+	if m.FramesRendered != 48 || m.Wall <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.TotalEncodes() != 96+48 || m.TotalDecodes() != 96+48 {
+		t.Errorf("totals = %d enc %d dec", m.TotalEncodes(), m.TotalDecodes())
+	}
+}
+
+func TestExecuteOptimizedSkipsIntermediates(t *testing.T) {
+	p := buildPlan(t, `render(t) = grade(zoom(v[t], 2), 10, 1.1, 1.0);`, true)
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Intermediate.FramesEncoded != 0 || m.Intermediate.FramesDecoded != 0 {
+		t.Errorf("optimized plan materialized: %+v", m.Intermediate)
+	}
+}
+
+func TestExecuteEmptySegmentTolerated(t *testing.T) {
+	p := buildPlan(t, `render(t) = v[t];`, false)
+	// Inject an empty frame segment; execution should skip it.
+	empty := &plan.Segment{
+		Times: rational.NewRange(rational.FromInt(9), rational.FromInt(9), rational.New(1, 24)),
+		Kind:  plan.SegFrames,
+		Root:  p.Segments[0].Root,
+	}
+	p.Segments = append(p.Segments, empty)
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesRendered != 48 {
+		t.Errorf("rendered = %d", m.FramesRendered)
+	}
+}
+
+func TestExecuteUnknownVideoInPlan(t *testing.T) {
+	p := buildPlan(t, `render(t) = v[t];`, false)
+	p.Segments[0].Root = &plan.Node{Clip: &plan.Clip{Video: "ghost", Index: vql.TimeVar{}}}
+	if _, err := Execute(p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
+		t.Error("unknown video should fail")
+	}
+	// Copy segment with unknown video.
+	p2 := buildPlan(t, `render(t) = v[t];`, false)
+	p2.Segments[0].Kind = plan.SegCopy
+	p2.Segments[0].Video = "ghost"
+	if _, err := Execute(p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
+		t.Error("unknown copy video should fail")
+	}
+}
+
+func TestExecuteBadOutputPath(t *testing.T) {
+	p := buildPlan(t, `render(t) = v[t];`, false)
+	if _, err := Execute(p, "/nonexistent-dir/x.vmf", Options{}); err == nil {
+		t.Error("bad output path should fail")
+	}
+}
+
+func TestExecuteParallelismCap(t *testing.T) {
+	p := buildPlan(t, `render(t) = blur(v[t], 1.0);`, true)
+	p.Segments[0].Shards = 8
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FramesRendered != 48 {
+		t.Errorf("rendered = %d", m.FramesRendered)
+	}
+	r, err := media.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumFrames() != 48 {
+		t.Errorf("frames = %d", r.NumFrames())
+	}
+}
+
+func TestExecuteShardKeyframeCadence(t *testing.T) {
+	// Sharded output must still start every shard chunk at a keyframe so
+	// the result is decodable; chunks are GOP-aligned.
+	p := buildPlan(t, `render(t) = grade(v[t], 5, 1.0, 1.0);`, true)
+	p.Segments[0].Shards = 2
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	if _, err := Execute(p, out, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := media.OpenReader(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	// Keyframes every 24 frames (tiny profile GOP).
+	for i := 0; i < r.NumFrames(); i++ {
+		wantKey := i%24 == 0
+		if got := r.Container().Record(i).Key; got != wantKey {
+			t.Fatalf("packet %d key = %v, want %v", i, got, wantKey)
+		}
+	}
+	// Fully decodable.
+	for i := 0; i < r.NumFrames(); i++ {
+		if _, err := r.FrameAtIndex(i); err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+	}
+}
+
+func TestCursorsReuseUnderInterleavedTaps(t *testing.T) {
+	// grid over 4 offsets of the same video: with cursor pooling the
+	// decode volume stays ~4 taps x 48 frames, not 4 x GOP re-decodes per
+	// output frame.
+	p := buildPlan(t, `render(t) = grid(v[t], v[t + 1/2], v[t + 1], v[t + 3/2]);`, true)
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 taps each covering 48 frames; allow slack for initial keyframe
+	// roll-forward on the 3 unaligned taps.
+	if m.Source.FramesDecoded > 4*48+3*24 {
+		t.Errorf("interleaved taps decoded %d frames; cursor pooling broken", m.Source.FramesDecoded)
+	}
+}
+
+func TestRenderPanicBecomesError(t *testing.T) {
+	// A panicking transform (registered here as a UDF) must fail the run
+	// with an error, not crash the process.
+	vql.Register(&vql.Transform{
+		Name:   "testexec_panic",
+		Params: []vql.Type{vql.TypeFrame},
+		Result: vql.TypeFrame,
+		Eval: func([]vql.Val) (vql.Val, error) {
+			panic("boom")
+		},
+	})
+	p := buildPlan(t, `render(t) = testexec_panic(v[t]);`, true)
+	if _, err := Execute(p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
+		t.Fatal("panicking transform should surface as an error")
+	}
+	// Parallel shards too.
+	p2 := buildPlan(t, `render(t) = testexec_panic(v[t]);`, true)
+	p2.Segments[0].Shards = 2
+	if _, err := Execute(p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
+		t.Fatal("panicking shard should surface as an error")
+	}
+}

@@ -1,0 +1,258 @@
+package frame
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatSize(t *testing.T) {
+	cases := []struct {
+		f    Format
+		w, h int
+		want int
+	}{
+		{FormatYUV420, 16, 8, 16*8 + 2*8*4},
+		{FormatRGB24, 10, 10, 300},
+		{FormatGray8, 10, 10, 100},
+		{FormatInvalid, 10, 10, 0},
+	}
+	for _, c := range cases {
+		if got := c.f.Size(c.w, c.h); got != c.want {
+			t.Errorf("%v.Size(%d,%d) = %d, want %d", c.f, c.w, c.h, got, c.want)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatYUV420.String() != "yuv420p" || FormatRGB24.String() != "rgb24" || FormatGray8.String() != "gray8" {
+		t.Error("format names wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 10, FormatGray8) },
+		func() { New(10, -1, FormatGray8) },
+		func() { New(15, 10, FormatYUV420) },
+		func() { New(10, 15, FormatYUV420) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	fr := New(16, 8, FormatYUV420)
+	if len(fr.Pix) != FormatYUV420.Size(16, 8) {
+		t.Errorf("pix len = %d", len(fr.Pix))
+	}
+}
+
+func TestPlanes(t *testing.T) {
+	fr := New(8, 4, FormatYUV420)
+	p := fr.Planes()
+	if len(p) != 3 || len(p[0]) != 32 || len(p[1]) != 8 || len(p[2]) != 8 {
+		t.Fatalf("planes = %d/%d/%d", len(p[0]), len(p[1]), len(p[2]))
+	}
+	p[1][0] = 99
+	if fr.Pix[32] != 99 {
+		t.Error("planes should alias Pix")
+	}
+	g := New(8, 4, FormatGray8)
+	if len(g.Planes()) != 1 {
+		t.Error("gray should have one plane")
+	}
+}
+
+func TestFillAndLuma(t *testing.T) {
+	fr := New(8, 4, FormatYUV420)
+	fr.Fill(100, 110, 120)
+	if fr.Luma(3, 2) != 100 {
+		t.Errorf("luma = %d", fr.Luma(3, 2))
+	}
+	p := fr.Planes()
+	if p[1][0] != 110 || p[2][0] != 120 {
+		t.Error("chroma fill wrong")
+	}
+	fr.SetLuma(3, 2, 55)
+	if fr.Luma(3, 2) != 55 {
+		t.Error("SetLuma failed")
+	}
+
+	rgb := New(4, 4, FormatRGB24)
+	rgb.Fill(255, 128, 128) // white
+	if rgb.Pix[0] != 255 || rgb.Pix[1] != 255 || rgb.Pix[2] != 255 {
+		t.Errorf("white fill = %v", rgb.Pix[:3])
+	}
+	rgb.SetLuma(0, 0, 7)
+	if rgb.Pix[0] != 7 || rgb.Luma(0, 0) != 7 {
+		t.Error("rgb SetLuma/Luma inconsistent")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(4, 4, FormatGray8)
+	a.Fill(10, 0, 0)
+	b := a.Clone()
+	b.Pix[0] = 99
+	if a.Pix[0] != 10 {
+		t.Error("clone shares storage")
+	}
+	if !a.SameShape(b) {
+		t.Error("clone shape differs")
+	}
+}
+
+func TestColorConversionRoundTrip(t *testing.T) {
+	// Primary colors should round-trip RGB->YUV->RGB within small error.
+	colors := [][3]byte{{255, 0, 0}, {0, 255, 0}, {0, 0, 255}, {255, 255, 255}, {0, 0, 0}, {128, 64, 200}}
+	for _, c := range colors {
+		y, cb, cr := RGBToYUV(c[0], c[1], c[2])
+		r, g, b := YUVToRGB(y, cb, cr)
+		for i, got := range []byte{r, g, b} {
+			if d := int(got) - int(c[i]); d < -3 || d > 3 {
+				t.Errorf("roundtrip %v -> %v,%v,%v -> %d,%d,%d", c, y, cb, cr, r, g, b)
+				break
+			}
+		}
+	}
+}
+
+func TestConvertYUVRGBRoundTrip(t *testing.T) {
+	src := New(16, 8, FormatYUV420)
+	rnd := rand.New(rand.NewSource(1))
+	// Smooth-ish content: chroma subsampling loses detail on noise, so use
+	// flat 2x2 blocks which survive exactly-ish.
+	p := src.Planes()
+	for i := range p[0] {
+		p[0][i] = byte(rnd.Intn(200) + 20)
+	}
+	for i := range p[1] {
+		p[1][i] = byte(rnd.Intn(100) + 78)
+		p[2][i] = byte(rnd.Intn(100) + 78)
+	}
+	back := src.Convert(FormatRGB24).Convert(FormatYUV420)
+	if got := PSNR(src, back); got < 40 {
+		t.Errorf("YUV->RGB->YUV PSNR = %.1f dB, want >= 40", got)
+	}
+}
+
+func TestConvertGray(t *testing.T) {
+	src := New(8, 8, FormatGray8)
+	for i := range src.Pix {
+		src.Pix[i] = byte(i * 3)
+	}
+	y := src.Convert(FormatYUV420)
+	if !y.Convert(FormatGray8).Equal(src) {
+		t.Error("gray->yuv->gray not exact")
+	}
+	r := src.Convert(FormatRGB24)
+	if r.Pix[3] != src.Pix[1] || r.Pix[4] != src.Pix[1] {
+		t.Error("gray->rgb wrong")
+	}
+	if got := r.Convert(FormatGray8); PSNR(got, src) < 50 {
+		t.Error("rgb->gray lossy beyond rounding")
+	}
+}
+
+func TestConvertSameFormatClones(t *testing.T) {
+	a := New(4, 4, FormatGray8)
+	b := a.Convert(FormatGray8)
+	b.Pix[0] = 1
+	if a.Pix[0] == 1 {
+		t.Error("Convert(same) should clone")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := New(8, 8, FormatGray8)
+	b := a.Clone()
+	if !math.IsInf(PSNR(a, b), 1) {
+		t.Error("identical frames should be +Inf")
+	}
+	b.Pix[0] = 255
+	v := PSNR(a, b)
+	if v <= 0 || math.IsInf(v, 1) {
+		t.Errorf("PSNR = %f", v)
+	}
+	c := New(4, 4, FormatGray8)
+	if PSNR(a, c) != 0 {
+		t.Error("shape mismatch should be 0")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	a := New(8, 8, FormatGray8)
+	b := New(8, 8, FormatYUV420)
+	if a.Equal(b) {
+		t.Error("different formats should not be equal")
+	}
+}
+
+func TestStampRoundTrip(t *testing.T) {
+	for _, format := range []Format{FormatYUV420, FormatGray8, FormatRGB24} {
+		fr := New(160, 32, format)
+		fr.Fill(60, 128, 128)
+		for _, id := range []uint32{0, 1, 0xDEADBEEF, 0xFFFFFFFF, 12345} {
+			Stamp(fr, id)
+			got, ok := ReadStamp(fr)
+			if !ok || got != id {
+				t.Errorf("%v: ReadStamp = %d,%v, want %d", format, got, ok, id)
+			}
+		}
+	}
+}
+
+func TestStampPropertyRoundTrip(t *testing.T) {
+	fr := New(160, 16, FormatYUV420)
+	if err := quick.Check(func(id uint32) bool {
+		Stamp(fr, id)
+		got, ok := ReadStamp(fr)
+		return ok && got == id
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStampTooSmall(t *testing.T) {
+	fr := New(16, 16, FormatGray8)
+	Stamp(fr, 42) // no-op
+	if _, ok := ReadStamp(fr); ok {
+		t.Error("tiny frame should not carry a stamp")
+	}
+}
+
+func TestStampGuardRejection(t *testing.T) {
+	fr := New(160, 16, FormatGray8)
+	fr.Fill(0, 0, 0) // all-black: guard cell 0 (expected white) fails
+	if _, ok := ReadStamp(fr); ok {
+		t.Error("unstamped frame read as stamped")
+	}
+}
+
+func TestStampSurvivesMildNoise(t *testing.T) {
+	fr := New(160, 16, FormatYUV420)
+	fr.Fill(60, 128, 128)
+	Stamp(fr, 0xCAFEBABE)
+	rnd := rand.New(rand.NewSource(7))
+	for i := range fr.Pix {
+		d := rnd.Intn(31) - 15
+		v := int(fr.Pix[i]) + d
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		fr.Pix[i] = byte(v)
+	}
+	got, ok := ReadStamp(fr)
+	if !ok || got != 0xCAFEBABE {
+		t.Errorf("noisy ReadStamp = %x,%v", got, ok)
+	}
+}

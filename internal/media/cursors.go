@@ -1,0 +1,123 @@
+package media
+
+import (
+	"fmt"
+
+	"v2v/internal/frame"
+	"v2v/internal/rational"
+)
+
+// Cursors is a frame source that stays efficient under interleaved access
+// patterns. A single Reader decodes sequentially; an expression like
+// grid(v[t], v[t+60], v[t+120], v[t+180]) interleaves four positions in
+// one file, and funnelling them through one decoder would restart from a
+// keyframe on every read (catastrophic with long GOPs). Cursors keeps up
+// to MaxPerVideo decoder states per file and routes each read to the
+// cursor whose position matches, so each tap decodes its stream once —
+// the same trick FFmpeg filter graphs get from per-input demuxers.
+type Cursors struct {
+	paths map[string]string
+	max   int
+	open  map[string][]*Reader
+	stats Stats
+}
+
+// DefaultCursorsPerVideo bounds decoder states per file; a 2x2 grid needs
+// four.
+const DefaultCursorsPerVideo = 6
+
+// NewCursors builds a cursor pool over the given video-name -> path
+// bindings. maxPerVideo <= 0 selects DefaultCursorsPerVideo. Not safe for
+// concurrent use; open one pool per goroutine.
+func NewCursors(paths map[string]string, maxPerVideo int) *Cursors {
+	if maxPerVideo <= 0 {
+		maxPerVideo = DefaultCursorsPerVideo
+	}
+	return &Cursors{paths: paths, max: maxPerVideo, open: map[string][]*Reader{}}
+}
+
+// FrameAt returns the frame of the named video at exactly time t.
+func (c *Cursors) FrameAt(video string, t rational.Rat) (*frame.Frame, error) {
+	rs := c.open[video]
+	if len(rs) == 0 {
+		r, err := c.openCursor(video)
+		if err != nil {
+			return nil, err
+		}
+		rs = c.open[video]
+		_ = r
+	}
+	target, err := rs[0].IndexOfTime(t)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. A cursor already positioned at (or one past) the target reads
+	// for free or purely sequentially.
+	for _, r := range rs {
+		if n := r.NextIndex(); n == target || n-1 == target {
+			return r.FrameAtIndex(target)
+		}
+	}
+	// 2. A cursor shortly behind the target rolls forward cheaply.
+	gop := rs[0].Info().GOP
+	if gop <= 0 {
+		gop = 48
+	}
+	var best *Reader
+	bestGap := gop + 1
+	for _, r := range rs {
+		if n := r.NextIndex(); n >= 0 && n <= target && target-n < bestGap {
+			best, bestGap = r, target-n
+		}
+	}
+	if best != nil {
+		return best.FrameAtIndex(target)
+	}
+	// 3. Open a fresh cursor for a new access pattern.
+	if len(rs) < c.max {
+		r, err := c.openCursor(video)
+		if err != nil {
+			return nil, err
+		}
+		return r.FrameAtIndex(target)
+	}
+	// 4. Pool full: recycle the cursor with the smallest reposition cost.
+	best = rs[0]
+	bestDist := 1 << 30
+	for _, r := range rs {
+		d := target - r.NextIndex()
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = r, d
+		}
+	}
+	return best.FrameAtIndex(target)
+}
+
+func (c *Cursors) openCursor(video string) (*Reader, error) {
+	path, ok := c.paths[video]
+	if !ok {
+		return nil, fmt.Errorf("media: unknown video %q", video)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		return nil, err
+	}
+	c.open[video] = append(c.open[video], r)
+	return r, nil
+}
+
+// Close releases all cursors and returns the accumulated decode stats.
+func (c *Cursors) Close() Stats {
+	for _, rs := range c.open {
+		for _, r := range rs {
+			c.stats.Add(r.Stats())
+			r.Close()
+		}
+	}
+	c.open = map[string][]*Reader{}
+	return c.stats
+}

@@ -1,0 +1,117 @@
+package media
+
+import (
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/frame"
+	"v2v/internal/rational"
+)
+
+func TestCursorsSequentialAndInterleaved(t *testing.T) {
+	dir := t.TempDir()
+	path := makeVideo(t, dir, "a.vmf", testInfo(6), 48) // keys every 6 frames
+	c := NewCursors(map[string]string{"v": path}, 4)
+	defer c.Close()
+
+	// Two interleaved taps: t and t+1s.
+	for i := 0; i < 24; i++ {
+		at := rational.New(int64(i), 24)
+		fr, err := c.FrameAt("v", at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, _ := frame.ReadStamp(fr); id != uint32(i) {
+			t.Fatalf("tap1 frame %d stamp = %d", i, id)
+		}
+		fr, err = c.FrameAt("v", at.Add(rational.One))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, _ := frame.ReadStamp(fr); id != uint32(24+i) {
+			t.Fatalf("tap2 frame %d stamp = %d", i, id)
+		}
+	}
+	stats := c.Close()
+	// Each tap decodes its 24 frames once; allow slack for keyframe
+	// alignment on the second tap (starts at a keyframe, so none needed).
+	if stats.FramesDecoded > 48 {
+		t.Errorf("decoded %d frames for 48 reads; cursors not reused", stats.FramesDecoded)
+	}
+}
+
+func TestCursorsRepeatReadIsFree(t *testing.T) {
+	dir := t.TempDir()
+	path := makeVideo(t, dir, "a.vmf", testInfo(6), 12)
+	c := NewCursors(map[string]string{"v": path}, 2)
+	defer c.Close()
+	at := rational.New(5, 24)
+	if _, err := c.FrameAt("v", at); err != nil {
+		t.Fatal(err)
+	}
+	before := countDecoded(c)
+	for i := 0; i < 5; i++ {
+		if _, err := c.FrameAt("v", at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := countDecoded(c); after != before {
+		t.Errorf("repeat reads decoded %d extra frames", after-before)
+	}
+}
+
+func countDecoded(c *Cursors) int64 {
+	var n int64
+	for _, rs := range c.open {
+		for _, r := range rs {
+			n += r.Stats().FramesDecoded
+		}
+	}
+	return n
+}
+
+func TestCursorsPoolCapRecycles(t *testing.T) {
+	dir := t.TempDir()
+	path := makeVideo(t, dir, "a.vmf", testInfo(6), 48)
+	c := NewCursors(map[string]string{"v": path}, 2)
+	defer c.Close()
+	// Three far-apart taps with a pool of two: still correct, just slower.
+	offsets := []rational.Rat{rational.Zero, rational.New(16, 24), rational.New(32, 24)}
+	for i := 0; i < 8; i++ {
+		for k, off := range offsets {
+			at := off.Add(rational.New(int64(i), 24))
+			fr, err := c.FrameAt("v", at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := uint32(16*k + i)
+			if id, _ := frame.ReadStamp(fr); id != want {
+				t.Fatalf("tap %d frame %d stamp = %d, want %d", k, i, id, want)
+			}
+		}
+	}
+	if got := len(c.open["v"]); got > 2 {
+		t.Errorf("pool grew to %d cursors, cap 2", got)
+	}
+}
+
+func TestCursorsErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := makeVideo(t, dir, "a.vmf", testInfo(6), 12)
+	c := NewCursors(map[string]string{"v": path}, 0) // default cap
+	defer c.Close()
+	if _, err := c.FrameAt("ghost", rational.Zero); err == nil {
+		t.Error("unknown video should fail")
+	}
+	if _, err := c.FrameAt("v", rational.New(1, 100)); err == nil {
+		t.Error("off-grid time should fail")
+	}
+	if _, err := c.FrameAt("v", rational.FromInt(99)); err == nil {
+		t.Error("out-of-range time should fail")
+	}
+	c2 := NewCursors(map[string]string{"v": filepath.Join(dir, "missing.vmf")}, 1)
+	defer c2.Close()
+	if _, err := c2.FrameAt("v", rational.Zero); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,362 @@
+// Package media ties the container and codec into a frame-level reader and
+// writer, and implements the two domain-specific editing primitives from
+// the paper's §III-D: stream copying (CopyRange) and smart cuts (SmartCut).
+//
+// A Reader decodes frames with random access by seeking to the keyframe at
+// or before the target and rolling forward — the partial group-of-pictures
+// decode the paper borrows from Scanner. A Writer encodes frames, and can
+// also splice raw packets from a compatible stream without re-encoding;
+// after a splice the next encoded frame is forced to be a keyframe so the
+// output stream stays decodable.
+package media
+
+import (
+	"errors"
+	"fmt"
+
+	"v2v/internal/codec"
+	"v2v/internal/container"
+	"v2v/internal/frame"
+	"v2v/internal/rational"
+)
+
+// Stats counts the work a reader/writer performed. The benchmark harness
+// reads these to report decoded/encoded/copied volumes per plan.
+type Stats struct {
+	FramesDecoded int64
+	FramesEncoded int64
+	PacketsCopied int64
+	BytesCopied   int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.FramesDecoded += o.FramesDecoded
+	s.FramesEncoded += o.FramesEncoded
+	s.PacketsCopied += o.PacketsCopied
+	s.BytesCopied += o.BytesCopied
+}
+
+// Reader provides random access to the frames of a VMF file.
+// Not safe for concurrent use; open one Reader per goroutine.
+type Reader struct {
+	c     *container.Reader
+	dec   *codec.Decoder
+	next  int // packet index the decoder will consume next; -1 if unset
+	last  *frame.Frame
+	stats Stats
+}
+
+// OpenReader opens path for frame-level reading.
+func OpenReader(path string) (*Reader, error) {
+	c, err := container.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	info := c.Info()
+	if info.Codec != codec.FourCC {
+		c.Close()
+		return nil, fmt.Errorf("media: unsupported codec %q", info.Codec)
+	}
+	dec, err := codec.NewDecoder(codec.Config{
+		Width: info.Width, Height: info.Height,
+		Quality: info.Quality, GOP: info.GOP, Level: info.Level,
+	})
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &Reader{c: c, dec: dec, next: -1}, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.c.Close() }
+
+// Info returns the stream description.
+func (r *Reader) Info() container.StreamInfo { return r.c.Info() }
+
+// Container exposes the underlying packet-level reader (used by the copy
+// and smart-cut paths, and by probing tools).
+func (r *Reader) Container() *container.Reader { return r.c }
+
+// NumFrames returns the number of frames in the stream.
+func (r *Reader) NumFrames() int { return r.c.NumPackets() }
+
+// Stats returns the cumulative decode statistics.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// FrameAtIndex returns the decoded frame for packet index i. Sequential
+// access (i, i+1, ...) decodes each packet exactly once; random access
+// restarts from the keyframe at or before i.
+func (r *Reader) FrameAtIndex(i int) (*frame.Frame, error) {
+	if i < 0 || i >= r.c.NumPackets() {
+		return nil, fmt.Errorf("media: frame %d out of range [0,%d)", i, r.c.NumPackets())
+	}
+	if r.next >= 0 && i == r.next-1 && r.last != nil {
+		return r.last, nil
+	}
+	// Seek policy: restart from the keyframe at or before the target when
+	// the decoder has no state, sits past the target, or would roll
+	// forward through a keyframe anyway (decoding the gap would be pure
+	// waste).
+	k, ok := r.c.KeyframeAtOrBefore(i)
+	if !ok {
+		return nil, errors.New("media: no keyframe at or before target")
+	}
+	if r.next < 0 || i < r.next || k > r.next {
+		r.dec.Reset()
+		r.next = k
+	}
+	for r.next <= i {
+		data, err := r.c.ReadPacket(r.next)
+		if err != nil {
+			return nil, err
+		}
+		fr, err := r.dec.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("media: decode packet %d: %w", r.next, err)
+		}
+		r.stats.FramesDecoded++
+		r.last = fr
+		r.next++
+	}
+	return r.last, nil
+}
+
+// FrameAt returns the frame whose presentation time is exactly t.
+func (r *Reader) FrameAt(t rational.Rat) (*frame.Frame, error) {
+	i, err := r.IndexOfTime(t)
+	if err != nil {
+		return nil, err
+	}
+	return r.FrameAtIndex(i)
+}
+
+// IndexOfTime maps an exact frame time to its packet index.
+func (r *Reader) IndexOfTime(t rational.Rat) (int, error) {
+	pts, exact := r.c.Info().PTSOf(t)
+	if !exact {
+		return 0, fmt.Errorf("media: time %v is not on a frame boundary", t)
+	}
+	i, ok := r.c.IndexOfPTS(pts)
+	if !ok {
+		return 0, fmt.Errorf("media: no frame at time %v (pts %d)", t, pts)
+	}
+	return i, nil
+}
+
+// NextIndex returns the packet index a sequential read would decode next,
+// or -1 before the first read. Cursor pools use this to match access
+// patterns to decoder states.
+func (r *Reader) NextIndex() int { return r.next }
+
+// IndexRangeFor returns the packet index range [i0, i1) covering the
+// half-open time interval iv, intersected with what the stream holds.
+func (r *Reader) IndexRangeFor(iv rational.Interval) (i0, i1 int) {
+	info := r.c.Info()
+	n := r.c.NumPackets()
+	lo, _ := info.PTSOf(iv.Lo)
+	if exactLo := info.TimeOf(lo); exactLo.Less(iv.Lo) {
+		lo++
+	}
+	hi, _ := info.PTSOf(iv.Hi)
+	if exactHi := info.TimeOf(hi); exactHi.Less(iv.Hi) {
+		hi++
+	}
+	first := int64(0)
+	if n > 0 {
+		first = r.c.Record(0).PTS
+	}
+	i0 = clamp(int(lo-first), 0, n)
+	i1 = clamp(int(hi-first), 0, n)
+	if i1 < i0 {
+		i1 = i0
+	}
+	return i0, i1
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Writer encodes frames (or splices packets) into a VMF file. Not safe for
+// concurrent use.
+type Writer struct {
+	c        *container.Writer
+	enc      *codec.Encoder
+	pts      int64
+	spliced  bool // a raw packet was written since the last encode
+	stats    Stats
+	closed   bool
+	closeErr error
+}
+
+// CreateWriter opens path for writing a stream described by info. The
+// encoder is configured from the info's codec parameters.
+func CreateWriter(path string, info container.StreamInfo) (*Writer, error) {
+	if info.Codec == "" {
+		info.Codec = codec.FourCC
+	}
+	if info.Codec != codec.FourCC {
+		return nil, fmt.Errorf("media: unsupported codec %q", info.Codec)
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: info.Width, Height: info.Height,
+		Quality: info.Quality, GOP: info.GOP, Level: info.Level,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Persist the defaulted parameters so readers build matching decoders.
+	ec := enc.Config()
+	info.Quality, info.GOP, info.Level = ec.Quality, ec.GOP, ec.Level
+	c, err := container.Create(path, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{c: c, enc: enc}, nil
+}
+
+// Info returns the stream description being written.
+func (w *Writer) Info() container.StreamInfo { return w.c.Info() }
+
+// Stats returns the cumulative encode/copy statistics.
+func (w *Writer) Stats() Stats { return w.stats }
+
+// FramesWritten returns the number of frames (encoded or copied) so far.
+func (w *Writer) FramesWritten() int64 { return w.pts }
+
+// WriteFrame encodes fr as the next frame of the stream.
+func (w *Writer) WriteFrame(fr *frame.Frame) error {
+	if w.closed {
+		return errors.New("media: writer closed")
+	}
+	if w.spliced {
+		// The encoder's prediction state does not match the copied
+		// packets; restart the GOP.
+		w.enc.ForceKeyframe()
+		w.spliced = false
+	}
+	pkt, err := w.enc.Encode(fr)
+	if err != nil {
+		return err
+	}
+	if err := w.c.WritePacket(w.pts, pkt.Key, pkt.Data); err != nil {
+		return err
+	}
+	w.stats.FramesEncoded++
+	w.pts++
+	return nil
+}
+
+// WriteRawPacket splices an already-encoded packet into the stream. The
+// caller is responsible for packet ordering starting at a keyframe (the
+// container enforces that the stream itself starts with one).
+func (w *Writer) WriteRawPacket(key bool, data []byte) error {
+	if w.closed {
+		return errors.New("media: writer closed")
+	}
+	if err := w.c.WritePacket(w.pts, key, data); err != nil {
+		return err
+	}
+	w.spliced = true
+	w.stats.PacketsCopied++
+	w.stats.BytesCopied += int64(len(data))
+	w.pts++
+	return nil
+}
+
+// WriteEncodedFrame splices a packet that was encoded on the writer's
+// behalf by an external encoder (parallel shards encode their chunks with
+// their own encoder instances). It counts as an encode, not a copy.
+func (w *Writer) WriteEncodedFrame(key bool, data []byte) error {
+	if w.closed {
+		return errors.New("media: writer closed")
+	}
+	if err := w.c.WritePacket(w.pts, key, data); err != nil {
+		return err
+	}
+	w.spliced = true
+	w.stats.FramesEncoded++
+	w.pts++
+	return nil
+}
+
+// Close finalizes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return w.closeErr
+	}
+	w.closed = true
+	w.closeErr = w.c.Close()
+	return w.closeErr
+}
+
+// CanSplice reports whether packets read from src can be written into dst
+// without re-encoding.
+func CanSplice(dst Sink, src *Reader) bool {
+	return dst.Info().Compatible(src.Info())
+}
+
+// CopyRange stream-copies packets [i0, i1) from src into dst. The first
+// copied packet must be a keyframe (or follow ones already giving the
+// decoder a reference — the caller asserts this by construction; plans
+// always start copies at keyframes).
+func CopyRange(dst Sink, src *Reader, i0, i1 int) error {
+	if !CanSplice(dst, src) {
+		return fmt.Errorf("media: streams incompatible for copy: %+v vs %+v", dst.Info(), src.Info())
+	}
+	for i := i0; i < i1; i++ {
+		data, err := src.Container().ReadPacket(i)
+		if err != nil {
+			return err
+		}
+		if err := dst.WriteRawPacket(src.Container().Record(i).Key, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SmartCut writes the frames of src covering packet indexes [i0, i1) into
+// dst, re-encoding only the prefix before the first keyframe in the range
+// and stream-copying the rest — the paper's smart cut. If the source range
+// contains no keyframe after i0 (sparse-keyframe content, like Q1 on ToS),
+// the whole range is re-encoded and copied=0 is returned.
+func SmartCut(dst Sink, src *Reader, i0, i1 int) (reencoded, copied int, err error) {
+	if i0 < 0 || i1 > src.NumFrames() || i0 > i1 {
+		return 0, 0, fmt.Errorf("media: smart cut range [%d,%d) out of bounds", i0, i1)
+	}
+	if !CanSplice(dst, src) {
+		return 0, 0, fmt.Errorf("media: streams incompatible for smart cut")
+	}
+	k := i1
+	if i0 < i1 {
+		if idx, ok := src.Container().NextKeyframeAfter(i0); ok && idx < i1 {
+			k = idx
+		}
+	}
+	for i := i0; i < k; i++ {
+		fr, err := src.FrameAtIndex(i)
+		if err != nil {
+			return reencoded, copied, err
+		}
+		if err := dst.WriteFrame(fr); err != nil {
+			return reencoded, copied, err
+		}
+		reencoded++
+	}
+	if k < i1 {
+		if err := CopyRange(dst, src, k, i1); err != nil {
+			return reencoded, copied, err
+		}
+		copied = i1 - k
+	}
+	return reencoded, copied, nil
+}

@@ -1,0 +1,247 @@
+package media
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"v2v/internal/codec"
+	"v2v/internal/container"
+	"v2v/internal/frame"
+)
+
+// Sink abstracts the destination of a synthesis run: a seekable VMF file
+// (Writer) or a progressive stream (StreamWriter). The execution engine
+// writes only through this interface, which is what lets V2V begin
+// delivering output "within seconds" — packets flow as segments complete,
+// before the whole result exists.
+type Sink interface {
+	// Info describes the output stream format.
+	Info() container.StreamInfo
+	// WriteFrame encodes fr as the next output frame.
+	WriteFrame(fr *frame.Frame) error
+	// WriteRawPacket splices an already-encoded packet (stream copy).
+	WriteRawPacket(key bool, data []byte) error
+	// WriteEncodedFrame splices a packet encoded on the sink's behalf by
+	// an external encoder (parallel shards); counts as an encode.
+	WriteEncodedFrame(key bool, data []byte) error
+	// FramesWritten returns the number of packets written so far.
+	FramesWritten() int64
+	// Stats returns cumulative write statistics.
+	Stats() Stats
+	// Close finalizes the output.
+	Close() error
+}
+
+var (
+	_ Sink = (*Writer)(nil)
+	_ Sink = (*StreamWriter)(nil)
+)
+
+// vmsMagic introduces the progressive stream format: like VMF but with
+// per-packet length framing instead of a trailing index, so a consumer
+// can decode while the producer is still synthesizing.
+const vmsMagic = "VMS1"
+
+// StreamWriter writes the VMS progressive format to any io.Writer. Not
+// safe for concurrent use.
+type StreamWriter struct {
+	w       io.Writer
+	enc     *codec.Encoder
+	info    container.StreamInfo
+	pts     int64
+	spliced bool
+	stats   Stats
+	closed  bool
+}
+
+// NewStreamWriter emits the stream header and returns a progressive sink.
+func NewStreamWriter(w io.Writer, info container.StreamInfo) (*StreamWriter, error) {
+	if info.Codec == "" {
+		info.Codec = codec.FourCC
+	}
+	if info.Codec != codec.FourCC {
+		return nil, fmt.Errorf("media: unsupported codec %q", info.Codec)
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: info.Width, Height: info.Height,
+		Quality: info.Quality, GOP: info.GOP, Level: info.Level,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ec := enc.Config()
+	info.Quality, info.GOP, info.Level = ec.Quality, ec.GOP, ec.Level
+	hdr, err := json.Marshal(info)
+	if err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
+	for _, b := range [][]byte{[]byte(vmsMagic), lenBuf[:], hdr} {
+		if _, err := w.Write(b); err != nil {
+			return nil, fmt.Errorf("media: stream header: %w", err)
+		}
+	}
+	return &StreamWriter{w: w, enc: enc, info: info}, nil
+}
+
+// Info returns the stream description.
+func (s *StreamWriter) Info() container.StreamInfo { return s.info }
+
+// FramesWritten returns the number of packets emitted.
+func (s *StreamWriter) FramesWritten() int64 { return s.pts }
+
+// Stats returns cumulative write statistics.
+func (s *StreamWriter) Stats() Stats { return s.stats }
+
+func (s *StreamWriter) writePacket(key bool, data []byte) error {
+	if s.closed {
+		return errors.New("media: stream writer closed")
+	}
+	var head [5]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(data)))
+	if key {
+		head[4] = 1
+	}
+	if _, err := s.w.Write(head[:]); err != nil {
+		return fmt.Errorf("media: stream packet: %w", err)
+	}
+	if _, err := s.w.Write(data); err != nil {
+		return fmt.Errorf("media: stream packet: %w", err)
+	}
+	s.pts++
+	return nil
+}
+
+// WriteFrame encodes fr and streams its packet.
+func (s *StreamWriter) WriteFrame(fr *frame.Frame) error {
+	if s.spliced {
+		s.enc.ForceKeyframe()
+		s.spliced = false
+	}
+	pkt, err := s.enc.Encode(fr)
+	if err != nil {
+		return err
+	}
+	if err := s.writePacket(pkt.Key, pkt.Data); err != nil {
+		return err
+	}
+	s.stats.FramesEncoded++
+	return nil
+}
+
+// WriteRawPacket streams a stream-copied packet.
+func (s *StreamWriter) WriteRawPacket(key bool, data []byte) error {
+	if err := s.writePacket(key, data); err != nil {
+		return err
+	}
+	s.spliced = true
+	s.stats.PacketsCopied++
+	s.stats.BytesCopied += int64(len(data))
+	return nil
+}
+
+// WriteEncodedFrame streams a shard-encoded packet.
+func (s *StreamWriter) WriteEncodedFrame(key bool, data []byte) error {
+	if err := s.writePacket(key, data); err != nil {
+		return err
+	}
+	s.spliced = true
+	s.stats.FramesEncoded++
+	return nil
+}
+
+// Close writes the end-of-stream marker (a zero-length packet header).
+func (s *StreamWriter) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var head [5]byte
+	if _, err := s.w.Write(head[:]); err != nil {
+		return fmt.Errorf("media: stream trailer: %w", err)
+	}
+	return nil
+}
+
+// StreamReader consumes the VMS progressive format, decoding frames as
+// packets arrive.
+type StreamReader struct {
+	r    io.Reader
+	dec  *codec.Decoder
+	info container.StreamInfo
+	done bool
+}
+
+// NewStreamReader parses the stream header.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, fmt.Errorf("media: stream magic: %w", err)
+	}
+	if string(head[:4]) != vmsMagic {
+		return nil, fmt.Errorf("media: bad stream magic %q", head[:4])
+	}
+	hdrLen := binary.LittleEndian.Uint32(head[4:])
+	if hdrLen == 0 || hdrLen > 1<<20 {
+		return nil, fmt.Errorf("media: implausible stream header length %d", hdrLen)
+	}
+	hdr := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("media: stream header: %w", err)
+	}
+	var info container.StreamInfo
+	if err := json.Unmarshal(hdr, &info); err != nil {
+		return nil, fmt.Errorf("media: stream header: %w", err)
+	}
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	dec, err := codec.NewDecoder(codec.Config{
+		Width: info.Width, Height: info.Height,
+		Quality: info.Quality, GOP: info.GOP, Level: info.Level,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{r: r, dec: dec, info: info}, nil
+}
+
+// Info returns the stream description.
+func (s *StreamReader) Info() container.StreamInfo { return s.info }
+
+// NextPacket reads one packet; io.EOF signals a clean end of stream.
+func (s *StreamReader) NextPacket() (key bool, data []byte, err error) {
+	if s.done {
+		return false, nil, io.EOF
+	}
+	var head [5]byte
+	if _, err := io.ReadFull(s.r, head[:]); err != nil {
+		return false, nil, fmt.Errorf("media: stream packet header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(head[:4])
+	if size == 0 {
+		s.done = true
+		return false, nil, io.EOF
+	}
+	if size > 1<<30 {
+		return false, nil, fmt.Errorf("media: implausible packet size %d", size)
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(s.r, data); err != nil {
+		return false, nil, fmt.Errorf("media: stream packet body: %w", err)
+	}
+	return head[4] == 1, data, nil
+}
+
+// NextFrame reads and decodes the next frame; io.EOF at end of stream.
+func (s *StreamReader) NextFrame() (*frame.Frame, error) {
+	_, data, err := s.NextPacket()
+	if err != nil {
+		return nil, err
+	}
+	return s.dec.Decode(data)
+}

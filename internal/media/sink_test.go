@@ -1,0 +1,143 @@
+package media
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"v2v/internal/frame"
+)
+
+func TestStreamWriterReaderRoundTrip(t *testing.T) {
+	info := testInfo(6)
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 14; i++ {
+		fr := frame.New(info.Width, info.Height, frame.FormatYUV420)
+		fr.Fill(byte(40+i), 128, 128)
+		frame.Stamp(fr, uint32(i))
+		if err := w.WriteFrame(fr); err != nil {
+			t.Fatalf("WriteFrame(%d): %v", i, err)
+		}
+	}
+	if w.FramesWritten() != 14 || w.Stats().FramesEncoded != 14 {
+		t.Errorf("writer stats = %+v", w.Stats())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Info().Compatible(w.Info()) {
+		t.Errorf("info = %+v", r.Info())
+	}
+	for i := 0; i < 14; i++ {
+		fr, err := r.NextFrame()
+		if err != nil {
+			t.Fatalf("NextFrame(%d): %v", i, err)
+		}
+		if id, ok := frame.ReadStamp(fr); !ok || id != uint32(i) {
+			t.Fatalf("frame %d stamp = %d,%v", i, id, ok)
+		}
+	}
+	if _, err := r.NextFrame(); err != io.EOF {
+		t.Fatalf("end of stream err = %v, want EOF", err)
+	}
+	if _, err := r.NextFrame(); err != io.EOF {
+		t.Fatal("EOF should be sticky")
+	}
+}
+
+func TestStreamSpliceAndForcedKeyframe(t *testing.T) {
+	dir := t.TempDir()
+	src := makeVideo(t, dir, "src.vmf", testInfo(6), 18)
+	rd, _ := OpenReader(src)
+	defer rd.Close()
+
+	var buf bytes.Buffer
+	w, err := NewStreamWriter(&buf, rd.Info())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stream-copy a GOP then encode a frame: the encode must be a key.
+	if err := CopyRange(w, rd, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	fr := frame.New(160, 48, frame.FormatYUV420)
+	frame.Stamp(fr, 77)
+	if err := w.WriteFrame(fr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SmartCut(w, rd, 8, 18); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []uint32
+	for {
+		fr, err := r.NextFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id, ok := frame.ReadStamp(fr); ok {
+			ids = append(ids, id)
+		}
+	}
+	want := append(append(append([]uint32{}, seq(0, 6)...), 77), seq(8, 10)...)
+	if !eqU32(ids, want) {
+		t.Fatalf("stream stamps = %v, want %v", ids, want)
+	}
+}
+
+func TestStreamReaderErrors(t *testing.T) {
+	if _, err := NewStreamReader(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := NewStreamReader(bytes.NewReader([]byte("NOPE0000xxxx"))); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated mid-packet.
+	info := testInfo(6)
+	var buf bytes.Buffer
+	w, _ := NewStreamWriter(&buf, info)
+	fr := frame.New(info.Width, info.Height, frame.FormatYUV420)
+	w.WriteFrame(fr)
+	raw := buf.Bytes()[:buf.Len()-3] // cut into the packet body
+	r, err := NewStreamReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextPacket(); err == nil {
+		t.Error("truncated packet should fail")
+	}
+}
+
+func TestStreamWriterRejectsBadInfo(t *testing.T) {
+	var buf bytes.Buffer
+	bad := testInfo(6)
+	bad.Codec = "H264"
+	if _, err := NewStreamWriter(&buf, bad); err == nil {
+		t.Error("unknown codec should fail")
+	}
+	odd := testInfo(6)
+	odd.Width = 33
+	if _, err := NewStreamWriter(&buf, odd); err == nil {
+		t.Error("odd width should fail")
+	}
+}

@@ -1,0 +1,137 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the plan as an indented text tree, the V2V analogue of
+// EXPLAIN for relational plans (and of the paper's Fig. 2 diagrams).
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	mode := "unoptimized"
+	if p.Optimized {
+		mode = "optimized"
+	}
+	out := p.Checked.Output
+	fmt.Fprintf(&sb, "plan (%s): output %dx%d@%s gop=%d passthrough=%t\n",
+		mode, out.Width, out.Height, out.FPS, out.GOP, p.Checked.Passthrough)
+	fmt.Fprintf(&sb, "concat (%d segments)\n", len(p.Segments))
+	for i, s := range p.Segments {
+		last := i == len(p.Segments)-1
+		branch := "├─ "
+		cont := "│  "
+		if last {
+			branch = "└─ "
+			cont = "   "
+		}
+		switch s.Kind {
+		case SegCopy:
+			fmt.Fprintf(&sb, "%scopy %s packets [%d,%d) t in [%s,%s)\n",
+				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End)
+		case SegSmartCut:
+			fmt.Fprintf(&sb, "%ssmartcut %s packets [%d,%d) t in [%s,%s) (re-encode %d-frame head)\n",
+				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End, s.ReencodeHead)
+		default:
+			shard := ""
+			if s.Shards > 1 {
+				shard = fmt.Sprintf(" ×%d shards", s.Shards)
+			}
+			fmt.Fprintf(&sb, "%ssegment t in [%s,%s) (%d frames)%s\n",
+				branch, s.Times.Start, s.Times.End, s.FrameCount(), shard)
+			writeNode(&sb, s.Root, cont, true)
+		}
+	}
+	for _, note := range p.Notes {
+		fmt.Fprintf(&sb, "-- %s\n", note)
+	}
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *Node, prefix string, last bool) {
+	branch := "├─ "
+	cont := "│  "
+	if last {
+		branch = "└─ "
+		cont = "   "
+	}
+	mat := ""
+	if n.Materialize {
+		mat = " [materialize]"
+	}
+	if n.IsLeaf() {
+		fmt.Fprintf(sb, "%s%sclip %s[%s]%s\n", prefix, branch, n.Clip.Video, n.Clip.Index, mat)
+		return
+	}
+	fmt.Fprintf(sb, "%s%sfilter %s%s\n", prefix, branch, n.Expr, mat)
+	for i, in := range n.Inputs {
+		writeNode(sb, in, prefix+cont, i == len(n.Inputs)-1)
+	}
+}
+
+// DOT renders the plan as a Graphviz digraph, mirroring the paper's plan
+// diagrams (grey diamonds for stream-copy operators).
+func (p *Plan) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph v2vplan {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n")
+	sb.WriteString("  out [label=\"output\", shape=doubleoctagon];\n")
+	sb.WriteString("  concat [label=\"concat\"];\n  concat -> out;\n")
+	id := 0
+	newID := func() string {
+		id++
+		return fmt.Sprintf("n%d", id)
+	}
+	var emit func(n *Node) string
+	emit = func(n *Node) string {
+		me := newID()
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "  %s [label=\"clip %s[%s]\"];\n", me, n.Clip.Video, escape(n.Clip.Index.String()))
+		} else {
+			fmt.Fprintf(&sb, "  %s [label=\"filter %s\"];\n", me, escape(n.Expr.String()))
+		}
+		if n.Materialize {
+			matID := newID()
+			fmt.Fprintf(&sb, "  %s [label=\"enc/dec\", shape=ellipse, style=dashed];\n", matID)
+			fmt.Fprintf(&sb, "  %s -> %s;\n", me, matID)
+			for _, in := range n.Inputs {
+				child := emit(in)
+				fmt.Fprintf(&sb, "  %s -> %s;\n", child, me)
+			}
+			return matID
+		}
+		for _, in := range n.Inputs {
+			child := emit(in)
+			fmt.Fprintf(&sb, "  %s -> %s;\n", child, me)
+		}
+		return me
+	}
+	for _, s := range p.Segments {
+		switch s.Kind {
+		case SegCopy:
+			me := newID()
+			fmt.Fprintf(&sb, "  %s [label=\"copy %s [%d,%d)\", shape=diamond, style=filled, fillcolor=lightgrey];\n",
+				me, s.Video, s.From, s.To)
+			fmt.Fprintf(&sb, "  %s -> concat;\n", me)
+		case SegSmartCut:
+			me := newID()
+			fmt.Fprintf(&sb, "  %s [label=\"smartcut %s [%d,%d)\", shape=diamond, style=filled, fillcolor=lightgrey];\n",
+				me, s.Video, s.From, s.To)
+			fmt.Fprintf(&sb, "  %s -> concat;\n", me)
+		default:
+			root := emit(s.Root)
+			if s.Shards > 1 {
+				sh := newID()
+				fmt.Fprintf(&sb, "  %s [label=\"shard ×%d\", shape=parallelogram];\n", sh, s.Shards)
+				fmt.Fprintf(&sb, "  %s -> %s;\n  %s -> concat;\n", root, sh, sh)
+			} else {
+				fmt.Fprintf(&sb, "  %s -> concat;\n", root)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

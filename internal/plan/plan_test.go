@@ -1,0 +1,242 @@
+package plan
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"v2v/internal/check"
+	"v2v/internal/dataset"
+	"v2v/internal/rational"
+	"v2v/internal/vql"
+)
+
+var (
+	fxVid  string
+	fxVid2 string
+	fxAnn  string
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "v2v-plan-")
+	if err != nil {
+		panic(err)
+	}
+	p := dataset.TinyProfile()
+	fxVid = filepath.Join(dir, "a.vmf")
+	fxVid2 = filepath.Join(dir, "b.vmf")
+	fxAnn = filepath.Join(dir, "a.boxes.json")
+	if _, err := dataset.Generate(fxVid, fxAnn, p, rational.FromInt(4)); err != nil {
+		panic(err)
+	}
+	p.Seed = 31
+	if _, err := dataset.Generate(fxVid2, "", p, rational.FromInt(4)); err != nil {
+		panic(err)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func checked(t *testing.T, body string) *check.Checked {
+	t.Helper()
+	src := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { v: %q; w: %q; }
+		data { bb: %q; }
+		%s`, fxVid, fxVid2, fxAnn, body)
+	s, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := check.Check(s, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildSimpleClip(t *testing.T) {
+	p, err := Build(checked(t, `render(t) = v[t + 1];`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+	s := p.Segments[0]
+	if s.Kind != SegFrames || !s.Root.IsLeaf() {
+		t.Fatalf("segment = %+v", s)
+	}
+	if s.FrameCount() != 48 {
+		t.Errorf("frames = %d", s.FrameCount())
+	}
+	video, off, ok := s.PlainClip()
+	if !ok || video != "v" || !off.Equal(rational.One) {
+		t.Errorf("PlainClip = %s %s %v", video, off, ok)
+	}
+}
+
+func TestBuildLayeredFilters(t *testing.T) {
+	// blur(zoom(v[t], 2), 1.5): two filter layers over one clip, every
+	// boundary materialized in the unoptimized plan.
+	p, err := Build(checked(t, `render(t) = blur(zoom(v[t], 2), 1.5);`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := p.Segments[0].Root
+	if root.IsLeaf() {
+		t.Fatal("root should be a filter")
+	}
+	if got := root.CountOps(); got != 3 {
+		t.Errorf("ops = %d, want 3 (blur, zoom, clip)", got)
+	}
+	mats := 0
+	root.Walk(func(n *Node) {
+		if n.Materialize {
+			mats++
+		}
+	})
+	if mats != 2 {
+		t.Errorf("materialized boundaries = %d, want 2 (zoom, clip; the root's encode is the output encode)", mats)
+	}
+	if root.Materialize {
+		t.Error("root must not materialize")
+	}
+	// The blur node's frame arg is a port onto the zoom node.
+	call := root.Expr.(vql.Call)
+	if call.Name != "blur" {
+		t.Errorf("root = %s", root.Expr)
+	}
+	if _, ok := call.Args[0].(PortRef); !ok {
+		t.Errorf("blur arg 0 = %T", call.Args[0])
+	}
+	if len(root.Inputs) != 1 || root.Inputs[0].Expr.(vql.Call).Name != "zoom" {
+		t.Fatalf("inputs wrong")
+	}
+	if !root.Inputs[0].Inputs[0].IsLeaf() {
+		t.Error("zoom input should be a clip leaf")
+	}
+}
+
+func TestBuildGridFanIn(t *testing.T) {
+	p, err := Build(checked(t, `render(t) = grid(v[t], w[t], v[t + 1], w[t + 1]);`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := p.Segments[0].Root
+	if len(root.Inputs) != 4 {
+		t.Fatalf("grid inputs = %d", len(root.Inputs))
+	}
+	for i, in := range root.Inputs {
+		if !in.IsLeaf() {
+			t.Errorf("input %d not a clip", i)
+		}
+	}
+	// Merged expression reconstructs the original.
+	want, _ := vql.ParseExpr("grid(v[t], w[t], v[t + 1], w[t + 1])")
+	if !root.MergedExpr().EqualExpr(want) {
+		t.Errorf("merged = %s", root.MergedExpr())
+	}
+}
+
+func TestBuildMatchSegments(t *testing.T) {
+	p, err := Build(checked(t, `render(t) = match t {
+		t in range(0, 1, 1/24) => v[t],
+		t in range(1, 2, 1/24) => w[t - 1],
+	};`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 2 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+	if !p.Segments[0].Times.Start.Equal(rational.Zero) || !p.Segments[1].Times.Start.Equal(rational.One) {
+		t.Error("segment times wrong")
+	}
+	if v, _, _ := p.Segments[0].PlainClip(); v != "v" {
+		t.Error("first segment should clip v")
+	}
+	if v, _, _ := p.Segments[1].PlainClip(); v != "w" {
+		t.Error("second segment should clip w")
+	}
+}
+
+func TestBuildInterleavedArms(t *testing.T) {
+	// Arms alternate: A B A — three segments even though two arms.
+	p, err := Build(checked(t, `render(t) = match t {
+		t in range(0, 1/2, 1/24) => v[t],
+		t in range(1/2, 1, 1/24) => w[t],
+		t in range(1, 2, 1/24) => v[t],
+	};`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 3 {
+		t.Fatalf("segments = %d", len(p.Segments))
+	}
+}
+
+func TestBuildDataArgsStayInline(t *testing.T) {
+	p, err := Build(checked(t, `render(t) = boxes(v[t], bb[t]);`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := p.Segments[0].Root
+	call := root.Expr.(vql.Call)
+	if _, ok := call.Args[1].(vql.DataRef); !ok {
+		t.Errorf("data arg should stay inline, got %T", call.Args[1])
+	}
+	if len(root.Inputs) != 1 {
+		t.Errorf("inputs = %d", len(root.Inputs))
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	p, err := Build(checked(t, `render(t) = match t {
+		t in range(0, 1, 1/24) => v[t],
+		t in range(1, 2, 1/24) => blur(w[t - 1], 1.5),
+	};`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.Explain()
+	for _, want := range []string{"unoptimized", "concat (2 segments)", "clip v[t]", "filter blur", "[materialize]"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	dot := p.DOT()
+	for _, want := range []string{"digraph", "concat", "clip v[t]", "enc/dec"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestPortRefEquality(t *testing.T) {
+	if !(PortRef{1}).EqualExpr(PortRef{1}) || (PortRef{1}).EqualExpr(PortRef{2}) {
+		t.Error("PortRef equality wrong")
+	}
+	if (PortRef{0}).String() != "$0" {
+		t.Error("PortRef string wrong")
+	}
+}
+
+func TestPlainClipNegativeCases(t *testing.T) {
+	// Non-affine index: not a plain clip.
+	p, err := Build(checked(t, `render(t) = v[2 - 1/24 - t];`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Segments[0].PlainClip(); ok {
+		t.Error("reverse index should not be a plain clip")
+	}
+	// Filter: not a plain clip.
+	p2, _ := Build(checked(t, `render(t) = blur(v[t], 1);`))
+	if _, _, ok := p2.Segments[0].PlainClip(); ok {
+		t.Error("filter should not be a plain clip")
+	}
+}

@@ -1,0 +1,240 @@
+package raster
+
+import (
+	"fmt"
+	"math"
+
+	"v2v/internal/frame"
+)
+
+// GaussianBlur applies a separable Gaussian blur with the given sigma to
+// every plane. sigma <= 0 returns a clone. This is the pixel-wise filter
+// used by benchmark queries Q4/Q9.
+func GaussianBlur(src *frame.Frame, sigma float64) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: GaussianBlur wants yuv420, got %v", src.Format))
+	}
+	if sigma <= 0 {
+		return src.Clone()
+	}
+	kernel := gaussianKernel(sigma)
+	dst := frame.New(src.W, src.H, frame.FormatYUV420)
+	sp, dp := src.Planes(), dst.Planes()
+	blurPlane(sp[0], dp[0], src.W, src.H, kernel)
+	blurPlane(sp[1], dp[1], src.W/2, src.H/2, kernel)
+	blurPlane(sp[2], dp[2], src.W/2, src.H/2, kernel)
+	return dst
+}
+
+// gaussianKernel builds a normalized integer kernel (scaled by 1<<kShift)
+// with radius ceil(3*sigma), capped at 15.
+const kShift = 12
+
+func gaussianKernel(sigma float64) []int32 {
+	radius := int(math.Ceil(3 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	if radius > 15 {
+		radius = 15
+	}
+	raw := make([]float64, 2*radius+1)
+	var sum float64
+	for i := range raw {
+		d := float64(i - radius)
+		raw[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += raw[i]
+	}
+	k := make([]int32, len(raw))
+	var isum int32
+	for i, v := range raw {
+		k[i] = int32(v / sum * (1 << kShift))
+		isum += k[i]
+	}
+	// Push rounding residue into the center tap so the kernel sums to 1.0.
+	k[radius] += (1 << kShift) - isum
+	return k
+}
+
+func blurPlane(src, dst []byte, w, h int, kernel []int32) {
+	radius := len(kernel) / 2
+	tmp := make([]int32, w*h)
+	// Horizontal pass with edge clamping.
+	for y := 0; y < h; y++ {
+		row := src[y*w : (y+1)*w]
+		for x := 0; x < w; x++ {
+			var acc int32
+			for k := -radius; k <= radius; k++ {
+				sx := x + k
+				if sx < 0 {
+					sx = 0
+				} else if sx >= w {
+					sx = w - 1
+				}
+				acc += int32(row[sx]) * kernel[k+radius]
+			}
+			tmp[y*w+x] = acc >> kShift
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc int32
+			for k := -radius; k <= radius; k++ {
+				sy := y + k
+				if sy < 0 {
+					sy = 0
+				} else if sy >= h {
+					sy = h - 1
+				}
+				acc += tmp[sy*w+x] * kernel[k+radius]
+			}
+			v := acc >> kShift
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			dst[y*w+x] = byte(v)
+		}
+	}
+}
+
+// Convolve3x3 applies a 3x3 kernel (with divisor and bias) to the luma
+// plane, leaving chroma untouched. Used by sharpen/edge-detect transforms.
+func Convolve3x3(src *frame.Frame, k [9]int, div, bias int) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: Convolve3x3 wants yuv420, got %v", src.Format))
+	}
+	if div == 0 {
+		div = 1
+	}
+	dst := src.Clone()
+	sp, dp := src.Planes(), dst.Planes()
+	w, h := src.W, src.H
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc int
+			idx := 0
+			for dy := -1; dy <= 1; dy++ {
+				sy := clampInt(y+dy, 0, h-1)
+				for dx := -1; dx <= 1; dx++ {
+					sx := clampInt(x+dx, 0, w-1)
+					acc += int(sp[0][sy*w+sx]) * k[idx]
+					idx++
+				}
+			}
+			v := acc/div + bias
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			dp[0][y*w+x] = byte(v)
+		}
+	}
+	return dst
+}
+
+// Sharpen applies a standard unsharp 3x3 kernel to luma.
+func Sharpen(src *frame.Frame) *frame.Frame {
+	return Convolve3x3(src, [9]int{0, -1, 0, -1, 5, -1, 0, -1, 0}, 1, 0)
+}
+
+// EdgeDetect applies a Laplacian kernel to luma and flattens chroma,
+// producing a gray edge map in YUV420.
+func EdgeDetect(src *frame.Frame) *frame.Frame {
+	out := Convolve3x3(src, [9]int{-1, -1, -1, -1, 8, -1, -1, -1, -1}, 1, 0)
+	p := out.Planes()
+	for i := range p[1] {
+		p[1][i] = 128
+		p[2][i] = 128
+	}
+	return out
+}
+
+// Grade adjusts brightness (additive, -255..255) and contrast (multiplier
+// about the mid-point, e.g. 1.2) on the luma plane and saturation
+// (multiplier about 128) on chroma.
+func Grade(src *frame.Frame, brightness int, contrast, saturation float64) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: Grade wants yuv420, got %v", src.Format))
+	}
+	dst := src.Clone()
+	p := dst.Planes()
+	// Precompute LUTs: deterministic and fast.
+	var lumaLUT, chromaLUT [256]byte
+	for i := 0; i < 256; i++ {
+		v := (float64(i)-128)*contrast + 128 + float64(brightness)
+		lumaLUT[i] = clampF(v)
+		c := (float64(i)-128)*saturation + 128
+		chromaLUT[i] = clampF(c)
+	}
+	for i, v := range p[0] {
+		p[0][i] = lumaLUT[v]
+	}
+	for i, v := range p[1] {
+		p[1][i] = chromaLUT[v]
+	}
+	for i, v := range p[2] {
+		p[2][i] = chromaLUT[v]
+	}
+	return dst
+}
+
+// Denoise applies a 3x3 box filter to all planes — a cheap smoothing
+// transform exposed by the Filter grammar.
+func Denoise(src *frame.Frame) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: Denoise wants yuv420, got %v", src.Format))
+	}
+	dst := frame.New(src.W, src.H, frame.FormatYUV420)
+	sp, dp := src.Planes(), dst.Planes()
+	boxPlane(sp[0], dp[0], src.W, src.H)
+	boxPlane(sp[1], dp[1], src.W/2, src.H/2)
+	boxPlane(sp[2], dp[2], src.W/2, src.H/2)
+	return dst
+}
+
+func boxPlane(src, dst []byte, w, h int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var acc, n int
+			for dy := -1; dy <= 1; dy++ {
+				sy := y + dy
+				if sy < 0 || sy >= h {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					sx := x + dx
+					if sx < 0 || sx >= w {
+						continue
+					}
+					acc += int(src[sy*w+sx])
+					n++
+				}
+			}
+			dst[y*w+x] = byte(acc / n)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clampF(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return byte(v + 0.5)
+}

@@ -1,0 +1,524 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"v2v/internal/frame"
+)
+
+func noisy(w, h int, seed int64) *frame.Frame {
+	fr := frame.New(w, h, frame.FormatYUV420)
+	rnd := rand.New(rand.NewSource(seed))
+	for i := range fr.Pix {
+		fr.Pix[i] = byte(rnd.Intn(256))
+	}
+	return fr
+}
+
+func flat(w, h int, c Color) *frame.Frame {
+	fr := frame.New(w, h, frame.FormatYUV420)
+	fr.Fill(c.Y, c.Cb, c.Cr)
+	return fr
+}
+
+func mean(p []byte) float64 {
+	var s float64
+	for _, v := range p {
+		s += float64(v)
+	}
+	return s / float64(len(p))
+}
+
+func TestScaleIdentity(t *testing.T) {
+	src := noisy(32, 16, 1)
+	dst := Scale(src, 32, 16)
+	if !dst.Equal(src) {
+		t.Error("same-size scale should be identity")
+	}
+	dst.Pix[0] ^= 0xFF
+	if src.Pix[0] == dst.Pix[0] {
+		t.Error("scale should not alias source")
+	}
+}
+
+func TestScaleFlatStaysFlat(t *testing.T) {
+	src := flat(32, 16, Color{77, 100, 200})
+	dst := Scale(src, 64, 32)
+	p := dst.Planes()
+	for i, v := range p[0] {
+		if v != 77 {
+			t.Fatalf("luma[%d] = %d", i, v)
+		}
+	}
+	for i := range p[1] {
+		if p[1][i] != 100 || p[2][i] != 200 {
+			t.Fatalf("chroma[%d] = %d/%d", i, p[1][i], p[2][i])
+		}
+	}
+}
+
+func TestScalePreservesMeanRoughly(t *testing.T) {
+	src := noisy(64, 64, 2)
+	dst := Scale(src, 32, 32)
+	sm, dm := mean(src.Planes()[0]), mean(dst.Planes()[0])
+	if math.Abs(sm-dm) > 3 {
+		t.Errorf("mean shifted %f -> %f", sm, dm)
+	}
+	up := Scale(src, 128, 128)
+	um := mean(up.Planes()[0])
+	if math.Abs(sm-um) > 3 {
+		t.Errorf("upscale mean shifted %f -> %f", sm, um)
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	src := noisy(16, 16, 3)
+	for _, dims := range [][2]int{{0, 16}, {16, 0}, {15, 16}, {16, 15}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Scale to %v did not panic", dims)
+				}
+			}()
+			Scale(src, dims[0], dims[1])
+		}()
+	}
+}
+
+func TestCrop(t *testing.T) {
+	src := frame.New(16, 16, frame.FormatYUV420)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			src.SetLuma(x, y, byte(y*16+x))
+		}
+	}
+	dst := Crop(src, 4, 6, 8, 4)
+	if dst.W != 8 || dst.H != 4 {
+		t.Fatalf("crop dims %dx%d", dst.W, dst.H)
+	}
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 8; x++ {
+			want := byte((y+6)*16 + x + 4)
+			if got := dst.Luma(x, y); got != want {
+				t.Fatalf("crop luma (%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestCropValidation(t *testing.T) {
+	src := noisy(16, 16, 4)
+	bad := [][4]int{{1, 0, 4, 4}, {0, 1, 4, 4}, {0, 0, 3, 4}, {0, 0, 4, 3}, {-2, 0, 4, 4}, {14, 0, 4, 4}, {0, 0, 0, 4}}
+	for _, b := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Crop %v did not panic", b)
+				}
+			}()
+			Crop(src, b[0], b[1], b[2], b[3])
+		}()
+	}
+}
+
+func TestZoom(t *testing.T) {
+	src := flat(32, 32, Color{10, 128, 128})
+	// Bright center region: after 2x zoom the whole frame should be bright.
+	FillRect(src, Rect{8, 8, 16, 16}, Color{200, 128, 128})
+	z := Zoom(src, 2.0)
+	if z.W != 32 || z.H != 32 {
+		t.Fatalf("zoom dims %dx%d", z.W, z.H)
+	}
+	if m := mean(z.Planes()[0]); m < 190 {
+		t.Errorf("zoomed mean luma = %f, want bright", m)
+	}
+	if !Zoom(src, 1.0).Equal(src) {
+		t.Error("zoom 1.0 should be identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zoom < 1 should panic")
+			}
+		}()
+		Zoom(src, 0.5)
+	}()
+}
+
+func TestGaussianBlurSmooths(t *testing.T) {
+	src := flat(32, 32, Color{0, 128, 128})
+	FillRect(src, Rect{16, 0, 2, 32}, White) // vertical line
+	dst := GaussianBlur(src, 1.5)
+	if dst.Luma(17, 16) >= src.Luma(17, 16) {
+		t.Error("line should dim")
+	}
+	if dst.Luma(13, 16) <= 0 {
+		t.Error("blur should spread energy")
+	}
+	// Mean energy is conserved within rounding.
+	if d := math.Abs(mean(src.Planes()[0]) - mean(dst.Planes()[0])); d > 1 {
+		t.Errorf("blur changed mean by %f", d)
+	}
+	if !GaussianBlur(src, 0).Equal(src) {
+		t.Error("sigma 0 should be identity")
+	}
+}
+
+func TestGaussianBlurFlatInvariant(t *testing.T) {
+	src := flat(16, 16, Color{99, 70, 180})
+	dst := GaussianBlur(src, 2.0)
+	for i := range dst.Pix {
+		if d := int(dst.Pix[i]) - int(src.Pix[i]); d < -1 || d > 1 {
+			t.Fatalf("flat blur moved pixel %d by %d", i, d)
+		}
+	}
+}
+
+func TestGaussianBlurDeterministic(t *testing.T) {
+	src := noisy(32, 32, 5)
+	a, b := GaussianBlur(src, 1.2), GaussianBlur(src, 1.2)
+	if !a.Equal(b) {
+		t.Error("blur must be deterministic")
+	}
+}
+
+func TestSharpenAndEdge(t *testing.T) {
+	src := flat(16, 16, Color{50, 128, 128})
+	FillRect(src, Rect{8, 0, 8, 16}, Color{200, 128, 128})
+	sh := Sharpen(src)
+	if sh.W != 16 || sh.H != 16 {
+		t.Fatal("sharpen dims")
+	}
+	// Sharpen should overshoot at the edge.
+	if sh.Luma(8, 8) <= src.Luma(8, 8) {
+		t.Error("sharpen should overshoot bright side of edge")
+	}
+	ed := EdgeDetect(src)
+	if ed.Luma(2, 8) != 0 {
+		t.Error("flat region should be zero edge response")
+	}
+	if ed.Luma(8, 8) == 0 {
+		t.Error("edge should respond")
+	}
+	p := ed.Planes()
+	if p[1][0] != 128 || p[2][0] != 128 {
+		t.Error("edge map should have neutral chroma")
+	}
+}
+
+func TestGrade(t *testing.T) {
+	src := flat(16, 16, Color{100, 100, 156})
+	br := Grade(src, 20, 1.0, 1.0)
+	if br.Luma(0, 0) != 120 {
+		t.Errorf("brightness = %d", br.Luma(0, 0))
+	}
+	ct := Grade(src, 0, 2.0, 1.0)
+	if ct.Luma(0, 0) != 72 { // (100-128)*2+128
+		t.Errorf("contrast = %d", ct.Luma(0, 0))
+	}
+	st := Grade(src, 0, 1.0, 0.0)
+	p := st.Planes()
+	if p[1][0] != 128 || p[2][0] != 128 {
+		t.Error("saturation 0 should neutralize chroma")
+	}
+	id := Grade(src, 0, 1.0, 1.0)
+	if !id.Equal(src) {
+		t.Error("identity grade changed pixels")
+	}
+}
+
+func TestDenoiseFlatInvariant(t *testing.T) {
+	src := flat(16, 16, Color{99, 70, 180})
+	if !Denoise(src).Equal(src) {
+		t.Error("flat denoise should be exact identity")
+	}
+	n := noisy(16, 16, 6)
+	d := Denoise(n)
+	// Variance should drop.
+	varOf := func(p []byte) float64 {
+		m := mean(p)
+		var s float64
+		for _, v := range p {
+			s += (float64(v) - m) * (float64(v) - m)
+		}
+		return s / float64(len(p))
+	}
+	if varOf(d.Planes()[0]) >= varOf(n.Planes()[0]) {
+		t.Error("denoise should reduce variance")
+	}
+}
+
+func TestFillRectAndClip(t *testing.T) {
+	fr := flat(16, 16, Black)
+	FillRect(fr, Rect{-4, -4, 8, 8}, White)
+	if fr.Luma(3, 3) != 255 || fr.Luma(4, 4) != 0 {
+		t.Error("clipped fill wrong")
+	}
+	FillRect(fr, Rect{100, 100, 8, 8}, White) // fully outside: no panic
+	FillRect(fr, Rect{0, 0, 0, 8}, White)     // degenerate: no-op
+}
+
+func TestDrawRect(t *testing.T) {
+	fr := flat(32, 32, Black)
+	DrawRect(fr, Rect{4, 4, 24, 24}, 2, White)
+	if fr.Luma(4, 4) != 255 || fr.Luma(5, 5) != 255 {
+		t.Error("border missing")
+	}
+	if fr.Luma(16, 16) != 0 {
+		t.Error("interior should be untouched")
+	}
+	if fr.Luma(27, 16) != 255 {
+		t.Error("right border missing")
+	}
+}
+
+func TestDrawTextAndWidth(t *testing.T) {
+	fr := flat(128, 32, Black)
+	DrawText(fr, 2, 2, "AB 12", 1, White)
+	// 'A' glyph row 0 = 0x0E -> pixels at x=3,4,5 (cols 1..3).
+	if fr.Luma(3, 2) != 255 || fr.Luma(2, 2) != 0 {
+		t.Error("glyph A top row wrong")
+	}
+	if got := TextWidth("AB 12", 1); got != 5*(GlyphWidth+1)-1 {
+		t.Errorf("TextWidth = %d", got)
+	}
+	if TextWidth("", 3) != 0 {
+		t.Error("empty TextWidth")
+	}
+	// Lowercase maps to uppercase; unknown maps to '?'. Both draw something.
+	fr2 := flat(64, 16, Black)
+	DrawText(fr2, 0, 0, "a", 1, White)
+	fr3 := flat(64, 16, Black)
+	DrawText(fr3, 0, 0, "A", 1, White)
+	if !fr2.Equal(fr3) {
+		t.Error("lowercase should render as uppercase")
+	}
+	fr4 := flat(64, 16, Black)
+	DrawText(fr4, 0, 0, "~", 1, White)
+	if mean(fr4.Planes()[0]) == 0 {
+		t.Error("unknown rune should render fallback glyph")
+	}
+}
+
+func TestLabelDrawsBackground(t *testing.T) {
+	fr := flat(128, 32, Color{50, 128, 128})
+	Label(fr, 4, 4, "OK", 1, Black, White)
+	if fr.Luma(3, 3) != 255 {
+		t.Error("label background missing")
+	}
+}
+
+func TestBoundingBoxesEmptyIsIdentity(t *testing.T) {
+	src := noisy(64, 64, 7)
+	out := BoundingBoxes(src, nil)
+	if !out.Equal(src) {
+		t.Error("empty boxes should be identity (the f_dde invariant)")
+	}
+	out.Pix[0] ^= 1
+	if src.Pix[0] == out.Pix[0] {
+		t.Error("must not alias input")
+	}
+}
+
+func TestBoundingBoxesDraw(t *testing.T) {
+	src := flat(128, 128, Color{30, 128, 128})
+	out := BoundingBoxes(src, []Box{{X: 20, Y: 40, W: 40, H: 30, Class: "ZEBRA", Track: 3}})
+	if out.Equal(src) {
+		t.Error("boxes should modify the frame")
+	}
+	if out.Luma(20, 40) == 30 {
+		t.Error("box corner not drawn")
+	}
+	if out.Luma(40, 55) != 30 {
+		t.Error("box interior should be untouched")
+	}
+}
+
+func TestGrid2x2(t *testing.T) {
+	a := flat(32, 32, Color{10, 128, 128})
+	b := flat(32, 32, Color{60, 128, 128})
+	c := flat(32, 32, Color{110, 128, 128})
+	d := flat(32, 32, Color{160, 128, 128})
+	g := Grid2x2(a, b, c, d)
+	if g.W != 32 || g.H != 32 {
+		t.Fatalf("grid dims %dx%d", g.W, g.H)
+	}
+	if g.Luma(8, 8) != 10 || g.Luma(24, 8) != 60 || g.Luma(8, 24) != 110 || g.Luma(24, 24) != 160 {
+		t.Errorf("quadrants = %d %d %d %d", g.Luma(8, 8), g.Luma(24, 8), g.Luma(8, 24), g.Luma(24, 24))
+	}
+}
+
+func TestGrid2x2MixedSizes(t *testing.T) {
+	a := flat(32, 32, Color{10, 128, 128})
+	b := flat(64, 16, Color{60, 128, 128})
+	g := Grid2x2(a, b, b, a)
+	if g.W != 32 || g.H != 32 {
+		t.Fatalf("grid dims %dx%d", g.W, g.H)
+	}
+	if g.Luma(24, 8) != 60 {
+		t.Error("scaled quadrant wrong")
+	}
+}
+
+func TestGridN(t *testing.T) {
+	fr := flat(36, 36, Color{50, 128, 128})
+	g := GridN([]*frame.Frame{fr, fr, fr}) // 2x2 grid with one empty cell
+	if g.W != 36 || g.H != 36 {
+		t.Fatal("gridN dims")
+	}
+	if g.Luma(27, 27) != 16 {
+		t.Error("empty cell should be black")
+	}
+	single := GridN([]*frame.Frame{fr})
+	if single.Luma(5, 5) != 50 {
+		t.Error("1-cell grid should show the frame")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty GridN should panic")
+			}
+		}()
+		GridN(nil)
+	}()
+}
+
+func TestOverlay(t *testing.T) {
+	base := flat(32, 32, Color{0, 128, 128})
+	img := flat(8, 8, Color{255, 128, 128})
+	out := Overlay(base, img, 4, 4, 255)
+	if out.Luma(5, 5) != 255 {
+		t.Error("opaque overlay should replace")
+	}
+	if out.Luma(20, 20) != 0 {
+		t.Error("outside overlay should be untouched")
+	}
+	half := Overlay(base, img, 4, 4, 128)
+	if v := half.Luma(5, 5); v < 120 || v > 136 {
+		t.Errorf("half overlay luma = %d", v)
+	}
+	// Clipped overlay must not panic and must blend the visible part.
+	clip := Overlay(base, img, -4, -4, 255)
+	if clip.Luma(1, 1) != 255 {
+		t.Error("clipped overlay visible part wrong")
+	}
+	if clip.Luma(10, 10) != 0 {
+		t.Error("clipped overlay overflowed")
+	}
+}
+
+func TestOverlayConvertsFormat(t *testing.T) {
+	base := flat(32, 32, Color{0, 128, 128})
+	img := frame.New(8, 8, frame.FormatGray8)
+	img.Fill(255, 0, 0)
+	out := Overlay(base, img, 0, 0, 255)
+	if out.Luma(2, 2) != 255 {
+		t.Error("gray overlay should convert and blend")
+	}
+}
+
+func TestCrossfade(t *testing.T) {
+	a := flat(16, 16, Color{0, 128, 128})
+	b := flat(16, 16, Color{200, 128, 128})
+	if !Crossfade(a, b, 0).Equal(a) || !Crossfade(a, b, 1).Equal(b) {
+		t.Error("crossfade endpoints wrong")
+	}
+	mid := Crossfade(a, b, 0.5)
+	if v := mid.Luma(8, 8); v < 95 || v > 105 {
+		t.Errorf("mid luma = %d", v)
+	}
+}
+
+func TestWipeLR(t *testing.T) {
+	a := flat(16, 16, Color{0, 128, 128})
+	b := flat(16, 16, Color{200, 128, 128})
+	if !WipeLR(a, b, 0).Equal(a) || !WipeLR(a, b, 1).Equal(b) {
+		t.Error("wipe endpoints wrong")
+	}
+	mid := WipeLR(a, b, 0.5)
+	if mid.Luma(2, 8) != 200 || mid.Luma(12, 8) != 0 {
+		t.Error("wipe halves wrong")
+	}
+}
+
+func TestPropertyZoomPreservesShape(t *testing.T) {
+	src := noisy(48, 32, 8)
+	if err := quick.Check(func(f uint8) bool {
+		factor := 1 + float64(f%40)/10
+		z := Zoom(src, factor)
+		return z.W == src.W && z.H == src.H
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCropWithinScale(t *testing.T) {
+	src := noisy(64, 48, 9)
+	if err := quick.Check(func(xs, ys, ws, hs uint8) bool {
+		x, y := int(xs%24)&^1, int(ys%16)&^1
+		w, h := 2+int(ws%16)&^1, 2+int(hs%16)&^1
+		if x+w > src.W || y+h > src.H {
+			return true
+		}
+		c := Crop(src, x, y, w, h)
+		// Every cropped luma pixel matches the source.
+		for yy := 0; yy < h; yy++ {
+			for xx := 0; xx < w; xx++ {
+				if c.Luma(xx, yy) != src.Luma(x+xx, y+yy) {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHStackVStack(t *testing.T) {
+	a := flat(32, 32, Color{10, 128, 128})
+	b := flat(32, 32, Color{200, 128, 128})
+	h := HStack(a, b)
+	if h.W != 32 || h.H != 32 {
+		t.Fatalf("hstack dims %dx%d", h.W, h.H)
+	}
+	if h.Luma(8, 16) != 10 || h.Luma(24, 16) != 200 {
+		t.Errorf("hstack halves = %d / %d", h.Luma(8, 16), h.Luma(24, 16))
+	}
+	v := VStack(a, b)
+	if v.Luma(16, 8) != 10 || v.Luma(16, 24) != 200 {
+		t.Errorf("vstack halves = %d / %d", v.Luma(16, 8), v.Luma(16, 24))
+	}
+	// Mixed sizes scale into place.
+	c := flat(64, 16, Color{99, 128, 128})
+	h2 := HStack(a, c)
+	if h2.W != 32 || h2.Luma(24, 16) != 99 {
+		t.Error("hstack mixed sizes wrong")
+	}
+}
+
+func TestPiP(t *testing.T) {
+	base := flat(64, 64, Color{30, 128, 128})
+	inset := flat(64, 64, Color{220, 128, 128})
+	out := PiP(base, inset, 40, 40, 4)
+	if out.W != 64 || out.H != 64 {
+		t.Fatal("pip dims")
+	}
+	if out.Luma(47, 47) != 220 {
+		t.Errorf("pip interior = %d", out.Luma(47, 47))
+	}
+	if out.Luma(8, 8) != 30 {
+		t.Errorf("pip base = %d", out.Luma(8, 8))
+	}
+	if out.Luma(39, 39) != 255 {
+		t.Errorf("pip border = %d", out.Luma(39, 39))
+	}
+	// scaleDiv below 2 clamps.
+	out2 := PiP(base, inset, 0, 0, 0)
+	if out2.Luma(4, 4) != 220 {
+		t.Error("pip clamp wrong")
+	}
+}

@@ -1,0 +1,135 @@
+// Package raster implements the from-scratch image operations that back
+// V2V's Filter transforms: cropping, scaling, blurring and convolution,
+// drawing (boxes, text), alpha overlays, grid composition, color grading,
+// and animated transitions.
+//
+// All operations are deterministic pure functions of their inputs, so every
+// engine (optimized, unoptimized, naive baseline) produces bit-identical
+// pixels for the same logical edit — the property the equivalence tests
+// rely on. Operations take and return YUV420 frames, the execution engine's
+// native interchange format, unless documented otherwise.
+package raster
+
+import (
+	"fmt"
+
+	"v2v/internal/frame"
+)
+
+// Scale resizes src to w×h using bilinear interpolation in fixed-point
+// arithmetic (16.16), per plane. w and h must be positive and even.
+func Scale(src *frame.Frame, w, h int) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: Scale wants yuv420, got %v", src.Format))
+	}
+	if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("raster: bad scale target %dx%d", w, h))
+	}
+	if w == src.W && h == src.H {
+		return src.Clone()
+	}
+	dst := frame.New(w, h, frame.FormatYUV420)
+	sp, dp := src.Planes(), dst.Planes()
+	scalePlane(sp[0], src.W, src.H, dp[0], w, h)
+	scalePlane(sp[1], src.W/2, src.H/2, dp[1], w/2, h/2)
+	scalePlane(sp[2], src.W/2, src.H/2, dp[2], w/2, h/2)
+	return dst
+}
+
+func scalePlane(src []byte, sw, sh int, dst []byte, dw, dh int) {
+	if sw == dw && sh == dh {
+		copy(dst, src)
+		return
+	}
+	const fpShift = 16
+	const fpOne = 1 << fpShift
+	// Edge-to-edge mapping with half-pixel centers.
+	xRatio := (int64(sw) << fpShift) / int64(dw)
+	yRatio := (int64(sh) << fpShift) / int64(dh)
+	for dy := 0; dy < dh; dy++ {
+		syf := (int64(dy)*yRatio + yRatio/2) - fpOne/2
+		if syf < 0 {
+			syf = 0
+		}
+		sy := int(syf >> fpShift)
+		fy := int(syf & (fpOne - 1))
+		sy1 := sy + 1
+		if sy1 >= sh {
+			sy1 = sh - 1
+		}
+		for dx := 0; dx < dw; dx++ {
+			sxf := (int64(dx)*xRatio + xRatio/2) - fpOne/2
+			if sxf < 0 {
+				sxf = 0
+			}
+			sx := int(sxf >> fpShift)
+			fx := int(sxf & (fpOne - 1))
+			sx1 := sx + 1
+			if sx1 >= sw {
+				sx1 = sw - 1
+			}
+			p00 := int(src[sy*sw+sx])
+			p01 := int(src[sy*sw+sx1])
+			p10 := int(src[sy1*sw+sx])
+			p11 := int(src[sy1*sw+sx1])
+			top := p00*(fpOne-fx) + p01*fx
+			bot := p10*(fpOne-fx) + p11*fx
+			v := (top*(fpOne-fy) + bot*fy + (1 << (2*fpShift - 1))) >> (2 * fpShift)
+			if v > 255 {
+				v = 255
+			}
+			dst[dy*dw+dx] = byte(v)
+		}
+	}
+}
+
+// Crop extracts the rectangle (x, y, w, h) from src. All of x, y, w, h must
+// be even (YUV420 chroma alignment) and the rectangle must lie inside src.
+func Crop(src *frame.Frame, x, y, w, h int) *frame.Frame {
+	if src.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: Crop wants yuv420, got %v", src.Format))
+	}
+	if x%2 != 0 || y%2 != 0 || w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("raster: crop rect %d,%d %dx%d must be even-aligned", x, y, w, h))
+	}
+	if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > src.W || y+h > src.H {
+		panic(fmt.Sprintf("raster: crop rect %d,%d %dx%d outside %dx%d", x, y, w, h, src.W, src.H))
+	}
+	dst := frame.New(w, h, frame.FormatYUV420)
+	sp, dp := src.Planes(), dst.Planes()
+	copyRect(sp[0], src.W, x, y, dp[0], w, h)
+	copyRect(sp[1], src.W/2, x/2, y/2, dp[1], w/2, h/2)
+	copyRect(sp[2], src.W/2, x/2, y/2, dp[2], w/2, h/2)
+	return dst
+}
+
+func copyRect(src []byte, sw, x, y int, dst []byte, dw, dh int) {
+	for row := 0; row < dh; row++ {
+		copy(dst[row*dw:(row+1)*dw], src[(y+row)*sw+x:(y+row)*sw+x+dw])
+	}
+}
+
+// Zoom crops the centered region covering 1/factor of each dimension and
+// scales it back to the source size — the paper's Zoom(frame, percent)
+// transform. factor must be >= 1; factor 1 is the identity (clone).
+func Zoom(src *frame.Frame, factor float64) *frame.Frame {
+	if factor < 1 {
+		panic(fmt.Sprintf("raster: zoom factor %v < 1", factor))
+	}
+	if factor == 1 {
+		return src.Clone()
+	}
+	cw := even(int(float64(src.W) / factor))
+	ch := even(int(float64(src.H) / factor))
+	if cw < 2 {
+		cw = 2
+	}
+	if ch < 2 {
+		ch = 2
+	}
+	x := even((src.W - cw) / 2)
+	y := even((src.H - ch) / 2)
+	return Scale(Crop(src, x, y, cw, ch), src.W, src.H)
+}
+
+func even(v int) int { return v &^ 1 }

@@ -1,0 +1,376 @@
+// Package sqlmini is a tiny in-memory relational engine: typed tables and
+// a SELECT subset sufficient for the V2V data-join path the paper sketches
+// ("SELECT timestamp, frame_objects FROM video_objects WHERE ...").
+//
+// It exists so the repository exercises the same code path the paper's
+// system does when a VDBMS feeds relational query results into a synthesis
+// spec: rows become time-indexed data arrays (package data), optionally
+// materialized in time-bounded portions.
+//
+// Supported SQL:
+//
+//	SELECT col [, col ...] FROM table
+//	  [WHERE expr]         -- comparisons, AND/OR/NOT, parentheses
+//	  [ORDER BY col [ASC|DESC]]
+//	  [LIMIT n]
+//
+// Literals: integers, decimals, exact rationals written num/den (e.g.
+// 301/30), single-quoted strings, TRUE/FALSE, NULL.
+package sqlmini
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"v2v/internal/data"
+	"v2v/internal/raster"
+	"v2v/internal/rational"
+)
+
+// ColType enumerates column types.
+type ColType uint8
+
+const (
+	// TypeRat is an exact rational, used for timestamps.
+	TypeRat ColType = iota
+	// TypeBool is a boolean.
+	TypeBool
+	// TypeNum is a float64.
+	TypeNum
+	// TypeStr is a string.
+	TypeStr
+	// TypeBoxes is a list of object bounding boxes.
+	TypeBoxes
+)
+
+// String returns the SQL-ish type name.
+func (t ColType) String() string {
+	switch t {
+	case TypeRat:
+		return "RAT"
+	case TypeBool:
+		return "BOOL"
+	case TypeNum:
+		return "NUM"
+	case TypeStr:
+		return "TEXT"
+	case TypeBoxes:
+		return "BOXES"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// Cell is one typed value. Null is represented by IsNull regardless of the
+// declared column type.
+type Cell struct {
+	Type   ColType
+	IsNull bool
+	Rat    rational.Rat
+	Bool   bool
+	Num    float64
+	Str    string
+	Boxes  []raster.Box
+}
+
+// Cell constructors.
+func RatCell(r rational.Rat) Cell   { return Cell{Type: TypeRat, Rat: r} }
+func BoolCell(b bool) Cell          { return Cell{Type: TypeBool, Bool: b} }
+func NumCell(n float64) Cell        { return Cell{Type: TypeNum, Num: n} }
+func StrCell(s string) Cell         { return Cell{Type: TypeStr, Str: s} }
+func BoxesCell(b []raster.Box) Cell { return Cell{Type: TypeBoxes, Boxes: b} }
+func NullCell(t ColType) Cell       { return Cell{Type: t, IsNull: true} }
+
+// Value converts the cell into a data.Value for array materialization.
+// Rational cells convert to numbers (callers needing exactness keep the
+// Rat, which materialization does for the timestamp column).
+func (c Cell) Value() data.Value {
+	if c.IsNull {
+		return data.Null()
+	}
+	switch c.Type {
+	case TypeRat:
+		return data.NumVal(c.Rat.Float())
+	case TypeBool:
+		return data.BoolVal(c.Bool)
+	case TypeNum:
+		return data.NumVal(c.Num)
+	case TypeStr:
+		return data.StrVal(c.Str)
+	case TypeBoxes:
+		return data.BoxesVal(c.Boxes)
+	default:
+		return data.Null()
+	}
+}
+
+// String renders the cell for result tables.
+func (c Cell) String() string {
+	if c.IsNull {
+		return "NULL"
+	}
+	switch c.Type {
+	case TypeRat:
+		return c.Rat.String()
+	case TypeBool:
+		return fmt.Sprintf("%t", c.Bool)
+	case TypeNum:
+		return fmt.Sprintf("%g", c.Num)
+	case TypeStr:
+		return c.Str
+	case TypeBoxes:
+		return fmt.Sprintf("boxes(%d)", len(c.Boxes))
+	default:
+		return "?"
+	}
+}
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Table is an ordered collection of typed rows.
+type Table struct {
+	Name string
+	Cols []Column
+	Rows [][]Cell
+}
+
+func (t *Table) colIndex(name string) (int, bool) {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// DB is an in-memory database. Not safe for concurrent mutation.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// CreateTable registers an empty table.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, dup := db.tables[key]; dup {
+		return nil, fmt.Errorf("sqlmini: table %q already exists", name)
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("sqlmini: table %q needs at least one column", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		lc := strings.ToLower(c.Name)
+		if lc == "" || seen[lc] {
+			return nil, fmt.Errorf("sqlmini: bad or duplicate column %q", c.Name)
+		}
+		seen[lc] = true
+	}
+	t := &Table{Name: name, Cols: cols}
+	db.tables[key] = t
+	return t, nil
+}
+
+// Table returns a registered table.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Insert appends a row, checking arity and types (null cells are accepted
+// for any declared type).
+func (db *DB) Insert(table string, row []Cell) error {
+	t, ok := db.Table(table)
+	if !ok {
+		return fmt.Errorf("sqlmini: no table %q", table)
+	}
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("sqlmini: %q wants %d columns, got %d", table, len(t.Cols), len(row))
+	}
+	for i, c := range row {
+		if !c.IsNull && c.Type != t.Cols[i].Type {
+			return fmt.Errorf("sqlmini: column %q wants %v, got %v", t.Cols[i].Name, t.Cols[i].Type, c.Type)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// Result is a query result: named columns and rows.
+type Result struct {
+	Cols []Column
+	Rows [][]Cell
+}
+
+// Query parses and executes a SELECT statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := parseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.exec(stmt)
+}
+
+func (db *DB) exec(s *selectStmt) (*Result, error) {
+	t, ok := db.Table(s.table)
+	if !ok {
+		return nil, fmt.Errorf("sqlmini: no table %q", s.table)
+	}
+	// Resolve projection.
+	var outCols []Column
+	var colIdx []int
+	if s.star {
+		outCols = t.Cols
+		colIdx = make([]int, len(t.Cols))
+		for i := range colIdx {
+			colIdx[i] = i
+		}
+	} else {
+		for _, name := range s.cols {
+			i, ok := t.colIndex(name)
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: no column %q in %q", name, s.table)
+			}
+			outCols = append(outCols, t.Cols[i])
+			colIdx = append(colIdx, i)
+		}
+	}
+	// Filter.
+	var kept [][]Cell
+	for _, row := range t.Rows {
+		if s.where != nil {
+			v, err := s.where.eval(t, row)
+			if err != nil {
+				return nil, err
+			}
+			if !v.truthy() {
+				continue
+			}
+		}
+		kept = append(kept, row)
+	}
+	// Order.
+	if s.orderBy != "" {
+		oi, ok := t.colIndex(s.orderBy)
+		if !ok {
+			return nil, fmt.Errorf("sqlmini: no column %q in %q", s.orderBy, s.table)
+		}
+		sort.SliceStable(kept, func(i, j int) bool {
+			c := compareCells(kept[i][oi], kept[j][oi])
+			if s.desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	// Limit.
+	if s.limit >= 0 && len(kept) > s.limit {
+		kept = kept[:s.limit]
+	}
+	// Project.
+	out := make([][]Cell, len(kept))
+	for i, row := range kept {
+		pr := make([]Cell, len(colIdx))
+		for j, ci := range colIdx {
+			pr[j] = row[ci]
+		}
+		out[i] = pr
+	}
+	return &Result{Cols: outCols, Rows: out}, nil
+}
+
+// compareCells orders two cells of the same type; nulls sort first.
+func compareCells(a, b Cell) int {
+	switch {
+	case a.IsNull && b.IsNull:
+		return 0
+	case a.IsNull:
+		return -1
+	case b.IsNull:
+		return 1
+	}
+	switch a.Type {
+	case TypeRat:
+		return a.Rat.Cmp(b.Rat)
+	case TypeNum:
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		}
+		return 0
+	case TypeStr:
+		return strings.Compare(a.Str, b.Str)
+	case TypeBool:
+		switch {
+		case !a.Bool && b.Bool:
+			return -1
+		case a.Bool && !b.Bool:
+			return 1
+		}
+		return 0
+	case TypeBoxes:
+		return len(a.Boxes) - len(b.Boxes)
+	}
+	return 0
+}
+
+// MaterializeArray runs a SELECT whose first column is a RAT timestamp and
+// whose second column is the value, and builds a data array from the rows —
+// the paper's SQL-defined data array.
+func MaterializeArray(db *DB, sql string) (*data.Array, error) {
+	res, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) < 2 {
+		return nil, fmt.Errorf("sqlmini: materialize needs (timestamp, value) columns, got %d", len(res.Cols))
+	}
+	if res.Cols[0].Type != TypeRat {
+		return nil, fmt.Errorf("sqlmini: first column %q must be RAT, got %v", res.Cols[0].Name, res.Cols[0].Type)
+	}
+	entries := make([]data.Entry, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		if row[0].IsNull {
+			return nil, fmt.Errorf("sqlmini: null timestamp in materialized array")
+		}
+		entries = append(entries, data.Entry{T: row[0].Rat, V: row[1].Value()})
+	}
+	return data.NewArray(entries)
+}
+
+// MaterializeArrayBounded materializes only rows whose timestamp lies in
+// iv — the "materialized in portions by bounding the time" optimization
+// that trades storage for compute. Out-of-window rows are dropped during
+// the scan, before any array entry is built.
+func MaterializeArrayBounded(db *DB, sql string, iv rational.Interval) (*data.Array, error) {
+	res, err := db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Cols) < 2 {
+		return nil, fmt.Errorf("sqlmini: materialize needs (timestamp, value) columns, got %d", len(res.Cols))
+	}
+	if res.Cols[0].Type != TypeRat {
+		return nil, fmt.Errorf("sqlmini: first column %q must be RAT, got %v", res.Cols[0].Name, res.Cols[0].Type)
+	}
+	var entries []data.Entry
+	for _, row := range res.Rows {
+		if row[0].IsNull {
+			return nil, fmt.Errorf("sqlmini: null timestamp in materialized array")
+		}
+		if !iv.Contains(row[0].Rat) {
+			continue
+		}
+		entries = append(entries, data.Entry{T: row[0].Rat, V: row[1].Value()})
+	}
+	return data.NewArray(entries)
+}

@@ -1,0 +1,316 @@
+package sqlmini
+
+import (
+	"testing"
+
+	"v2v/internal/data"
+	"v2v/internal/raster"
+	"v2v/internal/rational"
+)
+
+// zooDB builds the canonical test database: detections of animals per frame
+// time, mirroring the paper's video_objects table.
+func zooDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	_, err := db.CreateTable("video_objects", []Column{
+		{Name: "ts", Type: TypeRat},
+		{Name: "video", Type: TypeStr},
+		{Name: "model", Type: TypeStr},
+		{Name: "count", Type: TypeNum},
+		{Name: "objects", Type: TypeBoxes},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := func(n int) []raster.Box {
+		out := make([]raster.Box, n)
+		for i := range out {
+			out[i] = raster.Box{X: i * 10, Y: i * 5, W: 20, H: 10, Class: "ZEBRA", Track: i + 1}
+		}
+		return out
+	}
+	for i := 0; i < 10; i++ {
+		n := 0
+		if i >= 5 {
+			n = i - 4
+		}
+		video := "kabr1"
+		if i%2 == 1 {
+			video = "kabr2"
+		}
+		err := db.Insert("video_objects", []Cell{
+			RatCell(rational.New(int64(i), 30)),
+			StrCell(video),
+			StrCell("yolov5m"),
+			NumCell(float64(n)),
+			BoxesCell(boxes(n)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCreateTableValidation(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("t", nil); err == nil {
+		t.Error("empty columns should fail")
+	}
+	if _, err := db.CreateTable("t", []Column{{Name: "a", Type: TypeNum}, {Name: "A", Type: TypeStr}}); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+	if _, err := db.CreateTable("t", []Column{{Name: "a", Type: TypeNum}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("T", []Column{{Name: "a", Type: TypeNum}}); err == nil {
+		t.Error("case-insensitive duplicate table should fail")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	db := NewDB()
+	db.CreateTable("t", []Column{{Name: "a", Type: TypeNum}, {Name: "b", Type: TypeStr}})
+	if err := db.Insert("missing", nil); err == nil {
+		t.Error("missing table should fail")
+	}
+	if err := db.Insert("t", []Cell{NumCell(1)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := db.Insert("t", []Cell{StrCell("x"), StrCell("y")}); err == nil {
+		t.Error("wrong type should fail")
+	}
+	if err := db.Insert("t", []Cell{NumCell(1), NullCell(TypeStr)}); err != nil {
+		t.Errorf("null insert should be fine: %v", err)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := zooDB(t)
+	res, err := db.Query("SELECT * FROM video_objects")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 5 || len(res.Rows) != 10 {
+		t.Fatalf("cols=%d rows=%d", len(res.Cols), len(res.Rows))
+	}
+}
+
+func TestSelectProjectionAndWhere(t *testing.T) {
+	db := zooDB(t)
+	res, err := db.Query("SELECT ts, objects FROM video_objects WHERE video = 'kabr1' AND count > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cols) != 2 {
+		t.Fatalf("cols = %d", len(res.Cols))
+	}
+	// kabr1 rows are even i; count>0 means i>=5 -> i in {6, 8}.
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.Rows[0][0].Rat.Equal(rational.New(6, 30)) {
+		t.Errorf("first ts = %v", res.Rows[0][0].Rat)
+	}
+}
+
+func TestWhereOperatorsAndLogic(t *testing.T) {
+	db := zooDB(t)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT ts FROM video_objects WHERE count >= 3", 3},
+		{"SELECT ts FROM video_objects WHERE count != 0", 5},
+		{"SELECT ts FROM video_objects WHERE NOT count = 0", 5},
+		{"SELECT ts FROM video_objects WHERE count = 0 OR count = 5", 6},
+		{"SELECT ts FROM video_objects WHERE (count > 1 AND count < 4) OR video = 'nope'", 2},
+		{"SELECT ts FROM video_objects WHERE ts < 1/10", 3},
+		{"SELECT ts FROM video_objects WHERE ts <= 3/30 AND model = 'yolov5m'", 4},
+		{"SELECT ts FROM video_objects WHERE objects", 5}, // truthy boxes
+		{"SELECT ts FROM video_objects WHERE model IS NULL", 0},
+		{"SELECT ts FROM video_objects WHERE model IS NOT NULL", 10},
+	}
+	for _, c := range cases {
+		res, err := db.Query(c.sql)
+		if err != nil {
+			t.Errorf("%s: %v", c.sql, err)
+			continue
+		}
+		if len(res.Rows) != c.want {
+			t.Errorf("%s: rows = %d, want %d", c.sql, len(res.Rows), c.want)
+		}
+	}
+}
+
+func TestRatNumCoercion(t *testing.T) {
+	db := zooDB(t)
+	// 0.1 = 3/30: decimal literal compares exactly against rational column.
+	res, err := db.Query("SELECT ts FROM video_objects WHERE ts = 0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	db := zooDB(t)
+	res, err := db.Query("SELECT ts, count FROM video_objects ORDER BY count DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][1].Num != 5 || res.Rows[1][1].Num != 4 || res.Rows[2][1].Num != 3 {
+		t.Errorf("counts = %v %v %v", res.Rows[0][1], res.Rows[1][1], res.Rows[2][1])
+	}
+	asc, _ := db.Query("SELECT ts FROM video_objects ORDER BY ts ASC LIMIT 1")
+	if !asc.Rows[0][0].Rat.Equal(rational.Zero) {
+		t.Errorf("first asc ts = %v", asc.Rows[0][0].Rat)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	db := zooDB(t)
+	bad := []string{
+		"",
+		"UPDATE video_objects",
+		"SELECT FROM video_objects",
+		"SELECT ts FROM",
+		"SELECT ts FROM nope",
+		"SELECT nope FROM video_objects",
+		"SELECT ts FROM video_objects WHERE",
+		"SELECT ts FROM video_objects WHERE count <",
+		"SELECT ts FROM video_objects WHERE (count > 1",
+		"SELECT ts FROM video_objects ORDER BY nope",
+		"SELECT ts FROM video_objects LIMIT x",
+		"SELECT ts FROM video_objects trailing",
+		"SELECT ts FROM video_objects WHERE count > 'str'",
+		"SELECT ts FROM video_objects WHERE video ! model",
+	}
+	for _, sql := range bad {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%q: expected error", sql)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	db := NewDB()
+	db.CreateTable("t", []Column{{Name: "s", Type: TypeStr}})
+	db.Insert("t", []Cell{StrCell("it's")})
+	res, err := db.Query("SELECT s FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestMaterializeArray(t *testing.T) {
+	db := zooDB(t)
+	arr, err := MaterializeArray(db, "SELECT ts, objects FROM video_objects WHERE model = 'yolov5m' ORDER BY ts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 10 {
+		t.Fatalf("Len = %d", arr.Len())
+	}
+	v, ok := arr.At(rational.New(7, 30))
+	if !ok || v.Kind != data.KindBoxes || len(v.Boxes) != 3 {
+		t.Errorf("At(7/30) = %v,%v", v, ok)
+	}
+	// Empty-box frames are falsy — the property the rewriter uses.
+	if !arr.AllFalsyIn(rational.Interval{Lo: rational.Zero, Hi: rational.New(5, 30)}) {
+		t.Error("first five frames should be falsy")
+	}
+}
+
+func TestMaterializeArrayErrors(t *testing.T) {
+	db := zooDB(t)
+	if _, err := MaterializeArray(db, "SELECT ts FROM video_objects"); err == nil {
+		t.Error("single column should fail")
+	}
+	if _, err := MaterializeArray(db, "SELECT video, objects FROM video_objects"); err == nil {
+		t.Error("non-rat timestamp should fail")
+	}
+	if _, err := MaterializeArray(db, "bogus"); err == nil {
+		t.Error("bad sql should fail")
+	}
+	// Null timestamp.
+	db2 := NewDB()
+	db2.CreateTable("t", []Column{{Name: "ts", Type: TypeRat}, {Name: "v", Type: TypeNum}})
+	db2.Insert("t", []Cell{NullCell(TypeRat), NumCell(1)})
+	if _, err := MaterializeArray(db2, "SELECT ts, v FROM t"); err == nil {
+		t.Error("null timestamp should fail")
+	}
+}
+
+func TestMaterializeArrayBounded(t *testing.T) {
+	db := zooDB(t)
+	arr, err := MaterializeArrayBounded(db, "SELECT ts, count FROM video_objects",
+		rational.Interval{Lo: rational.New(2, 30), Hi: rational.New(5, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Len() != 3 {
+		t.Errorf("bounded Len = %d, want 3", arr.Len())
+	}
+	if _, ok := arr.At(rational.New(5, 30)); ok {
+		t.Error("upper bound should be exclusive")
+	}
+}
+
+func TestCellValueConversion(t *testing.T) {
+	if RatCell(rational.New(1, 2)).Value().Num != 0.5 {
+		t.Error("rat conversion")
+	}
+	if !BoolCell(true).Value().Bool {
+		t.Error("bool conversion")
+	}
+	if StrCell("x").Value().Str != "x" {
+		t.Error("str conversion")
+	}
+	if NullCell(TypeNum).Value().Kind != data.KindNull {
+		t.Error("null conversion")
+	}
+	if len(BoxesCell([]raster.Box{{}}).Value().Boxes) != 1 {
+		t.Error("boxes conversion")
+	}
+}
+
+func TestCellString(t *testing.T) {
+	if NullCell(TypeNum).String() != "NULL" || RatCell(rational.New(1, 3)).String() != "1/3" ||
+		BoolCell(true).String() != "true" || NumCell(2).String() != "2" ||
+		StrCell("hi").String() != "hi" || BoxesCell(nil).String() != "boxes(0)" {
+		t.Error("cell strings wrong")
+	}
+	if TypeRat.String() != "RAT" || TypeBoxes.String() != "BOXES" {
+		t.Error("type strings wrong")
+	}
+}
+
+func TestMaterializeArrayBoundedErrors(t *testing.T) {
+	db := zooDB(t)
+	iv := rational.Interval{Lo: rational.Zero, Hi: rational.One}
+	if _, err := MaterializeArrayBounded(db, "SELECT ts FROM video_objects", iv); err == nil {
+		t.Error("single column should fail")
+	}
+	if _, err := MaterializeArrayBounded(db, "SELECT video, objects FROM video_objects", iv); err == nil {
+		t.Error("non-rat timestamp should fail")
+	}
+	if _, err := MaterializeArrayBounded(db, "nope", iv); err == nil {
+		t.Error("bad sql should fail")
+	}
+	db2 := NewDB()
+	db2.CreateTable("t", []Column{{Name: "ts", Type: TypeRat}, {Name: "v", Type: TypeNum}})
+	db2.Insert("t", []Cell{NullCell(TypeRat), NumCell(1)})
+	if _, err := MaterializeArrayBounded(db2, "SELECT ts, v FROM t", iv); err == nil {
+		t.Error("null timestamp should fail")
+	}
+}

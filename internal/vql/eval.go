@@ -1,0 +1,255 @@
+package vql
+
+import (
+	"fmt"
+
+	"v2v/internal/data"
+	"v2v/internal/frame"
+	"v2v/internal/rational"
+)
+
+var (
+	ratZero = rational.Zero
+	ratOne  = rational.One
+)
+
+func intRat(n int) rational.Rat { return rational.FromInt(int64(n)) }
+
+// FrameSource provides source frames by video name and time. The execution
+// engine and baseline engine supply implementations backed by media
+// readers; tests supply synthetic ones.
+type FrameSource interface {
+	SourceFrame(video string, t rational.Rat) (*frame.Frame, error)
+}
+
+// DataSource provides data array samples by name and time.
+type DataSource interface {
+	// DataAt returns the sample of the named array at time t. Missing
+	// samples return (Null, false, nil); unknown arrays return an error.
+	DataAt(name string, t rational.Rat) (data.Value, bool, error)
+}
+
+// Env is the evaluation environment for one render invocation.
+type Env struct {
+	T      rational.Rat
+	Frames FrameSource
+	Data   DataSource
+	// Ext evaluates expression node types Eval does not know about
+	// (e.g. the planner's port references). It is consulted before Eval
+	// reports an unknown-node error.
+	Ext func(Expr, *Env) (Val, bool, error)
+}
+
+// Eval computes the value of e in env. It is the reference semantics of
+// the language: the baseline engine is exactly Eval applied per output
+// time, and the optimizer's output must agree with it frame-for-frame.
+func Eval(e Expr, env *Env) (Val, error) {
+	switch n := e.(type) {
+	case TimeVar:
+		return NumV(env.T), nil
+	case NumLit:
+		return NumV(n.V), nil
+	case StrLit:
+		return StrV(n.V), nil
+	case BoolLit:
+		return BoolV(n.V), nil
+	case NullLit:
+		return NullV(), nil
+	case Neg:
+		v, err := Eval(n.E, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if v.Type != TypeNum {
+			return Val{}, fmt.Errorf("vql: cannot negate %v", v.Type)
+		}
+		return NumV(v.Num.Neg()), nil
+	case Not:
+		v, err := Eval(n.E, env)
+		if err != nil {
+			return Val{}, err
+		}
+		return BoolV(!v.Truthy()), nil
+	case BinOp:
+		return evalBinOp(n, env)
+	case VideoRef:
+		idx, err := Eval(n.Index, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if idx.Type != TypeNum {
+			return Val{}, fmt.Errorf("vql: video index must be a time, got %v", idx.Type)
+		}
+		if env.Frames == nil {
+			return Val{}, fmt.Errorf("vql: no frame source for %s[%s]", n.Name, idx.Num)
+		}
+		fr, err := env.Frames.SourceFrame(n.Name, idx.Num)
+		if err != nil {
+			return Val{}, err
+		}
+		return FrameVal(fr), nil
+	case DataRef:
+		idx, err := Eval(n.Index, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if idx.Type != TypeNum {
+			return Val{}, fmt.Errorf("vql: data index must be a time, got %v", idx.Type)
+		}
+		if env.Data == nil {
+			return Val{}, fmt.Errorf("vql: no data source for %s[%s]", n.Name, idx.Num)
+		}
+		v, ok, err := env.Data.DataAt(n.Name, idx.Num)
+		if err != nil {
+			return Val{}, err
+		}
+		if !ok {
+			return NullV(), nil
+		}
+		return FromData(v), nil
+	case Call:
+		tr, ok := Lookup(n.Name)
+		if !ok {
+			return Val{}, fmt.Errorf("vql: unknown transform %q", n.Name)
+		}
+		if err := tr.CheckArity(len(n.Args)); err != nil {
+			return Val{}, err
+		}
+		args := make([]Val, len(n.Args))
+		for i, a := range n.Args {
+			v, err := Eval(a, env)
+			if err != nil {
+				return Val{}, err
+			}
+			args[i] = v
+		}
+		return tr.Eval(args)
+	case Match:
+		body := n.ArmFor(env.T)
+		if body == nil {
+			return Val{}, fmt.Errorf("vql: no match arm covers t = %s", env.T)
+		}
+		return Eval(body, env)
+	default:
+		if env.Ext != nil {
+			if v, ok, err := env.Ext(e, env); ok || err != nil {
+				return v, err
+			}
+		}
+		return Val{}, fmt.Errorf("vql: cannot evaluate %T", e)
+	}
+}
+
+func evalBinOp(n BinOp, env *Env) (Val, error) {
+	// Short-circuit logic first.
+	switch n.Op {
+	case OpAnd:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if !l.Truthy() {
+			return BoolV(false), nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return Val{}, err
+		}
+		return BoolV(r.Truthy()), nil
+	case OpOr:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return Val{}, err
+		}
+		if l.Truthy() {
+			return BoolV(true), nil
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return Val{}, err
+		}
+		return BoolV(r.Truthy()), nil
+	}
+	l, err := Eval(n.L, env)
+	if err != nil {
+		return Val{}, err
+	}
+	r, err := Eval(n.R, env)
+	if err != nil {
+		return Val{}, err
+	}
+	switch n.Op {
+	case OpAdd, OpSub, OpMul, OpDiv:
+		if l.Type != TypeNum || r.Type != TypeNum {
+			return Val{}, fmt.Errorf("vql: arithmetic needs numbers, got %v %s %v", l.Type, binOpNames[n.Op], r.Type)
+		}
+		switch n.Op {
+		case OpAdd:
+			return NumV(l.Num.Add(r.Num)), nil
+		case OpSub:
+			return NumV(l.Num.Sub(r.Num)), nil
+		case OpMul:
+			return NumV(l.Num.Mul(r.Num)), nil
+		default:
+			if r.Num.Sign() == 0 {
+				return Val{}, fmt.Errorf("vql: division by zero")
+			}
+			return NumV(l.Num.Div(r.Num)), nil
+		}
+	case OpLT, OpLE, OpGT, OpGE:
+		if l.Type != TypeNum || r.Type != TypeNum {
+			return Val{}, fmt.Errorf("vql: ordering needs numbers, got %v %s %v", l.Type, binOpNames[n.Op], r.Type)
+		}
+		c := l.Num.Cmp(r.Num)
+		switch n.Op {
+		case OpLT:
+			return BoolV(c < 0), nil
+		case OpLE:
+			return BoolV(c <= 0), nil
+		case OpGT:
+			return BoolV(c > 0), nil
+		default:
+			return BoolV(c >= 0), nil
+		}
+	case OpEQ, OpNE:
+		eq, err := valsEqual(l, r)
+		if err != nil {
+			return Val{}, err
+		}
+		if n.Op == OpNE {
+			eq = !eq
+		}
+		return BoolV(eq), nil
+	}
+	return Val{}, fmt.Errorf("vql: unknown operator")
+}
+
+func valsEqual(l, r Val) (bool, error) {
+	if l.Type == TypeNull || r.Type == TypeNull {
+		return l.Type == r.Type, nil
+	}
+	if l.Type != r.Type {
+		return false, nil
+	}
+	switch l.Type {
+	case TypeNum:
+		return l.Num.Equal(r.Num), nil
+	case TypeBool:
+		return l.Bool == r.Bool, nil
+	case TypeStr:
+		return l.Str == r.Str, nil
+	case TypeBoxes:
+		if len(l.Boxes) != len(r.Boxes) {
+			return false, nil
+		}
+		for i := range l.Boxes {
+			if l.Boxes[i] != r.Boxes[i] {
+				return false, nil
+			}
+		}
+		return true, nil
+	case TypeFrame:
+		return false, fmt.Errorf("vql: frames are not comparable")
+	}
+	return false, nil
+}

@@ -1,0 +1,292 @@
+package vql
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"v2v/internal/rational"
+)
+
+// JSON spec serialization. The paper's executable reads serialized JSON
+// specs; this is that format. Expressions encode as tagged objects keyed
+// by "op".
+
+type jsonSpec struct {
+	TimeDomain jsonRange         `json:"timedomain"`
+	Videos     map[string]string `json:"videos,omitempty"`
+	DataFiles  map[string]string `json:"data,omitempty"`
+	DataSQL    map[string]string `json:"sql,omitempty"`
+	Output     *OutputFormat     `json:"output,omitempty"`
+	Render     json.RawMessage   `json:"render"`
+}
+
+type jsonRange struct {
+	Start rational.Rat `json:"start"`
+	End   rational.Rat `json:"end"`
+	Step  rational.Rat `json:"step"`
+}
+
+type jsonExpr struct {
+	Op    string            `json:"op"`
+	V     json.RawMessage   `json:"v,omitempty"`
+	Kind  string            `json:"kind,omitempty"`
+	Name  string            `json:"name,omitempty"`
+	L     json.RawMessage   `json:"l,omitempty"`
+	R     json.RawMessage   `json:"r,omitempty"`
+	E     json.RawMessage   `json:"e,omitempty"`
+	Index json.RawMessage   `json:"index,omitempty"`
+	Args  []json.RawMessage `json:"args,omitempty"`
+	Arms  []jsonArm         `json:"arms,omitempty"`
+}
+
+type jsonArm struct {
+	Range *jsonRange      `json:"range,omitempty"`
+	Set   []rational.Rat  `json:"set,omitempty"`
+	Body  json.RawMessage `json:"body"`
+}
+
+// MarshalSpecJSON encodes a spec in the JSON spec format.
+func MarshalSpecJSON(s *Spec) ([]byte, error) {
+	render, err := marshalExpr(s.Render)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(jsonSpec{
+		TimeDomain: jsonRange{s.TimeDomain.Start, s.TimeDomain.End, s.TimeDomain.Step},
+		Videos:     s.Videos,
+		DataFiles:  s.DataFiles,
+		DataSQL:    s.DataSQL,
+		Output:     s.Output,
+		Render:     render,
+	}, "", "  ")
+}
+
+// UnmarshalSpecJSON decodes the JSON spec format and resolves video/data
+// references against the declarations.
+func UnmarshalSpecJSON(raw []byte) (*Spec, error) {
+	var js jsonSpec
+	if err := json.Unmarshal(raw, &js); err != nil {
+		return nil, fmt.Errorf("vql: parse spec JSON: %w", err)
+	}
+	if js.Step().Sign() <= 0 {
+		return nil, fmt.Errorf("vql: timedomain step must be positive")
+	}
+	render, err := unmarshalExpr(js.Render)
+	if err != nil {
+		return nil, err
+	}
+	s := &Spec{
+		TimeDomain: rational.NewRange(js.TimeDomain.Start, js.TimeDomain.End, js.TimeDomain.Step),
+		Videos:     orEmpty(js.Videos),
+		DataFiles:  orEmpty(js.DataFiles),
+		DataSQL:    orEmpty(js.DataSQL),
+		Output:     js.Output,
+		Render:     render,
+	}
+	if err := s.ResolveRefs(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (js jsonSpec) Step() rational.Rat { return js.TimeDomain.Step }
+
+func orEmpty(m map[string]string) map[string]string {
+	if m == nil {
+		return map[string]string{}
+	}
+	return m
+}
+
+func marshalExpr(e Expr) (json.RawMessage, error) {
+	var je jsonExpr
+	switch n := e.(type) {
+	case TimeVar:
+		je = jsonExpr{Op: "time"}
+	case NumLit:
+		v, _ := json.Marshal(n.V)
+		je = jsonExpr{Op: "num", V: v}
+	case StrLit:
+		v, _ := json.Marshal(n.V)
+		je = jsonExpr{Op: "str", V: v}
+	case BoolLit:
+		v, _ := json.Marshal(n.V)
+		je = jsonExpr{Op: "bool", V: v}
+	case NullLit:
+		je = jsonExpr{Op: "null"}
+	case BinOp:
+		l, err := marshalExpr(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := marshalExpr(n.R)
+		if err != nil {
+			return nil, err
+		}
+		je = jsonExpr{Op: "bin", Kind: binOpNames[n.Op], L: l, R: r}
+	case Not:
+		inner, err := marshalExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		je = jsonExpr{Op: "not", E: inner}
+	case Neg:
+		inner, err := marshalExpr(n.E)
+		if err != nil {
+			return nil, err
+		}
+		je = jsonExpr{Op: "neg", E: inner}
+	case VideoRef:
+		idx, err := marshalExpr(n.Index)
+		if err != nil {
+			return nil, err
+		}
+		je = jsonExpr{Op: "video", Name: n.Name, Index: idx}
+	case DataRef:
+		idx, err := marshalExpr(n.Index)
+		if err != nil {
+			return nil, err
+		}
+		je = jsonExpr{Op: "data", Name: n.Name, Index: idx}
+	case Call:
+		args := make([]json.RawMessage, len(n.Args))
+		for i, a := range n.Args {
+			ja, err := marshalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ja
+		}
+		je = jsonExpr{Op: "call", Name: n.Name, Args: args}
+	case Match:
+		arms := make([]jsonArm, len(n.Arms))
+		for i, a := range n.Arms {
+			body, err := marshalExpr(a.Body)
+			if err != nil {
+				return nil, err
+			}
+			if a.Guard.IsRange {
+				r := jsonRange{a.Guard.Range.Start, a.Guard.Range.End, a.Guard.Range.Step}
+				arms[i] = jsonArm{Range: &r, Body: body}
+			} else {
+				arms[i] = jsonArm{Set: a.Guard.Set, Body: body}
+			}
+		}
+		je = jsonExpr{Op: "match", Arms: arms}
+	default:
+		return nil, fmt.Errorf("vql: cannot marshal %T", e)
+	}
+	return json.Marshal(je)
+}
+
+var binOpByName = func() map[string]BinOpKind {
+	m := make(map[string]BinOpKind, len(binOpNames))
+	for k, v := range binOpNames {
+		m[v] = k
+	}
+	return m
+}()
+
+func unmarshalExpr(raw json.RawMessage) (Expr, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("vql: missing expression")
+	}
+	var je jsonExpr
+	if err := json.Unmarshal(raw, &je); err != nil {
+		return nil, fmt.Errorf("vql: parse expression: %w", err)
+	}
+	switch je.Op {
+	case "time":
+		return TimeVar{}, nil
+	case "num":
+		var v rational.Rat
+		if err := json.Unmarshal(je.V, &v); err != nil {
+			return nil, err
+		}
+		return NumLit{v}, nil
+	case "str":
+		var v string
+		if err := json.Unmarshal(je.V, &v); err != nil {
+			return nil, err
+		}
+		return StrLit{v}, nil
+	case "bool":
+		var v bool
+		if err := json.Unmarshal(je.V, &v); err != nil {
+			return nil, err
+		}
+		return BoolLit{v}, nil
+	case "null":
+		return NullLit{}, nil
+	case "bin":
+		op, ok := binOpByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("vql: unknown operator %q", je.Kind)
+		}
+		l, err := unmarshalExpr(je.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := unmarshalExpr(je.R)
+		if err != nil {
+			return nil, err
+		}
+		return BinOp{Op: op, L: l, R: r}, nil
+	case "not":
+		inner, err := unmarshalExpr(je.E)
+		if err != nil {
+			return nil, err
+		}
+		return Not{E: inner}, nil
+	case "neg":
+		inner, err := unmarshalExpr(je.E)
+		if err != nil {
+			return nil, err
+		}
+		return Neg{E: inner}, nil
+	case "video":
+		idx, err := unmarshalExpr(je.Index)
+		if err != nil {
+			return nil, err
+		}
+		return VideoRef{Name: je.Name, Index: idx}, nil
+	case "data":
+		idx, err := unmarshalExpr(je.Index)
+		if err != nil {
+			return nil, err
+		}
+		return DataRef{Name: je.Name, Index: idx}, nil
+	case "call":
+		args := make([]Expr, len(je.Args))
+		for i, a := range je.Args {
+			ja, err := unmarshalExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = ja
+		}
+		return Call{Name: je.Name, Args: args}, nil
+	case "match":
+		arms := make([]MatchArm, len(je.Arms))
+		for i, a := range je.Arms {
+			body, err := unmarshalExpr(a.Body)
+			if err != nil {
+				return nil, err
+			}
+			var g Guard
+			switch {
+			case a.Range != nil:
+				if a.Range.Step.Sign() <= 0 {
+					return nil, fmt.Errorf("vql: match arm range step must be positive")
+				}
+				g = RangeGuard(rational.NewRange(a.Range.Start, a.Range.End, a.Range.Step))
+			default:
+				g = SetGuard(a.Set)
+			}
+			arms[i] = MatchArm{Guard: g, Body: body}
+		}
+		return Match{Arms: arms}, nil
+	default:
+		return nil, fmt.Errorf("vql: unknown expression op %q", je.Op)
+	}
+}

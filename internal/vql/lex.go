@@ -1,0 +1,159 @@
+package vql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tKind enumerates DSL token kinds.
+type tKind uint8
+
+const (
+	tEOF tKind = iota
+	tIdent
+	tNumber // integer or decimal literal text
+	tString
+	tPunct // ( ) { } [ ] , ; : => = + - * / < <= > >= == !=
+)
+
+type tok struct {
+	kind tKind
+	text string
+	line int
+	col  int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// dslKeywords are reserved identifiers; they lex as tIdent and the parser
+// dispatches on text.
+var dslKeywords = map[string]bool{
+	"spec": true, "timedomain": true, "videos": true, "data": true,
+	"sql": true, "output": true, "render": true, "match": true, "in": true,
+	"range": true, "if": true, "then": true, "else": true, "and": true,
+	"or": true, "not": true, "true": true, "false": true, "null": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("vql:%d:%d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]tok, error) {
+	l := newLexer(src)
+	var toks []tok
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '"':
+			line, col := l.line, l.col
+			l.advance(1)
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, l.errf("unterminated string")
+				}
+				ch := l.src[l.pos]
+				if ch == '"' {
+					l.advance(1)
+					break
+				}
+				if ch == '\\' && l.pos+1 < len(l.src) {
+					next := l.src[l.pos+1]
+					switch next {
+					case '"', '\\':
+						sb.WriteByte(next)
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					default:
+						return nil, l.errf("unknown escape \\%c", next)
+					}
+					l.advance(2)
+					continue
+				}
+				sb.WriteByte(ch)
+				l.advance(1)
+			}
+			toks = append(toks, tok{tString, sb.String(), line, col})
+		case c >= '0' && c <= '9':
+			line, col := l.line, l.col
+			j := l.pos
+			for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9' || l.src[j] == '.') {
+				j++
+			}
+			text := l.src[l.pos:j]
+			if strings.Count(text, ".") > 1 {
+				return nil, l.errf("malformed number %q", text)
+			}
+			l.advance(j - l.pos)
+			toks = append(toks, tok{tNumber, text, line, col})
+		case isLetter(c):
+			line, col := l.line, l.col
+			j := l.pos
+			for j < len(l.src) && (isLetter(l.src[j]) || l.src[j] >= '0' && l.src[j] <= '9') {
+				j++
+			}
+			toks = append(toks, tok{tIdent, l.src[l.pos:j], line, col})
+			l.advance(j - l.pos)
+		default:
+			line, col := l.line, l.col
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "=>", "==", "!=", "<=", ">=":
+				toks = append(toks, tok{tPunct, two, line, col})
+				l.advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', '{', '}', '[', ']', ',', ';', ':', '=', '+', '-', '*', '/', '<', '>', '_':
+				toks = append(toks, tok{tPunct, string(c), line, col})
+				l.advance(1)
+			default:
+				return nil, l.errf("unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, tok{tEOF, "", l.line, l.col})
+	return toks, nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}

@@ -1,0 +1,480 @@
+package vql
+
+import (
+	"fmt"
+	"sync"
+
+	"v2v/internal/frame"
+	"v2v/internal/raster"
+)
+
+// Transform describes a registered frame transform (built-in or UDF).
+//
+// Eval computes the transform. DDE, when non-nil, is the paper's
+// data-dependent equivalence function f_dde (§IV-C): it receives the call's
+// argument expressions plus the evaluated values of every *non-frame*
+// argument (frame arguments are symbolic placeholders with Type TypeFrame
+// and a nil Frame) and may return a simpler equivalent expression. The
+// rewriter applies DDE during its data-only first pass.
+type Transform struct {
+	Name     string
+	Params   []Type
+	Variadic bool // last param may repeat
+	Result   Type
+	// PreservesFormat marks transforms whose output frame has the same
+	// dimensions as their first frame argument. The planner uses this to
+	// keep format passthrough viable across decorated arms.
+	PreservesFormat bool
+	Eval            func(args []Val) (Val, error)
+	DDE             func(args []Expr, vals []Val) (Expr, bool)
+}
+
+// registry holds all known transforms, keyed by lowercase name.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Transform{}
+)
+
+// Register adds a transform (or UDF) to the global registry. Registering a
+// duplicate name panics: transform names are part of the language.
+func Register(t *Transform) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t.Name]; dup {
+		panic(fmt.Sprintf("vql: transform %q already registered", t.Name))
+	}
+	registry[t.Name] = t
+}
+
+// Lookup finds a transform by name.
+func Lookup(name string) (*Transform, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	t, ok := registry[name]
+	return t, ok
+}
+
+// TransformNames returns the registered names (for error messages).
+func TransformNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CheckArity validates an argument count against the signature.
+func (t *Transform) CheckArity(n int) error {
+	switch {
+	case t.Variadic && n < len(t.Params):
+		return fmt.Errorf("vql: %s wants at least %d args, got %d", t.Name, len(t.Params), n)
+	case !t.Variadic && n != len(t.Params):
+		return fmt.Errorf("vql: %s wants %d args, got %d", t.Name, len(t.Params), n)
+	}
+	return nil
+}
+
+// ParamType returns the declared type of argument i, handling variadics.
+func (t *Transform) ParamType(i int) Type {
+	if i >= len(t.Params) {
+		return t.Params[len(t.Params)-1]
+	}
+	return t.Params[i]
+}
+
+// argFrame extracts a frame argument.
+func argFrame(args []Val, i int) (*Val, error) {
+	if args[i].Type != TypeFrame || args[i].Frame == nil {
+		return nil, fmt.Errorf("vql: argument %d must be a frame, got %v", i, args[i].Type)
+	}
+	return &args[i], nil
+}
+
+func init() {
+	// zoom(Frame, factor) — crop the center 1/factor and scale back up.
+	Register(&Transform{
+		Name: "zoom", Params: []Type{TypeFrame, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			factor := args[1].Float()
+			if factor < 1 {
+				return Val{}, fmt.Errorf("vql: zoom factor %v must be >= 1", factor)
+			}
+			return FrameVal(raster.Zoom(f.Frame, factor)), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			// zoom by 1 is the identity.
+			if vals[1].Type == TypeNum && vals[1].Num.Equal(ratOne) {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	// blur(Frame, sigma) — Gaussian blur (Q4/Q9's pixel-wise filter).
+	Register(&Transform{
+		Name: "blur", Params: []Type{TypeFrame, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.GaussianBlur(f.Frame, args[1].Float())), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			if vals[1].Type == TypeNum && vals[1].Num.Sign() <= 0 {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	Register(&Transform{
+		Name: "sharpen", Params: []Type{TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.Sharpen(f.Frame)), nil
+		},
+	})
+
+	Register(&Transform{
+		Name: "edges", Params: []Type{TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.EdgeDetect(f.Frame)), nil
+		},
+	})
+
+	Register(&Transform{
+		Name: "denoise", Params: []Type{TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.Denoise(f.Frame)), nil
+		},
+	})
+
+	// grade(Frame, brightness, contrast, saturation)
+	Register(&Transform{
+		Name: "grade", Params: []Type{TypeFrame, TypeNum, TypeNum, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.Grade(f.Frame, args[1].Int(), args[2].Float(), args[3].Float())), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			if vals[1].Type == TypeNum && vals[1].Num.Sign() == 0 &&
+				vals[2].Type == TypeNum && vals[2].Num.Equal(ratOne) &&
+				vals[3].Type == TypeNum && vals[3].Num.Equal(ratOne) {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	// grid(a, b, c, d) — 2x2 composition (Q3/Q8).
+	Register(&Transform{
+		Name: "grid", Params: []Type{TypeFrame, TypeFrame, TypeFrame, TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			frames := make([]*Val, 4)
+			for i := range frames {
+				f, err := argFrame(args, i)
+				if err != nil {
+					return Val{}, err
+				}
+				frames[i] = f
+			}
+			return FrameVal(raster.Grid2x2(frames[0].Frame, frames[1].Frame, frames[2].Frame, frames[3].Frame)), nil
+		},
+	})
+
+	// gridn(frames...) — near-square grid of any number of streams.
+	Register(&Transform{
+		Name: "gridn", Params: []Type{TypeFrame}, Variadic: true, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			frames := make([]*frame.Frame, len(args))
+			for i := range args {
+				f, err := argFrame(args, i)
+				if err != nil {
+					return Val{}, err
+				}
+				frames[i] = f.Frame
+			}
+			return FrameVal(raster.GridN(frames)), nil
+		},
+	})
+
+	// hstack(a, b) — side-by-side composition.
+	Register(&Transform{
+		Name: "hstack", Params: []Type{TypeFrame, TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			a, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			b, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.HStack(a.Frame, b.Frame)), nil
+		},
+	})
+
+	// vstack(a, b) — stacked composition.
+	Register(&Transform{
+		Name: "vstack", Params: []Type{TypeFrame, TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			a, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			b, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.VStack(a.Frame, b.Frame)), nil
+		},
+	})
+
+	// pip(base, inset, x, y, scalediv) — picture-in-picture.
+	Register(&Transform{
+		Name: "pip", Params: []Type{TypeFrame, TypeFrame, TypeNum, TypeNum, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			base, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			inset, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.PiP(base.Frame, inset.Frame, args[2].Int(), args[3].Int(), args[4].Int())), nil
+		},
+	})
+
+	// overlay(base, image, x, y, alpha)
+	Register(&Transform{
+		Name: "overlay", Params: []Type{TypeFrame, TypeFrame, TypeNum, TypeNum, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			base, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			img, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(raster.Overlay(base.Frame, img.Frame, args[2].Int(), args[3].Int(), args[4].Int())), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			// Fully transparent overlays are the identity.
+			if vals[4].Type == TypeNum && vals[4].Num.Sign() <= 0 {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	// boxes(Frame, Boxes) — the paper's BoundingBox operator (Q5/Q10).
+	Register(&Transform{
+		Name: "boxes", Params: []Type{TypeFrame, TypeBoxes}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			var bs []raster.Box
+			switch args[1].Type {
+			case TypeBoxes:
+				bs = args[1].Boxes
+			case TypeNull:
+				// Missing samples mean "no detections".
+			default:
+				return Val{}, fmt.Errorf("vql: boxes wants a box list, got %v", args[1].Type)
+			}
+			return FrameVal(raster.BoundingBoxes(f.Frame, bs)), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			// BoundingBox_dde: identity when the frame has no objects.
+			if vals[1].Type == TypeNull || (vals[1].Type == TypeBoxes && len(vals[1].Boxes) == 0) {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	// label(Frame, text, x, y) — burn text onto a frame.
+	Register(&Transform{
+		Name: "label", Params: []Type{TypeFrame, TypeStr, TypeNum, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			var text string
+			switch args[1].Type {
+			case TypeStr:
+				text = args[1].Str
+			case TypeNull:
+			default:
+				text = args[1].String()
+			}
+			out := f.Frame.Clone()
+			scale := out.H / 240
+			if scale < 1 {
+				scale = 1
+			}
+			raster.Label(out, args[2].Int(), args[3].Int(), text, scale, raster.Black, raster.Yellow)
+			return FrameVal(out), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			if vals[1].Type == TypeNull || (vals[1].Type == TypeStr && vals[1].Str == "") {
+				return args[0], true
+			}
+			return nil, false
+		},
+	})
+
+	// ifthenelse(cond, a, b) — the paper's data-rewrite running example.
+	Register(&Transform{
+		Name: "ifthenelse", Params: []Type{TypeBool, TypeFrame, TypeFrame}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			cond := args[0].Truthy()
+			branch := 2
+			if cond {
+				branch = 1
+			}
+			f, err := argFrame(args, branch)
+			if err != nil {
+				return Val{}, err
+			}
+			return FrameVal(f.Frame), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			// IfThenElse_dde: select the branch once the condition is known.
+			if vals[0].Type != TypeFrame && vals[0].Type != TypeInvalid {
+				if vals[0].Truthy() {
+					return args[1], true
+				}
+				return args[2], true
+			}
+			return nil, false
+		},
+	})
+
+	// crossfade(a, b, mix)
+	Register(&Transform{
+		Name: "crossfade", Params: []Type{TypeFrame, TypeFrame, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			a, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			b, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			if !a.Frame.SameShape(b.Frame) {
+				return Val{}, fmt.Errorf("vql: crossfade frames must share a shape (%dx%d vs %dx%d)",
+					a.Frame.W, a.Frame.H, b.Frame.W, b.Frame.H)
+			}
+			return FrameVal(raster.Crossfade(a.Frame, b.Frame, args[2].Float())), nil
+		},
+		DDE: func(args []Expr, vals []Val) (Expr, bool) {
+			if vals[2].Type == TypeNum {
+				if vals[2].Num.Sign() <= 0 {
+					return args[0], true
+				}
+				if !vals[2].Num.Less(ratOne) {
+					return args[1], true
+				}
+			}
+			return nil, false
+		},
+	})
+
+	// wipe(a, b, position)
+	Register(&Transform{
+		Name: "wipe", Params: []Type{TypeFrame, TypeFrame, TypeNum}, Result: TypeFrame, PreservesFormat: true,
+		Eval: func(args []Val) (Val, error) {
+			a, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			b, err := argFrame(args, 1)
+			if err != nil {
+				return Val{}, err
+			}
+			if !a.Frame.SameShape(b.Frame) {
+				return Val{}, fmt.Errorf("vql: wipe frames must share a shape (%dx%d vs %dx%d)",
+					a.Frame.W, a.Frame.H, b.Frame.W, b.Frame.H)
+			}
+			return FrameVal(raster.WipeLR(a.Frame, b.Frame, args[2].Float())), nil
+		},
+	})
+
+	// scale(Frame, w, h)
+	Register(&Transform{
+		Name: "scale", Params: []Type{TypeFrame, TypeNum, TypeNum}, Result: TypeFrame,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			w, h := args[1].Int(), args[2].Int()
+			if w <= 0 || h <= 0 || w%2 != 0 || h%2 != 0 {
+				return Val{}, fmt.Errorf("vql: scale target %dx%d must be positive and even", w, h)
+			}
+			return FrameVal(raster.Scale(f.Frame, w, h)), nil
+		},
+	})
+
+	// crop(Frame, x, y, w, h)
+	Register(&Transform{
+		Name: "crop", Params: []Type{TypeFrame, TypeNum, TypeNum, TypeNum, TypeNum}, Result: TypeFrame,
+		Eval: func(args []Val) (Val, error) {
+			f, err := argFrame(args, 0)
+			if err != nil {
+				return Val{}, err
+			}
+			x, y, w, h := args[1].Int(), args[2].Int(), args[3].Int(), args[4].Int()
+			if x%2 != 0 || y%2 != 0 || w%2 != 0 || h%2 != 0 {
+				return Val{}, fmt.Errorf("vql: crop rect %d,%d %dx%d must be even-aligned", x, y, w, h)
+			}
+			if x < 0 || y < 0 || w <= 0 || h <= 0 || x+w > f.Frame.W || y+h > f.Frame.H {
+				return Val{}, fmt.Errorf("vql: crop rect %d,%d %dx%d outside %dx%d frame", x, y, w, h, f.Frame.W, f.Frame.H)
+			}
+			return FrameVal(raster.Crop(f.Frame, x, y, w, h)), nil
+		},
+	})
+
+	// count(Boxes) — number of objects; usable in conditions.
+	Register(&Transform{
+		Name: "count", Params: []Type{TypeBoxes}, Result: TypeNum,
+		Eval: func(args []Val) (Val, error) {
+			switch args[0].Type {
+			case TypeBoxes:
+				return NumV(intRat(len(args[0].Boxes))), nil
+			case TypeNull:
+				return NumV(ratZero), nil
+			default:
+				return Val{}, fmt.Errorf("vql: count wants boxes, got %v", args[0].Type)
+			}
+		},
+	})
+}

@@ -1,0 +1,207 @@
+package vql
+
+import (
+	"math/rand"
+	"testing"
+
+	"v2v/internal/rational"
+)
+
+// randExpr generates a random well-formed expression of bounded depth,
+// using the video names v/w and the data name bb (left unresolved).
+func randExpr(rnd *rand.Rand, depth int, wantFrame bool) Expr {
+	if wantFrame {
+		if depth <= 0 || rnd.Intn(3) == 0 {
+			name := "v"
+			if rnd.Intn(2) == 0 {
+				name = "w"
+			}
+			return VideoRef{Name: name, Index: randNumExpr(rnd, depth-1)}
+		}
+		switch rnd.Intn(6) {
+		case 0:
+			return Call{Name: "zoom", Args: []Expr{randExpr(rnd, depth-1, true), randPosNum(rnd)}}
+		case 1:
+			return Call{Name: "blur", Args: []Expr{randExpr(rnd, depth-1, true), randPosNum(rnd)}}
+		case 2:
+			return Call{Name: "grid", Args: []Expr{
+				randExpr(rnd, depth-1, true), randExpr(rnd, depth-1, true),
+				randExpr(rnd, depth-1, true), randExpr(rnd, depth-1, true),
+			}}
+		case 3:
+			return Call{Name: "boxes", Args: []Expr{
+				randExpr(rnd, depth-1, true),
+				VideoRef{Name: "bb", Index: TimeVar{}}, // resolves to data later
+			}}
+		case 4:
+			return Call{Name: "ifthenelse", Args: []Expr{
+				randBoolExpr(rnd, depth-1),
+				randExpr(rnd, depth-1, true),
+				randExpr(rnd, depth-1, true),
+			}}
+		default:
+			return Call{Name: "grade", Args: []Expr{
+				randExpr(rnd, depth-1, true), randNumLit(rnd), randPosNum(rnd), randPosNum(rnd),
+			}}
+		}
+	}
+	return randNumExpr(rnd, depth)
+}
+
+func randNumLit(rnd *rand.Rand) Expr {
+	return NumLit{rational.New(rnd.Int63n(200)-100, rnd.Int63n(30)+1)}
+}
+
+func randPosNum(rnd *rand.Rand) Expr {
+	return NumLit{rational.New(rnd.Int63n(50)+1, rnd.Int63n(10)+1)}
+}
+
+func randNumExpr(rnd *rand.Rand, depth int) Expr {
+	if depth <= 0 || rnd.Intn(2) == 0 {
+		if rnd.Intn(2) == 0 {
+			return TimeVar{}
+		}
+		return randNumLit(rnd)
+	}
+	ops := []BinOpKind{OpAdd, OpSub, OpMul}
+	return BinOp{Op: ops[rnd.Intn(len(ops))], L: randNumExpr(rnd, depth-1), R: randNumExpr(rnd, depth-1)}
+}
+
+func randBoolExpr(rnd *rand.Rand, depth int) Expr {
+	cmp := []BinOpKind{OpLT, OpLE, OpGT, OpGE, OpEQ, OpNE}
+	e := Expr(BinOp{Op: cmp[rnd.Intn(len(cmp))], L: randNumExpr(rnd, depth), R: randNumExpr(rnd, depth)})
+	if rnd.Intn(3) == 0 {
+		e = Not{E: e}
+	}
+	if depth > 0 && rnd.Intn(3) == 0 {
+		logic := []BinOpKind{OpAnd, OpOr}
+		e = BinOp{Op: logic[rnd.Intn(2)], L: e, R: randBoolExpr(rnd, depth-1)}
+	}
+	return e
+}
+
+// TestPropertyExprPrintParseRoundTrip: parsing the printed form of a
+// random expression reproduces the expression. (NumLit folding means the
+// printed tree is already in folded normal form, so the round trip is
+// exact.)
+func TestPropertyExprPrintParseRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 200; trial++ {
+		e := randExpr(rnd, 3, trial%2 == 0)
+		text := e.String()
+		got, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse %q: %v", trial, text, err)
+		}
+		if !got.EqualExpr(e) {
+			// Arithmetic over literals folds at parse time; accept a fold
+			// by comparing evaluations at several times instead.
+			if !exprsAgree(t, e, got) {
+				t.Fatalf("trial %d: %q parsed to %q", trial, text, got)
+			}
+		}
+	}
+}
+
+// exprsAgree compares two numeric/bool expressions by evaluation on a few
+// sample times (frame expressions compare structurally only, so callers
+// reach here only for folded numeric subtrees).
+func exprsAgree(t *testing.T, a, b Expr) bool {
+	t.Helper()
+	for _, at := range []rational.Rat{rational.Zero, rational.One, rational.New(7, 3)} {
+		va, errA := Eval(a, &Env{T: at, Frames: fakeFrames{w: 32, h: 32}, Data: fakeData{}})
+		vb, errB := Eval(b, &Env{T: at, Frames: fakeFrames{w: 32, h: 32}, Data: fakeData{}})
+		if (errA == nil) != (errB == nil) {
+			return false
+		}
+		if errA != nil {
+			continue
+		}
+		if va.Type != vb.Type {
+			return false
+		}
+		switch va.Type {
+		case TypeNum:
+			if !va.Num.Equal(vb.Num) {
+				return false
+			}
+		case TypeBool:
+			if va.Bool != vb.Bool {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestPropertySpecJSONRoundTrip: random specs survive JSON serialization.
+func TestPropertySpecJSONRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		spec := &Spec{
+			TimeDomain: rational.NewRange(rational.Zero, rational.FromInt(rnd.Int63n(10)+1), rational.New(1, rnd.Int63n(30)+1)),
+			Videos:     map[string]string{"v": "v.vmf", "w": "w.vmf"},
+			DataFiles:  map[string]string{"bb": "bb.json"},
+			DataSQL:    map[string]string{},
+		}
+		arms := rnd.Intn(3) + 1
+		var match Match
+		for a := 0; a < arms; a++ {
+			match.Arms = append(match.Arms, MatchArm{
+				Guard: RangeGuard(rational.NewRange(
+					rational.FromInt(int64(a)), rational.FromInt(int64(a)+1), rational.New(1, 8))),
+				Body: randExpr(rnd, 2, true),
+			})
+		}
+		spec.Render = match
+		if err := spec.ResolveRefs(); err != nil {
+			t.Fatalf("trial %d: resolve: %v", trial, err)
+		}
+		raw, err := MarshalSpecJSON(spec)
+		if err != nil {
+			t.Fatalf("trial %d: marshal: %v", trial, err)
+		}
+		got, err := UnmarshalSpecJSON(raw)
+		if err != nil {
+			t.Fatalf("trial %d: unmarshal: %v", trial, err)
+		}
+		if !got.Render.EqualExpr(spec.Render) {
+			t.Fatalf("trial %d: render differs:\n%s\nvs\n%s", trial, spec.Render, got.Render)
+		}
+		if got.TimeDomain.Count() != spec.TimeDomain.Count() {
+			t.Fatalf("trial %d: domain differs", trial)
+		}
+	}
+}
+
+// TestPropertySpecFormatParseRoundTrip: random specs survive the textual
+// grammar.
+func TestPropertySpecFormatParseRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 100; trial++ {
+		spec := &Spec{
+			TimeDomain: rational.NewRange(rational.Zero, rational.FromInt(2), rational.New(1, 12)),
+			Videos:     map[string]string{"v": "v.vmf", "w": "w.vmf"},
+			DataFiles:  map[string]string{"bb": "bb.json"},
+			DataSQL:    map[string]string{},
+			Render:     randExpr(rnd, 3, true),
+		}
+		if err := spec.ResolveRefs(); err != nil {
+			t.Fatal(err)
+		}
+		text := Format(spec)
+		got, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v\n%s", trial, err, text)
+		}
+		// Parsing folds constant arithmetic, so the first reparse is the
+		// normal form; a second round trip must be exact.
+		again, err := Parse(Format(got))
+		if err != nil {
+			t.Fatalf("trial %d: second reparse: %v", trial, err)
+		}
+		if !again.Render.EqualExpr(got.Render) {
+			t.Fatalf("trial %d: render not a fixpoint:\n%s\nvs\n%s", trial, got.Render, again.Render)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package v2v is the public API of the V2V video result synthesis engine,
+// a reproduction of "V2V: Efficiently Synthesizing Video Results for Video
+// Queries" (ICDE 2024).
+//
+// V2V takes a declarative synthesis spec — a time domain, a render
+// function over input videos and relational data arrays, and source
+// bindings — and produces a single edited output video. Specs are
+// data-aware rewritten, type-checked, lowered to a Concat/Clip/Filter
+// plan, optimized (stream copies, smart cuts, operator merging, temporal
+// sharding), and executed in parallel.
+//
+// Quick start:
+//
+//	spec, err := v2v.ParseSpec(`
+//	    timedomain range(0, 10, 1/24);
+//	    videos { cam: "footage.vmf"; }
+//	    render(t) = zoom(cam[t + 60], 2);
+//	`)
+//	res, err := v2v.Synthesize(spec, "highlight.vmf", v2v.DefaultOptions())
+//
+// The module is self-contained: it ships its own media substrate (the VMF
+// container and GV1 codec under internal/), standing in for MP4/H.264 +
+// FFmpeg while preserving the structural properties the optimizer exploits
+// (GOPs, encode ≫ decode ≫ copy).
+package v2v
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"v2v/internal/core"
+	"v2v/internal/exec"
+	"v2v/internal/opt"
+	"v2v/internal/rewrite"
+	"v2v/internal/sqlmini"
+	"v2v/internal/vql"
+)
+
+// Spec is a declarative synthesis specification (see the package
+// documentation for the grammar).
+type Spec = vql.Spec
+
+// Options configures a synthesis run.
+type Options = core.Options
+
+// OptimizerPasses selects individual optimizer passes, for ablation.
+type OptimizerPasses = opt.Options
+
+// Result reports a synthesis run: the plan, execution metrics, and
+// rewrite/optimizer statistics.
+type Result = core.Result
+
+// Metrics summarizes execution work (frames decoded/encoded, packets
+// copied, wall time).
+type Metrics = exec.Metrics
+
+// RewriteStats reports what the data-dependent rewriter did.
+type RewriteStats = rewrite.Stats
+
+// DB is the embedded relational engine used for sql-declared data arrays.
+type DB = sqlmini.DB
+
+// NewDB returns an empty relational database for sql data arrays.
+func NewDB() *DB { return sqlmini.NewDB() }
+
+// DefaultOptions enables the full pipeline: data-dependent rewriting plus
+// the complete plan optimizer.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// AllPasses returns the full optimizer pass set (for building ablated
+// configurations by switching passes off).
+func AllPasses() OptimizerPasses { return opt.Default() }
+
+// ParseSpec parses the textual spec grammar.
+func ParseSpec(src string) (*Spec, error) { return vql.Parse(src) }
+
+// ParseSpecJSON parses the serialized JSON spec format.
+func ParseSpecJSON(raw []byte) (*Spec, error) { return vql.UnmarshalSpecJSON(raw) }
+
+// LoadSpec reads a spec file, accepting both the textual grammar and the
+// JSON format (selected by a leading '{').
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("v2v: %w", err)
+	}
+	for _, b := range raw {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '{':
+			return ParseSpecJSON(raw)
+		default:
+			return ParseSpec(string(raw))
+		}
+	}
+	return nil, fmt.Errorf("v2v: %s is empty", path)
+}
+
+// FormatSpec renders a spec in the textual grammar.
+func FormatSpec(s *Spec) string { return vql.Format(s) }
+
+// MarshalSpecJSON renders a spec in the JSON format.
+func MarshalSpecJSON(s *Spec) ([]byte, error) { return vql.MarshalSpecJSON(s) }
+
+// Synthesize runs the full pipeline and writes the result video to
+// outPath.
+func Synthesize(spec *Spec, outPath string, o Options) (*Result, error) {
+	return core.Synthesize(spec, outPath, o)
+}
+
+// SynthesizeSource parses and synthesizes a textual spec.
+func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
+	return core.SynthesizeSource(src, outPath, o)
+}
+
+// Explain returns the (optionally optimized) plan for a spec as an
+// indented text tree without executing it.
+func Explain(spec *Spec, o Options) (string, error) {
+	p, _, _, err := core.Plan(spec, o)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}
+
+// ExplainDOT returns the plan as a Graphviz digraph.
+func ExplainDOT(spec *Spec, o Options) (string, error) {
+	p, _, _, err := core.Plan(spec, o)
+	if err != nil {
+		return "", err
+	}
+	return p.DOT(), nil
+}
+
+// SynthesizeStream runs the pipeline and streams the result progressively
+// to w in the VMS stream format (read it back with a media stream reader
+// or cmd/v2vserve's fetch mode). Packets are delivered as segments
+// complete; Result.Metrics.FirstOutput records the latency to the first
+// packet — the interactivity the paper targets.
+func SynthesizeStream(spec *Spec, w io.Writer, o Options) (*Result, error) {
+	return core.SynthesizeStream(spec, w, o)
+}
