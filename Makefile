@@ -1,0 +1,27 @@
+# Tier-1 gate (ROADMAP.md): build + test.
+# `make check` adds vet and the race detector (required for internal/obs).
+
+GO ?= go
+
+.PHONY: all build test tier1 vet race check bench
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+tier1: build test
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: tier1 vet race
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -73,7 +73,7 @@ func benchQueries(b *testing.B, ds *benchkit.Dataset) {
 		for _, mode := range []benchkit.Mode{benchkit.ModeUnopt, benchkit.ModeOpt} {
 			b.Run(fmt.Sprintf("%s/%s", q.ID, mode), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
-					if _, err := benchkit.RunOnce(ds, q, sc, mode, benchOut, 0); err != nil {
+					if _, err := benchkit.RunOnce(ds, q, mode, benchkit.Config{Scale: sc, OutDir: benchOut}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -109,7 +109,7 @@ func BenchmarkFig5DataJoin(b *testing.B) {
 			for _, mode := range []benchkit.Mode{benchkit.ModeBaseline, benchkit.ModeOpt} {
 				b.Run(fmt.Sprintf("%s/%s/%s", ds.Name, q.ID, mode), func(b *testing.B) {
 					for i := 0; i < b.N; i++ {
-						if _, err := benchkit.RunOnce(ds, q, sc, mode, benchOut, 0); err != nil {
+						if _, err := benchkit.RunOnce(ds, q, mode, benchkit.Config{Scale: sc, OutDir: benchOut}); err != nil {
 							b.Fatal(err)
 						}
 					}
@@ -165,7 +165,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	for _, par := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := benchkit.RunOnce(kabr, q, sc, benchkit.ModeOpt, benchOut, par); err != nil {
+				if _, err := benchkit.RunOnce(kabr, q, benchkit.ModeOpt, benchkit.Config{Scale: sc, OutDir: benchOut, Parallelism: par}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,8 +6,10 @@
 //
 // The spec may be in the textual grammar or the JSON format (detected by a
 // leading '{'). Flags toggle the pipeline stages so unoptimized and
-// optimized runs can be compared, and -explain prints the plan without
-// executing it.
+// optimized runs can be compared, -explain prints the plan without
+// executing it, -explain-analyze executes and prints the plan annotated
+// with measured per-segment costs, and -trace writes a Chrome trace_event
+// file covering every pipeline stage.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"v2v"
 	"v2v/internal/core"
@@ -27,7 +30,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("v2v", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -35,8 +38,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noRewrite = fs.Bool("no-data-rewrite", false, "disable data-dependent spec rewriting")
 		parallel  = fs.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
 		explain   = fs.Bool("explain", false, "print the plan instead of executing")
+		analyze   = fs.Bool("explain-analyze", false, "execute, then print the plan annotated with measured per-segment costs")
 		dot       = fs.Bool("dot", false, "with -explain, print Graphviz DOT")
 		stats     = fs.Bool("stats", false, "print execution metrics")
+		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
@@ -47,17 +52,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	rest := fs.Args()
-	if *explain {
+	if *explain || *analyze {
 		if len(rest) < 1 {
 			fs.Usage()
-			return fmt.Errorf("-explain needs a spec file")
+			return fmt.Errorf("-explain/-explain-analyze need a spec file")
 		}
 	} else if len(rest) != 2 {
 		fs.Usage()
 		return fmt.Errorf("want a spec file and an output path, got %d arguments", len(rest))
 	}
 
+	var tr *v2v.Trace
+	if *traceOut != "" {
+		tr = v2v.NewTrace("v2v " + rest[0])
+	}
+
+	sp := tr.StartSpan("parse")
 	spec, err := v2v.LoadSpec(rest[0])
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -65,7 +77,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Optimize:    !*noOpt,
 		DataRewrite: !*noRewrite,
 		Parallelism: *parallel,
+		Trace:       tr,
 	}
+	// Whatever path exits, flush the trace if one was requested; a failed
+	// write fails the run (unless it is already failing for another reason).
+	defer func() {
+		if tr != nil {
+			if werr := tr.WriteJSONFile(*traceOut); werr != nil && retErr == nil {
+				retErr = fmt.Errorf("writing trace: %w", werr)
+			}
+		}
+	}()
 
 	if *explain {
 		var out string
@@ -81,9 +103,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	res, err := v2v.Synthesize(spec, rest[1], opts)
+	outPath := ""
+	if len(rest) >= 2 {
+		outPath = rest[1]
+	} else {
+		// -explain-analyze without an output path executes into a
+		// throwaway file: the measurements are the product.
+		tmp, err := os.MkdirTemp("", "v2v-analyze-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		outPath = filepath.Join(tmp, "out.vmf")
+	}
+
+	res, err := v2v.Synthesize(spec, outPath, opts)
 	if err != nil {
 		return err
+	}
+	if *analyze {
+		fmt.Fprint(stdout, v2v.ExplainAnalyze(res))
 	}
 	if *stats {
 		m := res.Metrics
@@ -98,6 +137,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 				res.RewriteStats.Applied, res.RewriteStats.ArmsBefore, res.RewriteStats.ArmsAfter)
 		}
 	}
-	fmt.Fprintf(stdout, "wrote %s\n", rest[1])
+	if len(rest) >= 2 {
+		fmt.Fprintf(stdout, "wrote %s\n", rest[1])
+	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -79,6 +80,69 @@ func TestRunExplainModes(t *testing.T) {
 	}
 }
 
+func TestRunTraceWritesChromeTraceEvents(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	out := filepath.Join(dir, "out.vmf")
+	tracePath := filepath.Join(dir, "trace.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-trace", tracePath, spec, out}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\n%s", err, stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			PID   int    `json:"pid"`
+			TID   int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"parse", "check", "rewrite", "optimize", "execute"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span; have %v", want, seen)
+		}
+	}
+}
+
+func TestRunExplainAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	var stdout, stderr bytes.Buffer
+	// Without an output path: executes into a throwaway file.
+	if err := run([]string{"-explain-analyze", spec}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\n%s", err, stderr.String())
+	}
+	got := stdout.String()
+	for _, want := range []string{"copy cam", "actual:", "wall=", "copied=24"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain-analyze missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "wrote ") {
+		t.Errorf("throwaway output should not print wrote:\n%s", got)
+	}
+	// With an output path the file persists.
+	stdout.Reset()
+	out := filepath.Join(dir, "kept.vmf")
+	if err := run([]string{"-explain-analyze", spec, out}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("output not kept: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
 	spec := writeSpec(t, dir)
@@ -94,5 +158,9 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}, &stdout, &stderr); err == nil {
 		t.Error("bad flag should fail")
+	}
+	out := filepath.Join(dir, "o.vmf")
+	if err := run([]string{"-trace", "/nonexistent-dir/t.json", spec, out}, &stdout, &stderr); err == nil {
+		t.Error("unwritable trace path should fail the run")
 	}
 }

@@ -9,29 +9,75 @@
 //	v2vbench -fig 5 [-stats]   # Fig. 5 table (both datasets)
 //	v2vbench -fig ablate       # per-pass ablation table
 //	v2vbench -fig all -scale full -repeats 5
+//	v2vbench -fig 4 -json bench.json -trace bench-trace.json
+//
+// -json writes the raw per-query measurements as a JSON report for
+// trajectory tracking; -trace records a Chrome trace_event profile of
+// every run (load it in chrome://tracing or Perfetto).
 //
 // Absolute times depend on the host; the shape — who wins, by what factor,
 // and where smart cuts fail to apply — is the reproduction target.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"v2v/internal/benchkit"
 	"v2v/internal/core"
+	"v2v/internal/obs"
 	"v2v/internal/vql"
 )
 
+// report is the -json output: metadata plus every per-query measurement,
+// durations as seconds so downstream tooling needs no unit parsing.
+type report struct {
+	Scale       string         `json:"scale"`
+	Repeats     int            `json:"repeats"`
+	Parallelism int            `json:"parallelism"`
+	Compare     []compareJSON  `json:"compare,omitempty"`
+	DataJoin    []dataJoinJSON `json:"data_join,omitempty"`
+	Ablation    []ablationJSON `json:"ablation,omitempty"`
+}
+
+type compareJSON struct {
+	Dataset      string  `json:"dataset"`
+	Query        string  `json:"query"`
+	UnoptSeconds float64 `json:"unopt_seconds"`
+	OptSeconds   float64 `json:"opt_seconds"`
+	Speedup      float64 `json:"speedup"`
+}
+
+type dataJoinJSON struct {
+	Dataset         string  `json:"dataset"`
+	Query           string  `json:"query"`
+	BaselineSeconds float64 `json:"baseline_seconds"`
+	V2VSeconds      float64 `json:"v2v_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type ablationJSON struct {
+	Dataset     string  `json:"dataset"`
+	Query       string  `json:"query"`
+	Config      string  `json:"config"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Encodes     int64   `json:"encodes"`
+	Decodes     int64   `json:"decodes"`
+	Copies      int64   `json:"copies"`
+}
+
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, or all")
+		fig      = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, or all")
 		scale    = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
 		repeats  = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
 		parallel = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
 		dir      = flag.String("data", benchkit.DefaultDir(), "dataset cache directory")
 		stats    = flag.Bool("stats", false, "with -fig 5, print data-rewrite statistics")
+		jsonOut  = flag.String("json", "", "write per-query measurements as JSON to this file")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
 	)
 	flag.Parse()
 
@@ -44,6 +90,18 @@ func main() {
 		fatal(err)
 	}
 	defer os.RemoveAll(outDir)
+
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace("v2vbench")
+	}
+	cfg := benchkit.Config{
+		Scale:       sc,
+		OutDir:      outDir,
+		Parallelism: *parallel,
+		Repeats:     *repeats,
+		Trace:       tr,
+	}
 
 	need3 := *fig == "3" || *fig == "all"
 	need4 := *fig == "4" || *fig == "all"
@@ -70,42 +128,113 @@ func main() {
 		}
 	}
 
+	rep := report{Scale: *scale, Repeats: *repeats, Parallelism: *parallel}
+
 	if need3 {
-		rows, err := benchkit.CompareRun(tos, sc, outDir, *parallel, *repeats)
+		rows, err := benchkit.CompareRun(tos, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(benchkit.FormatCompare("Fig. 3 — ToS-sim: V2V synthesis, unoptimized vs optimized", rows))
+		rep.addCompare(tos.Name, rows)
 	}
 	if need4 {
-		rows, err := benchkit.CompareRun(kabr, sc, outDir, *parallel, *repeats)
+		rows, err := benchkit.CompareRun(kabr, cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(benchkit.FormatCompare("Fig. 4 — KABR-sim: V2V synthesis, unoptimized vs optimized", rows))
+		rep.addCompare(kabr.Name, rows)
 	}
 	if need5 {
 		var rows []benchkit.DataJoinRow
 		for _, ds := range []*benchkit.Dataset{tos, kabr} {
-			r, err := benchkit.DataJoinRun(ds, sc, outDir, *parallel, *repeats)
+			r, err := benchkit.DataJoinRun(ds, cfg)
 			if err != nil {
 				fatal(err)
 			}
 			rows = append(rows, r...)
 		}
 		fmt.Println(benchkit.FormatDataJoin("Fig. 5 — data-joining queries: Python+OpenCV-equivalent vs V2V", rows))
+		rep.addDataJoin(rows)
 		if *stats {
 			printRewriteStats(tos, sc)
 			printRewriteStats(kabr, sc)
 		}
 	}
 	if needAblate {
-		rows, err := benchkit.AblationRun(kabr, "Q7", sc, outDir, *parallel, *repeats)
+		rows, err := benchkit.AblationRun(kabr, "Q7", cfg)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(benchkit.FormatAblation("Ablation — optimizer passes on KABR-sim Q7 (4-segment splice)", rows))
+		rep.addAblation(kabr.Name, "Q7", rows)
 	}
+
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote measurements to %s\n", *jsonOut)
+	}
+	if tr != nil {
+		if err := tr.WriteJSONFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace (%d spans) to %s\n", tr.SpanCount(), *traceOut)
+	}
+}
+
+func (r *report) addCompare(dataset string, rows []benchkit.Row) {
+	for _, row := range rows {
+		r.Compare = append(r.Compare, compareJSON{
+			Dataset:      dataset,
+			Query:        row.Query,
+			UnoptSeconds: row.Unopt.Seconds(),
+			OptSeconds:   row.Opt.Seconds(),
+			Speedup:      row.Speedup,
+		})
+	}
+}
+
+func (r *report) addDataJoin(rows []benchkit.DataJoinRow) {
+	for _, row := range rows {
+		r.DataJoin = append(r.DataJoin, dataJoinJSON{
+			Dataset:         row.Dataset,
+			Query:           row.Query,
+			BaselineSeconds: row.Baseline.Seconds(),
+			V2VSeconds:      row.V2V.Seconds(),
+			Speedup:         row.Speedup,
+		})
+	}
+}
+
+func (r *report) addAblation(dataset, query string, rows []benchkit.AblationRow) {
+	for _, row := range rows {
+		r.Ablation = append(r.Ablation, ablationJSON{
+			Dataset:     dataset,
+			Query:       query,
+			Config:      row.Config,
+			WallSeconds: row.Wall.Seconds(),
+			Encodes:     row.Encodes,
+			Decodes:     row.Decodes,
+			Copies:      row.Copies,
+		})
+	}
+}
+
+func writeReport(path string, rep report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printRewriteStats reports what the data-dependent rewriter did on the

@@ -12,6 +12,10 @@
 //	POST /synthesize          spec text in the body -> VMS stream
 //	GET  /synthesize?spec=X   loads <specs>/X -> VMS stream
 //	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus text exposition
+//	GET  /debug/pprof/        net/http/pprof profiles
+//
+// SIGINT/SIGTERM drain in-flight streams (up to -drain) before exiting.
 //
 // Fetch (client mode): retrieve a stream and save it as a seekable VMF
 // file:
@@ -20,18 +24,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"path"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"v2v"
 	"v2v/internal/media"
+	"v2v/internal/obs"
 )
 
 func main() {
@@ -39,6 +49,7 @@ func main() {
 		listen   = flag.String("listen", ":8370", "serve address")
 		specs    = flag.String("specs", ".", "directory for GET ?spec= lookups")
 		noOpt    = flag.Bool("no-opt", false, "disable the optimizer (for demos)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
 		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out      = flag.String("out", "", "client mode: output VMF path")
 	)
@@ -54,19 +65,142 @@ func main() {
 		return
 	}
 
-	srv := &server{specDir: *specs, optimize: !*noOpt}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", srv.synthesize)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	srv := newServer(*specs, !*noOpt, obs.Default())
+	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	log.Printf("v2vserve: listening on %s (specs from %s)", *listen, *specs)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	select {
+	case err := <-errc:
+		log.Fatal("v2vserve: ", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("v2vserve: shutdown signal, draining in-flight streams (up to %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("v2vserve: drain incomplete: %v", err)
+		}
+		log.Printf("v2vserve: stopped")
+	}
 }
 
+// server holds the request handlers and their metric instruments (looked
+// up once; updates on the hot path are lock-free).
 type server struct {
 	specDir  string
 	optimize bool
+	reg      *obs.Registry
+
+	requests  *obs.Counter
+	errs4xx   *obs.Counter
+	errs5xx   *obs.Counter
+	synthOK   *obs.Counter
+	synthFail *obs.Counter
+	inflight  *obs.Gauge
+	wallHist  *obs.Histogram
+	firstHist *obs.Histogram
+}
+
+func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
+	return &server{
+		specDir:  specDir,
+		optimize: optimize,
+		reg:      reg,
+		requests: reg.Counter("v2v_http_requests_total", "HTTP requests served."),
+		errs4xx: reg.Counter(`v2v_http_errors_total{class="4xx"}`,
+			"HTTP error responses by status class."),
+		errs5xx: reg.Counter(`v2v_http_errors_total{class="5xx"}`,
+			"HTTP error responses by status class."),
+		synthOK: reg.Counter("v2v_synthesis_total", "Completed syntheses."),
+		synthFail: reg.Counter("v2v_synthesis_failures_total",
+			"Syntheses that failed mid-stream, after headers were sent."),
+		inflight: reg.Gauge("v2v_inflight_requests", "Requests currently being served."),
+		wallHist: reg.Histogram("v2v_synthesis_wall_seconds",
+			"End-to-end synthesis wall time.", obs.LatencyBuckets()),
+		firstHist: reg.Histogram("v2v_synthesis_first_output_seconds",
+			"Latency until the first output packet (the paper's interactivity measure).",
+			obs.LatencyBuckets()),
+	}
+}
+
+// routes assembles the mux behind the logging/metrics middleware.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", s.synthesize)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.observed(mux)
+}
+
+// statusWriter captures the response status for logging and error
+// counting, passing flushes through so streaming stays progressive.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// observed is the request middleware: it logs method, spec name, status,
+// and wall time, and feeds the request/error counters.
+func (s *server) observed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.requests.Inc()
+		switch {
+		case sw.status >= 500:
+			s.errs5xx.Inc()
+		case sw.status >= 400:
+			s.errs4xx.Inc()
+		}
+		target := r.URL.Path
+		if name := r.URL.Query().Get("spec"); name != "" {
+			target += "?spec=" + name
+		}
+		log.Printf("v2vserve: %s %s -> %d in %v", r.Method, target, sw.status,
+			time.Since(start).Round(time.Millisecond))
+	})
+}
+
+// validSpecName reports whether a GET ?spec= name may be joined under the
+// spec directory: relative, no traversal out of it, no absolute or rooted
+// forms. Forward-slash subdirectory names are allowed.
+func validSpecName(name string) bool {
+	if name == "" || filepath.IsAbs(name) || strings.ContainsRune(name, '\\') {
+		return false
+	}
+	clean := path.Clean(name)
+	if clean == "." || clean == ".." ||
+		strings.HasPrefix(clean, "/") || strings.HasPrefix(clean, "../") {
+		return false
+	}
+	return true
 }
 
 func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
@@ -82,7 +216,7 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		spec, err = parseAny(body)
 	case http.MethodGet:
 		name := r.URL.Query().Get("spec")
-		if name == "" || strings.Contains(name, "..") || strings.ContainsRune(name, os.PathSeparator) && filepath.IsAbs(name) {
+		if !validSpecName(name) {
 			http.Error(w, "missing or invalid ?spec=", http.StatusBadRequest)
 			return
 		}
@@ -104,10 +238,15 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := v2v.SynthesizeStream(spec, w, opts)
 	if err != nil {
-		// Headers may already be out; log and drop the connection.
+		// Headers may already be out; count the failure, log, and drop
+		// the connection so the client sees a truncated stream.
+		s.synthFail.Inc()
 		log.Printf("v2vserve: synthesis failed after %v: %v", time.Since(start), err)
 		return
 	}
+	s.synthOK.Inc()
+	s.wallHist.Observe(res.Metrics.Wall.Seconds())
+	s.firstHist.Observe(res.Metrics.FirstOutput.Seconds())
 	log.Printf("v2vserve: streamed %d packets in %v (first packet after %v, %d copied)",
 		res.Metrics.Output.PacketsCopied+res.Metrics.Output.FramesEncoded,
 		res.Metrics.Wall, res.Metrics.FirstOutput, res.Metrics.Output.PacketsCopied)

@@ -13,6 +13,7 @@ import (
 	"v2v/internal/dataset"
 	"v2v/internal/frame"
 	"v2v/internal/media"
+	"v2v/internal/obs"
 	"v2v/internal/rational"
 )
 
@@ -31,10 +32,8 @@ func testServer(t *testing.T) (*httptest.Server, string, string) {
 	if err := os.WriteFile(specPath, []byte(specText), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv := &server{specDir: dir, optimize: true}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/synthesize", srv.synthesize)
-	ts := httptest.NewServer(mux)
+	srv := newServer(dir, true, obs.NewRegistry())
+	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return ts, specText, "demo.v2v"
 }
@@ -119,6 +118,100 @@ func TestBadRequests(t *testing.T) {
 		if resp.StatusCode == http.StatusOK {
 			t.Errorf("%s %s: expected failure", c.method, c.url)
 		}
+	}
+}
+
+func TestValidSpecName(t *testing.T) {
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"demo.v2v", true},
+		{"sub/dir/demo.v2v", true},
+		{"a..b.v2v", true}, // dots inside a component are fine
+		{"", false},
+		{"..", false},
+		{"../etc/passwd", false},
+		{"sub/../../etc/passwd", false},
+		{"/etc/passwd", false},
+		{`..\etc\passwd`, false},
+		{"./", false},
+	}
+	for _, c := range cases {
+		if got := validSpecName(c.name); got != c.want {
+			t.Errorf("validSpecName(%q) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	ts, specText, _ := testServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %s %q", resp.Status, body)
+	}
+
+	// One successful synthesis and one 4xx, then scrape.
+	resp, err = http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, err = http.Get(ts.URL + "/synthesize?spec=../escape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal spec status = %s", resp.Status)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	exposition, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"v2v_http_requests_total ",
+		`v2v_http_errors_total{class="4xx"} 1`,
+		"v2v_synthesis_total 1",
+		"v2v_synthesis_wall_seconds_bucket{le=",
+		"v2v_synthesis_wall_seconds_count 1",
+		"v2v_synthesis_first_output_seconds_count 1",
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("metrics missing %q:\n%s", want, exposition)
+		}
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	ts, _, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status = %s", resp.Status)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index looks wrong:\n%.200s", body)
 	}
 }
 

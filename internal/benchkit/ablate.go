@@ -45,34 +45,38 @@ func AblationConfigs() []struct {
 // AblationRun measures every pass configuration on one query. The data
 // rewriter stays on for every configuration (it is a spec-level pass, not
 // a plan pass).
-func AblationRun(ds *Dataset, qid string, sc Scale, outDir string, parallelism, repeats int) ([]AblationRow, error) {
+func AblationRun(ds *Dataset, qid string, cfg Config) ([]AblationRow, error) {
 	q, ok := QueryByID(qid)
 	if !ok {
 		return nil, fmt.Errorf("benchkit: unknown query %q", qid)
 	}
-	spec, err := vql.Parse(q.BuildSpecSource(ds, sc))
+	spec, err := vql.Parse(q.BuildSpecSource(ds, cfg.Scale))
 	if err != nil {
 		return nil, err
 	}
+	repeats := cfg.Repeats
 	if repeats < 1 {
 		repeats = 1
 	}
 	var rows []AblationRow
-	for _, cfg := range AblationConfigs() {
+	for _, ac := range AblationConfigs() {
 		o := core.Options{
-			Optimize:    cfg.On,
+			Optimize:    ac.On,
 			DataRewrite: true,
-			OptPasses:   cfg.Passes,
-			Parallelism: parallelism,
+			OptPasses:   ac.Passes,
+			Parallelism: cfg.Parallelism,
+			Trace:       cfg.Trace,
 		}
 		var total time.Duration
 		var last *core.Result
 		for i := 0; i <= repeats; i++ { // one warm-up + repeats
-			out := filepath.Join(outDir, fmt.Sprintf("ablate-%s.vmf", cfg.Name))
+			out := filepath.Join(cfg.OutDir, fmt.Sprintf("ablate-%s.vmf", ac.Name))
+			sp := cfg.Trace.StartSpan(fmt.Sprintf("%s/%s/ablate-%s", ds.Name, q.ID, ac.Name))
 			start := time.Now()
 			res, err := core.Synthesize(spec, out, o)
+			sp.End()
 			if err != nil {
-				return nil, fmt.Errorf("benchkit: ablation %s: %w", cfg.Name, err)
+				return nil, fmt.Errorf("benchkit: ablation %s: %w", ac.Name, err)
 			}
 			os.Remove(out)
 			if i > 0 {
@@ -81,7 +85,7 @@ func AblationRun(ds *Dataset, qid string, sc Scale, outDir string, parallelism, 
 			last = res
 		}
 		rows = append(rows, AblationRow{
-			Config:  cfg.Name,
+			Config:  ac.Name,
 			Wall:    total / time.Duration(repeats),
 			Encodes: last.Metrics.TotalEncodes(),
 			Decodes: last.Metrics.TotalDecodes(),

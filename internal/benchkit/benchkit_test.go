@@ -115,7 +115,7 @@ func TestRunOnceAllModes(t *testing.T) {
 	outDir := t.TempDir()
 	q, _ := QueryByID("Q5") // boxes: exercises data join in all engines
 	for _, mode := range []Mode{ModeUnopt, ModeOpt, ModeBaseline} {
-		m, err := RunOnce(kabrDS, q, sc, mode, outDir, 2)
+		m, err := RunOnce(kabrDS, q, mode, Config{Scale: sc, OutDir: outDir, Parallelism: 2})
 		if err != nil {
 			t.Fatalf("%s: %v", mode, err)
 		}
@@ -130,7 +130,7 @@ func TestCompareRunShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	sc := testScale()
-	rows, err := CompareRun(kabrDS, sc, t.TempDir(), 2, 1)
+	rows, err := CompareRun(kabrDS, Config{Scale: sc, OutDir: t.TempDir(), Parallelism: 2, Repeats: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestDataJoinRunShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	sc := testScale()
-	rows, err := DataJoinRun(kabrDS, sc, t.TempDir(), 2, 1)
+	rows, err := DataJoinRun(kabrDS, Config{Scale: sc, OutDir: t.TempDir(), Parallelism: 2, Repeats: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestAblationRunShape(t *testing.T) {
 		t.Skip("short mode")
 	}
 	sc := testScale()
-	rows, err := AblationRun(kabrDS, "Q2", sc, t.TempDir(), 2, 1)
+	rows, err := AblationRun(kabrDS, "Q2", Config{Scale: sc, OutDir: t.TempDir(), Parallelism: 2, Repeats: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestAblationRunShape(t *testing.T) {
 	if !strings.Contains(table, "smartcut-only") || !strings.Contains(table, "Speedup") {
 		t.Errorf("table:\n%s", table)
 	}
-	if _, err := AblationRun(kabrDS, "Q99", sc, t.TempDir(), 1, 1); err == nil {
+	if _, err := AblationRun(kabrDS, "Q99", Config{Scale: sc, OutDir: t.TempDir(), Repeats: 1}); err == nil {
 		t.Error("unknown query should fail")
 	}
 }

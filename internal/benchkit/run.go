@@ -8,8 +8,25 @@ import (
 
 	"v2v/internal/baseline"
 	"v2v/internal/core"
+	"v2v/internal/obs"
 	"v2v/internal/vql"
 )
+
+// Config carries the measurement knobs shared by every benchmark runner.
+type Config struct {
+	// Scale selects quick or paper-shaped dataset durations.
+	Scale Scale
+	// OutDir receives (and has removed) the synthesized output files.
+	OutDir string
+	// Parallelism caps shard fan-out (0 = GOMAXPROCS).
+	Parallelism int
+	// Repeats is the number of measured runs per configuration (after one
+	// discarded warm-up); values < 1 mean 1.
+	Repeats int
+	// Trace, when set, records one span per run (wrapping the pipeline's
+	// own stage spans) for the whole sweep.
+	Trace *obs.Trace
+}
 
 // Mode selects the engine configuration for one measurement.
 type Mode string
@@ -38,18 +55,20 @@ type Measurement struct {
 }
 
 // RunOnce synthesizes the query once in the given mode and returns the
-// measurement. The output file is written under outDir and removed
+// measurement. The output file is written under cfg.OutDir and removed
 // afterwards.
-func RunOnce(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, parallelism int) (Measurement, error) {
-	src := q.BuildSpecSource(ds, sc)
+func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
+	src := q.BuildSpecSource(ds, cfg.Scale)
 	spec, err := vql.Parse(src)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("benchkit: %s/%s: %w", ds.Name, q.ID, err)
 	}
-	out := filepath.Join(outDir, fmt.Sprintf("%s-%s-%s.vmf", ds.Name, q.ID, mode))
+	out := filepath.Join(cfg.OutDir, fmt.Sprintf("%s-%s-%s.vmf", ds.Name, q.ID, mode))
 	defer os.Remove(out)
 
 	m := Measurement{Dataset: ds.Name, Query: q.ID, Mode: mode}
+	sp := cfg.Trace.StartSpan(fmt.Sprintf("%s/%s/%s", ds.Name, q.ID, mode))
+	defer sp.End()
 	start := time.Now()
 	switch mode {
 	case ModeBaseline:
@@ -62,7 +81,7 @@ func RunOnce(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, paralleli
 		m.Decodes = bm.Source.FramesDecoded
 		m.OutFrames = bm.FramesRendered
 	default:
-		o := core.Options{Parallelism: parallelism}
+		o := core.Options{Parallelism: cfg.Parallelism, Trace: cfg.Trace}
 		if mode == ModeOpt {
 			o.Optimize = true
 			o.DataRewrite = true
@@ -77,22 +96,27 @@ func RunOnce(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, paralleli
 		m.Copies = res.Metrics.Output.PacketsCopied
 		m.OutFrames = m.Copies + res.Metrics.Output.FramesEncoded
 	}
+	sp.SetAttr("wall_us", m.Wall.Microseconds())
+	sp.SetAttr("encodes", m.Encodes)
+	sp.SetAttr("decodes", m.Decodes)
+	sp.SetAttr("copies", m.Copies)
 	return m, nil
 }
 
-// Repeat runs RunOnce n times (after one discarded warm-up, like the
-// paper's methodology) and returns the measurement with the average wall
-// time.
-func Repeat(ds *Dataset, q Query, sc Scale, mode Mode, outDir string, parallelism, n int) (Measurement, error) {
+// Repeat runs RunOnce cfg.Repeats times (after one discarded warm-up,
+// like the paper's methodology) and returns the measurement with the
+// average wall time.
+func Repeat(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
+	n := cfg.Repeats
 	if n < 1 {
 		n = 1
 	}
-	if _, err := RunOnce(ds, q, sc, mode, outDir, parallelism); err != nil {
+	if _, err := RunOnce(ds, q, mode, cfg); err != nil {
 		return Measurement{}, err // warm-up
 	}
 	var acc Measurement
 	for i := 0; i < n; i++ {
-		m, err := RunOnce(ds, q, sc, mode, outDir, parallelism)
+		m, err := RunOnce(ds, q, mode, cfg)
 		if err != nil {
 			return Measurement{}, err
 		}
@@ -117,14 +141,14 @@ type Row struct {
 
 // CompareRun produces the unopt-vs-opt rows for every query on ds — the
 // data behind Fig. 3 (ToS) and Fig. 4 (KABR).
-func CompareRun(ds *Dataset, sc Scale, outDir string, parallelism, repeats int) ([]Row, error) {
+func CompareRun(ds *Dataset, cfg Config) ([]Row, error) {
 	var rows []Row
 	for _, q := range Queries() {
-		u, err := Repeat(ds, q, sc, ModeUnopt, outDir, parallelism, repeats)
+		u, err := Repeat(ds, q, ModeUnopt, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s unopt: %w", ds.Name, q.ID, err)
 		}
-		o, err := Repeat(ds, q, sc, ModeOpt, outDir, parallelism, repeats)
+		o, err := Repeat(ds, q, ModeOpt, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s opt: %w", ds.Name, q.ID, err)
 		}
@@ -151,17 +175,17 @@ type DataJoinRow struct {
 
 // DataJoinRun measures the data-joining queries (Q5, Q10) against the
 // baseline engine on ds — the data behind Fig. 5.
-func DataJoinRun(ds *Dataset, sc Scale, outDir string, parallelism, repeats int) ([]DataJoinRow, error) {
+func DataJoinRun(ds *Dataset, cfg Config) ([]DataJoinRow, error) {
 	var rows []DataJoinRow
 	for _, q := range Queries() {
 		if !q.JoinsData {
 			continue
 		}
-		b, err := Repeat(ds, q, sc, ModeBaseline, outDir, parallelism, repeats)
+		b, err := Repeat(ds, q, ModeBaseline, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s baseline: %w", ds.Name, q.ID, err)
 		}
-		o, err := Repeat(ds, q, sc, ModeOpt, outDir, parallelism, repeats)
+		o, err := Repeat(ds, q, ModeOpt, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s v2v: %w", ds.Name, q.ID, err)
 		}

@@ -13,6 +13,7 @@ import (
 	"v2v/internal/check"
 	"v2v/internal/exec"
 	"v2v/internal/media"
+	"v2v/internal/obs"
 	"v2v/internal/opt"
 	"v2v/internal/plan"
 	"v2v/internal/rational"
@@ -35,6 +36,10 @@ type Options struct {
 	Parallelism int
 	// DB provides tables for sql-declared data arrays.
 	DB *sqlmini.DB
+	// Trace, when set, records one span per pipeline stage (parse, check,
+	// rewrite, optimize, execute), per optimizer pass, per segment, and
+	// per shard worker. Export it with obs.Trace.WriteJSON.
+	Trace *obs.Trace
 }
 
 // DefaultOptions enables the full V2V pipeline.
@@ -57,16 +62,35 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 	var rStats rewrite.Stats
 	var oStats opt.Stats
 
+	sp := o.Trace.StartSpan("check")
 	checked, err := check.Check(spec, check.Options{DB: o.DB})
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, rStats, oStats, err
 	}
+	sp.SetAttr("videos", len(checked.Sources))
+	sp.SetAttr("arrays", len(checked.Arrays))
+	sp.SetAttr("passthrough", checked.Passthrough)
+	sp.End()
 	if o.DataRewrite {
+		sp := o.Trace.StartSpan("rewrite")
 		rewritten, stats, err := rewrite.Rewrite(checked)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, rStats, oStats, fmt.Errorf("core: data rewrite: %w", err)
 		}
 		rStats = stats
+		sp.SetAttr("skipped", stats.Skipped)
+		sp.SetAttr("times_evaluated", stats.TimesEvaluated)
+		sp.SetAttr("arms_before", stats.ArmsBefore)
+		sp.SetAttr("arms_after", stats.ArmsAfter)
+		for name, n := range stats.Applied {
+			// One attribute per data-dependent rewrite that fired.
+			sp.SetAttr("applied."+name, n)
+		}
+		sp.End()
 		if rewritten != checked.Spec {
 			// The rewritten spec references the same sources and arrays
 			// (its dependencies are a subset of the validated originals),
@@ -76,21 +100,36 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 			checked = &c2
 		}
 	}
+	sp = o.Trace.StartSpan("plan")
 	p, err := plan.Build(checked)
 	if err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
 		return nil, rStats, oStats, err
 	}
+	sp.SetAttr("segments", len(p.Segments))
+	sp.End()
 	if o.Optimize {
+		sp := o.Trace.StartSpan("optimize")
 		passes := opt.Default()
 		if o.OptPasses != nil {
 			passes = *o.OptPasses
 		}
 		passes.Parallelism = o.Parallelism
+		passes.Trace = o.Trace
 		stats, err := opt.Optimize(p, passes)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, rStats, oStats, fmt.Errorf("core: optimize: %w", err)
 		}
 		oStats = stats
+		sp.SetAttr("segments_merged", stats.SegmentsMerged)
+		sp.SetAttr("filters_merged", stats.FiltersMerged)
+		sp.SetAttr("copies", stats.Copies)
+		sp.SetAttr("smart_cuts", stats.SmartCuts)
+		sp.SetAttr("sharded_segments", stats.ShardedSegs)
+		sp.End()
 	}
 	return p, rStats, oStats, nil
 }
@@ -102,7 +141,7 @@ func Synthesize(spec *vql.Spec, outPath string, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	metrics, err := exec.Execute(p, outPath, exec.Options{Parallelism: o.Parallelism})
+	metrics, err := exec.Execute(p, outPath, exec.Options{Parallelism: o.Parallelism, Trace: o.Trace})
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +156,9 @@ func Synthesize(spec *vql.Spec, outPath string, o Options) (*Result, error) {
 
 // SynthesizeSource parses the textual spec grammar and synthesizes it.
 func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
+	sp := o.Trace.StartSpan("parse")
 	spec, err := vql.Parse(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +181,7 @@ func SynthesizeStream(spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	metrics, err := exec.ExecuteTo(p, sink, exec.Options{Parallelism: o.Parallelism})
+	metrics, err := exec.ExecuteTo(p, sink, exec.Options{Parallelism: o.Parallelism, Trace: o.Trace})
 	if err != nil {
 		return nil, err
 	}

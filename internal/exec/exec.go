@@ -19,6 +19,7 @@ import (
 	"v2v/internal/data"
 	"v2v/internal/frame"
 	"v2v/internal/media"
+	"v2v/internal/obs"
 	"v2v/internal/plan"
 	"v2v/internal/raster"
 	"v2v/internal/rational"
@@ -30,6 +31,8 @@ type Options struct {
 	// Parallelism caps concurrently running shards; 0 means unlimited
 	// (the plan's shard counts already reflect the optimizer's cap).
 	Parallelism int
+	// Trace, when set, records one span per segment and per shard worker.
+	Trace *obs.Trace
 }
 
 // Metrics reports the work a plan execution performed.
@@ -49,6 +52,9 @@ type Metrics struct {
 	// FramesRendered is the number of output frames produced by render
 	// segments (copied packets excluded).
 	FramesRendered int64
+	// Segments holds per-segment measured costs, index-aligned with the
+	// executed plan's segments — the data behind EXPLAIN ANALYZE.
+	Segments []plan.SegmentActuals
 }
 
 // TotalEncodes sums every frame encode performed anywhere in the plan.
@@ -87,45 +93,107 @@ func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 	readers := newReaderCache(p)
 	defer readers.closeAll(m)
 
-	for _, s := range p.Segments {
-		switch s.Kind {
-		case plan.SegCopy:
-			r, err := readers.get(s.Video)
-			if err != nil {
-				w.Close()
-				return nil, err
-			}
-			if err := media.CopyRange(w, r, s.From, s.To); err != nil {
-				w.Close()
-				return nil, fmt.Errorf("exec: copy segment: %w", err)
-			}
-		case plan.SegSmartCut:
-			r, err := readers.get(s.Video)
-			if err != nil {
-				w.Close()
-				return nil, err
-			}
-			if _, _, err := media.SmartCut(w, r, s.From, s.To); err != nil {
-				w.Close()
-				return nil, fmt.Errorf("exec: smart cut segment: %w", err)
-			}
-		case plan.SegFrames:
-			if err := runFrameSegment(p, s, w, m, o, markFirst); err != nil {
-				w.Close()
-				return nil, err
-			}
-		default:
+	execSpan := o.Trace.StartSpan("execute")
+	for i, s := range p.Segments {
+		if err := runSegment(p, i, s, w, m, o, readers, markFirst); err != nil {
+			execSpan.SetAttr("error", err.Error())
+			execSpan.End()
 			w.Close()
-			return nil, fmt.Errorf("exec: unknown segment kind %v", s.Kind)
+			return nil, err
 		}
 		markFirst()
 	}
 	if err := w.Close(); err != nil {
+		execSpan.End()
 		return nil, err
 	}
 	m.Output.Add(w.Stats())
 	m.Wall = time.Since(start)
+	execSpan.SetAttr("segments", len(p.Segments))
+	execSpan.SetAttr("frames_encoded", m.Output.FramesEncoded)
+	execSpan.SetAttr("packets_copied", m.Output.PacketsCopied)
+	execSpan.SetAttr("first_output_us", m.FirstOutput.Microseconds())
+	execSpan.End()
 	return m, nil
+}
+
+// runSegment executes one segment, measuring its actual costs into
+// m.Segments and recording a span with the decoded/encoded/copied counts.
+func runSegment(p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func()) error {
+	segStart := time.Now()
+	sinkBefore := w.Stats()
+	renderedBefore := m.FramesRendered
+	decodedBefore := m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes()
+	sp := o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))
+	sp.SetAttr("kind", s.Kind.String())
+	sp.SetAttr("t_start", s.Times.Start.String())
+	sp.SetAttr("t_end", s.Times.End.String())
+
+	var segErr error
+	switch s.Kind {
+	case plan.SegCopy:
+		r, err := readers.get(s.Video)
+		if err != nil {
+			segErr = err
+			break
+		}
+		if err := media.CopyRange(w, r, s.From, s.To); err != nil {
+			segErr = fmt.Errorf("exec: copy segment: %w", err)
+		}
+	case plan.SegSmartCut:
+		r, err := readers.get(s.Video)
+		if err != nil {
+			segErr = err
+			break
+		}
+		if _, _, err := media.SmartCut(w, r, s.From, s.To); err != nil {
+			segErr = fmt.Errorf("exec: smart cut segment: %w", err)
+		}
+	case plan.SegFrames:
+		segErr = runFrameSegment(p, s, w, m, o, markFirst, sp)
+	default:
+		segErr = fmt.Errorf("exec: unknown segment kind %v", s.Kind)
+	}
+	if segErr != nil {
+		sp.SetAttr("error", segErr.Error())
+		sp.End()
+		return segErr
+	}
+
+	sinkAfter := w.Stats()
+	act := plan.SegmentActuals{
+		Wall:           time.Since(segStart),
+		FramesRendered: m.FramesRendered - renderedBefore,
+		FramesDecoded:  m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes() - decodedBefore,
+		FramesEncoded:  sinkAfter.FramesEncoded - sinkBefore.FramesEncoded,
+		PacketsCopied:  sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
+		BytesCopied:    sinkAfter.BytesCopied - sinkBefore.BytesCopied,
+		Shards:         effectiveShards(s, o),
+	}
+	m.Segments = append(m.Segments, act)
+	sp.SetAttr("frames_decoded", act.FramesDecoded)
+	sp.SetAttr("frames_encoded", act.FramesEncoded)
+	sp.SetAttr("packets_copied", act.PacketsCopied)
+	sp.SetAttr("frames_rendered", act.FramesRendered)
+	sp.SetAttr("shards", act.Shards)
+	sp.End()
+	return nil
+}
+
+// effectiveShards reports the parallelism runFrameSegment will actually
+// use for s under o.
+func effectiveShards(s *plan.Segment, o Options) int {
+	if s.Kind != plan.SegFrames {
+		return 1
+	}
+	shards := s.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if o.Parallelism > 0 && shards > o.Parallelism {
+		shards = o.Parallelism
+	}
+	return shards
 }
 
 // readerCache shares sequential readers across same-goroutine segments.
@@ -157,6 +225,19 @@ func (c *readerCache) get(video string) (*media.Reader, error) {
 	return r, nil
 }
 
+// liveDecodes sums decode counts across the still-open readers (their
+// stats fold into m.Source only at closeAll; per-segment accounting needs
+// the live view).
+func (c *readerCache) liveDecodes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, r := range c.rs {
+		n += r.Stats().FramesDecoded
+	}
+	return n
+}
+
 func (c *readerCache) closeAll(m *Metrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -180,19 +261,14 @@ func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, erro
 }
 
 // runFrameSegment renders one segment, splitting it into shards when the
-// plan asks for parallelism.
-func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func()) error {
+// plan asks for parallelism. segSpan (nil when tracing is off) parents the
+// per-shard-worker spans.
+func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func(), segSpan *obs.Span) error {
 	frames := s.FrameCount()
 	if frames == 0 {
 		return nil
 	}
-	shards := s.Shards
-	if shards < 1 {
-		shards = 1
-	}
-	if o.Parallelism > 0 && shards > o.Parallelism {
-		shards = o.Parallelism
-	}
+	shards := effectiveShards(s, o)
 	if shards == 1 {
 		// Sequential: encode through the output writer directly.
 		run := newSegmentRunner(p, s)
@@ -240,6 +316,15 @@ func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o 
 	for _, ch := range chunks {
 		go func(ch *chunk) {
 			defer close(ch.done)
+			sp := segSpan.ChildThread(fmt.Sprintf("shard[%d,%d)", ch.lo, ch.hi))
+			sp.SetAttr("frames", ch.hi-ch.lo)
+			defer func() {
+				if ch.err != nil {
+					sp.SetAttr("error", ch.err.Error())
+				}
+				sp.SetAttr("frames_encoded", len(ch.pkts))
+				sp.End()
+			}()
 			run := newSegmentRunner(p, s)
 			defer func() {
 				mu.Lock()

@@ -1,14 +1,18 @@
 package exec
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"v2v/internal/check"
 	"v2v/internal/dataset"
 	"v2v/internal/media"
+	"v2v/internal/obs"
 	"v2v/internal/opt"
 	"v2v/internal/plan"
 	"v2v/internal/rational"
@@ -223,5 +227,69 @@ func TestRenderPanicBecomesError(t *testing.T) {
 	p2.Segments[0].Shards = 2
 	if _, err := Execute(p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
 		t.Fatal("panicking shard should surface as an error")
+	}
+}
+
+func TestExecuteRecordsSegmentActualsAndShardSpans(t *testing.T) {
+	p := buildPlan(t, `render(t) = grade(v[t], 5, 1.0, 1.0);`, true)
+	p.Segments[0].Shards = 2
+	tr := obs.NewTrace("test")
+	out := filepath.Join(t.TempDir(), "o.vmf")
+	m, err := Execute(p, out, Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-segment actuals, index-aligned with the plan.
+	if len(m.Segments) != len(p.Segments) {
+		t.Fatalf("actuals = %d segments, plan has %d", len(m.Segments), len(p.Segments))
+	}
+	act := m.Segments[0]
+	if act.Wall <= 0 {
+		t.Errorf("actual wall = %v", act.Wall)
+	}
+	if act.FramesRendered != 48 || act.FramesEncoded != 48 {
+		t.Errorf("actuals = %+v", act)
+	}
+	if act.Shards != 2 {
+		t.Errorf("actual shards = %d", act.Shards)
+	}
+	if s := p.ExplainAnalyze(m.Segments); !strings.Contains(s, "actual:") ||
+		!strings.Contains(s, "shards=2") {
+		t.Errorf("ExplainAnalyze:\n%s", s)
+	}
+
+	// The trace holds the execute span, one segment span, and one span per
+	// shard worker on its own thread row.
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	shardTIDs := map[int64]bool{}
+	var haveExec, haveSeg bool
+	for _, e := range doc.TraceEvents {
+		switch {
+		case e.Name == "execute":
+			haveExec = true
+		case strings.HasPrefix(e.Name, "segment[0]"):
+			haveSeg = true
+		case strings.HasPrefix(e.Name, "shard["):
+			shardTIDs[e.TID] = true
+		}
+	}
+	if !haveExec || !haveSeg {
+		t.Errorf("missing execute/segment spans (exec=%v seg=%v)", haveExec, haveSeg)
+	}
+	if len(shardTIDs) != 2 {
+		t.Errorf("shard spans on %d distinct tids, want 2", len(shardTIDs))
 	}
 }

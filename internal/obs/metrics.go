@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metric instruments and renders them in the
+// Prometheus text exposition format. Instrument lookups lock the registry;
+// updates on the returned instruments are lock-free atomics, so hot paths
+// should hold on to their instruments.
+//
+// A metric name may carry constant labels in the usual syntax, e.g.
+// `v2v_http_errors_total{class="4xx"}`. Metrics sharing the name before
+// the brace form one family and share HELP/TYPE lines.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string // family -> help text
+	kind       map[string]string // family -> counter|gauge|histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+		kind:       map[string]string{},
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// family splits a metric name into its family (the part before any label
+// braces) and its label content (without braces, "" if unlabelled).
+func family(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
+func (r *Registry) register(name, help, kind string) {
+	fam, _ := family(name)
+	if have, ok := r.kind[fam]; ok && have != kind {
+		panic(fmt.Sprintf("obs: metric family %q registered as both %s and %s", fam, have, kind))
+	}
+	r.kind[fam] = kind
+	if r.help[fam] == "" {
+		r.help[fam] = help
+	}
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.n.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	r.register(name, help, "counter")
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	r.register(name, help, "gauge")
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper
+// bounds (exclusive of +Inf, which is implicit).
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1; last is the +Inf bucket
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// LatencyBuckets returns the default upper bounds (in seconds) used for
+// wall-time and first-output-latency histograms.
+func LatencyBuckets() []float64 {
+	return []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30}
+}
+
+// Histogram returns (registering on first use) the named histogram. The
+// bucket bounds must be sorted ascending; they are ignored when the
+// histogram already exists.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not sorted", name))
+	}
+	r.register(name, help, "histogram")
+	h := &Histogram{
+		upper:  append([]float64(nil), buckets...),
+		counts: make([]atomic.Int64, len(buckets)+1),
+	}
+	r.histograms[name] = h
+	return h
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	type entry struct {
+		name, labels string
+		c            *Counter
+		g            *Gauge
+		h            *Histogram
+	}
+	families := map[string][]entry{}
+	add := func(name string, e entry) {
+		fam, labels := family(name)
+		e.name, e.labels = fam, labels
+		families[fam] = append(families[fam], e)
+	}
+	for name, c := range r.counters {
+		add(name, entry{c: c})
+	}
+	for name, g := range r.gauges {
+		add(name, entry{g: g})
+	}
+	for name, h := range r.histograms {
+		add(name, entry{h: h})
+	}
+	help := make(map[string]string, len(r.help))
+	kind := make(map[string]string, len(r.kind))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	for k, v := range r.kind {
+		kind[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(families))
+	for fam := range families {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	for _, fam := range names {
+		entries := families[fam]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].labels < entries[j].labels })
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", fam, escapeHelp(h))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", fam, kind[fam])
+		for _, e := range entries {
+			switch {
+			case e.c != nil:
+				fmt.Fprintf(&sb, "%s %d\n", metricName(e.name, e.labels, ""), e.c.Value())
+			case e.g != nil:
+				fmt.Fprintf(&sb, "%s %s\n", metricName(e.name, e.labels, ""), formatFloat(e.g.Value()))
+			case e.h != nil:
+				var cum int64
+				for i, ub := range e.h.upper {
+					cum += e.h.counts[i].Load()
+					fmt.Fprintf(&sb, "%s %d\n",
+						metricName(e.name+"_bucket", e.labels, `le="`+formatFloat(ub)+`"`), cum)
+				}
+				cum += e.h.counts[len(e.h.upper)].Load()
+				fmt.Fprintf(&sb, "%s %d\n", metricName(e.name+"_bucket", e.labels, `le="+Inf"`), cum)
+				fmt.Fprintf(&sb, "%s %s\n", metricName(e.name+"_sum", e.labels, ""), formatFloat(e.h.Sum()))
+				fmt.Fprintf(&sb, "%s %d\n", metricName(e.name+"_count", e.labels, ""), e.h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// metricName joins a base name with existing constant labels and an extra
+// label (for histogram le buckets).
+func metricName(base, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return base
+	case labels == "":
+		return base + "{" + extra + "}"
+	case extra == "":
+		return base + "{" + labels + "}"
+	default:
+		return base + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

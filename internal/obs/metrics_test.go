@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrentWriters hammers one counter, gauge, and histogram
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof, and the final values check that no update is lost.
+func TestRegistryConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_inflight", "inflight")
+	h := r.Histogram("test_latency_seconds", "latency", []float64{0.5, 1, 2})
+
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i%4) * 0.75)
+				// Concurrent re-lookup must return the same instruments.
+				if r.Counter("test_ops_total", "ops") != c {
+					t.Error("counter identity changed")
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent scrapes while writers run.
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			for i := 0; i < 50; i++ {
+				sb.Reset()
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Per worker: 250 each of 0, 0.75, 1.5, 2.25.
+	wantSum := float64(workers) * 250 * (0 + 0.75 + 1.5 + 2.25)
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %v, want %v", got, wantSum)
+	}
+}
+
+// TestPrometheusExpositionGolden pins the full text format output.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("v2v_http_requests_total", "HTTP requests served.").Add(7)
+	r.Counter(`v2v_http_errors_total{class="4xx"}`, "HTTP error responses by class.").Add(2)
+	r.Counter(`v2v_http_errors_total{class="5xx"}`, "HTTP error responses by class.").Inc()
+	r.Gauge("v2v_inflight_requests", "Requests currently being served.").Set(3)
+	h := r.Histogram("v2v_synthesis_wall_seconds", "Synthesis wall time.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP v2v_http_errors_total HTTP error responses by class.
+# TYPE v2v_http_errors_total counter
+v2v_http_errors_total{class="4xx"} 2
+v2v_http_errors_total{class="5xx"} 1
+# HELP v2v_http_requests_total HTTP requests served.
+# TYPE v2v_http_requests_total counter
+v2v_http_requests_total 7
+# HELP v2v_inflight_requests Requests currently being served.
+# TYPE v2v_inflight_requests gauge
+v2v_inflight_requests 3
+# HELP v2v_synthesis_wall_seconds Synthesis wall time.
+# TYPE v2v_synthesis_wall_seconds histogram
+v2v_synthesis_wall_seconds_bucket{le="0.1"} 2
+v2v_synthesis_wall_seconds_bucket{le="1"} 3
+v2v_synthesis_wall_seconds_bucket{le="+Inf"} 4
+v2v_synthesis_wall_seconds_sum 4.6
+v2v_synthesis_wall_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b", "", []float64{1, 2})
+	h.Observe(1) // le="1" (boundary lands in its bucket)
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("bucket le=1 = %d", got)
+	}
+	if got := h.counts[1].Load(); got != 1 {
+		t.Errorf("bucket le=2 = %d", got)
+	}
+	if got := h.counts[2].Load(); got != 1 {
+		t.Errorf("bucket +Inf = %d", got)
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge under a counter family should panic")
+		}
+	}()
+	r.Gauge(`x_total{a="b"}`, "")
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up_total 1") {
+		t.Errorf("body = %q", rec.Body.String())
+	}
+}

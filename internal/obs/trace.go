@@ -1,0 +1,212 @@
+// Package obs is V2V's zero-dependency observability layer: a lightweight
+// span tracer exportable as Chrome trace_event JSON, and a concurrency-safe
+// metrics registry exposed in Prometheus text format.
+//
+// Both halves are nil-tolerant by design: a nil *Trace produces nil *Spans
+// whose methods are no-ops, so the pipeline threads tracing through every
+// stage unconditionally and pays nothing when tracing is off.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// mainThread is the tid of the pipeline's primary span track. Shard worker
+// spans allocate fresh tids so a trace viewer lays them out as parallel
+// rows.
+const mainThread = 1
+
+// Trace accumulates completed spans for one traced activity (a synthesis
+// run, a benchmark sweep). Safe for concurrent use.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	events  []traceEvent
+	nextTID int64
+}
+
+type traceEvent struct {
+	name string
+	tid  int64
+	ts   time.Duration // offset from trace start
+	dur  time.Duration
+	args map[string]any
+}
+
+// NewTrace starts an empty trace named name (shown as the process name in
+// trace viewers).
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now(), nextTID: mainThread}
+}
+
+// StartSpan opens a span on the trace's main track. Nil-safe: a nil trace
+// returns a nil span.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, name: name, start: time.Now(), tid: mainThread}
+}
+
+func (t *Trace) newTID() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTID++
+	return t.nextTID
+}
+
+func (t *Trace) record(e traceEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, e)
+}
+
+// Span is one timed operation. Spans nest by time containment on the same
+// thread track, which is how Chrome's trace viewer and Perfetto render
+// call stacks — no explicit parent links are needed.
+type Span struct {
+	tr    *Trace
+	name  string
+	start time.Time
+	tid   int64
+
+	mu    sync.Mutex
+	attrs map[string]any
+	ended bool
+}
+
+// Child opens a sub-span on the same thread track. Nil-safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tr: s.tr, name: name, start: time.Now(), tid: s.tid}
+}
+
+// ChildThread opens a sub-span on a fresh thread track — used for shard
+// workers so parallel execution renders as parallel rows. Nil-safe.
+func (s *Span) ChildThread(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{tr: s.tr, name: name, start: time.Now(), tid: s.tr.newTID()}
+}
+
+// SetAttr attaches a key/value argument shown in the trace viewer's detail
+// pane. Nil-safe.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// End completes the span and records it on the trace. Nil-safe and
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+	s.tr.record(traceEvent{
+		name: s.name,
+		tid:  s.tid,
+		ts:   s.start.Sub(s.tr.start),
+		dur:  time.Since(s.start),
+		args: attrs,
+	})
+}
+
+// jsonEvent is one Chrome trace_event entry.
+type jsonEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteJSON renders the trace in the Chrome trace_event format, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Nil-safe (writes an
+// empty trace).
+func (t *Trace) WriteJSON(w io.Writer) error {
+	var events []jsonEvent
+	if t != nil {
+		t.mu.Lock()
+		events = make([]jsonEvent, 0, len(t.events)+1)
+		events = append(events, jsonEvent{
+			Name: "process_name", Phase: "M", PID: 1, TID: mainThread,
+			Args: map[string]any{"name": t.name},
+		})
+		for _, e := range t.events {
+			events = append(events, jsonEvent{
+				Name:  e.name,
+				Phase: "X",
+				Ts:    e.ts.Microseconds(),
+				Dur:   max64(e.dur.Microseconds(), 1),
+				PID:   1,
+				TID:   e.tid,
+				Args:  e.args,
+			})
+		}
+		t.mu.Unlock()
+	}
+	doc := struct {
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+		TraceEvents     []jsonEvent `json:"traceEvents"`
+	}{DisplayTimeUnit: "ms", TraceEvents: events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteJSONFile writes the trace to path.
+func (t *Trace) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+// SpanCount returns the number of completed spans (testing aid). Nil-safe.
+func (t *Trace) SpanCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

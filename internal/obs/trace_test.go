@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func decodeTrace(t *testing.T, tr *Trace) []map[string]any {
+	t.Helper()
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, sb.String())
+	}
+	return doc.TraceEvents
+}
+
+func TestTraceChromeEventShape(t *testing.T) {
+	tr := NewTrace("v2v test")
+	root := tr.StartSpan("execute")
+	seg := root.Child("segment")
+	seg.SetAttr("kind", "render")
+	seg.SetAttr("frames", 48)
+	seg.End()
+	root.End()
+
+	events := decodeTrace(t, tr)
+	// process_name metadata + 2 complete events.
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0]["ph"] != "M" || events[0]["name"] != "process_name" {
+		t.Errorf("missing process_name metadata: %v", events[0])
+	}
+	byName := map[string]map[string]any{}
+	for _, e := range events[1:] {
+		if e["ph"] != "X" {
+			t.Errorf("phase = %v, want X", e["ph"])
+		}
+		for _, k := range []string{"ts", "dur", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Errorf("event %v missing %s", e["name"], k)
+			}
+		}
+		byName[e["name"].(string)] = e
+	}
+	segEv := byName["segment"]
+	if segEv == nil {
+		t.Fatal("no segment event")
+	}
+	args := segEv["args"].(map[string]any)
+	if args["kind"] != "render" || args["frames"] != float64(48) {
+		t.Errorf("segment args = %v", args)
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Fatal("nil trace must yield nil span")
+	}
+	// All nil-span operations are no-ops.
+	sp.SetAttr("k", 1)
+	child := sp.Child("y")
+	child.ChildThread("z").End()
+	child.End()
+	sp.End()
+	if tr.SpanCount() != 0 {
+		t.Error("nil trace has spans")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "traceEvents") {
+		t.Errorf("nil trace JSON = %q", sb.String())
+	}
+}
+
+func TestTraceConcurrentShardSpans(t *testing.T) {
+	tr := NewTrace("shards")
+	root := tr.StartSpan("execute")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := root.ChildThread("shard")
+			sp.SetAttr("worker", i)
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	events := decodeTrace(t, tr)
+	tids := map[float64]bool{}
+	shardCount := 0
+	for _, e := range events {
+		if e["name"] == "shard" {
+			shardCount++
+			tids[e["tid"].(float64)] = true
+		}
+	}
+	if shardCount != 8 {
+		t.Errorf("shard spans = %d", shardCount)
+	}
+	if len(tids) != 8 {
+		t.Errorf("shard tids = %d, want 8 distinct threads", len(tids))
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTrace("x")
+	sp := tr.StartSpan("once")
+	sp.End()
+	sp.End()
+	if got := tr.SpanCount(); got != 1 {
+		t.Errorf("spans = %d, want 1", got)
+	}
+}

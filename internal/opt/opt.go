@@ -10,6 +10,7 @@ import (
 	"runtime"
 
 	"v2v/internal/container"
+	"v2v/internal/obs"
 	"v2v/internal/plan"
 	"v2v/internal/rational"
 )
@@ -33,6 +34,8 @@ type Options struct {
 	Shard bool
 	// Parallelism bounds shard fan-out; 0 means GOMAXPROCS.
 	Parallelism int
+	// Trace, when set, records one span per optimizer pass.
+	Trace *obs.Trace
 }
 
 // Default returns the full optimizer configuration.
@@ -59,20 +62,35 @@ type Stats struct {
 func Optimize(p *plan.Plan, o Options) (Stats, error) {
 	var st Stats
 	if o.MergeSegments {
+		sp := o.Trace.StartSpan("opt.merge_segments")
 		st.SegmentsMerged = mergeSegments(p)
+		sp.SetAttr("merged", st.SegmentsMerged)
+		sp.End()
 	}
 	if o.MergeFilters {
+		sp := o.Trace.StartSpan("opt.merge_filters")
 		st.FiltersMerged = mergeFilters(p)
+		sp.SetAttr("boundaries_removed", st.FiltersMerged)
+		sp.End()
 	}
 	if (o.StreamCopy || o.SmartCut) && p.Checked.Passthrough {
+		sp := o.Trace.StartSpan("opt.copy")
 		n, err := copyPass(p, o)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return st, err
 		}
 		st.Copies, st.SmartCuts = n.copies, n.smartcuts
+		sp.SetAttr("copies", n.copies)
+		sp.SetAttr("smart_cuts", n.smartcuts)
+		sp.End()
 	}
 	if o.Shard {
+		sp := o.Trace.StartSpan("opt.shard")
 		st.ShardedSegs = shardPass(p, o.Parallelism)
+		sp.SetAttr("sharded", st.ShardedSegs)
+		sp.End()
 	}
 	p.Optimized = true
 	p.Notes = append(p.Notes, fmt.Sprintf(

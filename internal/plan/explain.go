@@ -3,11 +3,74 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 )
+
+// SegmentActuals records what executing one segment actually cost — the
+// measured counterpart to the plan's static shape, filled in by the
+// executor for EXPLAIN ANALYZE output.
+type SegmentActuals struct {
+	// Wall is the segment's measured wall time.
+	Wall time.Duration
+	// FramesRendered counts output frames produced by the operator tree.
+	FramesRendered int64
+	// FramesDecoded counts source + intermediate decodes attributable to
+	// the segment (smart-cut head decodes included).
+	FramesDecoded int64
+	// FramesEncoded counts frames encoded into the output.
+	FramesEncoded int64
+	// PacketsCopied and BytesCopied count stream-copied output packets.
+	PacketsCopied int64
+	BytesCopied   int64
+	// Shards is the parallelism the executor actually used.
+	Shards int
+}
+
+// String renders the actuals as the annotation appended to explain lines.
+func (a SegmentActuals) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("wall=%s", a.Wall.Round(time.Microsecond)))
+	if a.FramesRendered > 0 {
+		parts = append(parts, fmt.Sprintf("rendered=%d", a.FramesRendered))
+	}
+	if a.FramesDecoded > 0 {
+		parts = append(parts, fmt.Sprintf("decoded=%d", a.FramesDecoded))
+	}
+	if a.FramesEncoded > 0 {
+		parts = append(parts, fmt.Sprintf("encoded=%d", a.FramesEncoded))
+	}
+	if a.PacketsCopied > 0 {
+		parts = append(parts, fmt.Sprintf("copied=%d (%dB)", a.PacketsCopied, a.BytesCopied))
+	}
+	if a.Shards > 1 {
+		parts = append(parts, fmt.Sprintf("shards=%d", a.Shards))
+	}
+	return "actual: " + strings.Join(parts, " ")
+}
 
 // Explain renders the plan as an indented text tree, the V2V analogue of
 // EXPLAIN for relational plans (and of the paper's Fig. 2 diagrams).
 func (p *Plan) Explain() string {
+	return p.explain(nil)
+}
+
+// ExplainAnalyze renders the plan tree annotated with each segment's
+// measured costs (exec.Metrics.Segments) — the analogue of relational
+// EXPLAIN ANALYZE, making plan-vs-reality discrepancies visible (e.g. a
+// smart cut whose re-encoded head dominates its copied tail). Segments
+// beyond len(actuals) render without annotation.
+func (p *Plan) ExplainAnalyze(actuals []SegmentActuals) string {
+	return p.explain(func(i int) string {
+		if i >= len(actuals) {
+			return ""
+		}
+		return "  [" + actuals[i].String() + "]"
+	})
+}
+
+// explain writes the tree; annotate (optional) returns a suffix for the
+// i-th segment's line.
+func (p *Plan) explain(annotate func(i int) string) string {
 	var sb strings.Builder
 	mode := "unoptimized"
 	if p.Optimized {
@@ -25,20 +88,24 @@ func (p *Plan) Explain() string {
 			branch = "└─ "
 			cont = "   "
 		}
+		suffix := ""
+		if annotate != nil {
+			suffix = annotate(i)
+		}
 		switch s.Kind {
 		case SegCopy:
-			fmt.Fprintf(&sb, "%scopy %s packets [%d,%d) t in [%s,%s)\n",
-				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End)
+			fmt.Fprintf(&sb, "%scopy %s packets [%d,%d) t in [%s,%s)%s\n",
+				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End, suffix)
 		case SegSmartCut:
-			fmt.Fprintf(&sb, "%ssmartcut %s packets [%d,%d) t in [%s,%s) (re-encode %d-frame head)\n",
-				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End, s.ReencodeHead)
+			fmt.Fprintf(&sb, "%ssmartcut %s packets [%d,%d) t in [%s,%s) (re-encode %d-frame head)%s\n",
+				branch, s.Video, s.From, s.To, s.Times.Start, s.Times.End, s.ReencodeHead, suffix)
 		default:
 			shard := ""
 			if s.Shards > 1 {
 				shard = fmt.Sprintf(" ×%d shards", s.Shards)
 			}
-			fmt.Fprintf(&sb, "%ssegment t in [%s,%s) (%d frames)%s\n",
-				branch, s.Times.Start, s.Times.End, s.FrameCount(), shard)
+			fmt.Fprintf(&sb, "%ssegment t in [%s,%s) (%d frames)%s%s\n",
+				branch, s.Times.Start, s.Times.End, s.FrameCount(), shard, suffix)
 			writeNode(&sb, s.Root, cont, true)
 		}
 	}

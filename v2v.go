@@ -31,6 +31,7 @@ import (
 
 	"v2v/internal/core"
 	"v2v/internal/exec"
+	"v2v/internal/obs"
 	"v2v/internal/opt"
 	"v2v/internal/rewrite"
 	"v2v/internal/sqlmini"
@@ -57,6 +58,21 @@ type Metrics = exec.Metrics
 
 // RewriteStats reports what the data-dependent rewriter did.
 type RewriteStats = rewrite.Stats
+
+// Trace records spans for every pipeline stage of a synthesis run —
+// assign one to Options.Trace and export it with WriteJSON (Chrome
+// trace_event format, loadable in chrome://tracing or Perfetto).
+type Trace = obs.Trace
+
+// MetricsRegistry aggregates counters, gauges, and latency histograms
+// process-wide, rendered in Prometheus text format (see internal/obs).
+type MetricsRegistry = obs.Registry
+
+// NewTrace starts an empty span trace named name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// DefaultRegistry returns the process-wide metrics registry.
+func DefaultRegistry() *MetricsRegistry { return obs.Default() }
 
 // DB is the embedded relational engine used for sql-declared data arrays.
 type DB = sqlmini.DB
@@ -123,6 +139,13 @@ func Explain(spec *Spec, o Options) (string, error) {
 		return "", err
 	}
 	return p.Explain(), nil
+}
+
+// ExplainAnalyze renders an executed run's plan tree annotated with each
+// segment's measured wall time and packet/frame counts — the analogue of
+// relational EXPLAIN ANALYZE.
+func ExplainAnalyze(res *Result) string {
+	return res.Plan.ExplainAnalyze(res.Metrics.Segments)
 }
 
 // ExplainDOT returns the plan as a Graphviz digraph.
