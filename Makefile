@@ -1,9 +1,12 @@
 # Tier-1 gate (ROADMAP.md): build + test.
 # `make check` adds vet and the race detector (required for internal/obs).
+# `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) three
+# times with distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
 
 GO ?= go
+V2V_CHAOS_SEED ?= 1
 
-.PHONY: all build test tier1 vet race check bench
+.PHONY: all build test tier1 vet race check bench chaos
 
 all: tier1
 
@@ -25,3 +28,11 @@ check: tier1 vet race
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+chaos:
+	$(GO) test -count=3 -run 'Corrupt|Cancel|Transient|Panic|Conceal|Abort|Atomic|Flaky|Injector' ./internal/container/ ./internal/exec/ ./internal/faults/
+	@for off in 0 100 200; do \
+		seed=$$(( $(V2V_CHAOS_SEED) + $$off )); \
+		echo "== v2vbench -chaos -chaos-seed $$seed =="; \
+		$(GO) run ./cmd/v2vbench -chaos -chaos-seed $$seed || exit 1; \
+	done

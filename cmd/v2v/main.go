@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		dot       = fs.Bool("dot", false, "with -explain, print Graphviz DOT")
 		stats     = fs.Bool("stats", false, "print execution metrics")
 		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
+		timeout   = fs.Duration("timeout", 0, "abort synthesis after this long (0 = no limit); a timed-out run leaves no partial output")
+		strict    = fs.Bool("strict", false, "fail fast on corrupt or undecodable source packets instead of concealing them")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
@@ -77,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		Optimize:    !*noOpt,
 		DataRewrite: !*noRewrite,
 		Parallelism: *parallel,
+		Conceal:     !*strict,
 		Trace:       tr,
 	}
 	// Whatever path exits, flush the trace if one was requested; a failed
@@ -117,9 +121,21 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		outPath = filepath.Join(tmp, "out.vmf")
 	}
 
-	res, err := v2v.Synthesize(spec, outPath, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := v2v.SynthesizeContext(ctx, spec, outPath, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("synthesis timed out after %v (no output written)", *timeout)
+		}
 		return err
+	}
+	if n := res.Metrics.TotalConcealed(); n > 0 {
+		fmt.Fprintf(stderr, "v2v: concealed %d corrupt frame(s); rerun with -strict to fail on corruption\n", n)
 	}
 	if *analyze {
 		fmt.Fprint(stdout, v2v.ExplainAnalyze(res))
@@ -132,6 +148,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		fmt.Fprintf(stdout, "intermediate    %d enc / %d dec\n", m.Intermediate.FramesEncoded, m.Intermediate.FramesDecoded)
 		fmt.Fprintf(stdout, "output encodes  %d\n", m.Output.FramesEncoded)
 		fmt.Fprintf(stdout, "packets copied  %d (%d bytes)\n", m.Output.PacketsCopied, m.Output.BytesCopied)
+		if n := m.TotalConcealed(); n > 0 {
+			fmt.Fprintf(stdout, "frames concealed %d\n", n)
+		}
 		if !res.RewriteStats.Skipped {
 			fmt.Fprintf(stdout, "data rewrites   %v (arms %d -> %d)\n",
 				res.RewriteStats.Applied, res.RewriteStats.ArmsBefore, res.RewriteStats.ArmsAfter)

@@ -70,14 +70,16 @@ type ablationJSON struct {
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, or all")
-		scale    = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
-		repeats  = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
-		parallel = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
-		dir      = flag.String("data", benchkit.DefaultDir(), "dataset cache directory")
-		stats    = flag.Bool("stats", false, "with -fig 5, print data-rewrite statistics")
-		jsonOut  = flag.String("json", "", "write per-query measurements as JSON to this file")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, or all")
+		scale     = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
+		repeats   = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
+		parallel  = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
+		dir       = flag.String("data", benchkit.DefaultDir(), "dataset cache directory")
+		stats     = flag.Bool("stats", false, "with -fig 5, print data-rewrite statistics")
+		jsonOut   = flag.String("json", "", "write per-query measurements as JSON to this file")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection suite instead of the figures: every query under seeded read faults, strict and concealment modes")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault streams (equal seeds replay equal faults)")
 	)
 	flag.Parse()
 
@@ -101,6 +103,21 @@ func main() {
 		Parallelism: *parallel,
 		Repeats:     *repeats,
 		Trace:       tr,
+	}
+
+	if *chaos {
+		fmt.Fprintln(os.Stderr, "provisioning KABR-sim ...")
+		kabr, err := benchkit.ProvisionKABR(*dir, sc)
+		if err != nil {
+			fatal(err)
+		}
+		rows, err := benchkit.ChaosRun(kabr, cfg, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(benchkit.FormatChaos(
+			fmt.Sprintf("Chaos — KABR-sim queries under seeded read faults (seed %d)", *chaosSeed), rows))
+		return
 	}
 
 	need3 := *fig == "3" || *fig == "all"

@@ -50,6 +50,8 @@ func main() {
 		specs    = flag.String("specs", ".", "directory for GET ?spec= lookups")
 		noOpt    = flag.Bool("no-opt", false, "disable the optimizer (for demos)")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
+		synthTO  = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
+		strict   = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
 		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out      = flag.String("out", "", "client mode: output VMF path")
 	)
@@ -66,6 +68,8 @@ func main() {
 	}
 
 	srv := newServer(*specs, !*noOpt, obs.Default())
+	srv.synthTimeout = *synthTO
+	srv.strict = *strict
 	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -95,16 +99,23 @@ func main() {
 type server struct {
 	specDir  string
 	optimize bool
-	reg      *obs.Registry
+	// synthTimeout bounds each request's synthesis (0 = unlimited); the
+	// request context is honored either way, so a disconnected client
+	// cancels its own synthesis.
+	synthTimeout time.Duration
+	// strict fails requests on corrupt source packets instead of concealing.
+	strict bool
+	reg    *obs.Registry
 
-	requests  *obs.Counter
-	errs4xx   *obs.Counter
-	errs5xx   *obs.Counter
-	synthOK   *obs.Counter
-	synthFail *obs.Counter
-	inflight  *obs.Gauge
-	wallHist  *obs.Histogram
-	firstHist *obs.Histogram
+	requests      *obs.Counter
+	errs4xx       *obs.Counter
+	errs5xx       *obs.Counter
+	synthOK       *obs.Counter
+	synthFail     *obs.Counter
+	synthCanceled *obs.Counter
+	inflight      *obs.Gauge
+	wallHist      *obs.Histogram
+	firstHist     *obs.Histogram
 }
 
 func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
@@ -120,6 +131,8 @@ func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
 		synthOK: reg.Counter("v2v_synthesis_total", "Completed syntheses."),
 		synthFail: reg.Counter("v2v_synthesis_failures_total",
 			"Syntheses that failed mid-stream, after headers were sent."),
+		synthCanceled: reg.Counter("v2v_synthesis_canceled_total",
+			"Syntheses stopped by client disconnect or the per-request timeout."),
 		inflight: reg.Gauge("v2v_inflight_requests", "Requests currently being served."),
 		wallHist: reg.Histogram("v2v_synthesis_wall_seconds",
 			"End-to-end synthesis wall time.", obs.LatencyBuckets()),
@@ -234,10 +247,25 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	if s.optimize {
 		opts = v2v.DefaultOptions()
 	}
+	opts.Conceal = !s.strict
+	// The request context cancels the synthesis when the client goes away;
+	// shard workers stop within one GOP of work instead of rendering a
+	// stream nobody is reading.
+	ctx := r.Context()
+	if s.synthTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.synthTimeout)
+		defer cancel()
+	}
 	w.Header().Set("Content-Type", "application/x-v2v-stream")
 	start := time.Now()
-	res, err := v2v.SynthesizeStream(spec, w, opts)
+	res, err := v2v.SynthesizeStreamContext(ctx, spec, w, opts)
 	if err != nil {
+		if ctx.Err() != nil {
+			s.synthCanceled.Inc()
+			log.Printf("v2vserve: synthesis canceled after %v: %v", time.Since(start), err)
+			return
+		}
 		// Headers may already be out; count the failure, log, and drop
 		// the connection so the client sees a truncated stream.
 		s.synthFail.Inc()
@@ -293,11 +321,11 @@ func fetch(url, outPath string) error {
 			break
 		}
 		if err != nil {
-			w.Close()
+			w.Abort()
 			return err
 		}
 		if err := w.WriteRawPacket(key, data); err != nil {
-			w.Close()
+			w.Abort()
 			return err
 		}
 		n++

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,8 +10,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"v2v/internal/dataset"
+	"v2v/internal/faults"
 	"v2v/internal/frame"
 	"v2v/internal/media"
 	"v2v/internal/obs"
@@ -242,5 +245,55 @@ func TestFetchRemuxesToVMF(t *testing.T) {
 	}
 	if err := fetch("http://127.0.0.1:1/nope", out); err == nil {
 		t.Error("unreachable server should fail")
+	}
+}
+
+// TestClientDisconnectCancelsSynthesis drops the client mid-stream and
+// asserts the server stops the synthesis cooperatively, counting it in
+// v2v_synthesis_canceled_total rather than as a failure.
+func TestClientDisconnectCancelsSynthesis(t *testing.T) {
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	// A long render over a slowed source: every read sleeps, so the
+	// synthesis is still mid-flight when the client walks away.
+	specText := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { cam: %q; }
+		render(t) = grade(cam[t], 5, 1.0, 1.0);`, vid)
+	inj := faults.New(faults.Config{Latency: 2 * time.Millisecond, LatencyProb: 1})
+	inj.Activate()
+	defer faults.Deactivate()
+
+	srv := newServer(dir, true, obs.NewRegistry())
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/synthesize", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read a little of the stream to prove synthesis started, then hang up.
+	io.CopyN(io.Discard, resp.Body, 64)
+	cancel()
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.synthCanceled.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("synthCanceled = %d, synthFail = %d; server never counted the disconnect",
+				srv.synthCanceled.Value(), srv.synthFail.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := srv.synthFail.Value(); n != 0 {
+		t.Errorf("client disconnect counted as failure (synthFail = %d)", n)
 	}
 }

@@ -269,6 +269,12 @@ type Decoder struct {
 // the structural constraint that forces plans to open GOPs at keyframes.
 var ErrNeedKeyframe = errors.New("codec: packet stream must start at a keyframe")
 
+// ErrUndecodable marks packets whose bitstream is structurally damaged
+// (unknown frame type, corrupt or truncated DEFLATE payload). The
+// executor's error-concealment mode matches this class to substitute the
+// last good frame instead of failing the synthesis.
+var ErrUndecodable = errors.New("codec: undecodable packet")
+
 // NewDecoder returns a decoder for the given configuration.
 func NewDecoder(cfg Config) (*Decoder, error) {
 	cfg = cfg.Defaults()
@@ -285,18 +291,18 @@ func (d *Decoder) Reset() { d.prev = nil }
 // caller (it is not reused by subsequent Decode calls).
 func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 	if len(data) < 1 {
-		return nil, errors.New("codec: empty packet")
+		return nil, fmt.Errorf("%w: empty packet", ErrUndecodable)
 	}
 	ftype := data[0]
 	if ftype != frameTypeI && ftype != frameTypeP {
-		return nil, fmt.Errorf("codec: unknown frame type 0x%02x", ftype)
+		return nil, fmt.Errorf("%w: unknown frame type 0x%02x", ErrUndecodable, ftype)
 	}
 	if ftype == frameTypeP && d.prev == nil {
 		return nil, ErrNeedKeyframe
 	}
 	fr := flate.NewReader(bytes.NewReader(data[1:]))
 	if _, err := io.ReadFull(fr, d.resid); err != nil {
-		return nil, fmt.Errorf("codec: decompress: %w", err)
+		return nil, fmt.Errorf("%w: decompress: %v", ErrUndecodable, err)
 	}
 	fr.Close()
 

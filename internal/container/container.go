@@ -9,15 +9,33 @@
 // touching packet data), the same role keyframe indexes play in Scanner
 // and LosslessCut.
 //
-// Layout:
+// Layout (version 2):
 //
-//	magic "VMF1" | u32 header length | JSON StreamInfo
+//	magic "VMF2" | u32 header length | JSON StreamInfo
 //	packet bytes ...
-//	index: per packet { i64 pts, u64 offset, u32 size, u8 key }
+//	index: per packet { i64 pts, u64 offset, u32 size, u8 key, u32 crc32 }
 //	footer: u64 index offset | u32 packet count | magic "XFMV"
+//
+// Version 1 files ("VMF1" magic, 21-byte index records without the CRC)
+// remain readable; writers always emit version 2. The per-packet CRC32
+// (IEEE) lets ReadPacket detect payload corruption at read time instead of
+// handing garbage to the decoder — see docs/ROBUSTNESS.md for the fault
+// model built on top of it.
 //
 // Timestamps are frame counts: packet PTS n has presentation time
 // Start + n/FPS, kept exact with rationals.
+//
+// Robustness properties:
+//
+//   - Writers are atomic: Create writes to <path>.tmp and Close renames it
+//     into place, so a crashed or aborted synthesis never leaves a
+//     truncated file at the target path. Abort discards the temp file.
+//   - ReadPacket verifies the index CRC (version 2) and returns errors
+//     wrapping ErrCorruptPacket for payload damage, which the executor's
+//     concealment mode matches on.
+//   - Transient read errors (anything implementing Transient() bool, as
+//     injected by internal/faults) are retried up to maxReadRetries times
+//     with doubling backoff before being reported.
 package container
 
 import (
@@ -25,20 +43,76 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"v2v/internal/rational"
 )
 
 const (
-	magicHead     = "VMF1"
+	magicHeadV1   = "VMF1"
+	magicHeadV2   = "VMF2"
 	magicFoot     = "XFMV"
-	indexRecSize  = 8 + 8 + 4 + 1
+	recSizeV1     = 8 + 8 + 4 + 1
+	recSizeV2     = 8 + 8 + 4 + 1 + 4
 	footerSize    = 8 + 4 + 4
 	maxHeaderSize = 1 << 20
+
+	// maxReadRetries bounds the retry loop for transient read errors;
+	// the k-th retry waits retryBackoff << k.
+	maxReadRetries = 3
+	retryBackoff   = time.Millisecond
 )
+
+// ErrCorruptPacket reports packet payload damage: a CRC mismatch against
+// the index, or a short read inside a packet's recorded extent. The
+// executor's error-concealment mode matches this error (and undecodable
+// packets) to substitute the last good frame instead of failing the run.
+var ErrCorruptPacket = errors.New("container: corrupt packet")
+
+// OnTransientRetry, when non-nil, is called once per retried transient
+// read (it feeds the v2v_transient_retries_total counter). It must be set
+// during init, before readers are in use.
+var OnTransientRetry func()
+
+// File is the abstract random-access file a Reader operates on. *os.File
+// implements it; internal/faults wraps it to inject read faults.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+}
+
+var (
+	wrapMu   sync.Mutex
+	fileWrap func(path string, f File) File
+)
+
+// SetFileWrapper installs a hook applied to every file opened by Open —
+// the seam chaos testing (v2vbench -chaos, internal/faults tests) uses to
+// inject faults into real synthesis runs. Pass nil to remove it. Intended
+// for tests and benchmarks only.
+func SetFileWrapper(w func(path string, f File) File) {
+	wrapMu.Lock()
+	fileWrap = w
+	wrapMu.Unlock()
+}
+
+func wrapOpenedFile(path string, f File) File {
+	wrapMu.Lock()
+	w := fileWrap
+	wrapMu.Unlock()
+	if w == nil {
+		return f
+	}
+	return w(path, f)
+}
 
 // StreamInfo describes the single video stream in a VMF file. Codec
 // parameters are carried in the container so a reader can construct a
@@ -93,25 +167,34 @@ func (si StreamInfo) FrameDur() rational.Rat {
 	return rational.One.Div(si.FPS)
 }
 
-// PacketRecord is one index entry.
+// PacketRecord is one index entry. CRC is the IEEE CRC32 of the packet
+// payload (0 in version-1 files, which carry no checksums).
 type PacketRecord struct {
 	PTS    int64
 	Offset int64
 	Size   int
 	Key    bool
+	CRC    uint32
 }
 
-// Writer writes a VMF file. Packets must be appended in strictly
-// increasing PTS order and the first packet must be a keyframe.
+// Writer writes a VMF (version 2) file. Packets must be appended in
+// strictly increasing PTS order and the first packet must be a keyframe.
+//
+// Output is atomic: bytes go to <path>.tmp and Close renames the finished
+// file into place, so a crash, error, or Abort never leaves a truncated
+// file at the target path.
 type Writer struct {
 	f      *os.File
+	path   string // final path, created by Close's rename
+	tmp    string // temp path holding the in-progress file
 	info   StreamInfo
 	recs   []PacketRecord
 	off    int64
 	closed bool
 }
 
-// Create opens path for writing and emits the header.
+// Create opens path for writing and emits the header. The data lands at
+// <path>.tmp until Close succeeds.
 func Create(path string, info StreamInfo) (*Writer, error) {
 	if err := info.Validate(); err != nil {
 		return nil, err
@@ -120,18 +203,19 @@ func Create(path string, info StreamInfo) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("container: marshal header: %w", err)
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return nil, fmt.Errorf("container: %w", err)
 	}
-	w := &Writer{f: f, info: info}
+	w := &Writer{f: f, path: path, tmp: tmp, info: info}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(hdr)))
-	for _, b := range [][]byte{[]byte(magicHead), lenBuf[:], hdr} {
+	for _, b := range [][]byte{[]byte(magicHeadV2), lenBuf[:], hdr} {
 		n, err := f.Write(b)
 		if err != nil {
 			f.Close()
-			os.Remove(path)
+			os.Remove(tmp)
 			return nil, fmt.Errorf("container: write header: %w", err)
 		}
 		w.off += int64(n)
@@ -142,7 +226,7 @@ func Create(path string, info StreamInfo) (*Writer, error) {
 // Info returns the stream info the writer was created with.
 func (w *Writer) Info() StreamInfo { return w.info }
 
-// WritePacket appends one packet.
+// WritePacket appends one packet, recording its CRC32 in the index.
 func (w *Writer) WritePacket(pts int64, key bool, data []byte) error {
 	if w.closed {
 		return errors.New("container: writer closed")
@@ -159,20 +243,25 @@ func (w *Writer) WritePacket(pts int64, key bool, data []byte) error {
 	if _, err := w.f.Write(data); err != nil {
 		return fmt.Errorf("container: write packet: %w", err)
 	}
-	w.recs = append(w.recs, PacketRecord{PTS: pts, Offset: w.off, Size: len(data), Key: key})
+	w.recs = append(w.recs, PacketRecord{
+		PTS: pts, Offset: w.off, Size: len(data), Key: key,
+		CRC: crc32.ChecksumIEEE(data),
+	})
 	w.off += int64(len(data))
 	return nil
 }
 
-// Close writes the index and footer and closes the file.
+// Close writes the index and footer, closes the temp file, and renames it
+// to the target path. On any error the temp file is removed and nothing
+// appears at the target path.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
 	idxOff := w.off
-	buf := make([]byte, 0, len(w.recs)*indexRecSize+footerSize)
-	var rec [indexRecSize]byte
+	buf := make([]byte, 0, len(w.recs)*recSizeV2+footerSize)
+	var rec [recSizeV2]byte
 	for _, r := range w.recs {
 		binary.LittleEndian.PutUint64(rec[0:], uint64(r.PTS))
 		binary.LittleEndian.PutUint64(rec[8:], uint64(r.Offset))
@@ -181,6 +270,7 @@ func (w *Writer) Close() error {
 		if r.Key {
 			rec[20] = 1
 		}
+		binary.LittleEndian.PutUint32(rec[21:], r.CRC)
 		buf = append(buf, rec[:]...)
 	}
 	var foot [footerSize]byte
@@ -188,23 +278,54 @@ func (w *Writer) Close() error {
 	binary.LittleEndian.PutUint32(foot[8:], uint32(len(w.recs)))
 	copy(foot[12:], magicFoot)
 	buf = append(buf, foot[:]...)
+	w.recs = nil // release the index buffer either way
 	if _, err := w.f.Write(buf); err != nil {
 		w.f.Close()
+		os.Remove(w.tmp)
 		return fmt.Errorf("container: write index: %w", err)
 	}
 	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
 		return fmt.Errorf("container: close: %w", err)
+	}
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		os.Remove(w.tmp)
+		return fmt.Errorf("container: finalize: %w", err)
 	}
 	return nil
 }
 
-// Reader reads a VMF file. Safe for concurrent ReadPacket calls (it uses
-// positioned reads).
-type Reader struct {
-	f    *os.File
-	info StreamInfo
-	recs []PacketRecord
+// Abort discards the in-progress file: it closes and removes the temp
+// file without ever touching the target path. Calling Abort after a
+// successful Close (or calling it twice) is a no-op.
+func (w *Writer) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.recs = nil
+	err := w.f.Close()
+	if rerr := os.Remove(w.tmp); rerr != nil && err == nil {
+		err = rerr
+	}
+	if err != nil {
+		return fmt.Errorf("container: abort: %w", err)
+	}
+	return nil
 }
+
+// Reader reads a VMF file (version 1 or 2). Safe for concurrent
+// ReadPacket calls (it uses positioned reads).
+type Reader struct {
+	f       File
+	info    StreamInfo
+	recs    []PacketRecord
+	version int
+	retries atomic.Int64 // transient read retries performed
+}
+
+// Retries returns how many transient read retries this reader performed.
+func (r *Reader) Retries() int64 { return r.retries.Load() }
 
 // Open opens and indexes a VMF file.
 func Open(path string) (*Reader, error) {
@@ -212,21 +333,34 @@ func Open(path string) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("container: %w", err)
 	}
-	r, err := newReader(f)
+	file := wrapOpenedFile(path, f)
+	r, err := NewReader(file)
 	if err != nil {
-		f.Close()
+		file.Close()
 		return nil, err
 	}
 	return r, nil
 }
 
-func newReader(f *os.File) (*Reader, error) {
+// NewReader indexes an already-open file. The reader takes ownership of f
+// on success (Close closes it); on error the caller keeps ownership.
+func NewReader(f File) (*Reader, error) {
 	var head [8]byte
 	if _, err := io.ReadFull(f, head[:]); err != nil {
 		return nil, fmt.Errorf("container: read magic: %w", err)
 	}
-	if string(head[:4]) != magicHead {
+	version := 0
+	switch string(head[:4]) {
+	case magicHeadV1:
+		version = 1
+	case magicHeadV2:
+		version = 2
+	default:
 		return nil, fmt.Errorf("container: bad magic %q", head[:4])
+	}
+	recSize := recSizeV2
+	if version == 1 {
+		recSize = recSizeV1
 	}
 	hdrLen := binary.LittleEndian.Uint32(head[4:])
 	if hdrLen == 0 || hdrLen > maxHeaderSize {
@@ -260,22 +394,25 @@ func newReader(f *os.File) (*Reader, error) {
 	}
 	idxOff := int64(binary.LittleEndian.Uint64(foot[0:]))
 	count := int(binary.LittleEndian.Uint32(foot[8:]))
-	if idxOff < 0 || idxOff > end-footerSize || int64(count)*indexRecSize != end-footerSize-idxOff {
+	if idxOff < 0 || idxOff > end-footerSize || int64(count)*int64(recSize) != end-footerSize-idxOff {
 		return nil, errors.New("container: corrupt index geometry")
 	}
-	idx := make([]byte, count*indexRecSize)
+	idx := make([]byte, count*recSize)
 	if _, err := f.ReadAt(idx, idxOff); err != nil {
 		return nil, fmt.Errorf("container: read index: %w", err)
 	}
 	headerEnd := int64(8 + hdrLen)
 	recs := make([]PacketRecord, count)
 	for i := range recs {
-		rec := idx[i*indexRecSize:]
+		rec := idx[i*recSize:]
 		recs[i] = PacketRecord{
 			PTS:    int64(binary.LittleEndian.Uint64(rec[0:])),
 			Offset: int64(binary.LittleEndian.Uint64(rec[8:])),
 			Size:   int(binary.LittleEndian.Uint32(rec[16:])),
 			Key:    rec[20] == 1,
+		}
+		if version >= 2 {
+			recs[i].CRC = binary.LittleEndian.Uint32(rec[21:])
 		}
 		// Validate each record against the file geometry so that a
 		// corrupted index cannot demand absurd allocations or reads.
@@ -293,7 +430,7 @@ func newReader(f *os.File) (*Reader, error) {
 	if count > 0 && !recs[0].Key {
 		return nil, errors.New("container: stream does not start at a keyframe")
 	}
-	return &Reader{f: f, info: info, recs: recs}, nil
+	return &Reader{f: f, info: info, recs: recs, version: version}, nil
 }
 
 // Close releases the underlying file.
@@ -301,6 +438,10 @@ func (r *Reader) Close() error { return r.f.Close() }
 
 // Info returns the stream description.
 func (r *Reader) Info() StreamInfo { return r.info }
+
+// Version returns the container format version (1 or 2). Version-1 files
+// carry no packet CRCs, so payload corruption surfaces only at decode.
+func (r *Reader) Version() int { return r.version }
 
 // NumPackets returns the number of packets in the file.
 func (r *Reader) NumPackets() int { return len(r.recs) }
@@ -311,16 +452,56 @@ func (r *Reader) Record(i int) PacketRecord { return r.recs[i] }
 // Records returns the full packet index (do not mutate).
 func (r *Reader) Records() []PacketRecord { return r.recs }
 
-// ReadPacket reads the payload of packet i.
+// transienter marks retryable errors (EAGAIN-class); internal/faults
+// produces them, and real backends could too.
+type transienter interface{ Transient() bool }
+
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// ReadPacket reads the payload of packet i, verifying the index CRC
+// (version 2). Payload damage — CRC mismatch or a short read inside the
+// recorded extent — is reported wrapping ErrCorruptPacket; transient read
+// errors are retried with bounded backoff first.
 func (r *Reader) ReadPacket(i int) ([]byte, error) {
 	if i < 0 || i >= len(r.recs) {
 		return nil, fmt.Errorf("container: packet %d out of range [0,%d)", i, len(r.recs))
 	}
-	buf := make([]byte, r.recs[i].Size)
-	if _, err := r.f.ReadAt(buf, r.recs[i].Offset); err != nil {
+	rec := r.recs[i]
+	buf := make([]byte, rec.Size)
+	if err := r.readAt(buf, rec.Offset); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: packet %d short read: %v", ErrCorruptPacket, i, err)
+		}
 		return nil, fmt.Errorf("container: read packet %d: %w", i, err)
 	}
+	if r.version >= 2 {
+		if got := crc32.ChecksumIEEE(buf); got != rec.CRC {
+			return nil, fmt.Errorf("%w: packet %d CRC mismatch (index %08x, payload %08x)",
+				ErrCorruptPacket, i, rec.CRC, got)
+		}
+	}
 	return buf, nil
+}
+
+// readAt is ReadAt with bounded retry/backoff on the transient error
+// class (the policy documented in docs/ROBUSTNESS.md).
+func (r *Reader) readAt(buf []byte, off int64) error {
+	backoff := retryBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := r.f.ReadAt(buf, off)
+		if err == nil || !isTransient(err) || attempt >= maxReadRetries {
+			return err
+		}
+		r.retries.Add(1)
+		if OnTransientRetry != nil {
+			OnTransientRetry()
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // IndexOfPTS returns the packet index with the given PTS, or (-1, false).

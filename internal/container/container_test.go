@@ -133,7 +133,9 @@ func TestOpenRejectsCorruptFiles(t *testing.T) {
 			t.Errorf("%s: Open succeeded", name)
 		}
 	}
-	// Unclosed writer: header + packets but no footer.
+	// Unclosed writer: header + packets but no footer. With atomic
+	// writes the half-written bytes live at <path>.tmp; the target path
+	// must not exist at all, and the temp file must fail footer checks.
 	p := filepath.Join(dir, "unclosed.vmf")
 	w, err := Create(p, testInfo())
 	if err != nil {
@@ -141,8 +143,11 @@ func TestOpenRejectsCorruptFiles(t *testing.T) {
 	}
 	w.WritePacket(0, true, make([]byte, 100))
 	w.f.Close() // bypass Close to simulate crash
-	if _, err := Open(p); err == nil {
-		t.Error("unclosed file should fail to open")
+	if _, err := os.Stat(p); err == nil {
+		t.Error("crashed writer left a file at the target path")
+	}
+	if _, err := Open(p + ".tmp"); err == nil {
+		t.Error("unclosed temp file should fail to open")
 	}
 }
 

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -36,6 +37,10 @@ type Options struct {
 	Parallelism int
 	// DB provides tables for sql-declared data arrays.
 	DB *sqlmini.DB
+	// Conceal switches execution from fail-fast to error-concealment mode:
+	// corrupt or undecodable source packets are replaced by holding the
+	// last good frame instead of failing the synthesis. See exec.Options.
+	Conceal bool
 	// Trace, when set, records one span per pipeline stage (parse, check,
 	// rewrite, optimize, execute), per optimizer pass, per segment, and
 	// per shard worker. Export it with obs.Trace.WriteJSON.
@@ -134,14 +139,26 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 	return p, rStats, oStats, nil
 }
 
+// execOptions translates core options to executor options.
+func execOptions(o Options) exec.Options {
+	return exec.Options{Parallelism: o.Parallelism, Conceal: o.Conceal, Trace: o.Trace}
+}
+
 // Synthesize runs the full pipeline and writes the result video to
 // outPath.
 func Synthesize(spec *vql.Spec, outPath string, o Options) (*Result, error) {
+	return SynthesizeContext(context.Background(), spec, outPath, o)
+}
+
+// SynthesizeContext is Synthesize with cooperative cancellation: the
+// executor checks ctx before every segment and at every GOP boundary. A
+// cancelled run returns ctx.Err() and leaves nothing at outPath.
+func SynthesizeContext(ctx context.Context, spec *vql.Spec, outPath string, o Options) (*Result, error) {
 	p, rStats, oStats, err := Plan(spec, o)
 	if err != nil {
 		return nil, err
 	}
-	metrics, err := exec.Execute(p, outPath, exec.Options{Parallelism: o.Parallelism, Trace: o.Trace})
+	metrics, err := exec.Execute(ctx, p, outPath, execOptions(o))
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +173,19 @@ func Synthesize(spec *vql.Spec, outPath string, o Options) (*Result, error) {
 
 // SynthesizeSource parses the textual spec grammar and synthesizes it.
 func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
+	return SynthesizeSourceContext(context.Background(), src, outPath, o)
+}
+
+// SynthesizeSourceContext is SynthesizeSource with cooperative
+// cancellation; see SynthesizeContext.
+func SynthesizeSourceContext(ctx context.Context, src, outPath string, o Options) (*Result, error) {
 	sp := o.Trace.StartSpan("parse")
 	spec, err := vql.Parse(src)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return Synthesize(spec, outPath, o)
+	return SynthesizeContext(ctx, spec, outPath, o)
 }
 
 // SynthesizeStream runs the pipeline and delivers the result progressively
@@ -171,6 +194,13 @@ func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
 // the paper's "begin playback within seconds" property. The result's
 // Metrics.FirstOutput records the latency to the first packet.
 func SynthesizeStream(spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
+	return SynthesizeStreamContext(context.Background(), spec, w, o)
+}
+
+// SynthesizeStreamContext is SynthesizeStream with cooperative
+// cancellation. A cancelled run stops without the end-of-stream marker,
+// so consumers observe truncation rather than a spuriously clean end.
+func SynthesizeStreamContext(ctx context.Context, spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
 	p, rStats, oStats, err := Plan(spec, o)
 	if err != nil {
 		return nil, err
@@ -181,7 +211,7 @@ func SynthesizeStream(spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	metrics, err := exec.ExecuteTo(p, sink, exec.Options{Parallelism: o.Parallelism, Trace: o.Trace})
+	metrics, err := exec.ExecuteTo(ctx, p, sink, execOptions(o))
 	if err != nil {
 		return nil, err
 	}

@@ -11,11 +11,13 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"v2v/internal/codec"
+	"v2v/internal/container"
 	"v2v/internal/data"
 	"v2v/internal/frame"
 	"v2v/internal/media"
@@ -26,11 +28,32 @@ import (
 	"v2v/internal/vql"
 )
 
+// Process-wide robustness metrics, exported via the default obs registry
+// (scraped at v2vserve's /metrics; see docs/OBSERVABILITY.md).
+var (
+	panicsRecovered = obs.Default().Counter("v2v_panics_recovered_total",
+		"Shard worker panics recovered and converted into per-segment errors.")
+	framesConcealed = obs.Default().Counter("v2v_frames_concealed_total",
+		"Corrupt or undecodable packets concealed by holding the last good frame.")
+	transientRetries = obs.Default().Counter("v2v_transient_retries_total",
+		"Transient container read errors retried with bounded backoff.")
+)
+
+func init() {
+	container.OnTransientRetry = transientRetries.Inc
+}
+
 // Options configures execution.
 type Options struct {
 	// Parallelism caps concurrently running shards; 0 means unlimited
 	// (the plan's shard counts already reflect the optimizer's cap).
 	Parallelism int
+	// Conceal switches the engine from fail-fast to error-concealment
+	// mode: a corrupt or undecodable source packet is replaced by holding
+	// the last good frame (counted in Metrics and SegmentActuals) instead
+	// of failing the synthesis. Structural damage (unreadable header or
+	// index) and I/O failures remain fatal in both modes.
+	Conceal bool
 	// Trace, when set, records one span per segment and per shard worker.
 	Trace *obs.Trace
 }
@@ -67,22 +90,36 @@ func (m *Metrics) TotalDecodes() int64 {
 	return m.Source.FramesDecoded + m.Intermediate.FramesDecoded + m.Output.FramesDecoded
 }
 
-// Execute runs the plan and writes the synthesized video to outPath.
-func Execute(p *plan.Plan, outPath string, o Options) (*Metrics, error) {
+// TotalConcealed sums every concealed frame anywhere in the plan —
+// non-zero only in concealment mode on damaged inputs.
+func (m *Metrics) TotalConcealed() int64 {
+	return m.Source.FramesConcealed + m.Intermediate.FramesConcealed + m.Output.FramesConcealed
+}
+
+// Execute runs the plan and writes the synthesized video to outPath. On
+// error (including cancellation) the partial output is discarded: nothing
+// is ever left at outPath.
+func Execute(ctx context.Context, p *plan.Plan, outPath string, o Options) (*Metrics, error) {
 	info := p.Checked.Output
 	info.Start = rational.Zero
 	w, err := media.CreateWriter(outPath, info)
 	if err != nil {
 		return nil, err
 	}
-	return ExecuteTo(p, w, o)
+	return ExecuteTo(ctx, p, w, o)
 }
 
 // ExecuteTo runs the plan against an arbitrary packet sink (a VMF file
 // writer or a progressive stream) and closes the sink. Pipelined shard
 // output means a streaming consumer starts receiving packets while later
 // segments are still rendering.
-func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
+//
+// Cancellation is cooperative: ctx is checked before every segment and at
+// every GOP boundary inside render loops (sequential and per shard
+// worker), so a cancelled synthesis stops within one GOP of work per
+// goroutine. On any failure the sink is aborted, not closed — a file sink
+// leaves nothing at its target path.
+func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 	start := time.Now()
 	m := &Metrics{}
 	markFirst := func() {
@@ -90,21 +127,37 @@ func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 			m.FirstOutput = time.Since(start)
 		}
 	}
-	readers := newReaderCache(p)
+	// Registered before the reader cache's defer so it runs after closeAll
+	// has folded still-open readers' stats into m — the counter then sees
+	// copy-path concealments too, on success and failure alike.
+	defer func() { framesConcealed.Add(m.TotalConcealed()) }()
+	readers := newReaderCache(p, o.Conceal)
 	defer readers.closeAll(m)
 
 	execSpan := o.Trace.StartSpan("execute")
+	fail := func(err error) (*Metrics, error) {
+		// Prefer the context's error when cancellation is what stopped us,
+		// so callers can match context.Canceled / DeadlineExceeded.
+		if cerr := ctx.Err(); cerr != nil {
+			err = cerr
+		}
+		execSpan.SetAttr("error", err.Error())
+		execSpan.End()
+		w.Abort()
+		return nil, err
+	}
 	for i, s := range p.Segments {
-		if err := runSegment(p, i, s, w, m, o, readers, markFirst); err != nil {
-			execSpan.SetAttr("error", err.Error())
-			execSpan.End()
-			w.Close()
-			return nil, err
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		if err := runSegment(ctx, p, i, s, w, m, o, readers, markFirst); err != nil {
+			return fail(err)
 		}
 		markFirst()
 	}
 	if err := w.Close(); err != nil {
 		execSpan.End()
+		w.Abort()
 		return nil, err
 	}
 	m.Output.Add(w.Stats())
@@ -112,6 +165,7 @@ func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 	execSpan.SetAttr("segments", len(p.Segments))
 	execSpan.SetAttr("frames_encoded", m.Output.FramesEncoded)
 	execSpan.SetAttr("packets_copied", m.Output.PacketsCopied)
+	execSpan.SetAttr("frames_concealed", m.TotalConcealed())
 	execSpan.SetAttr("first_output_us", m.FirstOutput.Microseconds())
 	execSpan.End()
 	return m, nil
@@ -119,11 +173,12 @@ func ExecuteTo(p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 
 // runSegment executes one segment, measuring its actual costs into
 // m.Segments and recording a span with the decoded/encoded/copied counts.
-func runSegment(p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func()) error {
+func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func()) error {
 	segStart := time.Now()
 	sinkBefore := w.Stats()
 	renderedBefore := m.FramesRendered
 	decodedBefore := m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes()
+	concealedBefore := m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed()
 	sp := o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))
 	sp.SetAttr("kind", s.Kind.String())
 	sp.SetAttr("t_start", s.Times.Start.String())
@@ -150,7 +205,7 @@ func runSegment(p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, 
 			segErr = fmt.Errorf("exec: smart cut segment: %w", err)
 		}
 	case plan.SegFrames:
-		segErr = runFrameSegment(p, s, w, m, o, markFirst, sp)
+		segErr = runFrameSegment(ctx, p, s, w, m, o, markFirst, sp)
 	default:
 		segErr = fmt.Errorf("exec: unknown segment kind %v", s.Kind)
 	}
@@ -168,10 +223,12 @@ func runSegment(p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, 
 		FramesEncoded:  sinkAfter.FramesEncoded - sinkBefore.FramesEncoded,
 		PacketsCopied:  sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
 		BytesCopied:    sinkAfter.BytesCopied - sinkBefore.BytesCopied,
+		Concealed:      m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed() - concealedBefore,
 		Shards:         effectiveShards(s, o),
 	}
 	m.Segments = append(m.Segments, act)
 	sp.SetAttr("frames_decoded", act.FramesDecoded)
+	sp.SetAttr("frames_concealed", act.Concealed)
 	sp.SetAttr("frames_encoded", act.FramesEncoded)
 	sp.SetAttr("packets_copied", act.PacketsCopied)
 	sp.SetAttr("frames_rendered", act.FramesRendered)
@@ -198,13 +255,14 @@ func effectiveShards(s *plan.Segment, o Options) int {
 
 // readerCache shares sequential readers across same-goroutine segments.
 type readerCache struct {
-	p  *plan.Plan
-	mu sync.Mutex
-	rs map[string]*media.Reader
+	p       *plan.Plan
+	conceal bool
+	mu      sync.Mutex
+	rs      map[string]*media.Reader
 }
 
-func newReaderCache(p *plan.Plan) *readerCache {
-	return &readerCache{p: p, rs: map[string]*media.Reader{}}
+func newReaderCache(p *plan.Plan, conceal bool) *readerCache {
+	return &readerCache{p: p, conceal: conceal, rs: map[string]*media.Reader{}}
 }
 
 func (c *readerCache) get(video string) (*media.Reader, error) {
@@ -221,6 +279,7 @@ func (c *readerCache) get(video string) (*media.Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetConceal(c.conceal)
 	c.rs[video] = r
 	return r, nil
 }
@@ -234,6 +293,17 @@ func (c *readerCache) liveDecodes() int64 {
 	var n int64
 	for _, r := range c.rs {
 		n += r.Stats().FramesDecoded
+	}
+	return n
+}
+
+// liveConcealed is liveDecodes' counterpart for concealed frames.
+func (c *readerCache) liveConcealed() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int64
+	for _, r := range c.rs {
+		n += r.Stats().FramesConcealed
 	}
 	return n
 }
@@ -263,17 +333,26 @@ func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, erro
 // runFrameSegment renders one segment, splitting it into shards when the
 // plan asks for parallelism. segSpan (nil when tracing is off) parents the
 // per-shard-worker spans.
-func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func(), segSpan *obs.Span) error {
+func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func(), segSpan *obs.Span) error {
 	frames := s.FrameCount()
 	if frames == 0 {
 		return nil
 	}
+	gop := p.Checked.Output.GOP
+	if gop <= 0 {
+		gop = 48
+	}
 	shards := effectiveShards(s, o)
 	if shards == 1 {
 		// Sequential: encode through the output writer directly.
-		run := newSegmentRunner(p, s)
+		run := newSegmentRunner(p, s, o.Conceal)
 		defer run.close(m)
 		for i := 0; i < frames; i++ {
+			if i%gop == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fr, err := run.renderAt(s.Times.At(i))
 			if err != nil {
 				return err
@@ -289,10 +368,6 @@ func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o 
 
 	// Parallel shards: each renders and encodes its chunk into memory;
 	// packets splice in order afterwards.
-	gop := p.Checked.Output.GOP
-	if gop <= 0 {
-		gop = 48
-	}
 	per := (frames + shards - 1) / shards
 	// Align chunk length to GOP so forced shard keyframes match cadence.
 	if rem := per % gop; rem != 0 {
@@ -325,7 +400,19 @@ func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o 
 				sp.SetAttr("frames_encoded", len(ch.pkts))
 				sp.End()
 			}()
-			run := newSegmentRunner(p, s)
+			// Isolate the worker: a panic anywhere in this goroutine (runner
+			// construction, encoder setup, splice bookkeeping) would crash
+			// the whole process since no caller frame can recover across a
+			// `go`. Convert it to a per-segment error instead. renderAt has
+			// its own recover for transform panics; this is the backstop for
+			// everything else.
+			defer func() {
+				if r := recover(); r != nil {
+					panicsRecovered.Inc()
+					ch.err = fmt.Errorf("exec: shard [%d,%d) panicked: %v", ch.lo, ch.hi, r)
+				}
+			}()
+			run := newSegmentRunner(p, s, o.Conceal)
 			defer func() {
 				mu.Lock()
 				run.close(m)
@@ -341,6 +428,12 @@ func runFrameSegment(p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o 
 				return
 			}
 			for i := ch.lo; i < ch.hi; i++ {
+				if (i-ch.lo)%gop == 0 {
+					if err := ctx.Err(); err != nil {
+						ch.err = err
+						return
+					}
+				}
 				fr, err := run.renderAt(s.Times.At(i))
 				if err != nil {
 					ch.err = err
@@ -390,7 +483,7 @@ type segmentRunner struct {
 	root    *nodeRunner
 }
 
-func newSegmentRunner(p *plan.Plan, s *plan.Segment) *segmentRunner {
+func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool) *segmentRunner {
 	paths := make(map[string]string, len(p.Checked.Sources))
 	for name, src := range p.Checked.Sources {
 		paths[name] = src.Path
@@ -400,6 +493,7 @@ func newSegmentRunner(p *plan.Plan, s *plan.Segment) *segmentRunner {
 		cursors: media.NewCursors(paths, 0),
 		data:    arraySource(p.Checked.Arrays),
 	}
+	run.cursors.SetConceal(conceal)
 	run.root = run.buildRunner(s.Root)
 	return run
 }

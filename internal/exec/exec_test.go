@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -64,7 +65,7 @@ func buildPlan(t *testing.T, body string, optimize bool) *plan.Plan {
 func TestExecuteMetricsUnoptimizedFilterChain(t *testing.T) {
 	p := buildPlan(t, `render(t) = grade(zoom(v[t], 2), 10, 1.1, 1.0);`, false)
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{})
+	m, err := Execute(context.Background(), p, out, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestExecuteMetricsUnoptimizedFilterChain(t *testing.T) {
 func TestExecuteOptimizedSkipsIntermediates(t *testing.T) {
 	p := buildPlan(t, `render(t) = grade(zoom(v[t], 2), 10, 1.1, 1.0);`, true)
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{})
+	m, err := Execute(context.Background(), p, out, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestExecuteEmptySegmentTolerated(t *testing.T) {
 	}
 	p.Segments = append(p.Segments, empty)
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{})
+	m, err := Execute(context.Background(), p, out, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,21 +122,21 @@ func TestExecuteEmptySegmentTolerated(t *testing.T) {
 func TestExecuteUnknownVideoInPlan(t *testing.T) {
 	p := buildPlan(t, `render(t) = v[t];`, false)
 	p.Segments[0].Root = &plan.Node{Clip: &plan.Clip{Video: "ghost", Index: vql.TimeVar{}}}
-	if _, err := Execute(p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
+	if _, err := Execute(context.Background(), p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
 		t.Error("unknown video should fail")
 	}
 	// Copy segment with unknown video.
 	p2 := buildPlan(t, `render(t) = v[t];`, false)
 	p2.Segments[0].Kind = plan.SegCopy
 	p2.Segments[0].Video = "ghost"
-	if _, err := Execute(p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
+	if _, err := Execute(context.Background(), p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
 		t.Error("unknown copy video should fail")
 	}
 }
 
 func TestExecuteBadOutputPath(t *testing.T) {
 	p := buildPlan(t, `render(t) = v[t];`, false)
-	if _, err := Execute(p, "/nonexistent-dir/x.vmf", Options{}); err == nil {
+	if _, err := Execute(context.Background(), p, "/nonexistent-dir/x.vmf", Options{}); err == nil {
 		t.Error("bad output path should fail")
 	}
 }
@@ -144,7 +145,7 @@ func TestExecuteParallelismCap(t *testing.T) {
 	p := buildPlan(t, `render(t) = blur(v[t], 1.0);`, true)
 	p.Segments[0].Shards = 8
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{Parallelism: 2})
+	m, err := Execute(context.Background(), p, out, Options{Parallelism: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestExecuteShardKeyframeCadence(t *testing.T) {
 	p := buildPlan(t, `render(t) = grade(v[t], 5, 1.0, 1.0);`, true)
 	p.Segments[0].Shards = 2
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	if _, err := Execute(p, out, Options{}); err != nil {
+	if _, err := Execute(context.Background(), p, out, Options{}); err != nil {
 		t.Fatal(err)
 	}
 	r, err := media.OpenReader(out)
@@ -196,7 +197,7 @@ func TestCursorsReuseUnderInterleavedTaps(t *testing.T) {
 	// output frame.
 	p := buildPlan(t, `render(t) = grid(v[t], v[t + 1/2], v[t + 1], v[t + 3/2]);`, true)
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{})
+	m, err := Execute(context.Background(), p, out, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,25 +208,35 @@ func TestCursorsReuseUnderInterleavedTaps(t *testing.T) {
 	}
 }
 
-func TestRenderPanicBecomesError(t *testing.T) {
-	// A panicking transform (registered here as a UDF) must fail the run
-	// with an error, not crash the process.
+// registerPanicUDF registers a frame->frame transform that panics,
+// skipping the registration if an earlier run of the same process (e.g.
+// go test -count=N) already did it.
+func registerPanicUDF(name string) {
+	if _, ok := vql.Lookup(name); ok {
+		return
+	}
 	vql.Register(&vql.Transform{
-		Name:   "testexec_panic",
+		Name:   name,
 		Params: []vql.Type{vql.TypeFrame},
 		Result: vql.TypeFrame,
 		Eval: func([]vql.Val) (vql.Val, error) {
 			panic("boom")
 		},
 	})
+}
+
+func TestRenderPanicBecomesError(t *testing.T) {
+	// A panicking transform (registered here as a UDF) must fail the run
+	// with an error, not crash the process.
+	registerPanicUDF("testexec_panic")
 	p := buildPlan(t, `render(t) = testexec_panic(v[t]);`, true)
-	if _, err := Execute(p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
+	if _, err := Execute(context.Background(), p, filepath.Join(t.TempDir(), "o.vmf"), Options{}); err == nil {
 		t.Fatal("panicking transform should surface as an error")
 	}
 	// Parallel shards too.
 	p2 := buildPlan(t, `render(t) = testexec_panic(v[t]);`, true)
 	p2.Segments[0].Shards = 2
-	if _, err := Execute(p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
+	if _, err := Execute(context.Background(), p2, filepath.Join(t.TempDir(), "o2.vmf"), Options{}); err == nil {
 		t.Fatal("panicking shard should surface as an error")
 	}
 }
@@ -235,7 +246,7 @@ func TestExecuteRecordsSegmentActualsAndShardSpans(t *testing.T) {
 	p.Segments[0].Shards = 2
 	tr := obs.NewTrace("test")
 	out := filepath.Join(t.TempDir(), "o.vmf")
-	m, err := Execute(p, out, Options{Trace: tr})
+	m, err := Execute(context.Background(), p, out, Options{Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}

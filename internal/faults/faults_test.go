@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// memFile is an in-memory container.File for driving the injector
+// without disk I/O.
+type memFile struct {
+	data []byte
+	pos  int64
+}
+
+func (m *memFile) Read(p []byte) (int, error) {
+	if m.pos >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[m.pos:])
+	m.pos += int64(n)
+	return n, nil
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(len(m.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.data[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (m *memFile) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.pos = offset
+	case io.SeekCurrent:
+		m.pos += offset
+	case io.SeekEnd:
+		m.pos = int64(len(m.data)) + offset
+	}
+	return m.pos, nil
+}
+
+func (m *memFile) Close() error { return nil }
+
+// replay drives n fixed-size reads through a fresh injector with the
+// given seed and returns the delivered stats plus every buffer read.
+func replay(seed int64, n int) (Stats, [][]byte) {
+	in := New(Config{Seed: seed, BitFlip: 0.3, Truncate: 0.2, Transient: 0.2})
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	f := in.WrapFile("mem", &memFile{data: src})
+	var bufs [][]byte
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 32)
+		f.ReadAt(buf, 0)
+		bufs = append(bufs, buf)
+	}
+	return in.Stats(), bufs
+}
+
+// TestInjectorDeterministic checks the core reproducibility promise:
+// equal seeds and equal operation sequences deliver identical faults.
+func TestInjectorDeterministic(t *testing.T) {
+	s1, b1 := replay(42, 50)
+	s2, b2 := replay(42, 50)
+	if s1 != s2 {
+		t.Errorf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	for i := range b1 {
+		if !bytes.Equal(b1[i], b2[i]) {
+			t.Errorf("read %d differs between identical-seed runs", i)
+		}
+	}
+	if s1.Reads != 50 {
+		t.Errorf("Reads = %d, want 50", s1.Reads)
+	}
+	if s1.BitFlips+s1.Truncations+s1.Transients == 0 {
+		t.Error("high-probability config delivered no faults at all")
+	}
+
+	s3, _ := replay(43, 50)
+	if s1 == s3 {
+		t.Error("different seeds delivered identical stats (suspicious)")
+	}
+}
+
+// TestAtMostOneDataFaultPerRead verifies the severity ordering: the
+// fault counts never exceed the number of reads (one data fault max per
+// operation).
+func TestAtMostOneDataFaultPerRead(t *testing.T) {
+	s, _ := replay(7, 200)
+	if total := s.BitFlips + s.Truncations + s.Transients; total > s.Reads {
+		t.Errorf("%d data faults across %d reads — more than one per op", total, s.Reads)
+	}
+}
+
+// TestTransientErrShape checks the injected error satisfies the
+// Transient() contract the container retry loop sniffs for.
+func TestTransientErrShape(t *testing.T) {
+	in := New(Config{Seed: 1, Transient: 1})
+	f := in.WrapFile("mem", &memFile{data: make([]byte, 8)})
+	_, err := f.ReadAt(make([]byte, 4), 0)
+	var te *TransientErr
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TransientErr", err)
+	}
+	if !te.Transient() {
+		t.Error("TransientErr.Transient() = false")
+	}
+}
+
+// TestCorruptRangeDeterministic checks CorruptRange damages exactly the
+// requested window, never leaves a byte unchanged, and replays
+// identically for equal seeds.
+func TestCorruptRangeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	orig := make([]byte, 100)
+	for i := range orig {
+		orig[i] = byte(i * 3)
+	}
+	write := func(name string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	p1, p2 := write("a"), write("b")
+	for _, p := range []string{p1, p2} {
+		if err := CorruptRange(p, 10, 20, 99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got1, _ := os.ReadFile(p1)
+	got2, _ := os.ReadFile(p2)
+	if !bytes.Equal(got1, got2) {
+		t.Error("equal seeds produced different corruption")
+	}
+	if !bytes.Equal(got1[:10], orig[:10]) || !bytes.Equal(got1[30:], orig[30:]) {
+		t.Error("corruption leaked outside [10,30)")
+	}
+	for i := 10; i < 30; i++ {
+		if got1[i] == orig[i] {
+			t.Errorf("byte %d unchanged — XOR mask must be nonzero", i)
+		}
+	}
+
+	p3 := write("c")
+	if err := CorruptRange(p3, 10, 20, 100); err != nil {
+		t.Fatal(err)
+	}
+	got3, _ := os.ReadFile(p3)
+	if bytes.Equal(got1, got3) {
+		t.Error("different seeds produced identical corruption")
+	}
+
+	if err := CorruptRange(p3, 0, 0, 1); err == nil {
+		t.Error("zero-length range should error")
+	}
+}

@@ -16,10 +16,11 @@ import (
 // cursor whose position matches, so each tap decodes its stream once —
 // the same trick FFmpeg filter graphs get from per-input demuxers.
 type Cursors struct {
-	paths map[string]string
-	max   int
-	open  map[string][]*Reader
-	stats Stats
+	paths   map[string]string
+	max     int
+	open    map[string][]*Reader
+	conceal bool
+	stats   Stats
 }
 
 // DefaultCursorsPerVideo bounds decoder states per file; a 2x2 grid needs
@@ -34,6 +35,17 @@ func NewCursors(paths map[string]string, maxPerVideo int) *Cursors {
 		maxPerVideo = DefaultCursorsPerVideo
 	}
 	return &Cursors{paths: paths, max: maxPerVideo, open: map[string][]*Reader{}}
+}
+
+// SetConceal switches every cursor (open and future) between fail-fast
+// and error-concealment mode; see Reader.SetConceal.
+func (c *Cursors) SetConceal(on bool) {
+	c.conceal = on
+	for _, rs := range c.open {
+		for _, r := range rs {
+			r.SetConceal(on)
+		}
+	}
 }
 
 // FrameAt returns the frame of the named video at exactly time t.
@@ -106,6 +118,7 @@ func (c *Cursors) openCursor(video string) (*Reader, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.SetConceal(c.conceal)
 	c.open[video] = append(c.open[video], r)
 	return r, nil
 }

@@ -27,6 +27,9 @@ type Stats struct {
 	FramesEncoded int64
 	PacketsCopied int64
 	BytesCopied   int64
+	// FramesConcealed counts corrupt or undecodable packets that were
+	// replaced by holding the last good frame (concealment mode only).
+	FramesConcealed int64
 }
 
 // Add accumulates o into s.
@@ -35,16 +38,18 @@ func (s *Stats) Add(o Stats) {
 	s.FramesEncoded += o.FramesEncoded
 	s.PacketsCopied += o.PacketsCopied
 	s.BytesCopied += o.BytesCopied
+	s.FramesConcealed += o.FramesConcealed
 }
 
 // Reader provides random access to the frames of a VMF file.
 // Not safe for concurrent use; open one Reader per goroutine.
 type Reader struct {
-	c     *container.Reader
-	dec   *codec.Decoder
-	next  int // packet index the decoder will consume next; -1 if unset
-	last  *frame.Frame
-	stats Stats
+	c       *container.Reader
+	dec     *codec.Decoder
+	next    int // packet index the decoder will consume next; -1 if unset
+	last    *frame.Frame
+	conceal bool
+	stats   Stats
 }
 
 // OpenReader opens path for frame-level reading.
@@ -85,6 +90,37 @@ func (r *Reader) NumFrames() int { return r.c.NumPackets() }
 // Stats returns the cumulative decode statistics.
 func (r *Reader) Stats() Stats { return r.stats }
 
+// SetConceal switches the reader between fail-fast (default) and
+// error-concealment mode. Concealing, a corrupt or undecodable packet is
+// replaced by holding the last good frame (a mid-gray frame if the stream
+// has produced none yet), counted in Stats.FramesConcealed — the behaviour
+// of production decoders facing bitstream damage.
+func (r *Reader) SetConceal(on bool) { r.conceal = on }
+
+// Concealable reports whether err is in the class concealment absorbs:
+// payload corruption detected by the container CRC, undecodable
+// bitstreams, or a missing reference after a damaged keyframe. Structural
+// damage (unreadable header/index) and real I/O failures stay fatal.
+func Concealable(err error) bool {
+	return errors.Is(err, container.ErrCorruptPacket) ||
+		errors.Is(err, codec.ErrUndecodable) ||
+		errors.Is(err, codec.ErrNeedKeyframe)
+}
+
+// concealedFrame returns the frame substituted for an unrecoverable
+// packet: the last good frame, or mid-gray when none exists.
+func (r *Reader) concealedFrame() *frame.Frame {
+	if r.last != nil {
+		return r.last
+	}
+	info := r.c.Info()
+	fr := frame.New(info.Width, info.Height, frame.FormatYUV420)
+	for i := range fr.Pix {
+		fr.Pix[i] = 128
+	}
+	return fr
+}
+
 // FrameAtIndex returns the decoded frame for packet index i. Sequential
 // access (i, i+1, ...) decodes each packet exactly once; random access
 // restarts from the keyframe at or before i.
@@ -109,15 +145,26 @@ func (r *Reader) FrameAtIndex(i int) (*frame.Frame, error) {
 	}
 	for r.next <= i {
 		data, err := r.c.ReadPacket(r.next)
-		if err != nil {
-			return nil, err
+		if err == nil {
+			var fr *frame.Frame
+			if fr, err = r.dec.Decode(data); err == nil {
+				r.stats.FramesDecoded++
+				r.last = fr
+			} else {
+				err = fmt.Errorf("media: decode packet %d: %w", r.next, err)
+			}
 		}
-		fr, err := r.dec.Decode(data)
 		if err != nil {
-			return nil, fmt.Errorf("media: decode packet %d: %w", r.next, err)
+			if !r.conceal || !Concealable(err) {
+				return nil, err
+			}
+			// Hold the last good frame in place of the damaged packet; the
+			// decoder keeps its previous reference, so later P-frames decode
+			// against a stale prediction (drift) until the next keyframe —
+			// degraded output rather than a dead synthesis.
+			r.last = r.concealedFrame()
+			r.stats.FramesConcealed++
 		}
-		r.stats.FramesDecoded++
-		r.last = fr
 		r.next++
 	}
 	return r.last, nil
@@ -288,7 +335,8 @@ func (w *Writer) WriteEncodedFrame(key bool, data []byte) error {
 	return nil
 }
 
-// Close finalizes the file.
+// Close finalizes the file (writing the index and renaming the temp file
+// into place).
 func (w *Writer) Close() error {
 	if w.closed {
 		return w.closeErr
@@ -296,6 +344,17 @@ func (w *Writer) Close() error {
 	w.closed = true
 	w.closeErr = w.c.Close()
 	return w.closeErr
+}
+
+// Abort discards the in-progress file without ever creating the target
+// path. A no-op after a successful Close.
+func (w *Writer) Abort() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.closeErr = errors.New("media: writer aborted")
+	return w.c.Abort()
 }
 
 // CanSplice reports whether packets read from src can be written into dst
@@ -308,6 +367,11 @@ func CanSplice(dst Sink, src *Reader) bool {
 // copied packet must be a keyframe (or follow ones already giving the
 // decoder a reference — the caller asserts this by construction; plans
 // always start copies at keyframes).
+//
+// When src is in concealment mode, a corrupt packet does not abort the
+// copy: the last good frame at that position is decoded and re-encoded
+// into the output instead (an encode, not a copy, in the stats), so the
+// result keeps its full length.
 func CopyRange(dst Sink, src *Reader, i0, i1 int) error {
 	if !CanSplice(dst, src) {
 		return fmt.Errorf("media: streams incompatible for copy: %+v vs %+v", dst.Info(), src.Info())
@@ -315,7 +379,20 @@ func CopyRange(dst Sink, src *Reader, i0, i1 int) error {
 	for i := i0; i < i1; i++ {
 		data, err := src.Container().ReadPacket(i)
 		if err != nil {
-			return err
+			if !src.conceal || !Concealable(err) {
+				return err
+			}
+			// FrameAtIndex is itself concealing: it rolls forward from the
+			// preceding keyframe and substitutes the last good frame for the
+			// damaged packet.
+			fr, ferr := src.FrameAtIndex(i)
+			if ferr != nil {
+				return ferr
+			}
+			if werr := dst.WriteFrame(fr); werr != nil {
+				return werr
+			}
+			continue
 		}
 		if err := dst.WriteRawPacket(src.Container().Record(i).Key, data); err != nil {
 			return err

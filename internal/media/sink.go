@@ -33,6 +33,11 @@ type Sink interface {
 	Stats() Stats
 	// Close finalizes the output.
 	Close() error
+	// Abort discards the output without finalizing it: a file sink removes
+	// its temp file and never creates the target path; a stream sink stops
+	// without the end-of-stream marker, so consumers see truncation rather
+	// than a spuriously clean end.
+	Abort() error
 }
 
 var (
@@ -151,6 +156,14 @@ func (s *StreamWriter) WriteEncodedFrame(key bool, data []byte) error {
 	}
 	s.spliced = true
 	s.stats.FramesEncoded++
+	return nil
+}
+
+// Abort stops the stream without the end-of-stream marker: the consumer's
+// read fails or blocks at the truncation point instead of seeing a clean
+// end, which is the correct signal for an abandoned synthesis.
+func (s *StreamWriter) Abort() error {
+	s.closed = true
 	return nil
 }
 

@@ -22,6 +22,9 @@ type SegmentActuals struct {
 	// PacketsCopied and BytesCopied count stream-copied output packets.
 	PacketsCopied int64
 	BytesCopied   int64
+	// Concealed counts corrupt or undecodable source packets replaced by
+	// holding the last good frame (non-zero only in concealment mode).
+	Concealed int64
 	// Shards is the parallelism the executor actually used.
 	Shards int
 }
@@ -41,6 +44,9 @@ func (a SegmentActuals) String() string {
 	}
 	if a.PacketsCopied > 0 {
 		parts = append(parts, fmt.Sprintf("copied=%d (%dB)", a.PacketsCopied, a.BytesCopied))
+	}
+	if a.Concealed > 0 {
+		parts = append(parts, fmt.Sprintf("concealed=%d", a.Concealed))
 	}
 	if a.Shards > 1 {
 		parts = append(parts, fmt.Sprintf("shards=%d", a.Shards))

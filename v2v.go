@@ -25,6 +25,7 @@
 package v2v
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -126,9 +127,24 @@ func Synthesize(spec *Spec, outPath string, o Options) (*Result, error) {
 	return core.Synthesize(spec, outPath, o)
 }
 
+// SynthesizeContext is Synthesize with cooperative cancellation: the
+// executor checks ctx before every segment and at every GOP boundary
+// inside render loops. A cancelled or timed-out run stops promptly,
+// returns ctx.Err(), and leaves nothing at outPath — output files are
+// written to a temp path and only renamed into place on success.
+func SynthesizeContext(ctx context.Context, spec *Spec, outPath string, o Options) (*Result, error) {
+	return core.SynthesizeContext(ctx, spec, outPath, o)
+}
+
 // SynthesizeSource parses and synthesizes a textual spec.
 func SynthesizeSource(src, outPath string, o Options) (*Result, error) {
 	return core.SynthesizeSource(src, outPath, o)
+}
+
+// SynthesizeSourceContext is SynthesizeSource with cooperative
+// cancellation; see SynthesizeContext.
+func SynthesizeSourceContext(ctx context.Context, src, outPath string, o Options) (*Result, error) {
+	return core.SynthesizeSourceContext(ctx, src, outPath, o)
 }
 
 // Explain returns the (optionally optimized) plan for a spec as an
@@ -164,4 +180,14 @@ func ExplainDOT(spec *Spec, o Options) (string, error) {
 // packet — the interactivity the paper targets.
 func SynthesizeStream(spec *Spec, w io.Writer, o Options) (*Result, error) {
 	return core.SynthesizeStream(spec, w, o)
+}
+
+// SynthesizeStreamContext is SynthesizeStream with cooperative
+// cancellation — the entry point for request-scoped synthesis (v2vserve
+// wires each HTTP request's context here, so a disconnected client stops
+// its shard workers within one GOP of work). A cancelled stream ends
+// without the end-of-stream marker: consumers observe truncation, not a
+// spuriously clean end.
+func SynthesizeStreamContext(ctx context.Context, spec *Spec, w io.Writer, o Options) (*Result, error) {
+	return core.SynthesizeStreamContext(ctx, spec, w, o)
 }
