@@ -1,12 +1,17 @@
 # Tier-1 gate (ROADMAP.md): build + test.
 # `make check` adds vet and the race detector (required for internal/obs).
+# `make bench` regenerates every paper figure plus the GOP-cache sweep and
+# writes the per-query measurements to BENCH_PR3.json (CI uploads it as an
+# artifact); `make microbench` keeps the old go-test microbenchmarks.
 # `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) three
 # times with distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
 
 GO ?= go
 V2V_CHAOS_SEED ?= 1
+BENCH_JSON ?= BENCH_PR3.json
+BENCH_PARALLEL ?= 4
 
-.PHONY: all build test tier1 vet race check bench chaos
+.PHONY: all build test tier1 vet race check bench microbench chaos
 
 all: tier1
 
@@ -27,6 +32,9 @@ race:
 check: tier1 vet race
 
 bench:
+	$(GO) run ./cmd/v2vbench -fig all -parallel $(BENCH_PARALLEL) -json $(BENCH_JSON)
+
+microbench:
 	$(GO) test -bench=. -benchmem
 
 chaos:

@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		timeout   = fs.Duration("timeout", 0, "abort synthesis after this long (0 = no limit); a timed-out run leaves no partial output")
 		strict    = fs.Bool("strict", false, "fail fast on corrupt or undecodable source packets instead of concealing them")
+		cacheMB   = fs.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared by all shards (0 = auto-size from the sources, negative = disable)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
@@ -82,6 +83,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		Parallelism: *parallel,
 		Conceal:     !*strict,
 		Trace:       tr,
+	}
+	if *cacheMB >= 0 {
+		opts.GOPCache = v2v.NewGOPCache(int64(*cacheMB) << 20)
 	}
 	// Whatever path exits, flush the trace if one was requested; a failed
 	// write fails the run (unless it is already failing for another reason).
@@ -150,6 +154,13 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		fmt.Fprintf(stdout, "packets copied  %d (%d bytes)\n", m.Output.PacketsCopied, m.Output.BytesCopied)
 		if n := m.TotalConcealed(); n > 0 {
 			fmt.Fprintf(stdout, "frames concealed %d\n", n)
+		}
+		if c := opts.GOPCache; c != nil {
+			cs := c.Stats()
+			if cs.Hits+cs.Misses > 0 {
+				fmt.Fprintf(stdout, "gop cache       %d hits / %d misses, %d evictions, %d MiB resident (budget %d MiB)\n",
+					cs.Hits, cs.Misses, cs.Evictions, cs.Bytes>>20, cs.Budget>>20)
+			}
 		}
 		if !res.RewriteStats.Skipped {
 			fmt.Fprintf(stdout, "data rewrites   %v (arms %d -> %d)\n",

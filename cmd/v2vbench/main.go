@@ -8,6 +8,7 @@
 //	v2vbench -fig 4            # Fig. 4 table (KABR-sim)
 //	v2vbench -fig 5 [-stats]   # Fig. 5 table (both datasets)
 //	v2vbench -fig ablate       # per-pass ablation table
+//	v2vbench -fig cache        # GOP-cache off/cold/warm comparison (ToS-sim)
 //	v2vbench -fig all -scale full -repeats 5
 //	v2vbench -fig 4 -json bench.json -trace bench-trace.json
 //
@@ -40,6 +41,7 @@ type report struct {
 	Compare     []compareJSON  `json:"compare,omitempty"`
 	DataJoin    []dataJoinJSON `json:"data_join,omitempty"`
 	Ablation    []ablationJSON `json:"ablation,omitempty"`
+	Cache       []cacheJSON    `json:"cache,omitempty"`
 }
 
 type compareJSON struct {
@@ -58,6 +60,22 @@ type dataJoinJSON struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+type cacheJSON struct {
+	Dataset         string  `json:"dataset"`
+	Query           string  `json:"query"`
+	OffSeconds      float64 `json:"off_seconds"`
+	ColdSeconds     float64 `json:"cold_seconds"`
+	WarmSeconds     float64 `json:"warm_seconds"`
+	OffDecodes      int64   `json:"off_decodes"`
+	ColdDecodes     int64   `json:"cold_decodes"`
+	WarmDecodes     int64   `json:"warm_decodes"`
+	DecodeReduction float64 `json:"decode_reduction"`
+	ColdHits        int64   `json:"cold_hits"`
+	ColdMisses      int64   `json:"cold_misses"`
+	WarmHits        int64   `json:"warm_hits"`
+	WarmMisses      int64   `json:"warm_misses"`
+}
+
 type ablationJSON struct {
 	Dataset     string  `json:"dataset"`
 	Query       string  `json:"query"`
@@ -70,12 +88,13 @@ type ablationJSON struct {
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, cache, or all")
 		scale     = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
 		repeats   = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
 		parallel  = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
 		dir       = flag.String("data", benchkit.DefaultDir(), "dataset cache directory")
 		stats     = flag.Bool("stats", false, "with -fig 5, print data-rewrite statistics")
+		cacheMB   = flag.Int("gop-cache-mb", -1, "decoded-GOP cache budget in MiB for the standard figures (negative = off, 0 = auto-size); -fig cache manages its own caches")
 		jsonOut   = flag.String("json", "", "write per-query measurements as JSON to this file")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection suite instead of the figures: every query under seeded read faults, strict and concealment modes")
@@ -104,6 +123,9 @@ func main() {
 		Repeats:     *repeats,
 		Trace:       tr,
 	}
+	if *cacheMB >= 0 {
+		cfg.GOPCache = benchkit.NewGOPCache(int64(*cacheMB) << 20)
+	}
 
 	if *chaos {
 		fmt.Fprintln(os.Stderr, "provisioning KABR-sim ...")
@@ -124,13 +146,14 @@ func main() {
 	need4 := *fig == "4" || *fig == "all"
 	need5 := *fig == "5" || *fig == "all"
 	needAblate := *fig == "ablate" || *fig == "all"
-	if !need3 && !need4 && !need5 && !needAblate {
+	needCache := *fig == "cache" || *fig == "all"
+	if !need3 && !need4 && !need5 && !needAblate && !needCache {
 		fmt.Fprintf(os.Stderr, "v2vbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 
 	var tos, kabr *benchkit.Dataset
-	if need3 || need5 {
+	if need3 || need5 || needCache {
 		fmt.Fprintln(os.Stderr, "provisioning ToS-sim ...")
 		tos, err = benchkit.ProvisionToS(*dir, sc)
 		if err != nil {
@@ -179,6 +202,14 @@ func main() {
 			printRewriteStats(kabr, sc)
 		}
 	}
+	if needCache {
+		rows, err := benchkit.CacheRun(tos, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(benchkit.FormatCache("GOP cache — ToS-sim: optimized pipeline with cache off / cold / warm", rows))
+		rep.addCache(tos.Name, rows)
+	}
 	if needAblate {
 		rows, err := benchkit.AblationRun(kabr, "Q7", cfg)
 		if err != nil {
@@ -222,6 +253,26 @@ func (r *report) addDataJoin(rows []benchkit.DataJoinRow) {
 			BaselineSeconds: row.Baseline.Seconds(),
 			V2VSeconds:      row.V2V.Seconds(),
 			Speedup:         row.Speedup,
+		})
+	}
+}
+
+func (r *report) addCache(dataset string, rows []benchkit.CacheRow) {
+	for _, row := range rows {
+		r.Cache = append(r.Cache, cacheJSON{
+			Dataset:         dataset,
+			Query:           row.Query,
+			OffSeconds:      row.Off.Seconds(),
+			ColdSeconds:     row.Cold.Seconds(),
+			WarmSeconds:     row.Warm.Seconds(),
+			OffDecodes:      row.OffDecodes,
+			ColdDecodes:     row.ColdDecodes,
+			WarmDecodes:     row.WarmDecodes,
+			DecodeReduction: row.DecodeReduction,
+			ColdHits:        row.ColdHits,
+			ColdMisses:      row.ColdMisses,
+			WarmHits:        row.WarmHits,
+			WarmMisses:      row.WarmMisses,
 		})
 	}
 }

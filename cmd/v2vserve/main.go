@@ -52,6 +52,7 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
 		synthTO  = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
 		strict   = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
+		cacheMB  = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, negative = disable)")
 		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out      = flag.String("out", "", "client mode: output VMF path")
 	)
@@ -70,6 +71,11 @@ func main() {
 	srv := newServer(*specs, !*noOpt, obs.Default())
 	srv.synthTimeout = *synthTO
 	srv.strict = *strict
+	if *cacheMB >= 0 {
+		// One process-wide cache: concurrent requests touching the same
+		// sources share decodes, and a hot GOP survives across requests.
+		srv.gopCache = v2v.NewGOPCache(int64(*cacheMB) << 20)
+	}
 	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -105,7 +111,10 @@ type server struct {
 	synthTimeout time.Duration
 	// strict fails requests on corrupt source packets instead of concealing.
 	strict bool
-	reg    *obs.Registry
+	// gopCache, when non-nil, is the process-wide decoded-GOP cache shared
+	// by every request's shard workers (nil = caching disabled).
+	gopCache *v2v.GOPCache
+	reg      *obs.Registry
 
 	requests      *obs.Counter
 	errs4xx       *obs.Counter
@@ -248,6 +257,7 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		opts = v2v.DefaultOptions()
 	}
 	opts.Conceal = !s.strict
+	opts.GOPCache = s.gopCache
 	// The request context cancels the synthesis when the client goes away;
 	// shard workers stop within one GOP of work instead of rendering a
 	// stream nobody is reading.

@@ -1,13 +1,17 @@
 package benchkit
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
 	"v2v/internal/baseline"
 	"v2v/internal/core"
+	"v2v/internal/media"
 	"v2v/internal/obs"
 	"v2v/internal/vql"
 )
@@ -23,6 +27,10 @@ type Config struct {
 	// Repeats is the number of measured runs per configuration (after one
 	// discarded warm-up); values < 1 mean 1.
 	Repeats int
+	// GOPCache, when non-nil, routes source decodes through a shared
+	// decoded-GOP cache (see media.GOPCache). CacheRun manages its own
+	// caches; leave nil for the standard figures.
+	GOPCache *media.GOPCache
 	// Trace, when set, records one span per run (wrapping the pipeline's
 	// own stage spans) for the whole sweep.
 	Trace *obs.Trace
@@ -38,6 +46,12 @@ const (
 	ModeOpt Mode = "opt"
 	// ModeBaseline runs the Python+OpenCV-equivalent engine (Fig. 5).
 	ModeBaseline Mode = "baseline"
+	// ModeCacheOff/Cold/Warm are the optimized pipeline without a GOP
+	// cache, with a fresh cache, and with an already-populated cache — the
+	// three configurations CacheRun compares.
+	ModeCacheOff  Mode = "cache-off"
+	ModeCacheCold Mode = "cache-cold"
+	ModeCacheWarm Mode = "cache-warm"
 )
 
 // Measurement is one timed run.
@@ -52,6 +66,13 @@ type Measurement struct {
 	Copies  int64
 	// OutFrames is the output frame count (sanity check between modes).
 	OutFrames int64
+	// CacheHits/CacheMisses are the run's GOP-cache lookup deltas (zero
+	// when Config.GOPCache is nil).
+	CacheHits   int64
+	CacheMisses int64
+	// OutputSHA256 fingerprints the output file so cache-on and cache-off
+	// runs can be proven byte-identical.
+	OutputSHA256 string
 }
 
 // RunOnce synthesizes the query once in the given mode and returns the
@@ -81,10 +102,14 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		m.Decodes = bm.Source.FramesDecoded
 		m.OutFrames = bm.FramesRendered
 	default:
-		o := core.Options{Parallelism: cfg.Parallelism, Trace: cfg.Trace}
-		if mode == ModeOpt {
+		o := core.Options{Parallelism: cfg.Parallelism, GOPCache: cfg.GOPCache, Trace: cfg.Trace}
+		if mode != ModeUnopt {
 			o.Optimize = true
 			o.DataRewrite = true
+		}
+		var cacheBefore media.GOPCacheStats
+		if cfg.GOPCache != nil {
+			cacheBefore = cfg.GOPCache.Stats()
 		}
 		res, err := core.Synthesize(spec, out, o)
 		if err != nil {
@@ -95,6 +120,14 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		m.Decodes = res.Metrics.TotalDecodes()
 		m.Copies = res.Metrics.Output.PacketsCopied
 		m.OutFrames = m.Copies + res.Metrics.Output.FramesEncoded
+		if cfg.GOPCache != nil {
+			after := cfg.GOPCache.Stats()
+			m.CacheHits = after.Hits - cacheBefore.Hits
+			m.CacheMisses = after.Misses - cacheBefore.Misses
+		}
+	}
+	if h, err := fileSHA256(out); err == nil {
+		m.OutputSHA256 = h
 	}
 	sp.SetAttr("wall_us", m.Wall.Microseconds())
 	sp.SetAttr("encodes", m.Encodes)
@@ -195,6 +228,87 @@ func DataJoinRun(ds *Dataset, cfg Config) ([]DataJoinRow, error) {
 		})
 	}
 	return rows, nil
+}
+
+// CacheRow is one line of the GOP-cache benchmark table: the same
+// optimized query with no cache, a cold cache, and a warm (pre-populated)
+// cache. Identical outputs across the three runs are verified by SHA-256.
+type CacheRow struct {
+	Query string
+	Off   time.Duration
+	Cold  time.Duration
+	Warm  time.Duration
+	// Decode counts per configuration; DecodeReduction = OffDecodes /
+	// ColdDecodes (how much decoding the cache removed within one run).
+	OffDecodes      int64
+	ColdDecodes     int64
+	WarmDecodes     int64
+	DecodeReduction float64
+	// Hit/miss deltas for the cold and warm runs.
+	ColdHits, ColdMisses int64
+	WarmHits, WarmMisses int64
+}
+
+// CacheRun measures every query in the optimized pipeline under three
+// GOP-cache configurations: off, cold (fresh cache), and warm (the same
+// cache reused, so prior decodes are resident). It verifies the three runs
+// produce byte-identical outputs. Uses single runs (not Repeat) because a
+// warm-up run would pre-populate the cold cache.
+func CacheRun(ds *Dataset, cfg Config) ([]CacheRow, error) {
+	var rows []CacheRow
+	for _, q := range Queries() {
+		offCfg := cfg
+		offCfg.GOPCache = nil
+		off, err := RunOnce(ds, q, ModeCacheOff, offCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s cache-off: %w", ds.Name, q.ID, err)
+		}
+		onCfg := cfg
+		onCfg.GOPCache = media.NewGOPCache(0)
+		cold, err := RunOnce(ds, q, ModeCacheCold, onCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s cache-cold: %w", ds.Name, q.ID, err)
+		}
+		warm, err := RunOnce(ds, q, ModeCacheWarm, onCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s cache-warm: %w", ds.Name, q.ID, err)
+		}
+		for _, m := range []Measurement{cold, warm} {
+			if m.OutputSHA256 != off.OutputSHA256 {
+				return nil, fmt.Errorf("benchkit: %s %s: %s output %s differs from cache-off %s",
+					ds.Name, q.ID, m.Mode, m.OutputSHA256, off.OutputSHA256)
+			}
+		}
+		row := CacheRow{
+			Query: q.ID, Off: off.Wall, Cold: cold.Wall, Warm: warm.Wall,
+			OffDecodes: off.Decodes, ColdDecodes: cold.Decodes, WarmDecodes: warm.Decodes,
+			ColdHits: cold.CacheHits, ColdMisses: cold.CacheMisses,
+			WarmHits: warm.CacheHits, WarmMisses: warm.CacheMisses,
+		}
+		if cold.Decodes > 0 {
+			row.DecodeReduction = float64(off.Decodes) / float64(cold.Decodes)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// NewGOPCache builds a decoded-GOP cache for Config.GOPCache; budgetBytes
+// <= 0 defers sizing to the executor.
+func NewGOPCache(budgetBytes int64) *media.GOPCache { return media.NewGOPCache(budgetBytes) }
+
+// fileSHA256 fingerprints a file's contents.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }

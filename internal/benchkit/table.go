@@ -40,6 +40,23 @@ func FormatDataJoin(title string, rows []DataJoinRow) string {
 	return sb.String()
 }
 
+// FormatCache renders the GOP-cache comparison rows: wall time and decode
+// counts with the cache off, cold, and warm, plus the per-query decode
+// reduction. Rows where the reduction is 1.00x are plans the cache cannot
+// help (pure copies and smart cuts decode almost nothing to begin with).
+func FormatCache(title string, rows []CacheRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9s %9s %9s %9s\n",
+		"Query", "Off", "Cold", "Warm", "DecOff", "DecCold", "DecWarm", "DecRed")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9d %9d %9d %8.2fx\n",
+			r.Query, fmtDur(r.Off), fmtDur(r.Cold), fmtDur(r.Warm),
+			r.OffDecodes, r.ColdDecodes, r.WarmDecodes, r.DecodeReduction)
+	}
+	return sb.String()
+}
+
 // AverageSpeedup returns the arithmetic mean of row speedups — the number
 // the paper's abstract quotes (3.44x on ToS, 5.07x on KABR).
 func AverageSpeedup(rows []Row) float64 {

@@ -41,6 +41,10 @@ type Options struct {
 	// corrupt or undecodable source packets are replaced by holding the
 	// last good frame instead of failing the synthesis. See exec.Options.
 	Conceal bool
+	// GOPCache, when non-nil, is a shared decoded-GOP cache the executor
+	// reads sources through; share one cache across runs to reuse decodes
+	// between them. Nil disables caching. See exec.Options.GOPCache.
+	GOPCache *media.GOPCache
 	// Trace, when set, records one span per pipeline stage (parse, check,
 	// rewrite, optimize, execute), per optimizer pass, per segment, and
 	// per shard worker. Export it with obs.Trace.WriteJSON.
@@ -141,7 +145,7 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 
 // execOptions translates core options to executor options.
 func execOptions(o Options) exec.Options {
-	return exec.Options{Parallelism: o.Parallelism, Conceal: o.Conceal, Trace: o.Trace}
+	return exec.Options{Parallelism: o.Parallelism, Conceal: o.Conceal, GOPCache: o.GOPCache, Trace: o.Trace}
 }
 
 // Synthesize runs the full pipeline and writes the result video to

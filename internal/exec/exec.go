@@ -13,6 +13,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -43,6 +44,11 @@ func init() {
 	container.OnTransientRetry = transientRetries.Inc
 }
 
+// errShardAborted marks a shard stopped by the delivery loop's internal
+// abort (a sibling shard already failed, or the sink rejected a write); it
+// is never the first error, so callers never see it.
+var errShardAborted = fmt.Errorf("exec: shard aborted after prior failure")
+
 // Options configures execution.
 type Options struct {
 	// Parallelism caps concurrently running shards; 0 means unlimited
@@ -54,6 +60,13 @@ type Options struct {
 	// of failing the synthesis. Structural damage (unreadable header or
 	// index) and I/O failures remain fatal in both modes.
 	Conceal bool
+	// GOPCache, when non-nil, is a shared decoded-GOP cache every shard
+	// worker and segment runner reads through: concurrent taps of the same
+	// source GOP decode it once and share the frames. The same cache may be
+	// (and in v2vserve is) shared across concurrent ExecuteTo calls. If the
+	// cache's byte budget is unset, ExecuteTo sizes it from the plan's
+	// source formats. Nil disables caching.
+	GOPCache *media.GOPCache
 	// Trace, when set, records one span per segment and per shard worker.
 	Trace *obs.Trace
 }
@@ -133,6 +146,9 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 	defer func() { framesConcealed.Add(m.TotalConcealed()) }()
 	readers := newReaderCache(p, o.Conceal)
 	defer readers.closeAll(m)
+	if o.GOPCache != nil {
+		o.GOPCache.SetBudgetIfUnset(defaultGOPCacheBudget(p, o.Parallelism))
+	}
 
 	execSpan := o.Trace.StartSpan("execute")
 	fail := func(err error) (*Metrics, error) {
@@ -179,6 +195,8 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 	renderedBefore := m.FramesRendered
 	decodedBefore := m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes()
 	concealedBefore := m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed()
+	cacheHitsBefore := m.Source.GOPCacheHits
+	cacheMissesBefore := m.Source.GOPCacheMisses
 	sp := o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))
 	sp.SetAttr("kind", s.Kind.String())
 	sp.SetAttr("t_start", s.Times.Start.String())
@@ -205,7 +223,7 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 			segErr = fmt.Errorf("exec: smart cut segment: %w", err)
 		}
 	case plan.SegFrames:
-		segErr = runFrameSegment(ctx, p, s, w, m, o, markFirst, sp)
+		segErr = runFrameSegment(ctx, p, s, w, m, o, readers, markFirst, sp)
 	default:
 		segErr = fmt.Errorf("exec: unknown segment kind %v", s.Kind)
 	}
@@ -224,10 +242,16 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 		PacketsCopied:  sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
 		BytesCopied:    sinkAfter.BytesCopied - sinkBefore.BytesCopied,
 		Concealed:      m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed() - concealedBefore,
+		GOPCacheHits:   m.Source.GOPCacheHits - cacheHitsBefore,
+		GOPCacheMisses: m.Source.GOPCacheMisses - cacheMissesBefore,
 		Shards:         effectiveShards(s, o),
 	}
 	m.Segments = append(m.Segments, act)
 	sp.SetAttr("frames_decoded", act.FramesDecoded)
+	if act.GOPCacheHits > 0 || act.GOPCacheMisses > 0 {
+		sp.SetAttr("gopcache_hits", act.GOPCacheHits)
+		sp.SetAttr("gopcache_misses", act.GOPCacheMisses)
+	}
 	sp.SetAttr("frames_concealed", act.Concealed)
 	sp.SetAttr("frames_encoded", act.FramesEncoded)
 	sp.SetAttr("packets_copied", act.PacketsCopied)
@@ -333,7 +357,7 @@ func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, erro
 // runFrameSegment renders one segment, splitting it into shards when the
 // plan asks for parallelism. segSpan (nil when tracing is off) parents the
 // per-shard-worker spans.
-func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, markFirst func(), segSpan *obs.Span) error {
+func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
 	frames := s.FrameCount()
 	if frames == 0 {
 		return nil
@@ -345,7 +369,7 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	shards := effectiveShards(s, o)
 	if shards == 1 {
 		// Sequential: encode through the output writer directly.
-		run := newSegmentRunner(p, s, o.Conceal)
+		run := newSegmentRunner(p, s, o.Conceal, o.GOPCache)
 		defer run.close(m)
 		for i := 0; i < frames; i++ {
 			if i%gop == 0 {
@@ -367,12 +391,16 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	}
 
 	// Parallel shards: each renders and encodes its chunk into memory;
-	// packets splice in order afterwards.
-	per := (frames + shards - 1) / shards
-	// Align chunk length to GOP so forced shard keyframes match cadence.
-	if rem := per % gop; rem != 0 {
-		per += gop - rem
-	}
+	// packets splice in order afterwards. An internal abort signal lets
+	// the delivery loop stop still-running shards early once the output
+	// can no longer use their work (sink failure or an earlier shard
+	// error). A channel rather than a derived context: cancellation must
+	// also honor test/caller contexts that implement Err() directly.
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	cancelShards := func() { abortOnce.Do(func() { close(abort) }) }
+	bounds := chunkBounds(frames, shards, gop)
+	bounds = alignChunkBounds(bounds, s, readers)
 	type chunk struct {
 		lo, hi int
 		pkts   []codec.Packet
@@ -380,12 +408,8 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 		done   chan struct{}
 	}
 	var chunks []*chunk
-	for lo := 0; lo < frames; lo += per {
-		hi := lo + per
-		if hi > frames {
-			hi = frames
-		}
-		chunks = append(chunks, &chunk{lo: lo, hi: hi, done: make(chan struct{})})
+	for bi := 0; bi+1 < len(bounds); bi++ {
+		chunks = append(chunks, &chunk{lo: bounds[bi], hi: bounds[bi+1], done: make(chan struct{})})
 	}
 	var mu sync.Mutex // guards metrics accumulation
 	for _, ch := range chunks {
@@ -412,7 +436,7 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 					ch.err = fmt.Errorf("exec: shard [%d,%d) panicked: %v", ch.lo, ch.hi, r)
 				}
 			}()
-			run := newSegmentRunner(p, s, o.Conceal)
+			run := newSegmentRunner(p, s, o.Conceal, o.GOPCache)
 			defer func() {
 				mu.Lock()
 				run.close(m)
@@ -433,6 +457,12 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 						ch.err = err
 						return
 					}
+					select {
+					case <-abort:
+						ch.err = errShardAborted
+						return
+					default:
+					}
 				}
 				fr, err := run.renderAt(s.Times.At(i))
 				if err != nil {
@@ -450,13 +480,18 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	}
 	// Deliver chunks in output order as each completes (pipelined with the
 	// still-running later shards), so streaming consumers see packets as
-	// soon as the first shard lands.
+	// soon as the first shard lands. On any failure — a shard error or a
+	// sink write error — delivery stops but the loop still waits for every
+	// chunk: shard goroutines mutate *Metrics and close their runners on
+	// exit, so returning while they run would race with the caller reading
+	// m. cancelShards bounds the wasted work to one GOP per live shard.
 	var firstErr error
 	for _, ch := range chunks {
 		<-ch.done
 		if ch.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
+				cancelShards()
 			}
 			continue
 		}
@@ -465,13 +500,117 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 		}
 		for _, pkt := range ch.pkts {
 			if err := w.WriteEncodedFrame(pkt.Key, pkt.Data); err != nil {
-				return err
+				firstErr = fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err)
+				cancelShards()
+				break
 			}
 			m.FramesRendered++
+			// First-output latency is the first packet a consumer could
+			// play, not the first whole chunk.
+			markFirst()
 		}
-		markFirst()
 	}
 	return firstErr
+}
+
+// chunkBounds splits [0, frames) into up to `shards` chunks whose lengths
+// are multiples of the output GOP (so forced shard keyframes match
+// cadence), returning the boundary indices including 0 and frames.
+func chunkBounds(frames, shards, gop int) []int {
+	per := (frames + shards - 1) / shards
+	if rem := per % gop; rem != 0 {
+		per += gop - rem
+	}
+	bounds := []int{0}
+	for lo := per; lo < frames; lo += per {
+		bounds = append(bounds, lo)
+	}
+	return append(bounds, frames)
+}
+
+// alignChunkBounds snaps interior shard boundaries down to the nearest
+// output frame whose source packet is a keyframe, using the optimizer's
+// sole-source hint (s.AlignVideo/AlignOff). A shard starting on a source
+// keyframe decodes zero throwaway frames rolling forward; unaligned shards
+// each pay up to a full source GOP of discarded decodes. Alignment is an
+// optimization only: any lookup failure keeps the original boundary, and a
+// boundary never crosses below its predecessor (no chunk vanishes).
+func alignChunkBounds(bounds []int, s *plan.Segment, readers *readerCache) []int {
+	if s.AlignVideo == "" || len(bounds) < 3 {
+		return bounds
+	}
+	r, err := readers.get(s.AlignVideo)
+	if err != nil {
+		return bounds
+	}
+	cr := r.Container()
+	srcIdx := func(i int) (int, bool) {
+		idx, err := r.IndexOfTime(s.Times.At(i).Add(s.AlignOff))
+		if err != nil || idx < 0 || idx >= cr.NumPackets() {
+			return 0, false
+		}
+		return idx, true
+	}
+	out := make([]int, len(bounds))
+	copy(out, bounds)
+	for bi := 1; bi < len(out)-1; bi++ {
+		for b := out[bi]; b > out[bi-1]; b-- {
+			idx, ok := srcIdx(b)
+			if !ok {
+				break // unmappable boundary: keep as-is
+			}
+			if cr.Record(idx).Key {
+				out[bi] = b
+				break
+			}
+		}
+	}
+	return out
+}
+
+// defaultGOPCacheBudget sizes an unset cache budget from the plan's source
+// formats: enough for every live shard worker to hold its current source
+// GOPs plus headroom for reuse across shards, clamped to [64MiB, 1GiB].
+// par is the effective shard parallelism (Options.Parallelism, or
+// GOMAXPROCS when unlimited).
+func defaultGOPCacheBudget(p *plan.Plan, par int) int64 {
+	var maxGOP int64
+	for _, src := range p.Checked.Sources {
+		info := src.Info
+		gop := info.GOP
+		if gop <= 0 {
+			gop = 48
+		}
+		b := int64(gop) * int64(frame.FormatYUV420.Size(info.Width, info.Height))
+		if b > maxGOP {
+			maxGOP = b
+		}
+	}
+	if maxGOP == 0 {
+		return media.FallbackGOPCacheBytes
+	}
+	// Worst-case live set: each of par shard workers keeps up to
+	// media.DefaultCursorsPerVideo interleaved streams (a 4-tap grid uses
+	// four, plus one for a GOP-boundary straddle), and each stream pins
+	// one GOP. An LRU sized below the live set thrashes — every fill
+	// evicts a GOP another stream is about to read — so size for the
+	// full set with 1.5x headroom, and never below 8 GOPs.
+	if par < 1 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	mult := int64(par) * int64(media.DefaultCursorsPerVideo) * 3 / 2
+	if mult < 8 {
+		mult = 8
+	}
+	budget := maxGOP * mult
+	const lo, hi = 64 << 20, 1 << 30
+	if budget < lo {
+		return lo
+	}
+	if budget > hi {
+		return hi
+	}
+	return budget
 }
 
 // segmentRunner executes one segment's operator tree for one goroutine.
@@ -483,7 +622,7 @@ type segmentRunner struct {
 	root    *nodeRunner
 }
 
-func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool) *segmentRunner {
+func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool, cache *media.GOPCache) *segmentRunner {
 	paths := make(map[string]string, len(p.Checked.Sources))
 	for name, src := range p.Checked.Sources {
 		paths[name] = src.Path
@@ -494,6 +633,9 @@ func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool) *segmentRunne
 		data:    arraySource(p.Checked.Arrays),
 	}
 	run.cursors.SetConceal(conceal)
+	if cache != nil {
+		run.cursors.SetGOPCache(cache)
+	}
 	run.root = run.buildRunner(s.Root)
 	return run
 }

@@ -20,6 +20,7 @@ type Cursors struct {
 	max     int
 	open    map[string][]*Reader
 	conceal bool
+	cache   *GOPCache
 	stats   Stats
 }
 
@@ -48,27 +49,102 @@ func (c *Cursors) SetConceal(on bool) {
 	}
 }
 
+// SetGOPCache routes this pool's reads through a shared decoded-GOP cache:
+// FrameAt serves cache-resident GOPs without touching a decoder, and fills
+// missing GOPs through this pool's own cursors (so decode work stays
+// attributed to the goroutine that performed it). The cache is safe for
+// concurrent use even though the pool itself is not — many per-goroutine
+// pools share one cache.
+func (c *Cursors) SetGOPCache(g *GOPCache) { c.cache = g }
+
 // FrameAt returns the frame of the named video at exactly time t.
 func (c *Cursors) FrameAt(video string, t rational.Rat) (*frame.Frame, error) {
 	rs := c.open[video]
 	if len(rs) == 0 {
-		r, err := c.openCursor(video)
-		if err != nil {
+		if _, err := c.openCursor(video); err != nil {
 			return nil, err
 		}
 		rs = c.open[video]
-		_ = r
 	}
 	target, err := rs[0].IndexOfTime(t)
 	if err != nil {
 		return nil, err
 	}
+	if c.cache != nil {
+		if fr, ok := c.cachedFrame(video, target); ok {
+			return fr, nil
+		}
+	}
+	r, err := c.cursorFor(video, target)
+	if err != nil {
+		return nil, err
+	}
+	return r.FrameAtIndex(target)
+}
 
+// cachedFrame serves target from the shared GOP cache, filling the whole
+// containing GOP on a miss. ok=false falls back to the direct cursor path
+// (unmappable GOP bounds, or a fill error — which the direct path will
+// then surface with its usual semantics).
+func (c *Cursors) cachedFrame(video string, target int) (*frame.Frame, bool) {
+	cr := c.open[video][0].Container()
+	k, ok := cr.KeyframeAtOrBefore(target)
+	if !ok {
+		return nil, false
+	}
+	// NextKeyframeAfter is "at or after", so probe from k+1 to find the
+	// GOP's end rather than k itself.
+	end := cr.NumPackets()
+	if nk, found := cr.NextKeyframeAfter(k + 1); found && nk < end {
+		end = nk
+	}
+	frames, hit, err := c.cache.GetOrFill(c.paths[video], k, func() ([]*frame.Frame, error) {
+		return c.decodeGOP(video, k, end)
+	})
+	if err != nil {
+		return nil, false
+	}
+	if hit {
+		c.stats.GOPCacheHits++
+	} else {
+		c.stats.GOPCacheMisses++
+	}
+	if idx := target - k; idx >= 0 && idx < len(frames) {
+		return frames[idx], true
+	}
+	return nil, false
+}
+
+// decodeGOP decodes packets [k, end) through this pool's cursors — the
+// fill path for cache misses. Frames come straight from the decoder (one
+// fresh allocation per packet), so the returned slice is safe to share.
+func (c *Cursors) decodeGOP(video string, k, end int) ([]*frame.Frame, error) {
+	r, err := c.cursorFor(video, k)
+	if err != nil {
+		return nil, err
+	}
+	frames := make([]*frame.Frame, 0, end-k)
+	for i := k; i < end; i++ {
+		fr, err := r.FrameAtIndex(i)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, fr)
+	}
+	return frames, nil
+}
+
+// cursorFor picks (or opens) the cursor that reaches target cheapest.
+func (c *Cursors) cursorFor(video string, target int) (*Reader, error) {
+	rs := c.open[video]
+	if len(rs) == 0 {
+		return c.openCursor(video)
+	}
 	// 1. A cursor already positioned at (or one past) the target reads
 	// for free or purely sequentially.
 	for _, r := range rs {
 		if n := r.NextIndex(); n == target || n-1 == target {
-			return r.FrameAtIndex(target)
+			return r, nil
 		}
 	}
 	// 2. A cursor shortly behind the target rolls forward cheaply.
@@ -84,15 +160,11 @@ func (c *Cursors) FrameAt(video string, t rational.Rat) (*frame.Frame, error) {
 		}
 	}
 	if best != nil {
-		return best.FrameAtIndex(target)
+		return best, nil
 	}
 	// 3. Open a fresh cursor for a new access pattern.
 	if len(rs) < c.max {
-		r, err := c.openCursor(video)
-		if err != nil {
-			return nil, err
-		}
-		return r.FrameAtIndex(target)
+		return c.openCursor(video)
 	}
 	// 4. Pool full: recycle the cursor with the smallest reposition cost.
 	best = rs[0]
@@ -106,7 +178,7 @@ func (c *Cursors) FrameAt(video string, t rational.Rat) (*frame.Frame, error) {
 			best, bestDist = r, d
 		}
 	}
-	return best.FrameAtIndex(target)
+	return best, nil
 }
 
 func (c *Cursors) openCursor(video string) (*Reader, error) {

@@ -1,0 +1,228 @@
+package media
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"v2v/internal/frame"
+	"v2v/internal/obs"
+)
+
+// GOP-cache metrics, exported via the default obs registry (scraped at
+// v2vserve's /metrics; see docs/OBSERVABILITY.md). Every GOPCache in the
+// process feeds the same instruments; in practice the cmds create exactly
+// one shared cache.
+var (
+	gopHits = obs.Default().Counter("v2v_gopcache_hits_total",
+		"Decoded-GOP cache hits, including singleflight waiters served by a concurrent fill.")
+	gopMisses = obs.Default().Counter("v2v_gopcache_misses_total",
+		"Decoded-GOP cache misses (fills performed).")
+	gopEvictions = obs.Default().Counter("v2v_gopcache_evictions_total",
+		"Decoded GOPs evicted to stay under the byte budget.")
+	gopBytes = obs.Default().Gauge("v2v_gopcache_bytes",
+		"Decoded frame bytes currently resident in GOP caches.")
+)
+
+// FallbackGOPCacheBytes bounds a cache whose budget was never set — neither
+// at construction nor via SetBudgetIfUnset (the executor sizes unset
+// budgets from the plan's source formats before first use).
+const FallbackGOPCacheBytes = 256 << 20
+
+// GOPCache is a concurrency-safe LRU of decoded groups-of-pictures, keyed
+// by (file path, keyframe packet index). It is V2V's decode-once layer:
+// every shard worker and every grid tap that needs a frame from the same
+// source GOP shares one decode of it, instead of each segmentRunner paying
+// the keyframe-to-target roll-forward on its private cursors.
+//
+// Fills are deduplicated singleflight-style: when several goroutines miss
+// on the same GOP concurrently, one runs its fill callback and the rest
+// block and share the result (counted as hits — they did no decode work).
+// Eviction is least-recently-used at whole-GOP granularity under a byte
+// budget; a single GOP larger than the whole budget is served but never
+// cached.
+//
+// Cached frames are shared between goroutines and must be treated as
+// immutable — the same contract Reader.FrameAtIndex already imposes by
+// returning its internal last-frame reference.
+type GOPCache struct {
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	entries  map[gopKey]*list.Element
+	lru      *list.List // front = most recently used, values *gopEntry
+	inflight map[gopKey]*gopFill
+
+	hits, misses, evictions int64
+}
+
+type gopKey struct {
+	path  string
+	start int // packet index of the GOP's keyframe
+}
+
+type gopEntry struct {
+	key    gopKey
+	frames []*frame.Frame
+	bytes  int64
+}
+
+type gopFill struct {
+	done   chan struct{}
+	frames []*frame.Frame
+	err    error
+}
+
+// errFillIncomplete is what waiters observe when a fill panicked out of
+// GetOrFill before producing a result; callers fall back to direct decode.
+var errFillIncomplete = errors.New("media: gop cache fill did not complete")
+
+// NewGOPCache returns a cache bounded by budgetBytes of decoded frame data.
+// budgetBytes <= 0 leaves the budget unset: the first SetBudgetIfUnset call
+// (the executor sizes it from the plan's source formats) decides, with
+// FallbackGOPCacheBytes as the backstop.
+func NewGOPCache(budgetBytes int64) *GOPCache {
+	return &GOPCache{
+		budget:   budgetBytes,
+		entries:  map[gopKey]*list.Element{},
+		lru:      list.New(),
+		inflight: map[gopKey]*gopFill{},
+	}
+}
+
+// SetBudgetIfUnset installs budgetBytes as the byte budget if none was
+// configured at construction. Safe for concurrent use; the first caller
+// wins, later calls are no-ops.
+func (c *GOPCache) SetBudgetIfUnset(budgetBytes int64) {
+	if budgetBytes <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if c.budget <= 0 {
+		c.budget = budgetBytes
+	}
+	c.mu.Unlock()
+}
+
+// Budget returns the effective byte budget.
+func (c *GOPCache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.effectiveBudgetLocked()
+}
+
+func (c *GOPCache) effectiveBudgetLocked() int64 {
+	if c.budget <= 0 {
+		return FallbackGOPCacheBytes
+	}
+	return c.budget
+}
+
+// GetOrFill returns the decoded frames of the GOP starting at packet index
+// start of path, consulting the cache first. On a miss the fill callback
+// decodes the GOP (packets [start, nextKeyframe)); concurrent misses on the
+// same key run fill exactly once and share its result. hit reports whether
+// this caller avoided the decode (resident entry or singleflight wait). A
+// fill error is returned to every waiter and nothing is cached.
+func (c *GOPCache) GetOrFill(path string, start int, fill func() ([]*frame.Frame, error)) (frames []*frame.Frame, hit bool, err error) {
+	key := gopKey{path: path, start: start}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		gopHits.Inc()
+		return el.Value.(*gopEntry).frames, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		gopHits.Inc()
+		return f.frames, true, nil
+	}
+	f := &gopFill{done: make(chan struct{}), err: errFillIncomplete}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+	gopMisses.Inc()
+
+	// Run the fill outside the lock so distinct GOPs decode in parallel.
+	// The deferred cleanup runs even if fill panics (the panic propagates
+	// to the caller's recover backstop): waiters then see errFillIncomplete
+	// and fall back to direct decoding.
+	func() {
+		defer func() {
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if f.err == nil {
+				c.insertLocked(key, f.frames)
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.frames, f.err = fill()
+	}()
+	return f.frames, false, f.err
+}
+
+// insertLocked adds a decoded GOP and evicts from the LRU tail until the
+// budget holds again. A GOP that alone exceeds the budget is not cached.
+func (c *GOPCache) insertLocked(key gopKey, frames []*frame.Frame) {
+	var b int64
+	for _, fr := range frames {
+		if fr != nil {
+			b += int64(len(fr.Pix))
+		}
+	}
+	budget := c.effectiveBudgetLocked()
+	if b == 0 || b > budget {
+		return
+	}
+	el := c.lru.PushFront(&gopEntry{key: key, frames: frames, bytes: b})
+	c.entries[key] = el
+	c.bytes += b
+	gopBytes.Add(float64(b))
+	for c.bytes > budget {
+		back := c.lru.Back()
+		if back == nil || back == el {
+			break
+		}
+		e := back.Value.(*gopEntry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+		gopEvictions.Inc()
+		gopBytes.Add(-float64(e.bytes))
+	}
+}
+
+// GOPCacheStats is a point-in-time snapshot of one cache's counters.
+type GOPCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+}
+
+// Stats snapshots the cache counters.
+func (c *GOPCache) Stats() GOPCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return GOPCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Budget:    c.effectiveBudgetLocked(),
+	}
+}

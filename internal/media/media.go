@@ -30,6 +30,13 @@ type Stats struct {
 	// FramesConcealed counts corrupt or undecodable packets that were
 	// replaced by holding the last good frame (concealment mode only).
 	FramesConcealed int64
+	// GOPCacheHits and GOPCacheMisses count shared decoded-GOP cache
+	// lookups made on a cursor pool's behalf: a hit served the frame with
+	// no decode at all, a miss paid one whole-GOP fill (whose decodes are
+	// counted in FramesDecoded as usual). Zero unless a GOPCache is wired
+	// in via Cursors.SetGOPCache.
+	GOPCacheHits   int64
+	GOPCacheMisses int64
 }
 
 // Add accumulates o into s.
@@ -39,6 +46,8 @@ func (s *Stats) Add(o Stats) {
 	s.PacketsCopied += o.PacketsCopied
 	s.BytesCopied += o.BytesCopied
 	s.FramesConcealed += o.FramesConcealed
+	s.GOPCacheHits += o.GOPCacheHits
+	s.GOPCacheMisses += o.GOPCacheMisses
 }
 
 // Reader provides random access to the frames of a VMF file.

@@ -262,6 +262,12 @@ func shardPass(p *plan.Plan, parallelism int) int {
 		}
 		if shards > 1 {
 			s.Shards = shards
+			// A filtered single-source render can additionally align its
+			// shard boundaries to the source's keyframe grid, so no shard
+			// starts decoding mid-GOP (the executor consumes the hint).
+			if video, off, ok := s.SoleSource(); ok {
+				s.AlignVideo, s.AlignOff = video, off
+			}
 			sharded++
 		}
 	}

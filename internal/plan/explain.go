@@ -25,6 +25,12 @@ type SegmentActuals struct {
 	// Concealed counts corrupt or undecodable source packets replaced by
 	// holding the last good frame (non-zero only in concealment mode).
 	Concealed int64
+	// GOPCacheHits and GOPCacheMisses count shared decoded-GOP cache
+	// lookups attributable to the segment: a hit served a source GOP with
+	// no decode, a miss paid one whole-GOP fill. Zero when no cache is
+	// configured or the segment never decodes (copies, smart-cut tails).
+	GOPCacheHits   int64
+	GOPCacheMisses int64
 	// Shards is the parallelism the executor actually used.
 	Shards int
 }
@@ -47,6 +53,9 @@ func (a SegmentActuals) String() string {
 	}
 	if a.Concealed > 0 {
 		parts = append(parts, fmt.Sprintf("concealed=%d", a.Concealed))
+	}
+	if a.GOPCacheHits > 0 || a.GOPCacheMisses > 0 {
+		parts = append(parts, fmt.Sprintf("gopcache=%dhit/%dmiss", a.GOPCacheHits, a.GOPCacheMisses))
 	}
 	if a.Shards > 1 {
 		parts = append(parts, fmt.Sprintf("shards=%d", a.Shards))

@@ -104,6 +104,13 @@ type Segment struct {
 	// Shards is the number of parallel shards executing this frame
 	// segment (>= 1). The unoptimized plan always uses 1.
 	Shards int
+	// AlignVideo/AlignOff, when AlignVideo is non-empty, record that every
+	// source tap of this frame segment reads AlignVideo at the affine
+	// offset AlignOff (source time = t + AlignOff). The executor uses the
+	// hint to snap shard chunk boundaries to source keyframes, so no shard
+	// starts decoding mid-GOP. Set by the optimizer's shard pass.
+	AlignVideo string
+	AlignOff   rational.Rat
 }
 
 // Plan is an executable synthesis plan.
@@ -299,3 +306,57 @@ func (s *Segment) PlainClip() (video string, offset rational.Rat, ok bool) {
 
 // FrameCount returns the number of output frames the segment renders.
 func (s *Segment) FrameCount() int { return s.Times.Count() }
+
+// SoleSource reports whether every source tap in the segment's operator
+// tree reads the same video at the same affine offset (index = t + c) —
+// the "filtered single-source render" shape whose shard boundaries can be
+// aligned to source keyframes. At least one tap must exist.
+func (s *Segment) SoleSource() (video string, off rational.Rat, ok bool) {
+	if s.Kind != SegFrames || s.Root == nil {
+		return "", rational.Rat{}, false
+	}
+	taps := 0
+	consistent := true
+	add := func(v string, idx vql.Expr) {
+		o, affine := check.AffineOffset(idx)
+		if !affine {
+			consistent = false
+			return
+		}
+		if taps == 0 {
+			video, off = v, o
+		} else if v != video || !o.Equal(off) {
+			consistent = false
+		}
+		taps++
+	}
+	var walkExpr func(e vql.Expr)
+	walkExpr = func(e vql.Expr) {
+		switch x := e.(type) {
+		case vql.VideoRef:
+			add(x.Name, x.Index)
+		case vql.Call:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case vql.BinOp:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case vql.Not:
+			walkExpr(x.E)
+		case vql.Neg:
+			walkExpr(x.E)
+		}
+	}
+	s.Root.Walk(func(n *Node) {
+		if n.IsLeaf() {
+			add(n.Clip.Video, n.Clip.Index)
+		} else if n.Expr != nil {
+			walkExpr(n.Expr)
+		}
+	})
+	if !consistent || taps == 0 {
+		return "", rational.Rat{}, false
+	}
+	return video, off, true
+}

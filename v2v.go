@@ -32,6 +32,7 @@ import (
 
 	"v2v/internal/core"
 	"v2v/internal/exec"
+	"v2v/internal/media"
 	"v2v/internal/obs"
 	"v2v/internal/opt"
 	"v2v/internal/rewrite"
@@ -56,6 +57,21 @@ type Result = core.Result
 // Metrics summarizes execution work (frames decoded/encoded, packets
 // copied, wall time).
 type Metrics = exec.Metrics
+
+// GOPCache is a concurrency-safe LRU of decoded source GOPs, shared by
+// every shard worker of a run (and, when reused across Options values, by
+// concurrent runs): each source GOP is decoded once and its frames served
+// to every consumer. Assign one to Options.GOPCache.
+type GOPCache = media.GOPCache
+
+// GOPCacheStats is a point-in-time snapshot of a cache's hit/miss/eviction
+// counters and resident bytes.
+type GOPCacheStats = media.GOPCacheStats
+
+// NewGOPCache returns a decoded-GOP cache bounded by budgetBytes of frame
+// data; budgetBytes <= 0 defers sizing to the executor, which derives a
+// budget from the plan's source formats on first use.
+func NewGOPCache(budgetBytes int64) *GOPCache { return media.NewGOPCache(budgetBytes) }
 
 // RewriteStats reports what the data-dependent rewriter did.
 type RewriteStats = rewrite.Stats
