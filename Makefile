@@ -1,14 +1,18 @@
 # Tier-1 gate (ROADMAP.md): build + test.
 # `make check` adds vet and the race detector (required for internal/obs).
-# `make bench` regenerates every paper figure plus the GOP-cache sweep and
-# writes the per-query measurements to BENCH_PR3.json (CI uploads it as an
-# artifact); `make microbench` keeps the old go-test microbenchmarks.
+# `make bench` regenerates every paper figure plus the cache sweep, writes
+# the per-query measurements to BENCH_PR4.json, and diffs them against the
+# prior generation (BENCH_PR3.json) with regressions flagged — CI uploads
+# both reports and appends the markdown diff to the job summary;
+# `make microbench` keeps the old go-test microbenchmarks.
 # `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) three
 # times with distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
 
 GO ?= go
 V2V_CHAOS_SEED ?= 1
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
+BENCH_PRIOR_JSON ?= BENCH_PR3.json
+BENCH_DELTA_MD ?= bench-delta.md
 BENCH_PARALLEL ?= 4
 
 .PHONY: all build test tier1 vet race check bench microbench chaos
@@ -32,7 +36,8 @@ race:
 check: tier1 vet race
 
 bench:
-	$(GO) run ./cmd/v2vbench -fig all -parallel $(BENCH_PARALLEL) -json $(BENCH_JSON)
+	$(GO) run ./cmd/v2vbench -fig all -parallel $(BENCH_PARALLEL) -json $(BENCH_JSON) \
+		-delta $(BENCH_PRIOR_JSON) -delta-out $(BENCH_DELTA_MD)
 
 microbench:
 	$(GO) test -bench=. -benchmem

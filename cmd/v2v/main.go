@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		timeout   = fs.Duration("timeout", 0, "abort synthesis after this long (0 = no limit); a timed-out run leaves no partial output")
 		strict    = fs.Bool("strict", false, "fail fast on corrupt or undecodable source packets instead of concealing them")
 		cacheMB   = fs.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared by all shards (0 = auto-size from the sources, negative = disable)")
+		resMB     = fs.Int("result-cache-mb", -1, "encoded-result cache budget in MiB (0 = 256 MiB default, negative = disable; one-shot runs only benefit when segments repeat within the plan)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
@@ -86,6 +87,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}
 	if *cacheMB >= 0 {
 		opts.GOPCache = v2v.NewGOPCache(int64(*cacheMB) << 20)
+	}
+	if *resMB >= 0 {
+		opts.ResultCache = v2v.NewResultCache(int64(*resMB) << 20)
 	}
 	// Whatever path exits, flush the trace if one was requested; a failed
 	// write fails the run (unless it is already failing for another reason).
@@ -160,6 +164,13 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 			if cs.Hits+cs.Misses > 0 {
 				fmt.Fprintf(stdout, "gop cache       %d hits / %d misses, %d evictions, %d MiB resident (budget %d MiB)\n",
 					cs.Hits, cs.Misses, cs.Evictions, cs.Bytes>>20, cs.Budget>>20)
+			}
+		}
+		if c := opts.ResultCache; c != nil {
+			cs := c.Stats()
+			if cs.Hits+cs.Misses > 0 {
+				fmt.Fprintf(stdout, "result cache    %d hits / %d misses, %d evictions, %d KiB resident (budget %d MiB)\n",
+					cs.Hits, cs.Misses, cs.Evictions, cs.Bytes>>10, cs.Budget>>20)
 			}
 		}
 		if !res.RewriteStats.Skipped {

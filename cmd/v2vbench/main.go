@@ -8,13 +8,16 @@
 //	v2vbench -fig 4            # Fig. 4 table (KABR-sim)
 //	v2vbench -fig 5 [-stats]   # Fig. 5 table (both datasets)
 //	v2vbench -fig ablate       # per-pass ablation table
-//	v2vbench -fig cache        # GOP-cache off/cold/warm comparison (ToS-sim)
+//	v2vbench -fig cache        # cache sweep: off / GOP cold+warm / GOP+result cold+warm (ToS-sim)
 //	v2vbench -fig all -scale full -repeats 5
 //	v2vbench -fig 4 -json bench.json -trace bench-trace.json
+//	v2vbench -fig all -json BENCH_PR4.json -delta BENCH_PR3.json
 //
 // -json writes the raw per-query measurements as a JSON report for
-// trajectory tracking; -trace records a Chrome trace_event profile of
-// every run (load it in chrome://tracing or Perfetto).
+// trajectory tracking; -delta diffs it against a prior report and flags
+// regressions (-delta-out also writes the diff as markdown for CI job
+// summaries); -trace records a Chrome trace_event profile of every run
+// (load it in chrome://tracing or Perfetto).
 //
 // Absolute times depend on the host; the shape — who wins, by what factor,
 // and where smart cuts fail to apply — is the reproduction target.
@@ -22,6 +25,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -74,6 +78,17 @@ type cacheJSON struct {
 	ColdMisses      int64   `json:"cold_misses"`
 	WarmHits        int64   `json:"warm_hits"`
 	WarmMisses      int64   `json:"warm_misses"`
+	// Result-cache stack (GOP + result caches under one arbitrated budget).
+	ResultColdSeconds float64 `json:"result_cold_seconds"`
+	ResultWarmSeconds float64 `json:"result_warm_seconds"`
+	ResultColdDecodes int64   `json:"result_cold_decodes"`
+	ResultColdEncodes int64   `json:"result_cold_encodes"`
+	ResultWarmDecodes int64   `json:"result_warm_decodes"`
+	ResultWarmEncodes int64   `json:"result_warm_encodes"`
+	ResultColdHits    int64   `json:"result_cold_hits"`
+	ResultColdMisses  int64   `json:"result_cold_misses"`
+	ResultWarmHits    int64   `json:"result_warm_hits"`
+	ResultWarmMisses  int64   `json:"result_warm_misses"`
 }
 
 type ablationJSON struct {
@@ -95,7 +110,10 @@ func main() {
 		dir       = flag.String("data", benchkit.DefaultDir(), "dataset cache directory")
 		stats     = flag.Bool("stats", false, "with -fig 5, print data-rewrite statistics")
 		cacheMB   = flag.Int("gop-cache-mb", -1, "decoded-GOP cache budget in MiB for the standard figures (negative = off, 0 = auto-size); -fig cache manages its own caches")
+		resMB     = flag.Int("result-cache-mb", -1, "encoded-result cache budget in MiB for the standard figures (negative = off, 0 = 256 MiB default); -fig cache manages its own caches")
 		jsonOut   = flag.String("json", "", "write per-query measurements as JSON to this file")
+		deltaIn   = flag.String("delta", "", "prior -json report to diff the current measurements against (regression check)")
+		deltaOut  = flag.String("delta-out", "", "with -delta, also write the diff as a markdown table to this file (for CI job summaries)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection suite instead of the figures: every query under seeded read faults, strict and concealment modes")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault streams (equal seeds replay equal faults)")
@@ -125,6 +143,9 @@ func main() {
 	}
 	if *cacheMB >= 0 {
 		cfg.GOPCache = benchkit.NewGOPCache(int64(*cacheMB) << 20)
+	}
+	if *resMB >= 0 {
+		cfg.ResultCache = benchkit.NewResultCache(int64(*resMB) << 20)
 	}
 
 	if *chaos {
@@ -207,7 +228,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(benchkit.FormatCache("GOP cache — ToS-sim: optimized pipeline with cache off / cold / warm", rows))
+		fmt.Println(benchkit.FormatCache("Caches — ToS-sim: off / GOP cache cold+warm / GOP+result stack cold+warm", rows))
 		rep.addCache(tos.Name, rows)
 	}
 	if needAblate {
@@ -224,6 +245,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote measurements to %s\n", *jsonOut)
+	}
+	if *deltaIn != "" {
+		if *jsonOut == "" {
+			fatal(fmt.Errorf("-delta requires -json (the current measurements to diff)"))
+		}
+		if err := reportDelta(*deltaIn, *jsonOut, *deltaOut); err != nil {
+			fatal(err)
+		}
 	}
 	if tr != nil {
 		if err := tr.WriteJSONFile(*traceOut); err != nil {
@@ -273,6 +302,17 @@ func (r *report) addCache(dataset string, rows []benchkit.CacheRow) {
 			ColdMisses:      row.ColdMisses,
 			WarmHits:        row.WarmHits,
 			WarmMisses:      row.WarmMisses,
+
+			ResultColdSeconds: row.ResultCold.Seconds(),
+			ResultWarmSeconds: row.ResultWarm.Seconds(),
+			ResultColdDecodes: row.ResultColdDecodes,
+			ResultColdEncodes: row.ResultColdEncodes,
+			ResultWarmDecodes: row.ResultWarmDecodes,
+			ResultWarmEncodes: row.ResultWarmEncodes,
+			ResultColdHits:    row.ResultColdHits,
+			ResultColdMisses:  row.ResultColdMisses,
+			ResultWarmHits:    row.ResultWarmHits,
+			ResultWarmMisses:  row.ResultWarmMisses,
 		})
 	}
 }
@@ -289,6 +329,34 @@ func (r *report) addAblation(dataset, query string, rows []benchkit.AblationRow)
 			Copies:      row.Copies,
 		})
 	}
+}
+
+// reportDelta diffs the just-written report against a prior one, printing
+// a text table and optionally writing a markdown table for CI summaries.
+// A missing prior report is not an error (first run of a new generation).
+func reportDelta(priorPath, curPath, mdPath string) error {
+	prior, err := benchkit.LoadReport(priorPath)
+	if err != nil {
+		if os.IsNotExist(err) || errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "v2vbench: no prior report at %s, skipping delta\n", priorPath)
+			return nil
+		}
+		return err
+	}
+	cur, err := benchkit.LoadReport(curPath)
+	if err != nil {
+		return err
+	}
+	rows := benchkit.Delta(prior, cur)
+	title := fmt.Sprintf("Benchmark delta — %s vs %s", priorPath, curPath)
+	fmt.Println(benchkit.FormatDelta(title, rows))
+	if mdPath != "" {
+		if err := os.WriteFile(mdPath, []byte(benchkit.FormatDeltaMarkdown(title, rows)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote delta markdown to %s\n", mdPath)
+	}
+	return nil
 }
 
 func writeReport(path string, rep report) error {

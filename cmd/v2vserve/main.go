@@ -53,6 +53,8 @@ func main() {
 		synthTO  = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
 		strict   = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
 		cacheMB  = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, negative = disable)")
+		resMB    = flag.Int("result-cache-mb", 0, "encoded-result cache budget in MiB shared across all requests (0 = 256 MiB default, negative = disable)")
+		budgetMB = flag.Int("cache-budget-mb", 0, "unified byte budget in MiB shared by the GOP and result caches via an arbiter (0 = sum of the per-cache budgets; ignored unless both caches are enabled)")
 		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out      = flag.String("out", "", "client mode: output VMF path")
 	)
@@ -75,6 +77,18 @@ func main() {
 		// One process-wide cache: concurrent requests touching the same
 		// sources share decodes, and a hot GOP survives across requests.
 		srv.gopCache = v2v.NewGOPCache(int64(*cacheMB) << 20)
+	}
+	if *resMB >= 0 {
+		// One process-wide result cache: a repeated or overlapping query
+		// splices previously encoded segments instead of re-rendering.
+		srv.resultCache = v2v.NewResultCache(int64(*resMB) << 20)
+	}
+	if srv.gopCache != nil && srv.resultCache != nil {
+		// Both caches enabled: arbitrate one shared byte budget between
+		// them instead of enforcing two independent hard caps.
+		arb := v2v.NewCacheArbiter(int64(*budgetMB) << 20)
+		srv.gopCache.AttachArbiter(arb)
+		srv.resultCache.AttachArbiter(arb)
 	}
 	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
 
@@ -114,7 +128,10 @@ type server struct {
 	// gopCache, when non-nil, is the process-wide decoded-GOP cache shared
 	// by every request's shard workers (nil = caching disabled).
 	gopCache *v2v.GOPCache
-	reg      *obs.Registry
+	// resultCache, when non-nil, memoizes rendered segments' encoded
+	// output across requests (nil = result caching disabled).
+	resultCache *v2v.ResultCache
+	reg         *obs.Registry
 
 	requests      *obs.Counter
 	errs4xx       *obs.Counter
@@ -258,6 +275,7 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	opts.Conceal = !s.strict
 	opts.GOPCache = s.gopCache
+	opts.ResultCache = s.resultCache
 	// The request context cancels the synthesis when the client goes away;
 	// shard workers stop within one GOP of work instead of rendering a
 	// stream nobody is reading.

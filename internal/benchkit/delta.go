@@ -1,0 +1,164 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReportFile mirrors the JSON report cmd/v2vbench writes (-json), keeping
+// only the fields the delta reporter compares. Unknown fields — including
+// metrics added by later benchmark revisions — are ignored, so any two
+// BENCH_*.json generations can be diffed against each other.
+type ReportFile struct {
+	Scale   string `json:"scale"`
+	Repeats int    `json:"repeats"`
+	Compare []struct {
+		Dataset    string  `json:"dataset"`
+		Query      string  `json:"query"`
+		OptSeconds float64 `json:"opt_seconds"`
+		Speedup    float64 `json:"speedup"`
+	} `json:"compare"`
+	DataJoin []struct {
+		Dataset    string  `json:"dataset"`
+		Query      string  `json:"query"`
+		V2VSeconds float64 `json:"v2v_seconds"`
+	} `json:"data_join"`
+	Cache []struct {
+		Dataset           string  `json:"dataset"`
+		Query             string  `json:"query"`
+		WarmSeconds       float64 `json:"warm_seconds"`
+		ResultWarmSeconds float64 `json:"result_warm_seconds"`
+	} `json:"cache"`
+}
+
+// LoadReport reads a v2vbench -json report.
+func LoadReport(path string) (*ReportFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchkit: %w", err)
+	}
+	var r ReportFile
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("benchkit: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// DeltaRow is one compared metric between two benchmark reports.
+type DeltaRow struct {
+	Section string // compare, data_join, cache
+	Dataset string
+	Query   string
+	Metric  string
+	Old     float64 // seconds in the prior report
+	New     float64 // seconds in the current report
+	Ratio   float64 // New / Old; > 1 is slower
+}
+
+// deltaRegressionRatio is the slowdown beyond which a row is flagged as a
+// regression. Wall times on shared CI hosts are noisy, so the bar is
+// deliberately loose — the flag is a prompt to look, not a verdict.
+const deltaRegressionRatio = 1.5
+
+// Regressed reports whether the row slowed past the regression threshold.
+func (d DeltaRow) Regressed() bool { return d.Ratio > deltaRegressionRatio }
+
+// Delta joins two reports by (section, dataset, query) and returns one row
+// per metric present in both. Queries or metrics present in only one
+// report are skipped — the diff covers the intersection.
+func Delta(old, cur *ReportFile) []DeltaRow {
+	var rows []DeltaRow
+	add := func(section, dataset, query, metric string, o, n float64) {
+		if o <= 0 || n <= 0 {
+			return
+		}
+		rows = append(rows, DeltaRow{
+			Section: section, Dataset: dataset, Query: query, Metric: metric,
+			Old: o, New: n, Ratio: n / o,
+		})
+	}
+	type key struct{ dataset, query string }
+	oldCompare := map[key]float64{}
+	for _, e := range old.Compare {
+		oldCompare[key{e.Dataset, e.Query}] = e.OptSeconds
+	}
+	for _, e := range cur.Compare {
+		add("compare", e.Dataset, e.Query, "opt_seconds", oldCompare[key{e.Dataset, e.Query}], e.OptSeconds)
+	}
+	oldJoin := map[key]float64{}
+	for _, e := range old.DataJoin {
+		oldJoin[key{e.Dataset, e.Query}] = e.V2VSeconds
+	}
+	for _, e := range cur.DataJoin {
+		add("data_join", e.Dataset, e.Query, "v2v_seconds", oldJoin[key{e.Dataset, e.Query}], e.V2VSeconds)
+	}
+	oldWarm := map[key]float64{}
+	oldResWarm := map[key]float64{}
+	for _, e := range old.Cache {
+		oldWarm[key{e.Dataset, e.Query}] = e.WarmSeconds
+		oldResWarm[key{e.Dataset, e.Query}] = e.ResultWarmSeconds
+	}
+	for _, e := range cur.Cache {
+		add("cache", e.Dataset, e.Query, "warm_seconds", oldWarm[key{e.Dataset, e.Query}], e.WarmSeconds)
+		add("cache", e.Dataset, e.Query, "result_warm_seconds", oldResWarm[key{e.Dataset, e.Query}], e.ResultWarmSeconds)
+	}
+	return rows
+}
+
+// FormatDelta renders delta rows as an aligned text table, flagging
+// regressions past the threshold.
+func FormatDelta(title string, rows []DeltaRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	if len(rows) == 0 {
+		sb.WriteString("(no overlapping measurements)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-9s %-10s %-6s %-19s %10s %10s %7s\n",
+		"Section", "Dataset", "Query", "Metric", "Prior", "Current", "Ratio")
+	n := 0
+	for _, d := range rows {
+		flag := ""
+		if d.Regressed() {
+			flag = "  <-- regression"
+			n++
+		}
+		fmt.Fprintf(&sb, "%-9s %-10s %-6s %-19s %9.3fs %9.3fs %6.2fx%s\n",
+			d.Section, d.Dataset, d.Query, d.Metric, d.Old, d.New, d.Ratio, flag)
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "%d row(s) slowed more than %.2fx\n", n, deltaRegressionRatio)
+	}
+	return sb.String()
+}
+
+// FormatDeltaMarkdown renders delta rows as a GitHub-flavored markdown
+// table, for CI job summaries.
+func FormatDeltaMarkdown(title string, rows []DeltaRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", title)
+	if len(rows) == 0 {
+		sb.WriteString("_No overlapping measurements._\n")
+		return sb.String()
+	}
+	sb.WriteString("| Section | Dataset | Query | Metric | Prior | Current | Ratio |\n")
+	sb.WriteString("|---|---|---|---|---:|---:|---:|\n")
+	n := 0
+	for _, d := range rows {
+		ratio := fmt.Sprintf("%.2fx", d.Ratio)
+		if d.Regressed() {
+			ratio = "**" + ratio + "** ⚠️"
+			n++
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %.3fs | %.3fs | %s |\n",
+			d.Section, d.Dataset, d.Query, d.Metric, d.Old, d.New, ratio)
+	}
+	if n > 0 {
+		fmt.Fprintf(&sb, "\n%d row(s) slowed more than %.2fx.\n", n, deltaRegressionRatio)
+	} else {
+		sb.WriteString("\nNo regressions past the threshold.\n")
+	}
+	return sb.String()
+}

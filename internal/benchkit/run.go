@@ -31,6 +31,10 @@ type Config struct {
 	// decoded-GOP cache (see media.GOPCache). CacheRun manages its own
 	// caches; leave nil for the standard figures.
 	GOPCache *media.GOPCache
+	// ResultCache, when non-nil, memoizes rendered segments' encoded
+	// output across runs (see media.ResultCache). CacheRun manages its
+	// own caches; leave nil for the standard figures.
+	ResultCache *media.ResultCache
 	// Trace, when set, records one span per run (wrapping the pipeline's
 	// own stage spans) for the whole sweep.
 	Trace *obs.Trace
@@ -47,11 +51,16 @@ const (
 	// ModeBaseline runs the Python+OpenCV-equivalent engine (Fig. 5).
 	ModeBaseline Mode = "baseline"
 	// ModeCacheOff/Cold/Warm are the optimized pipeline without a GOP
-	// cache, with a fresh cache, and with an already-populated cache — the
-	// three configurations CacheRun compares.
+	// cache, with a fresh cache, and with an already-populated cache.
 	ModeCacheOff  Mode = "cache-off"
 	ModeCacheCold Mode = "cache-cold"
 	ModeCacheWarm Mode = "cache-warm"
+	// ModeResultCold/Warm add the encoded-result cache on top of the GOP
+	// cache (sharing one arbitrated byte budget): cold is a first run with
+	// fresh caches, warm repeats the identical query — render segments are
+	// spliced from the result cache with zero decodes and zero encodes.
+	ModeResultCold Mode = "result-cold"
+	ModeResultWarm Mode = "result-warm"
 )
 
 // Measurement is one timed run.
@@ -70,6 +79,10 @@ type Measurement struct {
 	// when Config.GOPCache is nil).
 	CacheHits   int64
 	CacheMisses int64
+	// ResHits/ResMisses are the run's result-cache lookup deltas (zero
+	// when Config.ResultCache is nil).
+	ResHits   int64
+	ResMisses int64
 	// OutputSHA256 fingerprints the output file so cache-on and cache-off
 	// runs can be proven byte-identical.
 	OutputSHA256 string
@@ -102,7 +115,8 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		m.Decodes = bm.Source.FramesDecoded
 		m.OutFrames = bm.FramesRendered
 	default:
-		o := core.Options{Parallelism: cfg.Parallelism, GOPCache: cfg.GOPCache, Trace: cfg.Trace}
+		o := core.Options{Parallelism: cfg.Parallelism, GOPCache: cfg.GOPCache,
+			ResultCache: cfg.ResultCache, Trace: cfg.Trace}
 		if mode != ModeUnopt {
 			o.Optimize = true
 			o.DataRewrite = true
@@ -110,6 +124,10 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		var cacheBefore media.GOPCacheStats
 		if cfg.GOPCache != nil {
 			cacheBefore = cfg.GOPCache.Stats()
+		}
+		var resBefore media.ResultCacheStats
+		if cfg.ResultCache != nil {
+			resBefore = cfg.ResultCache.Stats()
 		}
 		res, err := core.Synthesize(spec, out, o)
 		if err != nil {
@@ -124,6 +142,11 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 			after := cfg.GOPCache.Stats()
 			m.CacheHits = after.Hits - cacheBefore.Hits
 			m.CacheMisses = after.Misses - cacheBefore.Misses
+		}
+		if cfg.ResultCache != nil {
+			after := cfg.ResultCache.Stats()
+			m.ResHits = after.Hits - resBefore.Hits
+			m.ResMisses = after.Misses - resBefore.Misses
 		}
 	}
 	if h, err := fileSHA256(out); err == nil {
@@ -230,9 +253,14 @@ func DataJoinRun(ds *Dataset, cfg Config) ([]DataJoinRow, error) {
 	return rows, nil
 }
 
-// CacheRow is one line of the GOP-cache benchmark table: the same
-// optimized query with no cache, a cold cache, and a warm (pre-populated)
-// cache. Identical outputs across the three runs are verified by SHA-256.
+// CacheRow is one line of the cache benchmark table: the same optimized
+// query with no cache, a cold/warm GOP cache, and a cold/warm GOP+result
+// cache stack (sharing one arbitrated budget). Output identity is verified
+// by SHA-256 within each encoder-compatible group: {off, gop-cold,
+// gop-warm} are byte-identical, and {result-cold, result-warm} are
+// byte-identical (cached segments are encoded by fresh per-segment
+// encoders so they can splice anywhere, which legitimately changes the
+// bitstream — not the frames — versus the uncached single-encoder path).
 type CacheRow struct {
 	Query string
 	Off   time.Duration
@@ -247,23 +275,37 @@ type CacheRow struct {
 	// Hit/miss deltas for the cold and warm runs.
 	ColdHits, ColdMisses int64
 	WarmHits, WarmMisses int64
+	// Result-cache stack measurements (GOP + result caches, shared budget).
+	ResultCold time.Duration
+	ResultWarm time.Duration
+	// Work counters for the result modes: a warm repeat of a pure render
+	// query does zero decodes and zero encodes.
+	ResultColdDecodes, ResultColdEncodes int64
+	ResultWarmDecodes, ResultWarmEncodes int64
+	// Result-cache hit/miss deltas.
+	ResultColdHits, ResultColdMisses int64
+	ResultWarmHits, ResultWarmMisses int64
 }
 
-// CacheRun measures every query in the optimized pipeline under three
-// GOP-cache configurations: off, cold (fresh cache), and warm (the same
-// cache reused, so prior decodes are resident). It verifies the three runs
-// produce byte-identical outputs. Uses single runs (not Repeat) because a
-// warm-up run would pre-populate the cold cache.
+// CacheRun measures every query in the optimized pipeline under five cache
+// configurations: off, cold/warm GOP cache, and cold/warm GOP+result cache
+// stack sharing one arbitrated byte budget. It verifies byte-identical
+// outputs within each encoder-compatible group and equal output frame
+// counts across all five, and that a warm result-cache repeat of a pure
+// render query (no copied packets in its cold run) performs zero source
+// decodes and zero frame encodes. Uses single runs (not Repeat) because a
+// warm-up run would pre-populate the cold caches.
 func CacheRun(ds *Dataset, cfg Config) ([]CacheRow, error) {
 	var rows []CacheRow
 	for _, q := range Queries() {
 		offCfg := cfg
 		offCfg.GOPCache = nil
+		offCfg.ResultCache = nil
 		off, err := RunOnce(ds, q, ModeCacheOff, offCfg)
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s cache-off: %w", ds.Name, q.ID, err)
 		}
-		onCfg := cfg
+		onCfg := offCfg
 		onCfg.GOPCache = media.NewGOPCache(0)
 		cold, err := RunOnce(ds, q, ModeCacheCold, onCfg)
 		if err != nil {
@@ -273,17 +315,53 @@ func CacheRun(ds *Dataset, cfg Config) ([]CacheRow, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchkit: %s %s cache-warm: %w", ds.Name, q.ID, err)
 		}
+		resCfg := offCfg
+		resCfg.GOPCache = media.NewGOPCache(0)
+		resCfg.ResultCache = media.NewResultCache(0)
+		arb := media.NewArbiter(0)
+		resCfg.GOPCache.AttachArbiter(arb)
+		resCfg.ResultCache.AttachArbiter(arb)
+		resCold, err := RunOnce(ds, q, ModeResultCold, resCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s result-cold: %w", ds.Name, q.ID, err)
+		}
+		resWarm, err := RunOnce(ds, q, ModeResultWarm, resCfg)
+		if err != nil {
+			return nil, fmt.Errorf("benchkit: %s %s result-warm: %w", ds.Name, q.ID, err)
+		}
 		for _, m := range []Measurement{cold, warm} {
 			if m.OutputSHA256 != off.OutputSHA256 {
 				return nil, fmt.Errorf("benchkit: %s %s: %s output %s differs from cache-off %s",
 					ds.Name, q.ID, m.Mode, m.OutputSHA256, off.OutputSHA256)
 			}
 		}
+		if resWarm.OutputSHA256 != resCold.OutputSHA256 {
+			return nil, fmt.Errorf("benchkit: %s %s: result-warm output %s differs from result-cold %s",
+				ds.Name, q.ID, resWarm.OutputSHA256, resCold.OutputSHA256)
+		}
+		for _, m := range []Measurement{cold, warm, resCold, resWarm} {
+			if m.OutFrames != off.OutFrames {
+				return nil, fmt.Errorf("benchkit: %s %s: %s output frame count %d differs from cache-off %d",
+					ds.Name, q.ID, m.Mode, m.OutFrames, off.OutFrames)
+			}
+		}
+		// A pure render plan (nothing stream-copied when cold) is fully
+		// memoizable: its warm repeat must be all splice — zero decodes,
+		// zero encodes.
+		if resCold.Copies == 0 && (resWarm.Decodes != 0 || resWarm.Encodes != 0) {
+			return nil, fmt.Errorf("benchkit: %s %s: warm result-cache repeat did work: %d decodes, %d encodes",
+				ds.Name, q.ID, resWarm.Decodes, resWarm.Encodes)
+		}
 		row := CacheRow{
 			Query: q.ID, Off: off.Wall, Cold: cold.Wall, Warm: warm.Wall,
 			OffDecodes: off.Decodes, ColdDecodes: cold.Decodes, WarmDecodes: warm.Decodes,
 			ColdHits: cold.CacheHits, ColdMisses: cold.CacheMisses,
 			WarmHits: warm.CacheHits, WarmMisses: warm.CacheMisses,
+			ResultCold: resCold.Wall, ResultWarm: resWarm.Wall,
+			ResultColdDecodes: resCold.Decodes, ResultColdEncodes: resCold.Encodes,
+			ResultWarmDecodes: resWarm.Decodes, ResultWarmEncodes: resWarm.Encodes,
+			ResultColdHits: resCold.ResHits, ResultColdMisses: resCold.ResMisses,
+			ResultWarmHits: resWarm.ResHits, ResultWarmMisses: resWarm.ResMisses,
 		}
 		if cold.Decodes > 0 {
 			row.DecodeReduction = float64(off.Decodes) / float64(cold.Decodes)
@@ -296,6 +374,10 @@ func CacheRun(ds *Dataset, cfg Config) ([]CacheRow, error) {
 // NewGOPCache builds a decoded-GOP cache for Config.GOPCache; budgetBytes
 // <= 0 defers sizing to the executor.
 func NewGOPCache(budgetBytes int64) *media.GOPCache { return media.NewGOPCache(budgetBytes) }
+
+// NewResultCache builds an encoded-result cache for Config.ResultCache;
+// budgetBytes <= 0 uses the media package default.
+func NewResultCache(budgetBytes int64) *media.ResultCache { return media.NewResultCache(budgetBytes) }
 
 // fileSHA256 fingerprints a file's contents.
 func fileSHA256(path string) (string, error) {

@@ -40,19 +40,25 @@ func FormatDataJoin(title string, rows []DataJoinRow) string {
 	return sb.String()
 }
 
-// FormatCache renders the GOP-cache comparison rows: wall time and decode
-// counts with the cache off, cold, and warm, plus the per-query decode
-// reduction. Rows where the reduction is 1.00x are plans the cache cannot
-// help (pure copies and smart cuts decode almost nothing to begin with).
+// FormatCache renders the cache comparison rows: wall time and decode
+// counts with caches off, with a cold/warm GOP cache, and with a cold/warm
+// GOP+result cache stack, plus the per-query decode reduction. Rows where
+// the reduction is 1.00x are plans the GOP cache cannot help (pure copies
+// and smart cuts decode almost nothing to begin with); RDec/REnc are the
+// warm result-stack run's decode and encode counts — 0/0 means the repeat
+// was served entirely by splicing memoized output.
 func FormatCache(title string, rows []CacheRow) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s\n", title)
-	fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9s %9s %9s %9s\n",
-		"Query", "Off", "Cold", "Warm", "DecOff", "DecCold", "DecWarm", "DecRed")
+	fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9s %9s %9s %9s %10s %10s %6s %6s\n",
+		"Query", "Off", "Cold", "Warm", "DecOff", "DecCold", "DecWarm", "DecRed",
+		"ResCold", "ResWarm", "RDec", "REnc")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9d %9d %9d %8.2fx\n",
+		fmt.Fprintf(&sb, "%-6s %10s %10s %10s %9d %9d %9d %8.2fx %10s %10s %6d %6d\n",
 			r.Query, fmtDur(r.Off), fmtDur(r.Cold), fmtDur(r.Warm),
-			r.OffDecodes, r.ColdDecodes, r.WarmDecodes, r.DecodeReduction)
+			r.OffDecodes, r.ColdDecodes, r.WarmDecodes, r.DecodeReduction,
+			fmtDur(r.ResultCold), fmtDur(r.ResultWarm),
+			r.ResultWarmDecodes, r.ResultWarmEncodes)
 	}
 	return sb.String()
 }

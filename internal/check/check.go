@@ -38,6 +38,10 @@ type Source struct {
 	Times rational.Interval
 	// NumFrames is the packet count.
 	NumFrames int
+	// ContentID identifies the file's content (container header + packet
+	// index hash), independent of path or mtime — the identity result
+	// caches key on so a rewritten file never serves stale entries.
+	ContentID string
 }
 
 // Checked is a validated spec plus everything the planner needs: loaded
@@ -83,7 +87,10 @@ func Check(spec *vql.Spec, opts Options) (*Checked, error) {
 		if err != nil {
 			return nil, fmt.Errorf("check: video %q: %w", name, err)
 		}
-		c.Sources[name] = Source{Path: path, Info: r.Info(), Times: r.TimeRange(), NumFrames: r.NumPackets()}
+		c.Sources[name] = Source{
+			Path: path, Info: r.Info(), Times: r.TimeRange(),
+			NumFrames: r.NumPackets(), ContentID: r.ContentID(),
+		}
 		r.Close()
 	}
 

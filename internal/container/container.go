@@ -39,7 +39,9 @@
 package container
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -317,11 +319,12 @@ func (w *Writer) Abort() error {
 // Reader reads a VMF file (version 1 or 2). Safe for concurrent
 // ReadPacket calls (it uses positioned reads).
 type Reader struct {
-	f       File
-	info    StreamInfo
-	recs    []PacketRecord
-	version int
-	retries atomic.Int64 // transient read retries performed
+	f         File
+	info      StreamInfo
+	recs      []PacketRecord
+	version   int
+	contentID string
+	retries   atomic.Int64 // transient read retries performed
 }
 
 // Retries returns how many transient read retries this reader performed.
@@ -430,8 +433,31 @@ func NewReader(f File) (*Reader, error) {
 	if count > 0 && !recs[0].Key {
 		return nil, errors.New("container: stream does not start at a keyframe")
 	}
-	return &Reader{f: f, info: info, recs: recs, version: version}, nil
+	// Content identity: hash the magic+header, the file size, and the raw
+	// index. The index carries every packet's PTS, extent, keyframe flag,
+	// and (version 2) payload CRC32, so any change to packet content or
+	// stream structure changes the ID without reading packet data.
+	ch := sha256.New()
+	ch.Write(head[:])
+	ch.Write(hdr)
+	var szBuf [8]byte
+	binary.LittleEndian.PutUint64(szBuf[:], uint64(end))
+	ch.Write(szBuf[:])
+	ch.Write(idx)
+	return &Reader{
+		f: f, info: info, recs: recs, version: version,
+		contentID: hex.EncodeToString(ch.Sum(nil)),
+	}, nil
 }
+
+// ContentID returns a collision-resistant identifier of the file's
+// content, derived from the header and packet index (including per-packet
+// CRCs) rather than the path or mtime. Rewriting a file in place with
+// different content yields a different ID, which is what makes it safe to
+// key cross-request result caches on. Version-1 files (no packet CRCs)
+// still get an ID, but it only witnesses stream structure, not payload
+// bytes.
+func (r *Reader) ContentID() string { return r.contentID }
 
 // Close releases the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }

@@ -45,6 +45,12 @@ type Options struct {
 	// reads sources through; share one cache across runs to reuse decodes
 	// between them. Nil disables caching. See exec.Options.GOPCache.
 	GOPCache *media.GOPCache
+	// ResultCache, when non-nil, memoizes rendered segments' encoded
+	// output across runs, keyed by canonical plan fingerprint + source
+	// content identity: a repeated or overlapping query splices cached
+	// packets instead of rendering. Share one cache across runs. Nil
+	// disables result caching. See exec.Options.ResultCache.
+	ResultCache *media.ResultCache
 	// Trace, when set, records one span per pipeline stage (parse, check,
 	// rewrite, optimize, execute), per optimizer pass, per segment, and
 	// per shard worker. Export it with obs.Trace.WriteJSON.
@@ -145,7 +151,10 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 
 // execOptions translates core options to executor options.
 func execOptions(o Options) exec.Options {
-	return exec.Options{Parallelism: o.Parallelism, Conceal: o.Conceal, GOPCache: o.GOPCache, Trace: o.Trace}
+	return exec.Options{
+		Parallelism: o.Parallelism, Conceal: o.Conceal,
+		GOPCache: o.GOPCache, ResultCache: o.ResultCache, Trace: o.Trace,
+	}
 }
 
 // Synthesize runs the full pipeline and writes the result video to

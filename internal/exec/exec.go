@@ -67,6 +67,13 @@ type Options struct {
 	// cache's byte budget is unset, ExecuteTo sizes it from the plan's
 	// source formats. Nil disables caching.
 	GOPCache *media.GOPCache
+	// ResultCache, when non-nil, memoizes the encoded packets of rendered
+	// segments, keyed by canonical plan fingerprint + source content
+	// identity (plan.Fingerprinter): a repeated or overlapping query
+	// splices the cached packets as a stream copy — zero source decodes,
+	// zero frame encodes. Share one cache across runs (v2vserve shares a
+	// process-wide one). Nil disables result caching.
+	ResultCache *media.ResultCache
 	// Trace, when set, records one span per segment and per shard worker.
 	Trace *obs.Trace
 }
@@ -88,9 +95,20 @@ type Metrics struct {
 	// FramesRendered is the number of output frames produced by render
 	// segments (copied packets excluded).
 	FramesRendered int64
+	// ResultCacheHits and ResultCacheMisses count rendered segments served
+	// from / filled into the shared result cache by this execution. A hit
+	// spliced previously synthesized packets without decoding or encoding
+	// anything.
+	ResultCacheHits   int64
+	ResultCacheMisses int64
 	// Segments holds per-segment measured costs, index-aligned with the
 	// executed plan's segments — the data behind EXPLAIN ANALYZE.
 	Segments []plan.SegmentActuals
+	// GOPCache and ResultCache snapshot the shared caches' cumulative
+	// stats (occupancy, budget, totals) at the end of the run; nil when
+	// the corresponding cache is disabled.
+	GOPCache    *media.GOPCacheStats
+	ResultCache *media.ResultCacheStats
 }
 
 // TotalEncodes sums every frame encode performed anywhere in the plan.
@@ -149,6 +167,12 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 	if o.GOPCache != nil {
 		o.GOPCache.SetBudgetIfUnset(defaultGOPCacheBudget(p, o.Parallelism))
 	}
+	// One fingerprinter per run: it hashes the data arrays once and every
+	// cacheable segment derives its key from it.
+	var fp *plan.Fingerprinter
+	if o.ResultCache != nil {
+		fp = plan.NewFingerprinter(p.Checked, o.Conceal)
+	}
 
 	execSpan := o.Trace.StartSpan("execute")
 	fail := func(err error) (*Metrics, error) {
@@ -166,7 +190,7 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 		if err := ctx.Err(); err != nil {
 			return fail(err)
 		}
-		if err := runSegment(ctx, p, i, s, w, m, o, readers, markFirst); err != nil {
+		if err := runSegment(ctx, p, i, s, w, m, o, fp, readers, markFirst); err != nil {
 			return fail(err)
 		}
 		markFirst()
@@ -177,6 +201,14 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 		return nil, err
 	}
 	m.Output.Add(w.Stats())
+	if o.GOPCache != nil {
+		s := o.GOPCache.Stats()
+		m.GOPCache = &s
+	}
+	if o.ResultCache != nil {
+		s := o.ResultCache.Stats()
+		m.ResultCache = &s
+	}
 	m.Wall = time.Since(start)
 	execSpan.SetAttr("segments", len(p.Segments))
 	execSpan.SetAttr("frames_encoded", m.Output.FramesEncoded)
@@ -189,7 +221,7 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 
 // runSegment executes one segment, measuring its actual costs into
 // m.Segments and recording a span with the decoded/encoded/copied counts.
-func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func()) error {
+func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache, markFirst func()) error {
 	segStart := time.Now()
 	sinkBefore := w.Stats()
 	renderedBefore := m.FramesRendered
@@ -197,6 +229,8 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 	concealedBefore := m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed()
 	cacheHitsBefore := m.Source.GOPCacheHits
 	cacheMissesBefore := m.Source.GOPCacheMisses
+	resHitsBefore := m.ResultCacheHits
+	resMissesBefore := m.ResultCacheMisses
 	sp := o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))
 	sp.SetAttr("kind", s.Kind.String())
 	sp.SetAttr("t_start", s.Times.Start.String())
@@ -223,7 +257,7 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 			segErr = fmt.Errorf("exec: smart cut segment: %w", err)
 		}
 	case plan.SegFrames:
-		segErr = runFrameSegment(ctx, p, s, w, m, o, readers, markFirst, sp)
+		segErr = runFrameSegment(ctx, p, s, w, m, o, fp, readers, markFirst, sp)
 	default:
 		segErr = fmt.Errorf("exec: unknown segment kind %v", s.Kind)
 	}
@@ -235,22 +269,28 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 
 	sinkAfter := w.Stats()
 	act := plan.SegmentActuals{
-		Wall:           time.Since(segStart),
-		FramesRendered: m.FramesRendered - renderedBefore,
-		FramesDecoded:  m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes() - decodedBefore,
-		FramesEncoded:  sinkAfter.FramesEncoded - sinkBefore.FramesEncoded,
-		PacketsCopied:  sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
-		BytesCopied:    sinkAfter.BytesCopied - sinkBefore.BytesCopied,
-		Concealed:      m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed() - concealedBefore,
-		GOPCacheHits:   m.Source.GOPCacheHits - cacheHitsBefore,
-		GOPCacheMisses: m.Source.GOPCacheMisses - cacheMissesBefore,
-		Shards:         effectiveShards(s, o),
+		Wall:              time.Since(segStart),
+		FramesRendered:    m.FramesRendered - renderedBefore,
+		FramesDecoded:     m.Source.FramesDecoded + m.Intermediate.FramesDecoded + readers.liveDecodes() - decodedBefore,
+		FramesEncoded:     sinkAfter.FramesEncoded - sinkBefore.FramesEncoded,
+		PacketsCopied:     sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
+		BytesCopied:       sinkAfter.BytesCopied - sinkBefore.BytesCopied,
+		Concealed:         m.Source.FramesConcealed + m.Intermediate.FramesConcealed + readers.liveConcealed() - concealedBefore,
+		GOPCacheHits:      m.Source.GOPCacheHits - cacheHitsBefore,
+		GOPCacheMisses:    m.Source.GOPCacheMisses - cacheMissesBefore,
+		ResultCacheHits:   m.ResultCacheHits - resHitsBefore,
+		ResultCacheMisses: m.ResultCacheMisses - resMissesBefore,
+		Shards:            effectiveShards(s, o),
 	}
 	m.Segments = append(m.Segments, act)
 	sp.SetAttr("frames_decoded", act.FramesDecoded)
 	if act.GOPCacheHits > 0 || act.GOPCacheMisses > 0 {
 		sp.SetAttr("gopcache_hits", act.GOPCacheHits)
 		sp.SetAttr("gopcache_misses", act.GOPCacheMisses)
+	}
+	if act.ResultCacheHits > 0 || act.ResultCacheMisses > 0 {
+		sp.SetAttr("rescache_hits", act.ResultCacheHits)
+		sp.SetAttr("rescache_misses", act.ResultCacheMisses)
 	}
 	sp.SetAttr("frames_concealed", act.Concealed)
 	sp.SetAttr("frames_encoded", act.FramesEncoded)
@@ -357,7 +397,7 @@ func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, erro
 // runFrameSegment renders one segment, splitting it into shards when the
 // plan asks for parallelism. segSpan (nil when tracing is off) parents the
 // per-shard-worker spans.
-func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
+func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
 	frames := s.FrameCount()
 	if frames == 0 {
 		return nil
@@ -367,6 +407,11 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 		gop = 48
 	}
 	shards := effectiveShards(s, o)
+	if o.ResultCache != nil && fp != nil {
+		if key, ok := fp.Segment(s, shards); ok {
+			return runFrameSegmentCached(ctx, p, s, key, shards, gop, w, m, o, readers, markFirst, segSpan)
+		}
+	}
 	if shards == 1 {
 		// Sequential: encode through the output writer directly.
 		run := newSegmentRunner(p, s, o.Conceal, o.GOPCache)
@@ -401,12 +446,58 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	cancelShards := func() { abortOnce.Do(func() { close(abort) }) }
 	bounds := chunkBounds(frames, shards, gop)
 	bounds = alignChunkBounds(bounds, s, readers)
-	type chunk struct {
-		lo, hi int
-		pkts   []codec.Packet
-		err    error
-		done   chan struct{}
+	chunks := renderChunks(ctx, p, s, bounds, gop, m, o, segSpan, abort)
+	// Deliver chunks in output order as each completes (pipelined with the
+	// still-running later shards), so streaming consumers see packets as
+	// soon as the first shard lands. On any failure — a shard error or a
+	// sink write error — delivery stops but the loop still waits for every
+	// chunk: shard goroutines mutate *Metrics and close their runners on
+	// exit, so returning while they run would race with the caller reading
+	// m. cancelShards bounds the wasted work to one GOP per live shard.
+	var firstErr error
+	for _, ch := range chunks {
+		<-ch.done
+		if ch.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
+				cancelShards()
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain remaining shards, deliver nothing further
+		}
+		for _, pkt := range ch.pkts {
+			if err := w.WriteEncodedFrame(pkt.Key, pkt.Data); err != nil {
+				firstErr = fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err)
+				cancelShards()
+				break
+			}
+			m.FramesRendered++
+			// First-output latency is the first packet a consumer could
+			// play, not the first whole chunk.
+			markFirst()
+		}
 	}
+	return firstErr
+}
+
+// chunk is one shard's work item: the half-open output frame range
+// [lo, hi) and, once done closes, the encoded packets or the error.
+type chunk struct {
+	lo, hi int
+	pkts   []codec.Packet
+	err    error
+	done   chan struct{}
+}
+
+// renderChunks spawns one shard worker per bounds interval; each renders
+// its frames through a fresh segment runner and encodes them with its own
+// encoder (so every chunk starts on a keyframe). Workers honor ctx at GOP
+// boundaries and stop early when abort closes (nil means no abort
+// signal). The caller must receive on every chunk's done channel before
+// reading m: workers fold their reader stats into m on exit.
+func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []int, gop int, m *Metrics, o Options, segSpan *obs.Span, abort <-chan struct{}) []*chunk {
 	var chunks []*chunk
 	for bi := 0; bi+1 < len(bounds); bi++ {
 		chunks = append(chunks, &chunk{lo: bounds[bi], hi: bounds[bi+1], done: make(chan struct{})})
@@ -478,39 +569,103 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 			}
 		}(ch)
 	}
-	// Deliver chunks in output order as each completes (pipelined with the
-	// still-running later shards), so streaming consumers see packets as
-	// soon as the first shard lands. On any failure — a shard error or a
-	// sink write error — delivery stops but the loop still waits for every
-	// chunk: shard goroutines mutate *Metrics and close their runners on
-	// exit, so returning while they run would race with the caller reading
-	// m. cancelShards bounds the wasted work to one GOP per live shard.
+	return chunks
+}
+
+// runFrameSegmentCached serves a cacheable rendered segment through the
+// result cache: a hit splices the memoized packets as a stream copy (zero
+// decodes, zero encodes); a miss renders the whole segment to packets,
+// fills the cache, and delivers them. Concurrent executions of the same
+// key collapse singleflight-style — the waiter splices the filler's
+// packets.
+func runFrameSegmentCached(ctx context.Context, p *plan.Plan, s *plan.Segment, key string, shards, gop int, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
+	seg, hit, filled, err := o.ResultCache.GetOrFill(ctx, key, func() (*media.ResultSegment, error) {
+		pkts, err := renderSegmentPackets(ctx, p, s, shards, gop, m, o, readers, segSpan)
+		if err != nil {
+			return nil, err
+		}
+		return media.NewResultSegment(pkts), nil
+	})
+	if err != nil {
+		if filled || ctx.Err() != nil {
+			return err
+		}
+		// A concurrent request's fill failed; its error (possibly its own
+		// cancellation) is not ours. Render directly, uncached.
+		pkts, rerr := renderSegmentPackets(ctx, p, s, shards, gop, m, o, readers, segSpan)
+		if rerr != nil {
+			return rerr
+		}
+		m.ResultCacheMisses++
+		return deliverResult(media.NewResultSegment(pkts), w, m, markFirst, false)
+	}
+	if hit {
+		m.ResultCacheHits++
+		segSpan.SetAttr("rescache", "hit")
+	} else {
+		m.ResultCacheMisses++
+		segSpan.SetAttr("rescache", "miss")
+	}
+	return deliverResult(seg, w, m, markFirst, hit)
+}
+
+// deliverResult writes a segment's packets to the sink. Cache hits splice
+// as raw packets (stream copies — nothing was rendered this run); fills
+// deliver as shard-encoded frames, exactly as the parallel path counts
+// its own work.
+func deliverResult(seg *media.ResultSegment, w media.Sink, m *Metrics, markFirst func(), hit bool) error {
+	for _, pkt := range seg.Packets {
+		var err error
+		if hit {
+			err = w.WriteRawPacket(pkt.Key, pkt.Data)
+		} else {
+			err = w.WriteEncodedFrame(pkt.Key, pkt.Data)
+			m.FramesRendered++
+		}
+		if err != nil {
+			return fmt.Errorf("exec: deliver cached segment: %w", err)
+		}
+		markFirst()
+	}
+	return nil
+}
+
+// renderSegmentPackets renders every frame of the segment into encoded
+// packets without touching the sink — the fill path of the result cache.
+// Each shard (and the single-shard case) uses a fresh encoder, so the
+// packet bytes are self-contained: they start on a keyframe and depend
+// only on the segment's content, never on writer state.
+func renderSegmentPackets(ctx context.Context, p *plan.Plan, s *plan.Segment, shards, gop int, m *Metrics, o Options, readers *readerCache, segSpan *obs.Span) ([]media.EncodedPacket, error) {
+	frames := s.FrameCount()
+	bounds := []int{0, frames}
+	if shards > 1 {
+		bounds = alignChunkBounds(chunkBounds(frames, shards, gop), s, readers)
+	}
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	chunks := renderChunks(ctx, p, s, bounds, gop, m, o, segSpan, abort)
+	var pkts []media.EncodedPacket
 	var firstErr error
 	for _, ch := range chunks {
 		<-ch.done
 		if ch.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
-				cancelShards()
+				abortOnce.Do(func() { close(abort) })
 			}
 			continue
 		}
 		if firstErr != nil {
-			continue // drain remaining shards, deliver nothing further
+			continue // drain remaining shards
 		}
 		for _, pkt := range ch.pkts {
-			if err := w.WriteEncodedFrame(pkt.Key, pkt.Data); err != nil {
-				firstErr = fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err)
-				cancelShards()
-				break
-			}
-			m.FramesRendered++
-			// First-output latency is the first packet a consumer could
-			// play, not the first whole chunk.
-			markFirst()
+			pkts = append(pkts, media.EncodedPacket{Key: pkt.Key, Data: pkt.Data})
 		}
 	}
-	return firstErr
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pkts, nil
 }
 
 // chunkBounds splits [0, frames) into up to `shards` chunks whose lengths

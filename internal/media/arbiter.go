@@ -1,0 +1,274 @@
+package media
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"v2v/internal/obs"
+)
+
+var arbiterDenied = obs.Default().Counter("v2v_cache_admission_denied_total",
+	"Cache insertions refused by the shared budget arbiter's scan-resistant admission policy.")
+
+// arbiterDoorkeeperKeys bounds one doorkeeper generation; two generations
+// are kept, so the effective history window is up to twice this.
+const arbiterDoorkeeperKeys = 1 << 16
+
+// Arbiter coordinates one shared byte budget across several caches (the
+// decoded-GOP cache and the encoded-result cache), replacing their
+// independent hard LRU caps with a global limit that degrades gracefully
+// under concurrent heavy queries. Two policies, both applied only when an
+// insertion would force eviction (a cache under budget admits freely, so
+// steady-state warm traffic pays nothing):
+//
+//   - Scan resistance. A TinyLFU-style doorkeeper — a two-generation
+//     approximate set of recently requested keys — must have seen the key
+//     before it is allowed to evict resident data. A one-pass scan
+//     (every key new) therefore cannot flush the working set; a key
+//     requested twice is admitted on its second miss.
+//
+//   - Fairness. Eviction victims are chosen by largest overage above a
+//     protected floor (half the client cache's configured budget), and a
+//     client at or below its floor is never evicted from. Two heavy
+//     queries competing for the shared budget can squeeze each other down
+//     to their floors but never to zero.
+//
+// Lock ordering: the arbiter's mutex is acquired before any client
+// cache's mutex (budget and evict callbacks take the cache lock), so
+// caches must never call into the arbiter while holding their own lock.
+type Arbiter struct {
+	mu      sync.Mutex
+	total   int64
+	clients []*BudgetClient
+
+	// Doorkeeper generations: cur fills, prev is the previous window.
+	cur, prev map[uint64]struct{}
+
+	denied int64
+}
+
+// NewArbiter returns an arbiter enforcing totalBytes across its clients.
+// totalBytes <= 0 leaves the total unset: it then defaults to the sum of
+// the registered caches' own budgets (so attaching caches to an unset
+// arbiter bounds them exactly as their individual caps would have,
+// globally instead of independently).
+func NewArbiter(totalBytes int64) *Arbiter {
+	return &Arbiter{
+		total: totalBytes,
+		cur:   make(map[uint64]struct{}),
+		prev:  make(map[uint64]struct{}),
+	}
+}
+
+// SetTotalIfUnset installs totalBytes as the shared budget if none was
+// configured at construction. The first caller wins.
+func (a *Arbiter) SetTotalIfUnset(totalBytes int64) {
+	if totalBytes <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.total <= 0 {
+		a.total = totalBytes
+	}
+	a.mu.Unlock()
+}
+
+// Total returns the effective shared byte budget.
+func (a *Arbiter) Total() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.effectiveTotalLocked()
+}
+
+func (a *Arbiter) effectiveTotalLocked() int64 {
+	if a.total > 0 {
+		return a.total
+	}
+	var t int64
+	for _, c := range a.clients {
+		t += c.budget()
+	}
+	if t <= 0 {
+		t = FallbackGOPCacheBytes
+	}
+	return t
+}
+
+// Used returns the bytes currently charged across all clients.
+func (a *Arbiter) Used() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.usedLocked()
+}
+
+func (a *Arbiter) usedLocked() int64 {
+	var u int64
+	for _, c := range a.clients {
+		u += c.used
+	}
+	return u
+}
+
+// ArbiterStats snapshots the arbiter's state for stats output and tests.
+type ArbiterStats struct {
+	Total  int64            `json:"total"`
+	Used   int64            `json:"used"`
+	Denied int64            `json:"denied"` // admissions refused by the doorkeeper
+	Client map[string]int64 `json:"client"` // per-client charged bytes
+}
+
+// Stats snapshots the arbiter.
+func (a *Arbiter) Stats() ArbiterStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := ArbiterStats{
+		Total:  a.effectiveTotalLocked(),
+		Used:   a.usedLocked(),
+		Denied: a.denied,
+		Client: make(map[string]int64, len(a.clients)),
+	}
+	for _, c := range a.clients {
+		s.Client[c.name] = c.used
+	}
+	return s
+}
+
+// BudgetClient is one cache's account with a shared arbiter.
+type BudgetClient struct {
+	a    *Arbiter
+	name string
+	// budget returns the cache's own configured budget; half of it is the
+	// client's protected floor, and unset arbiter totals sum it.
+	budget func() int64
+	// evict frees at least need bytes from the cache's LRU tail (as many
+	// as it can), returning the bytes actually freed. It must not call
+	// back into the arbiter; the arbiter adjusts the ledger itself.
+	evict func(need int64) int64
+	used  int64
+}
+
+// Register adds a cache to the arbiter. Call once per cache at setup,
+// before the cache serves traffic.
+func (a *Arbiter) Register(name string, budget func() int64, evict func(need int64) int64) *BudgetClient {
+	c := &BudgetClient{a: a, name: name, budget: budget, evict: evict}
+	a.mu.Lock()
+	a.clients = append(a.clients, c)
+	a.mu.Unlock()
+	return c
+}
+
+func doorkeeperHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+func (a *Arbiter) seenLocked(kh uint64) bool {
+	if _, ok := a.cur[kh]; ok {
+		return true
+	}
+	_, ok := a.prev[kh]
+	return ok
+}
+
+func (a *Arbiter) noteLocked(kh uint64) {
+	if len(a.cur) >= arbiterDoorkeeperKeys {
+		a.prev, a.cur = a.cur, make(map[uint64]struct{}, arbiterDoorkeeperKeys/4)
+	}
+	a.cur[kh] = struct{}{}
+}
+
+// victimLocked picks the client with the largest overage above its
+// protected floor, or nil when every client is at or below its floor.
+func (a *Arbiter) victimLocked() *BudgetClient {
+	var best *BudgetClient
+	var bestOver int64
+	for _, c := range a.clients {
+		if over := c.used - c.budget()/2; over > bestOver {
+			best, bestOver = c, over
+		}
+	}
+	return best
+}
+
+// Reserve asks to charge bytes for inserting key into the client's cache.
+// Under budget it always grants. Over budget, the doorkeeper refuses keys
+// never requested before (scan resistance), then LRU tails of over-floor
+// clients are evicted until the reservation fits. A false return means
+// the entry must not be cached (the filled value is still served to the
+// caller — admission never fails the request, only the memoization).
+func (c *BudgetClient) Reserve(key string, bytes int64) bool {
+	a := c.a
+	kh := doorkeeperHash(key)
+	a.mu.Lock()
+	total := a.effectiveTotalLocked()
+	if bytes <= 0 || bytes > total {
+		a.mu.Unlock()
+		return false
+	}
+	seen := a.seenLocked(kh)
+	a.noteLocked(kh)
+	if a.usedLocked()+bytes <= total {
+		c.used += bytes
+		a.mu.Unlock()
+		return true
+	}
+	if !seen {
+		a.denied++
+		a.mu.Unlock()
+		arbiterDenied.Inc()
+		return false
+	}
+	for {
+		need := a.usedLocked() + bytes - total
+		if need <= 0 {
+			break
+		}
+		v := a.victimLocked()
+		if v == nil {
+			// Every client is at its floor: the floors don't leave room.
+			a.denied++
+			a.mu.Unlock()
+			arbiterDenied.Inc()
+			return false
+		}
+		// Evict outside the arbiter lock (the callback takes the cache
+		// lock; lock order is always arbiter -> cache).
+		a.mu.Unlock()
+		freed := v.evict(need)
+		a.mu.Lock()
+		v.used -= freed
+		if v.used < 0 {
+			v.used = 0
+		}
+		if freed <= 0 {
+			// No progress (cache emptied concurrently); give up rather
+			// than spin.
+			a.denied++
+			a.mu.Unlock()
+			arbiterDenied.Inc()
+			return false
+		}
+	}
+	c.used += bytes
+	a.mu.Unlock()
+	return true
+}
+
+// Release returns bytes to the shared budget (an entry removed outside
+// arbiter-driven eviction).
+func (c *BudgetClient) Release(bytes int64) {
+	c.a.mu.Lock()
+	c.used -= bytes
+	if c.used < 0 {
+		c.used = 0
+	}
+	c.a.mu.Unlock()
+}
+
+// Used returns the bytes currently charged to this client.
+func (c *BudgetClient) Used() int64 {
+	c.a.mu.Lock()
+	defer c.a.mu.Unlock()
+	return c.used
+}

@@ -1,0 +1,190 @@
+package media
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fakeStore is a minimal LRU-ish client store for arbiter tests: entries
+// evict oldest-first via the evict callback.
+type fakeStore struct {
+	mu      sync.Mutex
+	name    string
+	budget  int64
+	sizes   []int64
+	client  *BudgetClient
+	evicted int
+}
+
+func newFakeStore(a *Arbiter, name string, budget int64) *fakeStore {
+	s := &fakeStore{name: name, budget: budget}
+	s.client = a.Register(name, func() int64 { return budget }, s.evictBytes)
+	return s
+}
+
+func (s *fakeStore) evictBytes(need int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var freed int64
+	for freed < need && len(s.sizes) > 0 {
+		freed += s.sizes[0]
+		s.sizes = s.sizes[1:]
+		s.evicted++
+	}
+	return freed
+}
+
+// insert reserves and, when granted, records the entry.
+func (s *fakeStore) insert(key string, b int64) bool {
+	if !s.client.Reserve(key, b) {
+		return false
+	}
+	s.mu.Lock()
+	s.sizes = append(s.sizes, b)
+	s.mu.Unlock()
+	return true
+}
+
+// insertRetry models a key requested again after a doorkeeper denial: one
+// retry, which counts as the key's second sighting.
+func (s *fakeStore) insertRetry(key string, b int64) bool {
+	if s.insert(key, b) {
+		return true
+	}
+	return s.insert(key, b)
+}
+
+func (s *fakeStore) bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, b := range s.sizes {
+		t += b
+	}
+	return t
+}
+
+// The arbiter must never let the combined charged bytes exceed the total,
+// whatever mix of admissions and evictions gets there.
+func TestArbiterTotalNeverExceeded(t *testing.T) {
+	a := NewArbiter(1000)
+	s1 := newFakeStore(a, "one", 1000)
+	s2 := newFakeStore(a, "two", 1000)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%d", i)
+		// Retried inserts pass the doorkeeper under pressure.
+		s1.insertRetry("a"+k, 90)
+		s2.insertRetry("b"+k, 70)
+		if u, tot := a.Used(), a.Total(); u > tot {
+			t.Fatalf("used %d exceeds total %d after round %d", u, tot, i)
+		}
+	}
+	if got, want := s1.bytes()+s2.bytes(), a.Used(); got != want {
+		t.Errorf("store bytes %d != arbiter ledger %d", got, want)
+	}
+	// An entry bigger than the whole budget is always refused.
+	if s1.insert("huge", 2000) {
+		t.Error("entry larger than the total budget admitted")
+	}
+}
+
+// One-pass scans (every key seen for the first time) must not evict
+// resident data: the first over-budget request for a novel key is denied,
+// its second request is admitted.
+func TestArbiterDoorkeeperScanResistance(t *testing.T) {
+	a := NewArbiter(100)
+	s := newFakeStore(a, "c", 100)
+	if !s.insert("hot1", 40) || !s.insert("hot2", 40) {
+		t.Fatal("under-budget inserts denied")
+	}
+	// 20 bytes of headroom remain; a 40-byte novel key needs eviction.
+	if s.insert("scan", 40) {
+		t.Error("novel key evicted resident data on first sight")
+	}
+	if s.evicted != 0 {
+		t.Errorf("scan evicted %d resident entries", s.evicted)
+	}
+	if st := a.Stats(); st.Denied == 0 {
+		t.Error("denied admission not counted")
+	}
+	// Second sighting: now it may evict its way in.
+	if !s.insert("scan", 40) {
+		t.Error("twice-requested key still denied")
+	}
+	if s.evicted == 0 {
+		t.Error("admitted key evicted nothing, but the budget was full")
+	}
+	if u, tot := a.Used(), a.Total(); u > tot {
+		t.Errorf("used %d exceeds total %d", u, tot)
+	}
+}
+
+// Under contention, eviction stops at each client's protected floor (half
+// its own budget): one aggressive client can squeeze the other down to its
+// floor but never to zero.
+func TestArbiterFairnessFloors(t *testing.T) {
+	a := NewArbiter(100)
+	victim := newFakeStore(a, "victim", 80) // floor 40
+	bully := newFakeStore(a, "bully", 80)   // floor 40
+	for i := 0; i < 8; i++ {
+		victim.insertRetry(fmt.Sprintf("v%d", i), 10)
+	}
+	if got := victim.bytes(); got != 80 {
+		t.Fatalf("victim resident bytes = %d, want 80", got)
+	}
+	// The bully hammers the shared budget; retried inserts pass the
+	// doorkeeper.
+	for i := 0; i < 20; i++ {
+		bully.insertRetry(fmt.Sprintf("b%d", i), 10)
+	}
+	if u, tot := a.Used(), a.Total(); u > tot {
+		t.Fatalf("used %d exceeds total %d", u, tot)
+	}
+	if got := victim.bytes(); got < 40 {
+		t.Errorf("victim squeezed to %d bytes, below its 40-byte floor", got)
+	}
+	if got := bully.bytes(); got == 0 {
+		t.Error("bully ended with nothing despite free floor headroom")
+	}
+	st := a.Stats()
+	if st.Client["victim"] != victim.bytes() || st.Client["bully"] != bully.bytes() {
+		t.Errorf("ledger %v disagrees with stores (victim %d, bully %d)",
+			st.Client, victim.bytes(), bully.bytes())
+	}
+}
+
+// An unset total defaults to the sum of the registered clients' budgets.
+func TestArbiterUnsetTotalSumsClientBudgets(t *testing.T) {
+	a := NewArbiter(0)
+	newFakeStore(a, "x", 300)
+	newFakeStore(a, "y", 200)
+	if got := a.Total(); got != 500 {
+		t.Errorf("Total = %d, want 500", got)
+	}
+	a.SetTotalIfUnset(400)
+	if got := a.Total(); got != 400 {
+		t.Errorf("Total after SetTotalIfUnset = %d, want 400", got)
+	}
+	a.SetTotalIfUnset(999) // first caller wins
+	if got := a.Total(); got != 400 {
+		t.Errorf("Total overwritten to %d", got)
+	}
+}
+
+// Release returns bytes to the pool.
+func TestArbiterRelease(t *testing.T) {
+	a := NewArbiter(100)
+	s := newFakeStore(a, "r", 100)
+	if !s.insert("k", 60) {
+		t.Fatal("insert denied")
+	}
+	s.client.Release(60)
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used after release = %d, want 0", got)
+	}
+	s.client.Release(10) // over-release clamps at zero
+	if got := a.Used(); got != 0 {
+		t.Errorf("Used after over-release = %d, want 0", got)
+	}
+}

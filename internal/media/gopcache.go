@@ -3,6 +3,7 @@ package media
 import (
 	"container/list"
 	"errors"
+	"fmt"
 	"sync"
 
 	"v2v/internal/frame"
@@ -22,6 +23,10 @@ var (
 		"Decoded GOPs evicted to stay under the byte budget.")
 	gopBytes = obs.Default().Gauge("v2v_gopcache_bytes",
 		"Decoded frame bytes currently resident in GOP caches.")
+	cacheBytesGOP = obs.Default().Gauge(`v2v_cache_bytes{cache="gop"}`,
+		"Bytes currently resident, per cache (gop = decoded GOPs, result = encoded segments).")
+	cacheBudgetGOP = obs.Default().Gauge(`v2v_cache_budget_bytes{cache="gop"}`,
+		"Configured byte budget, per cache (gop = decoded GOPs, result = encoded segments).")
 )
 
 // FallbackGOPCacheBytes bounds a cache whose budget was never set — neither
@@ -52,6 +57,7 @@ type GOPCache struct {
 	entries  map[gopKey]*list.Element
 	lru      *list.List // front = most recently used, values *gopEntry
 	inflight map[gopKey]*gopFill
+	client   *BudgetClient
 
 	hits, misses, evictions int64
 }
@@ -82,6 +88,9 @@ var errFillIncomplete = errors.New("media: gop cache fill did not complete")
 // (the executor sizes it from the plan's source formats) decides, with
 // FallbackGOPCacheBytes as the backstop.
 func NewGOPCache(budgetBytes int64) *GOPCache {
+	if budgetBytes > 0 {
+		cacheBudgetGOP.Set(float64(budgetBytes))
+	}
 	return &GOPCache{
 		budget:   budgetBytes,
 		entries:  map[gopKey]*list.Element{},
@@ -101,6 +110,20 @@ func (c *GOPCache) SetBudgetIfUnset(budgetBytes int64) {
 	if c.budget <= 0 {
 		c.budget = budgetBytes
 	}
+	set := c.budget
+	c.mu.Unlock()
+	cacheBudgetGOP.Set(float64(set))
+}
+
+// AttachArbiter hands eviction decisions to a shared budget arbiter: the
+// cache stops enforcing its own cap (its budget becomes the basis of its
+// protected floor and of an unset arbiter total) and inserts reserve from
+// the arbiter instead. Call once at setup, before the cache serves
+// traffic.
+func (c *GOPCache) AttachArbiter(a *Arbiter) {
+	cl := a.Register("gop", c.Budget, c.evictBytes)
+	c.mu.Lock()
+	c.client = cl
 	c.mu.Unlock()
 }
 
@@ -158,10 +181,31 @@ func (c *GOPCache) GetOrFill(path string, start int, fill func() ([]*frame.Frame
 	// and fall back to direct decoding.
 	func() {
 		defer func() {
+			// Admission (which may take the arbiter lock) happens before
+			// the cache lock — never the reverse order. The inflight entry
+			// stays registered until the same critical section that
+			// inserts, so no second fill of this key can have started.
+			var b int64
+			admitted := false
+			if f.err == nil {
+				for _, fr := range f.frames {
+					if fr != nil {
+						b += int64(len(fr.Pix))
+					}
+				}
+				admitted = c.admit(key, b)
+			}
 			c.mu.Lock()
 			delete(c.inflight, key)
-			if f.err == nil {
-				c.insertLocked(key, f.frames)
+			if admitted {
+				el := c.lru.PushFront(&gopEntry{key: key, frames: f.frames, bytes: b})
+				c.entries[key] = el
+				c.bytes += b
+				gopBytes.Add(float64(b))
+				cacheBytesGOP.Add(float64(b))
+				if c.client == nil {
+					c.evictOverBudgetLocked(el)
+				}
 			}
 			c.mu.Unlock()
 			close(f.done)
@@ -171,36 +215,63 @@ func (c *GOPCache) GetOrFill(path string, start int, fill func() ([]*frame.Frame
 	return f.frames, false, f.err
 }
 
-// insertLocked adds a decoded GOP and evicts from the LRU tail until the
-// budget holds again. A GOP that alone exceeds the budget is not cached.
-func (c *GOPCache) insertLocked(key gopKey, frames []*frame.Frame) {
-	var b int64
-	for _, fr := range frames {
-		if fr != nil {
-			b += int64(len(fr.Pix))
-		}
-	}
+// admit decides whether a filled GOP of b bytes may be cached, reserving
+// shared budget when an arbiter is attached. Standalone caches admit
+// anything that fits their own budget (insertion then evicts from the
+// tail). Must be called without holding c.mu.
+func (c *GOPCache) admit(key gopKey, b int64) bool {
+	c.mu.Lock()
+	cl := c.client
 	budget := c.effectiveBudgetLocked()
-	if b == 0 || b > budget {
-		return
+	c.mu.Unlock()
+	if b <= 0 {
+		return false
 	}
-	el := c.lru.PushFront(&gopEntry{key: key, frames: frames, bytes: b})
-	c.entries[key] = el
-	c.bytes += b
-	gopBytes.Add(float64(b))
+	if cl != nil {
+		return cl.Reserve(fmt.Sprintf("gop\x00%s\x00%d", key.path, key.start), b)
+	}
+	return b <= budget
+}
+
+// evictOverBudgetLocked evicts from the LRU tail until the standalone
+// budget holds, never evicting keep.
+func (c *GOPCache) evictOverBudgetLocked(keep *list.Element) {
+	budget := c.effectiveBudgetLocked()
 	for c.bytes > budget {
 		back := c.lru.Back()
-		if back == nil || back == el {
+		if back == nil || back == keep {
 			break
 		}
-		e := back.Value.(*gopEntry)
-		c.lru.Remove(back)
-		delete(c.entries, e.key)
-		c.bytes -= e.bytes
-		c.evictions++
-		gopEvictions.Inc()
-		gopBytes.Add(-float64(e.bytes))
+		c.removeLocked(back)
 	}
+}
+
+func (c *GOPCache) removeLocked(el *list.Element) int64 {
+	e := el.Value.(*gopEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	c.evictions++
+	gopEvictions.Inc()
+	gopBytes.Add(-float64(e.bytes))
+	cacheBytesGOP.Add(-float64(e.bytes))
+	return e.bytes
+}
+
+// evictBytes frees at least need bytes from the LRU tail (or empties the
+// cache), returning the bytes freed — the arbiter's eviction callback.
+func (c *GOPCache) evictBytes(need int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var freed int64
+	for freed < need {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		freed += c.removeLocked(back)
+	}
+	return freed
 }
 
 // GOPCacheStats is a point-in-time snapshot of one cache's counters.

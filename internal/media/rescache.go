@@ -1,0 +1,278 @@
+package media
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"v2v/internal/obs"
+)
+
+// Result-cache metrics, exported via the default obs registry (scraped at
+// v2vserve's /metrics). Every ResultCache in the process feeds the same
+// instruments; the cmds create exactly one shared cache.
+var (
+	resHits = obs.Default().Counter("v2v_rescache_hits_total",
+		"Encoded-result cache hits (segments spliced without rendering), including singleflight waiters.")
+	resMisses = obs.Default().Counter("v2v_rescache_misses_total",
+		"Encoded-result cache misses (segments rendered and filled).")
+	resEvictions = obs.Default().Counter("v2v_rescache_evictions_total",
+		"Cached result segments evicted to stay under the byte budget.")
+	resBytes = obs.Default().Gauge("v2v_rescache_bytes",
+		"Encoded packet bytes currently resident in result caches.")
+	cacheBytesRes = obs.Default().Gauge(`v2v_cache_bytes{cache="result"}`,
+		"Bytes currently resident, per cache (gop = decoded GOPs, result = encoded segments).")
+	cacheBudgetRes = obs.Default().Gauge(`v2v_cache_budget_bytes{cache="result"}`,
+		"Configured byte budget, per cache (gop = decoded GOPs, result = encoded segments).")
+)
+
+// DefaultResultCacheBytes is the budget used when a result cache is
+// created with no explicit size.
+const DefaultResultCacheBytes = 256 << 20
+
+// EncodedPacket is one encoded output packet held by the result cache.
+// Data is immutable once cached.
+type EncodedPacket struct {
+	Key  bool
+	Data []byte
+}
+
+// ResultSegment is an immutable cached render result: the complete,
+// in-order encoded packets of one output segment. The first packet is
+// always a keyframe (segments are encoded by a fresh encoder), so a
+// cached segment splices into any output position.
+type ResultSegment struct {
+	Packets []EncodedPacket
+	bytes   int64
+}
+
+// NewResultSegment wraps packets, charging their payload bytes plus a
+// small per-packet overhead.
+func NewResultSegment(pkts []EncodedPacket) *ResultSegment {
+	s := &ResultSegment{Packets: pkts}
+	for _, p := range pkts {
+		s.bytes += int64(len(p.Data)) + 32
+	}
+	return s
+}
+
+// Bytes returns the charged size of the segment.
+func (s *ResultSegment) Bytes() int64 { return s.bytes }
+
+// ResultCache memoizes the synthesized output of rendered segments across
+// queries, keyed by canonical plan fingerprint + source content identity
+// (plan.Fingerprinter). Where the GOP cache removes redundant source
+// *decodes*, this removes the filter + encode cost entirely: a repeated
+// or overlapping query splices the cached packets as a stream copy.
+//
+// Concurrency mirrors GOPCache: resident entries are shared (immutable),
+// concurrent misses on one key collapse singleflight-style, and a failed
+// or panicked fill releases the key without caching the error. Eviction
+// is LRU under the cache's own byte budget, or delegated to a shared
+// Arbiter when attached (AttachArbiter).
+type ResultCache struct {
+	mu       sync.Mutex
+	budget   int64
+	bytes    int64
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used, values *resEntry
+	inflight map[string]*resFill
+	client   *BudgetClient
+
+	hits, misses, evictions int64
+}
+
+type resEntry struct {
+	key string
+	seg *ResultSegment
+}
+
+type resFill struct {
+	done chan struct{}
+	seg  *ResultSegment
+	err  error
+}
+
+// NewResultCache returns a cache bounded by budgetBytes of encoded packet
+// data; budgetBytes <= 0 uses DefaultResultCacheBytes.
+func NewResultCache(budgetBytes int64) *ResultCache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultResultCacheBytes
+	}
+	cacheBudgetRes.Set(float64(budgetBytes))
+	return &ResultCache{
+		budget:   budgetBytes,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+		inflight: map[string]*resFill{},
+	}
+}
+
+// Budget returns the cache's configured byte budget.
+func (c *ResultCache) Budget() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+// AttachArbiter hands eviction decisions to a shared budget arbiter: the
+// cache stops enforcing its own cap (its budget becomes the basis of its
+// protected floor) and inserts reserve from the arbiter instead. Call
+// once at setup, before the cache serves traffic.
+func (c *ResultCache) AttachArbiter(a *Arbiter) {
+	cl := a.Register("result", c.Budget, c.evictBytes)
+	c.mu.Lock()
+	c.client = cl
+	c.mu.Unlock()
+}
+
+// GetOrFill returns the cached result for key, or runs fill to produce
+// it. Concurrent misses on one key run fill exactly once; waiters block
+// until the fill completes or ctx is done. hit reports whether this
+// caller avoided rendering; filled reports whether this caller ran fill
+// (so an error with filled=false came from a concurrent fill or ctx, and
+// the caller may fall back to rendering directly). A fill error is
+// returned to every waiter and nothing is cached.
+func (c *ResultCache) GetOrFill(ctx context.Context, key string, fill func() (*ResultSegment, error)) (seg *ResultSegment, hit, filled bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		resHits.Inc()
+		return el.Value.(*resEntry).seg, true, false, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, false, false, ctx.Err()
+		}
+		if f.err != nil {
+			return nil, false, false, f.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		resHits.Inc()
+		return f.seg, true, false, nil
+	}
+	f := &resFill{done: make(chan struct{}), err: errFillIncomplete}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+	resMisses.Inc()
+
+	// Run the fill outside the lock. The deferred cleanup runs even if
+	// fill panics (the panic propagates to the caller): waiters then see
+	// errFillIncomplete and the key is released for a later retry.
+	func() {
+		defer func() {
+			// Admission (which may take the arbiter lock) happens before
+			// the cache lock — never the reverse order.
+			admitted := false
+			if f.err == nil && f.seg != nil {
+				admitted = c.admit(key, f.seg.bytes)
+			}
+			c.mu.Lock()
+			delete(c.inflight, key)
+			if admitted {
+				el := c.lru.PushFront(&resEntry{key: key, seg: f.seg})
+				c.entries[key] = el
+				c.bytes += f.seg.bytes
+				resBytes.Add(float64(f.seg.bytes))
+				cacheBytesRes.Add(float64(f.seg.bytes))
+				if c.client == nil {
+					c.evictOverBudgetLocked(el)
+				}
+			}
+			c.mu.Unlock()
+			close(f.done)
+		}()
+		f.seg, f.err = fill()
+	}()
+	return f.seg, false, true, f.err
+}
+
+// admit decides whether a filled entry of b bytes may be cached,
+// reserving shared budget when an arbiter is attached. Standalone caches
+// admit anything that fits their own budget (insertion then evicts from
+// the tail). Must be called without holding c.mu.
+func (c *ResultCache) admit(key string, b int64) bool {
+	c.mu.Lock()
+	cl := c.client
+	budget := c.budget
+	c.mu.Unlock()
+	if b <= 0 {
+		return false
+	}
+	if cl != nil {
+		return cl.Reserve(key, b)
+	}
+	return b <= budget
+}
+
+// evictOverBudgetLocked evicts from the LRU tail until the standalone
+// budget holds, never evicting keep.
+func (c *ResultCache) evictOverBudgetLocked(keep *list.Element) {
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil || back == keep {
+			break
+		}
+		c.removeLocked(back)
+	}
+}
+
+func (c *ResultCache) removeLocked(el *list.Element) int64 {
+	e := el.Value.(*resEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.seg.bytes
+	c.evictions++
+	resEvictions.Inc()
+	resBytes.Add(-float64(e.seg.bytes))
+	cacheBytesRes.Add(-float64(e.seg.bytes))
+	return e.seg.bytes
+}
+
+// evictBytes frees at least need bytes from the LRU tail (or empties the
+// cache), returning the bytes freed — the arbiter's eviction callback.
+func (c *ResultCache) evictBytes(need int64) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var freed int64
+	for freed < need {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		freed += c.removeLocked(back)
+	}
+	return freed
+}
+
+// ResultCacheStats is a point-in-time snapshot of one cache's counters.
+type ResultCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget"`
+}
+
+// Stats snapshots the cache counters.
+func (c *ResultCache) Stats() ResultCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ResultCacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+	}
+}

@@ -1,0 +1,261 @@
+package media
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testSegment(n, size int) *ResultSegment {
+	pkts := make([]EncodedPacket, n)
+	for i := range pkts {
+		pkts[i] = EncodedPacket{Key: i == 0, Data: make([]byte, size)}
+	}
+	return NewResultSegment(pkts)
+}
+
+// Concurrent misses on one key must run the fill exactly once; everyone
+// else blocks and shares the result as a hit. Run under -race.
+func TestResultCacheSingleflightDedup(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	const workers = 16
+	var fills atomic.Int64
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			seg, hit, filled, err := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+				fills.Add(1)
+				time.Sleep(5 * time.Millisecond) // widen the race window
+				return testSegment(3, 100), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if seg == nil || len(seg.Packets) != 3 {
+				t.Error("bad segment")
+			}
+			if hit {
+				hits.Add(1)
+			}
+			if filled && hit {
+				t.Error("a filler reported a hit")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := fills.Load(); got != 1 {
+		t.Errorf("fill ran %d times, want 1", got)
+	}
+	if got := hits.Load(); got != workers-1 {
+		t.Errorf("hits = %d, want %d", got, workers-1)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != workers-1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// A fill error must release the key (nothing cached, no wedged inflight
+// entry) so a later call retries the fill.
+func TestResultCacheFillErrorReleasesKey(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	boom := errors.New("render failed")
+	_, _, filled, err := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+		return nil, boom
+	})
+	if !filled || !errors.Is(err, boom) {
+		t.Fatalf("filled=%t err=%v, want filled with the fill error", filled, err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error was cached: %+v", st)
+	}
+	seg, hit, filled, err := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+		return testSegment(1, 10), nil
+	})
+	if err != nil || hit || !filled || seg == nil {
+		t.Fatalf("retry after error: seg=%v hit=%t filled=%t err=%v", seg, hit, filled, err)
+	}
+}
+
+// A panicking fill must release the key too: the panic propagates to the
+// caller, concurrent waiters observe an incomplete-fill error, and a later
+// call retries.
+func TestResultCacheFillPanicReleasesKey(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+			panic("render exploded")
+		})
+	}()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("panic left an entry: %+v", st)
+	}
+	seg, _, filled, err := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+		return testSegment(1, 10), nil
+	})
+	if err != nil || !filled || seg == nil {
+		t.Fatalf("retry after panic: filled=%t err=%v", filled, err)
+	}
+}
+
+// Waiters observing a panicked fill get errFillIncomplete, not a hang.
+func TestResultCacheWaiterSeesPanickedFill(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+			close(entered)
+			<-release
+			panic("mid-fill")
+		})
+	}()
+	<-entered
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+			t.Error("waiter ran its own fill while one was inflight")
+			return testSegment(1, 10), nil
+		})
+		done <- err
+	}()
+	// Give the waiter time to park on the inflight fill, then blow it up.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errFillIncomplete) {
+			t.Errorf("waiter err = %v, want errFillIncomplete", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter hung on a panicked fill")
+	}
+}
+
+// A waiter whose context is canceled stops waiting promptly and reports
+// the context error; the fill itself is unaffected.
+func TestResultCacheWaiterContextCancel(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+			close(entered)
+			<-release
+			return testSegment(1, 10), nil
+		})
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, _, err := c.GetOrFill(ctx, "k", func() (*ResultSegment, error) {
+		return testSegment(1, 10), nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled waiter err = %v, want context.Canceled", err)
+	}
+	close(release)
+	// The fill still lands: a fresh caller hits.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, hit, _, _ := c.GetOrFill(context.Background(), "k", func() (*ResultSegment, error) {
+			return testSegment(1, 10), nil
+		}); hit {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fill never became resident")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Standalone (no arbiter) eviction is LRU under the cache's own budget.
+func TestResultCacheStandaloneLRUEviction(t *testing.T) {
+	seg := testSegment(1, 1000) // ~1032 charged bytes
+	budget := 3 * seg.Bytes()
+	c := NewResultCache(budget)
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("k%d", i)
+		_, _, _, err := c.GetOrFill(context.Background(), k, func() (*ResultSegment, error) {
+			return testSegment(1, 1000), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Errorf("resident %d bytes exceeds budget %d", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions despite overflow")
+	}
+	// Oldest keys evicted first: k0 misses again, the newest hits.
+	if _, hit, _, _ := c.GetOrFill(context.Background(), "k4", func() (*ResultSegment, error) {
+		return testSegment(1, 1000), nil
+	}); !hit {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+// Eviction fairness end-to-end at the cache layer: two caches attached to
+// one arbiter under a budget that cannot hold both working sets — both
+// keep at least their protected floors, the total stays bounded, and
+// neither is thrashed to zero.
+func TestResultCachesShareArbiterWithoutThrashing(t *testing.T) {
+	seg := testSegment(1, 1000)
+	per := 8 * seg.Bytes()
+	a := NewArbiter(per) // half of what the two caches would like combined
+	c1 := NewResultCache(per)
+	c2 := NewResultCache(per)
+	c1.AttachArbiter(a)
+	c2.AttachArbiter(a)
+
+	var wg sync.WaitGroup
+	for w, c := range map[string]*ResultCache{"one": c1, "two": c2} {
+		wg.Add(1)
+		go func(prefix string, c *ResultCache) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				for i := 0; i < 8; i++ {
+					k := fmt.Sprintf("%s-%d", prefix, i)
+					if _, _, _, err := c.GetOrFill(context.Background(), k, func() (*ResultSegment, error) {
+						return testSegment(1, 1000), nil
+					}); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(w, c)
+	}
+	wg.Wait()
+
+	if u, tot := a.Used(), a.Total(); u > tot {
+		t.Errorf("arbiter used %d exceeds total %d", u, tot)
+	}
+	s1, s2 := c1.Stats(), c2.Stats()
+	if s1.Bytes+s2.Bytes != a.Used() {
+		t.Errorf("cache bytes %d+%d disagree with arbiter ledger %d", s1.Bytes, s2.Bytes, a.Used())
+	}
+	if s1.Bytes == 0 || s2.Bytes == 0 {
+		t.Errorf("a cache was thrashed to zero: %d / %d bytes", s1.Bytes, s2.Bytes)
+	}
+}

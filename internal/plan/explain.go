@@ -31,6 +31,13 @@ type SegmentActuals struct {
 	// configured or the segment never decodes (copies, smart-cut tails).
 	GOPCacheHits   int64
 	GOPCacheMisses int64
+	// ResultCacheHits and ResultCacheMisses count encoded-result cache
+	// lookups for the segment: a hit spliced previously synthesized
+	// packets without rendering, a miss rendered the segment and filled
+	// the cache. Zero when no result cache is configured or the segment
+	// is not cacheable.
+	ResultCacheHits   int64
+	ResultCacheMisses int64
 	// Shards is the parallelism the executor actually used.
 	Shards int
 }
@@ -56,6 +63,9 @@ func (a SegmentActuals) String() string {
 	}
 	if a.GOPCacheHits > 0 || a.GOPCacheMisses > 0 {
 		parts = append(parts, fmt.Sprintf("gopcache=%dhit/%dmiss", a.GOPCacheHits, a.GOPCacheMisses))
+	}
+	if a.ResultCacheHits > 0 || a.ResultCacheMisses > 0 {
+		parts = append(parts, fmt.Sprintf("rescache=%dhit/%dmiss", a.ResultCacheHits, a.ResultCacheMisses))
 	}
 	if a.Shards > 1 {
 		parts = append(parts, fmt.Sprintf("shards=%d", a.Shards))

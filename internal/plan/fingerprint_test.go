@@ -1,0 +1,221 @@
+package plan
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"v2v/internal/check"
+	"v2v/internal/dataset"
+	"v2v/internal/rational"
+	"v2v/internal/vql"
+)
+
+// checkedWith builds a Checked over an explicit video binding set.
+func checkedWith(t *testing.T, videos, body string) *check.Checked {
+	t.Helper()
+	src := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { %s }
+		data { bb: %q; }
+		%s`, videos, fxAnn, body)
+	s, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := check.Check(s, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// segmentKey plans body over c and fingerprints its first segment.
+func segmentKey(t *testing.T, c *check.Checked, conceal bool, shards int) (string, bool) {
+	t.Helper()
+	p, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) == 0 {
+		t.Fatal("no segments")
+	}
+	return NewFingerprinter(c, conceal).Segment(p.Segments[0], shards)
+}
+
+// The key must witness content, not names: the same file bound under two
+// different video names fingerprints identically, and two different files
+// under the same name fingerprint differently.
+func TestFingerprintContentNotNames(t *testing.T) {
+	body := `render(t) = grade(v[t], 5, 1.0, 1.0);`
+	a := checkedWith(t, fmt.Sprintf("v: %q;", fxVid), body)
+	b := checkedWith(t, fmt.Sprintf("v: %q;", fxVid),
+		`render(t) = grade(v[t], 5, 1.0, 1.0);`)
+	renamed := checkedWith(t, fmt.Sprintf("cam: %q;", fxVid),
+		`render(t) = grade(cam[t], 5, 1.0, 1.0);`)
+	other := checkedWith(t, fmt.Sprintf("v: %q;", fxVid2), body)
+
+	ka, ok := segmentKey(t, a, false, 1)
+	if !ok {
+		t.Fatal("segment not cacheable")
+	}
+	if kb, ok := segmentKey(t, b, false, 1); !ok || kb != ka {
+		t.Errorf("identical spec keys differ: %s vs %s", ka, kb)
+	}
+	if kr, ok := segmentKey(t, renamed, false, 1); !ok || kr != ka {
+		t.Errorf("renamed binding of the same file changed the key: %s vs %s", ka, kr)
+	}
+	if ko, ok := segmentKey(t, other, false, 1); !ok || ko == ka {
+		t.Error("different source content produced the same key")
+	}
+}
+
+// Everything that changes the output bytes must change the key: times,
+// shard count, concealment mode, and the operator tree.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := checked(t, `render(t) = grade(v[t], 5, 1.0, 1.0);`)
+	k0, ok := segmentKey(t, base, false, 1)
+	if !ok {
+		t.Fatal("segment not cacheable")
+	}
+	keys := map[string]string{"base": k0}
+	put := func(name, k string) {
+		t.Helper()
+		for prev, pk := range keys {
+			if pk == k {
+				t.Errorf("%s collides with %s", name, prev)
+			}
+		}
+		keys[name] = k
+	}
+
+	if k, ok := segmentKey(t, base, false, 2); !ok {
+		t.Error("sharded segment not cacheable")
+	} else {
+		put("shards=2", k)
+	}
+	if k, ok := segmentKey(t, base, true, 1); !ok {
+		t.Error("conceal segment not cacheable")
+	} else {
+		put("conceal", k)
+	}
+	if k, ok := segmentKey(t, checked(t, `render(t) = grade(v[t], 6, 1.0, 1.0);`), false, 1); !ok {
+		t.Error("param variant not cacheable")
+	} else {
+		put("param", k)
+	}
+	if k, ok := segmentKey(t, checked(t, `render(t) = grade(v[t + 1], 5, 1.0, 1.0);`), false, 1); !ok {
+		t.Error("offset variant not cacheable")
+	} else {
+		put("offset", k)
+	}
+}
+
+// A plan reading a data array must key on the array's materialized
+// entries: regenerating the annotation file changes the key.
+func TestFingerprintDataArrayContent(t *testing.T) {
+	body := `render(t) = boxes(v[t], bb[t]);`
+	c1 := checked(t, body)
+	k1, ok := segmentKey(t, c1, false, 1)
+	if !ok {
+		t.Fatal("segment not cacheable")
+	}
+
+	// Regenerate the annotations with a different seed into a fresh file
+	// and bind it under the same array name.
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "c.vmf")
+	ann := filepath.Join(dir, "c.boxes.json")
+	p := dataset.TinyProfile()
+	p.Seed = 77
+	if _, err := dataset.Generate(vid, ann, p, rational.FromInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	src := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { v: %q; w: %q; }
+		data { bb: %q; }
+		%s`, fxVid, fxVid2, ann, body)
+	s, err := vql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := check.Check(s, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, ok := segmentKey(t, c2, false, 1)
+	if !ok {
+		t.Fatal("variant segment not cacheable")
+	}
+	if k1 == k2 {
+		t.Error("different data array contents produced the same key")
+	}
+}
+
+// Rewriting a source file in place must change its content identity and
+// therefore every key over it — the stale-source guard at the plan layer.
+func TestFingerprintRewrittenSourceChangesKey(t *testing.T) {
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "mut.vmf")
+	p := dataset.TinyProfile()
+	if _, err := dataset.Generate(vid, "", p, rational.FromInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	body := `render(t) = grade(v[t], 5, 1.0, 1.0);`
+	c1 := checkedWith(t, fmt.Sprintf("v: %q;", vid), body)
+	k1, ok := segmentKey(t, c1, false, 1)
+	if !ok {
+		t.Fatal("segment not cacheable")
+	}
+
+	p.Seed = 99
+	if _, err := dataset.Generate(vid, "", p, rational.FromInt(4)); err != nil {
+		t.Fatal(err)
+	}
+	c2 := checkedWith(t, fmt.Sprintf("v: %q;", vid), body)
+	k2, ok := segmentKey(t, c2, false, 1)
+	if !ok {
+		t.Fatal("rewritten segment not cacheable")
+	}
+	if k1 == k2 {
+		t.Error("in-place rewrite kept the same key: stale results would be served")
+	}
+	if c1.Sources["v"].ContentID == c2.Sources["v"].ContentID {
+		t.Error("content ID unchanged by in-place rewrite")
+	}
+}
+
+// Copy and smart-cut segments are not memoizable (their output depends on
+// writer state); a source with no content identity is conservatively
+// uncacheable.
+func TestFingerprintUncacheableForms(t *testing.T) {
+	c := checked(t, `render(t) = grade(v[t], 5, 1.0, 1.0);`)
+	p, err := Build(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFingerprinter(c, false)
+	s := *p.Segments[0]
+	s.Kind = SegCopy
+	if _, ok := f.Segment(&s, 1); ok {
+		t.Error("copy segment reported cacheable")
+	}
+	s.Kind = SegSmartCut
+	if _, ok := f.Segment(&s, 1); ok {
+		t.Error("smart-cut segment reported cacheable")
+	}
+
+	// Strip the source's content identity: the render segment must become
+	// uncacheable rather than key on nothing.
+	c2 := *c
+	c2.Sources = map[string]check.Source{}
+	for name, src := range c.Sources {
+		src.ContentID = ""
+		c2.Sources[name] = src
+	}
+	f2 := NewFingerprinter(&c2, false)
+	if _, ok := f2.Segment(p.Segments[0], 1); ok {
+		t.Error("segment without source content identity reported cacheable")
+	}
+}

@@ -73,6 +73,36 @@ type GOPCacheStats = media.GOPCacheStats
 // budget from the plan's source formats on first use.
 func NewGOPCache(budgetBytes int64) *GOPCache { return media.NewGOPCache(budgetBytes) }
 
+// ResultCache memoizes the encoded output of rendered segments across
+// runs, keyed by canonical plan fingerprint + source content identity: a
+// repeated or overlapping query splices the cached packets as a stream
+// copy — zero source decodes, zero frame encodes. Assign one to
+// Options.ResultCache and share it across runs.
+type ResultCache = media.ResultCache
+
+// ResultCacheStats is a point-in-time snapshot of a result cache's
+// hit/miss/eviction counters and resident bytes.
+type ResultCacheStats = media.ResultCacheStats
+
+// NewResultCache returns an encoded-result cache bounded by budgetBytes;
+// budgetBytes <= 0 uses a 256 MiB default.
+func NewResultCache(budgetBytes int64) *ResultCache { return media.NewResultCache(budgetBytes) }
+
+// CacheArbiter coordinates one shared byte budget across the GOP and
+// result caches with scan-resistant admission and per-cache fairness
+// floors, replacing the independent hard LRU caps — under concurrent
+// heavy queries the caches degrade gracefully instead of thrashing each
+// other. Attach caches with their AttachArbiter methods before first use.
+type CacheArbiter = media.Arbiter
+
+// CacheArbiterStats snapshots a shared-budget arbiter.
+type CacheArbiterStats = media.ArbiterStats
+
+// NewCacheArbiter returns an arbiter enforcing totalBytes across its
+// attached caches; totalBytes <= 0 defaults the total to the sum of the
+// attached caches' own budgets.
+func NewCacheArbiter(totalBytes int64) *CacheArbiter { return media.NewArbiter(totalBytes) }
+
 // RewriteStats reports what the data-dependent rewriter did.
 type RewriteStats = rewrite.Stats
 
@@ -175,9 +205,19 @@ func Explain(spec *Spec, o Options) (string, error) {
 
 // ExplainAnalyze renders an executed run's plan tree annotated with each
 // segment's measured wall time and packet/frame counts — the analogue of
-// relational EXPLAIN ANALYZE.
+// relational EXPLAIN ANALYZE. When the run used caches, end-of-run cache
+// occupancy/budget summaries are appended as trailer lines.
 func ExplainAnalyze(res *Result) string {
-	return res.Plan.ExplainAnalyze(res.Metrics.Segments)
+	out := res.Plan.ExplainAnalyze(res.Metrics.Segments)
+	if s := res.Metrics.GOPCache; s != nil {
+		out += fmt.Sprintf("-- gopcache: %d hits %d misses %d evictions, %d entries %dB resident of %dB budget\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes, s.Budget)
+	}
+	if s := res.Metrics.ResultCache; s != nil {
+		out += fmt.Sprintf("-- rescache: %d hits %d misses %d evictions, %d entries %dB resident of %dB budget\n",
+			s.Hits, s.Misses, s.Evictions, s.Entries, s.Bytes, s.Budget)
+	}
+	return out
 }
 
 // ExplainDOT returns the plan as a Graphviz digraph.
