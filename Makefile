@@ -1,5 +1,9 @@
 # Tier-1 gate (ROADMAP.md): build + test.
-# `make check` adds vet and the race detector (required for internal/obs).
+# `make check` adds vet, the race detector (required for internal/obs), and
+# the project linters (`make lint`, cmd/v2vlint — see
+# docs/STATIC_ANALYSIS.md).
+# `make fuzz` runs the native fuzz targets for FUZZTIME each (the checked-in
+# corpora under testdata/fuzz always run as part of plain `go test`).
 # `make bench` regenerates every paper figure plus the cache sweep, writes
 # the per-query measurements to BENCH_PR4.json, and diffs them against the
 # prior generation (BENCH_PR3.json) with regressions flagged — CI uploads
@@ -14,8 +18,9 @@ BENCH_JSON ?= BENCH_PR4.json
 BENCH_PRIOR_JSON ?= BENCH_PR3.json
 BENCH_DELTA_MD ?= bench-delta.md
 BENCH_PARALLEL ?= 4
+FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race check bench microbench chaos
+.PHONY: all build test tier1 vet race lint fuzz check bench microbench chaos
 
 all: tier1
 
@@ -33,7 +38,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: tier1 vet race
+lint:
+	$(GO) run ./cmd/v2vlint ./...
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/vql/
+	$(GO) test -run='^$$' -fuzz=FuzzNewReader -fuzztime=$(FUZZTIME) ./internal/container/
+
+check: tier1 vet race lint
 
 bench:
 	$(GO) run ./cmd/v2vbench -fig all -parallel $(BENCH_PARALLEL) -json $(BENCH_JSON) \

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"path/filepath"
 
 	"v2v"
+	"v2v/internal/cliutil"
 	"v2v/internal/core"
 )
 
@@ -45,14 +47,22 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		traceOut  = fs.String("trace", "", "write a Chrome trace_event JSON file (chrome://tracing, Perfetto)")
 		timeout   = fs.Duration("timeout", 0, "abort synthesis after this long (0 = no limit); a timed-out run leaves no partial output")
 		strict    = fs.Bool("strict", false, "fail fast on corrupt or undecodable source packets instead of concealing them")
-		cacheMB   = fs.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared by all shards (0 = auto-size from the sources, negative = disable)")
-		resMB     = fs.Int("result-cache-mb", -1, "encoded-result cache budget in MiB (0 = 256 MiB default, negative = disable; one-shot runs only benefit when segments repeat within the plan)")
+		cacheMB   = fs.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared by all shards (0 = auto-size from the sources, -1 = disable)")
+		resMB     = fs.Int("result-cache-mb", -1, "encoded-result cache budget in MiB (0 = 256 MiB default, -1 = disable; one-shot runs only benefit when segments repeat within the plan)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: v2v [flags] spec.v2v output.vmf\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := errors.Join(
+		cliutil.ValidateParallel("-parallel", *parallel),
+		cliutil.ValidateTimeout("-timeout", *timeout),
+		cliutil.ValidateCacheMB("-gop-cache-mb", *cacheMB),
+		cliutil.ValidateCacheMB("-result-cache-mb", *resMB),
+	); err != nil {
 		return err
 	}
 

@@ -164,3 +164,31 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unwritable trace path should fail the run")
 	}
 }
+
+func TestRunFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	spec := writeSpec(t, dir)
+	out := filepath.Join(dir, "o.vmf")
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-gop-cache-mb", "-2", spec, out}, "-gop-cache-mb"},
+		{[]string{"-result-cache-mb", "-7", spec, out}, "-result-cache-mb"},
+		{[]string{"-gop-cache-mb", "99999999", spec, out}, "MiB, not bytes"},
+		{[]string{"-timeout", "-3s", spec, out}, "-timeout"},
+		{[]string{"-timeout", "48h", spec, out}, "exceeds"},
+		{[]string{"-parallel", "-4", spec, out}, "-parallel"},
+	} {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", tc.args, err, tc.want)
+		}
+	}
+	// -1 stays the documented disable value for both caches.
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-gop-cache-mb", "-1", "-result-cache-mb", "-1", spec, out}, &stdout, &stderr); err != nil {
+		t.Errorf("caches disabled with -1 should still synthesize: %v", err)
+	}
+}

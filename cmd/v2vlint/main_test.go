@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runLint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestFindingsExitNonzero(t *testing.T) {
+	code, out, errb := runLint(t, "-dir", "testdata/fixture")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("findings = %d, want 3 (live, bare-unsuppressed, bare-directive):\n%s", len(lines), out)
+	}
+	for _, wantSub := range []string{
+		"[errwrap] error compared with ==",
+		"[nolint] v2v:nolint requires a written reason",
+	} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("output missing %q:\n%s", wantSub, out)
+		}
+	}
+	// The justified suppression (fixture.go line 15) must be silent.
+	if strings.Contains(out, "fixture.go:15") {
+		t.Errorf("suppressed finding leaked through:\n%s", out)
+	}
+}
+
+func TestCleanExitsZero(t *testing.T) {
+	code, out, errb := runLint(t, "-dir", "testdata/clean")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout: %s stderr: %s", code, out, errb)
+	}
+	if out != "" {
+		t.Errorf("unexpected output: %s", out)
+	}
+}
+
+func TestAnalyzerSubset(t *testing.T) {
+	// Only ledger runs; the errwrap finding disappears but the errwrap
+	// nolint directives must not be misreported as unknown.
+	code, out, _ := runLint(t, "-dir", "testdata/fixture", "-analyzers", "ledger")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (bare directive is still a finding):\n%s", code, out)
+	}
+	if strings.Contains(out, "errwrap] error compared") {
+		t.Errorf("errwrap ran despite subset:\n%s", out)
+	}
+	if strings.Contains(out, "unknown analyzer") {
+		t.Errorf("directives for non-running analyzers misreported:\n%s", out)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	code, _, errb := runLint(t, "-analyzers", "nosuch")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errb)
+	}
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runLint(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ctxcheck", "ledger", "lockcheck", "metricsname", "errwrap"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package clean is driver testdata with nothing to report.
+package clean
+
+import "errors"
+
+var ErrNope = errors.New("nope")
+
+// Check compares the idiomatic way.
+func Check(err error) bool {
+	return errors.Is(err, ErrNope)
+}

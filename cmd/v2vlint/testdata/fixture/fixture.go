@@ -1,0 +1,21 @@
+// Package fixture is driver testdata for cmd/v2vlint: one live
+// finding, one justified suppression, one bare directive.
+package fixture
+
+import "io"
+
+// Bad compares a sentinel with ==: a live errwrap finding.
+func Bad(err error) bool {
+	return err == io.EOF
+}
+
+// Suppressed carries a justified nolint and stays quiet.
+func Suppressed(err error) bool {
+	return err == io.EOF //v2v:nolint(errwrap) fixture: demonstrating a justified suppression
+}
+
+// Bare has a reason-less directive: it must not suppress, and is a
+// finding itself.
+func Bare(err error) bool {
+	return err == io.EOF //v2v:nolint(errwrap)
+}

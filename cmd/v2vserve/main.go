@@ -25,6 +25,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -40,9 +41,23 @@ import (
 	"time"
 
 	"v2v"
+	"v2v/internal/cliutil"
 	"v2v/internal/media"
 	"v2v/internal/obs"
 )
+
+// validateServeFlags rejects nonsensical flag values before any server
+// state is built, so a typo'd unit (bytes instead of MiB, negative
+// durations) fails fast with a clear message.
+func validateServeFlags(drain, synthTO time.Duration, cacheMB, resMB, budgetMB int) error {
+	return errors.Join(
+		cliutil.ValidateTimeout("-drain", drain),
+		cliutil.ValidateTimeout("-synth-timeout", synthTO),
+		cliutil.ValidateCacheMB("-gop-cache-mb", cacheMB),
+		cliutil.ValidateCacheMB("-result-cache-mb", resMB),
+		cliutil.ValidateBudgetMB("-cache-budget-mb", budgetMB),
+	)
+}
 
 func main() {
 	var (
@@ -52,13 +67,17 @@ func main() {
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
 		synthTO  = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
 		strict   = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
-		cacheMB  = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, negative = disable)")
-		resMB    = flag.Int("result-cache-mb", 0, "encoded-result cache budget in MiB shared across all requests (0 = 256 MiB default, negative = disable)")
+		cacheMB  = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, -1 = disable)")
+		resMB    = flag.Int("result-cache-mb", 0, "encoded-result cache budget in MiB shared across all requests (0 = 256 MiB default, -1 = disable)")
 		budgetMB = flag.Int("cache-budget-mb", 0, "unified byte budget in MiB shared by the GOP and result caches via an arbiter (0 = sum of the per-cache budgets; ignored unless both caches are enabled)")
 		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out      = flag.String("out", "", "client mode: output VMF path")
 	)
 	flag.Parse()
+
+	if err := validateServeFlags(*drain, *synthTO, *cacheMB, *resMB, *budgetMB); err != nil {
+		log.Fatal("v2vserve: ", err)
+	}
 
 	if *fetchURL != "" {
 		if *out == "" {
@@ -345,7 +364,7 @@ func fetch(url, outPath string) error {
 	n := 0
 	for {
 		key, data, err := sr.NextPacket()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

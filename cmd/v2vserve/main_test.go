@@ -297,3 +297,31 @@ func TestClientDisconnectCancelsSynthesis(t *testing.T) {
 		t.Errorf("client disconnect counted as failure (synthFail = %d)", n)
 	}
 }
+
+func TestValidateServeFlags(t *testing.T) {
+	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0); err != nil {
+		t.Errorf("defaults should validate: %v", err)
+	}
+	if err := validateServeFlags(time.Minute, time.Minute, -1, -1, 0); err != nil {
+		t.Errorf("-1 cache disables should validate: %v", err)
+	}
+	for _, tc := range []struct {
+		name                     string
+		drain, synthTO           time.Duration
+		cacheMB, resMB, budgetMB int
+		want                     string
+	}{
+		{"negative drain", -time.Second, 0, 0, 0, 0, "-drain"},
+		{"negative synth timeout", 0, -time.Second, 0, 0, 0, "-synth-timeout"},
+		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, "exceeds"},
+		{"bad gop cache", 0, 0, -2, 0, 0, "-gop-cache-mb"},
+		{"bad result cache", 0, 0, 0, -9, 0, "-result-cache-mb"},
+		{"bytes-not-MiB cache", 0, 0, 1 << 30, 0, 0, "MiB, not bytes"},
+		{"negative budget", 0, 0, 0, 0, -1, "-cache-budget-mb"},
+	} {
+		err := validateServeFlags(tc.drain, tc.synthTO, tc.cacheMB, tc.resMB, tc.budgetMB)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Package cliutil holds flag validation shared by the v2v command-line
+// binaries. The cache-size and timeout flags all follow one convention
+// — 0 means "auto/default", -1 means "disabled" where disabling is
+// meaningful — and anything outside that convention (other negatives,
+// absurd magnitudes) is rejected up front with a clear error instead of
+// silently misbehaving deep inside the engine.
+package cliutil
+
+import (
+	"fmt"
+	"time"
+)
+
+const (
+	// MaxCacheMB caps cache-size flags at 1 TiB expressed in MiB; a
+	// larger value is almost certainly a unit mistake (bytes passed
+	// where MiB were expected).
+	MaxCacheMB = 1 << 20
+	// MaxTimeout caps duration flags; a synthesis or drain window
+	// beyond a day is a unit mistake.
+	MaxTimeout = 24 * time.Hour
+	// MaxParallel caps shard parallelism.
+	MaxParallel = 4096
+)
+
+// ValidateCacheMB checks a cache-size flag where -1 disables the cache
+// and 0 selects the default/auto size.
+func ValidateCacheMB(name string, mb int) error {
+	switch {
+	case mb < -1:
+		return fmt.Errorf("%s: %d is not a size; use -1 to disable, 0 for the default", name, mb)
+	case mb > MaxCacheMB:
+		return fmt.Errorf("%s: %d MiB exceeds the %d MiB (1 TiB) cap; the value is in MiB, not bytes", name, mb, MaxCacheMB)
+	}
+	return nil
+}
+
+// ValidateBudgetMB checks a shared-budget flag where 0 means "derive
+// from the per-cache budgets" and negatives have no meaning.
+func ValidateBudgetMB(name string, mb int) error {
+	switch {
+	case mb < 0:
+		return fmt.Errorf("%s: negative budget %d; use 0 to derive it from the per-cache budgets", name, mb)
+	case mb > MaxCacheMB:
+		return fmt.Errorf("%s: %d MiB exceeds the %d MiB (1 TiB) cap; the value is in MiB, not bytes", name, mb, MaxCacheMB)
+	}
+	return nil
+}
+
+// ValidateTimeout checks a duration flag where 0 means "no limit".
+func ValidateTimeout(name string, d time.Duration) error {
+	switch {
+	case d < 0:
+		return fmt.Errorf("%s: negative duration %s; use 0 for no limit", name, d)
+	case d > MaxTimeout:
+		return fmt.Errorf("%s: %s exceeds the %s cap", name, d, MaxTimeout)
+	}
+	return nil
+}
+
+// ValidateParallel checks a worker-count flag where 0 means
+// "GOMAXPROCS".
+func ValidateParallel(name string, n int) error {
+	switch {
+	case n < 0:
+		return fmt.Errorf("%s: negative parallelism %d; use 0 for GOMAXPROCS", name, n)
+	case n > MaxParallel:
+		return fmt.Errorf("%s: parallelism %d exceeds the %d cap", name, n, MaxParallel)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateCacheMB(t *testing.T) {
+	for _, tc := range []struct {
+		mb      int
+		wantErr string
+	}{
+		{0, ""},
+		{-1, ""},
+		{512, ""},
+		{MaxCacheMB, ""},
+		{-2, "use -1 to disable"},
+		{MaxCacheMB + 1, "exceeds"},
+	} {
+		err := ValidateCacheMB("-gop-cache-mb", tc.mb)
+		checkErr(t, "ValidateCacheMB", tc.mb, err, tc.wantErr)
+	}
+}
+
+func TestValidateBudgetMB(t *testing.T) {
+	for _, tc := range []struct {
+		mb      int
+		wantErr string
+	}{
+		{0, ""},
+		{1024, ""},
+		{-1, "negative budget"},
+		{MaxCacheMB + 1, "exceeds"},
+	} {
+		err := ValidateBudgetMB("-cache-budget-mb", tc.mb)
+		checkErr(t, "ValidateBudgetMB", tc.mb, err, tc.wantErr)
+	}
+}
+
+func TestValidateTimeout(t *testing.T) {
+	for _, tc := range []struct {
+		d       time.Duration
+		wantErr string
+	}{
+		{0, ""},
+		{time.Minute, ""},
+		{MaxTimeout, ""},
+		{-time.Second, "negative duration"},
+		{MaxTimeout + time.Second, "exceeds"},
+	} {
+		err := ValidateTimeout("-timeout", tc.d)
+		checkErr(t, "ValidateTimeout", tc.d, err, tc.wantErr)
+	}
+}
+
+func TestValidateParallel(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		wantErr string
+	}{
+		{0, ""},
+		{16, ""},
+		{MaxParallel, ""},
+		{-1, "negative parallelism"},
+		{MaxParallel + 1, "exceeds"},
+	} {
+		err := ValidateParallel("-parallel", tc.n)
+		checkErr(t, "ValidateParallel", tc.n, err, tc.wantErr)
+	}
+}
+
+func checkErr(t *testing.T, fn string, arg any, err error, want string) {
+	t.Helper()
+	if want == "" {
+		if err != nil {
+			t.Errorf("%s(%v) = %v, want nil", fn, arg, err)
+		}
+		return
+	}
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("%s(%v) = %v, want error containing %q", fn, arg, err, want)
+	}
+}

@@ -302,7 +302,7 @@ func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 	}
 	fr := flate.NewReader(bytes.NewReader(data[1:]))
 	if _, err := io.ReadFull(fr, d.resid); err != nil {
-		return nil, fmt.Errorf("%w: decompress: %v", ErrUndecodable, err)
+		return nil, fmt.Errorf("%w: decompress: %w", ErrUndecodable, err)
 	}
 	fr.Close()
 

@@ -499,7 +499,7 @@ func (r *Reader) ReadPacket(i int) ([]byte, error) {
 	buf := make([]byte, rec.Size)
 	if err := r.readAt(buf, rec.Offset); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, fmt.Errorf("%w: packet %d short read: %v", ErrCorruptPacket, i, err)
+			return nil, fmt.Errorf("%w: packet %d short read: %w", ErrCorruptPacket, i, err)
 		}
 		return nil, fmt.Errorf("container: read packet %d: %w", i, err)
 	}

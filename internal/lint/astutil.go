@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errIface is the universe error interface, shared by analyzers.
+var errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t (or *t) satisfies the error
+// interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// inspectNoFuncLit walks n calling fn on every node, but does not
+// descend into function literals: a nested closure runs in its own
+// dynamic context (another goroutine, a later defer) and is analyzed as
+// its own function body.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// funcBodies yields every function body in the file — declared
+// functions and every function literal — each exactly once, paired with
+// a printable name. Analyzers that reason about paths through "one
+// function" iterate these.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd.Body)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			visit("func literal", lit.Body)
+		}
+		return true
+	})
+}
+
+// methodOf resolves the called method object for a selector call like
+// x.M(...), working through embedded fields; returns nil when the
+// selector is not a method selection (e.g. a package-qualified call).
+func methodOf(info *types.Info, sel *ast.SelectorExpr) *types.Func {
+	if s, ok := info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn
+		}
+		return nil
+	}
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// calleeIsPkgFunc reports whether call invokes the named function from
+// the named package (e.g. "time", "Sleep").
+func calleeIsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedObjOf returns the type name object of t after stripping pointers
+// and aliases, or nil for unnamed types.
+func namedObjOf(t types.Type) *types.TypeName {
+	t = deref(t)
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck enforces the repo's context discipline: an exported function
+// that accepts a context.Context must actually consult it — a dropped
+// or blank ctx parameter means cancellation silently stops propagating,
+// which is exactly the bug class the shard workers and cache fills were
+// built to avoid. It also forbids minting fresh roots with
+// context.Background()/TODO() in library packages: only main packages
+// (and explicitly justified compat shims) may start a new context tree.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "exported functions taking context.Context must use it; no context.Background/TODO in library code",
+	Run:  runCtxCheck,
+}
+
+func isContextType(t types.Type) bool {
+	obj := namedObjOf(t)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				if !isContextType(pass.Info.TypeOf(field.Type)) {
+					continue
+				}
+				if len(field.Names) == 0 {
+					pass.Reportf(field.Pos(), "exported function %s discards its context.Context parameter", fd.Name.Name)
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						pass.Reportf(name.Pos(), "exported function %s discards its context.Context parameter", fd.Name.Name)
+						continue
+					}
+					obj := pass.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if !identUsed(pass.Info, fd.Body, obj) {
+						pass.Reportf(name.Pos(), "exported function %s never uses its context.Context parameter %s", fd.Name.Name, name.Name)
+					}
+				}
+			}
+		}
+		// Fresh context roots belong to main packages; a library minting
+		// one detaches its callees from the caller's cancellation.
+		if pass.Pkg.Name() == "main" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range [...]string{"Background", "TODO"} {
+				if calleeIsPkgFunc(pass.Info, call, "context", fn) {
+					pass.Reportf(call.Pos(), "context.%s() in library code severs cancellation; accept a ctx from the caller", fn)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// identUsed reports whether obj is referenced anywhere in body,
+// including inside nested function literals (a closure capturing ctx
+// counts as consulting it).
+func identUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// ErrWrap guards the error-identity contract: sentinel errors like
+// container.ErrCorruptPacket survive package boundaries only when
+// wrapped with %w, and they can only be recognized with errors.Is once
+// wrapping is in play. Comparing errors with == silently breaks the
+// moment anyone adds a fmt.Errorf layer, and formatting an error with
+// %v inside fmt.Errorf severs the chain errors.Is walks.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "compare errors with errors.Is, never ==; wrap error causes in fmt.Errorf with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt := pass.Info.TypeOf(n.X)
+				yt := pass.Info.TypeOf(n.Y)
+				if isUntypedNil(xt) || isUntypedNil(yt) {
+					return true // err == nil is the one legitimate identity check
+				}
+				if implementsError(xt) && implementsError(yt) {
+					hint := "errors.Is"
+					if n.Op == token.NEQ {
+						hint = "!errors.Is"
+					}
+					pass.Reportf(n.OpPos, "error compared with %s; use %s so wrapped errors still match", n.Op, hint)
+				}
+			case *ast.CallExpr:
+				if calleeIsPkgFunc(pass.Info, n, "fmt", "Errorf") {
+					checkErrorf(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := i + 1
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		if verb != 'w' && implementsError(pass.Info.TypeOf(arg)) && !isUntypedNil(pass.Info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error argument formatted with %%%c; use %%w so the cause stays unwrappable", verb)
+		}
+	}
+}
+
+// formatVerbs returns the argument-consuming verbs of a fmt format
+// string in order; a '*' width or precision consumes an argument and is
+// emitted as '*'.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+	flags:
+		for i < len(rs) {
+			switch rs[i] {
+			case '+', '-', '#', ' ', '0', '.', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+				i++
+			case '*':
+				verbs = append(verbs, '*')
+				i++
+			default:
+				break flags
+			}
+		}
+		if i < len(rs) && rs[i] != '%' {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The analyzer tests are testdata-driven: each analyzer has a package
+// under testdata/src/<name> whose lines carry // want "substr"
+// annotations naming the diagnostics that must fire there. Any
+// diagnostic without a matching want, or want without a matching
+// diagnostic, fails the test.
+
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+// sharedLoader reuses one Loader across tests so the source-importer's
+// type-checked stdlib is paid for once.
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader, loaderErr = NewLoader(".")
+	})
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loader
+}
+
+func loadTestPkg(t *testing.T, dir string) *Package {
+	t.Helper()
+	pkg, err := sharedLoader(t).LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	return pkg
+}
+
+type want struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(".+)$`)
+	wantStrRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for file, src := range pkg.Sources {
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			quoted := wantStrRe.FindAllString(m[1], -1)
+			if len(quoted) == 0 {
+				t.Fatalf("%s:%d: malformed want annotation", file, i+1)
+			}
+			for _, q := range quoted {
+				s, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want string %s: %v", file, i+1, q, err)
+				}
+				wants = append(wants, &want{file: file, line: i + 1, substr: s})
+			}
+		}
+	}
+	return wants
+}
+
+func testAnalyzer(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	pkg := loadTestPkg(t, filepath.Join("testdata", "src", name))
+	diags, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: missing diagnostic containing %q", w.file, w.line, w.substr)
+		}
+	}
+}
+
+func TestCtxCheck(t *testing.T)    { testAnalyzer(t, CtxCheck, "ctxcheck") }
+func TestLedger(t *testing.T)      { testAnalyzer(t, Ledger, "ledger") }
+func TestLockCheck(t *testing.T)   { testAnalyzer(t, LockCheck, "lockcheck") }
+func TestMetricsName(t *testing.T) { testAnalyzer(t, MetricsName, "metricsname") }
+func TestErrWrap(t *testing.T)     { testAnalyzer(t, ErrWrap, "errwrap") }
+
+// TestLoaderModuleImports checks the hybrid importer end to end: a real
+// module package whose imports resolve partly against the module tree
+// and partly against the stdlib source importer.
+func TestLoaderModuleImports(t *testing.T) {
+	pkg := loadTestPkg(t, filepath.Join("..", "obs"))
+	if pkg.Types == nil || pkg.Types.Name() != "obs" {
+		t.Fatalf("loaded package = %v, want obs", pkg.Types)
+	}
+	if _, err := Run([]*Package{pkg}, All()); err != nil {
+		t.Fatalf("Run over internal/obs: %v", err)
+	}
+}

@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ledger enforces the acquire/release pairings the cache ledger and the
+// tracer depend on:
+//
+//   - A span minted by StartSpan/Child/ChildThread (any method of those
+//     names returning a type named Span) must be ended on every path:
+//     an explicit End() on all branches, a defer (including a deferred
+//     closure), or handing the span off (returning it, passing it to a
+//     call, storing it, or capturing it in a closure — ownership moves
+//     with it). Reassigning the span variable before it is ended
+//     orphans the first span and is always a finding, as is dropping
+//     the result of an acquire on the floor.
+//   - A Reserve(...) bool acquisition (the Arbiter/BudgetClient ledger
+//     protocol) must not discard its result, and when the result is
+//     kept, a matching Release on the same receiver must be reachable
+//     afterwards (directly, deferred, or via a previously defined local
+//     closure), unless the bool is returned to the caller — that is the
+//     admit() ownership-transfer idiom.
+//
+// The span analysis is a continuation-passing walk over statement
+// lists: branches must all release (or terminate having released), a
+// path that returns or panics while holding is a leak, and loops are
+// treated conservatively (a leak inside the body is reported; a release
+// inside the body does not count for the zero-iteration path, so the
+// walk keeps scanning after the loop). Any non-receiver use of the span
+// variable counts as an ownership hand-off; the escape hatch for
+// intentional patterns beyond the analysis is //v2v:nolint(ledger) with
+// a reason.
+var Ledger = &Analyzer{
+	Name: "ledger",
+	Doc:  "Reserve/StartSpan-style acquisitions are released (Release/End) on all paths or ownership is handed off",
+	Run:  runLedger,
+}
+
+func runLedger(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			lg := &ledgerChecker{pass: pass, closures: collectClosures(pass, body)}
+			lg.findAcquires(body.List, nil)
+		})
+	}
+	return nil
+}
+
+// collectClosures maps local variables assigned a function literal
+// (`fail := func(...) {...}`) to their bodies, so a call to fail()
+// counts as whatever fail's body does. One level only.
+func collectClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = lit
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = lit
+		}
+		return true
+	})
+	return out
+}
+
+type ledgerChecker struct {
+	pass     *Pass
+	closures map[types.Object]*ast.FuncLit
+}
+
+// isSpanAcquire reports whether call mints a span: a method named
+// StartSpan/Child/ChildThread whose result is a type named Span.
+func (lg *ledgerChecker) isSpanAcquire(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "StartSpan", "Child", "ChildThread":
+	default:
+		return false
+	}
+	obj := namedObjOf(lg.pass.Info.TypeOf(call))
+	return obj != nil && obj.Name() == "Span"
+}
+
+// isReserve reports whether call is a Reserve method returning a single
+// bool, and returns the receiver expression text.
+func (lg *ledgerChecker) isReserve(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reserve" {
+		return "", false
+	}
+	if fn := methodOf(lg.pass.Info, sel); fn == nil {
+		return "", false
+	}
+	t, ok := lg.pass.Info.TypeOf(call).(*types.Basic)
+	if !ok || t.Kind() != types.Bool {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// findAcquires scans stmts for acquisition sites; cont is the chain of
+// statement lists that execute after this one (innermost first).
+func (lg *ledgerChecker) findAcquires(stmts []ast.Stmt, cont [][]ast.Stmt) {
+	for i, s := range stmts {
+		rest := append([][]ast.Stmt{stmts[i+1:]}, cont...)
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			lg.findAcquires(s.List, rest)
+			continue
+		case *ast.IfStmt:
+			lg.findAcquires(s.Body.List, rest)
+			if s.Else != nil {
+				lg.findAcquires([]ast.Stmt{s.Else}, rest)
+			}
+			lg.checkStmtAcquires(s.Init, rest)
+			lg.checkReserveIn(s.Cond, s, rest)
+			continue
+		case *ast.ForStmt:
+			lg.findAcquires(s.Body.List, rest)
+			continue
+		case *ast.RangeStmt:
+			lg.findAcquires(s.Body.List, rest)
+			continue
+		case *ast.SwitchStmt:
+			lg.findClauseAcquires(s.Body.List, rest)
+			lg.checkStmtAcquires(s.Init, rest)
+			continue
+		case *ast.TypeSwitchStmt:
+			lg.findClauseAcquires(s.Body.List, rest)
+			continue
+		case *ast.SelectStmt:
+			lg.findClauseAcquires(s.Body.List, rest)
+			continue
+		case *ast.LabeledStmt:
+			lg.findAcquires([]ast.Stmt{s.Stmt}, rest)
+			continue
+		}
+		lg.checkStmtAcquires(s, rest)
+	}
+}
+
+func (lg *ledgerChecker) findClauseAcquires(clauses []ast.Stmt, rest [][]ast.Stmt) {
+	for _, c := range clauses {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			lg.findAcquires(c.Body, rest)
+		case *ast.CommClause:
+			lg.findAcquires(c.Body, rest)
+		}
+	}
+}
+
+// checkStmtAcquires handles acquisition sites in a single flat
+// statement; rest is the continuation after it.
+func (lg *ledgerChecker) checkStmtAcquires(s ast.Stmt, rest [][]ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if lg.isSpanAcquire(call) {
+				lg.pass.Reportf(call.Pos(), "span discarded at creation; it can never be ended")
+				return
+			}
+			if _, ok := lg.isReserve(call); ok {
+				lg.pass.Reportf(call.Pos(), "Reserve result discarded; the reservation can never be released")
+				return
+			}
+		}
+	case *ast.ReturnStmt:
+		return // acquiring in a return hands ownership to the caller
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if lg.isSpanAcquire(call) {
+			lg.checkSpanAssign(s, call, rest)
+			return
+		}
+		if recv, ok := lg.isReserve(call); ok {
+			lg.checkReserveAssign(s, call, recv, rest)
+			return
+		}
+	case *ast.GoStmt, *ast.DeferStmt:
+		return // ownership moves into the spawned/deferred call
+	default:
+		// Reserve buried in another statement shape (e.g. a condition):
+		// require a reachable Release.
+		lg.checkReserveIn(s, s, rest)
+	}
+}
+
+func (lg *ledgerChecker) checkSpanAssign(s *ast.AssignStmt, call *ast.CallExpr, rest [][]ast.Stmt) {
+	if len(s.Lhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		lg.pass.Reportf(call.Pos(), "span assigned to _; it can never be ended")
+		return
+	}
+	obj := lg.pass.Info.Defs[id]
+	if obj == nil {
+		obj = lg.pass.Info.Uses[id] // plain `=` reassignment acquires too
+	}
+	if obj == nil {
+		return
+	}
+	switch lg.ensure(rest, obj) {
+	case oReleased:
+	default:
+		lg.pass.Reportf(call.Pos(), "span %s is not ended on every path (call %s.End(), defer it, or hand the span off)", id.Name, id.Name)
+	}
+}
+
+func (lg *ledgerChecker) checkReserveAssign(s *ast.AssignStmt, call *ast.CallExpr, recv string, rest [][]ast.Stmt) {
+	if len(s.Lhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		lg.pass.Reportf(call.Pos(), "Reserve result discarded; the reservation can never be released")
+		return
+	}
+	obj := lg.pass.Info.Defs[id]
+	if obj == nil {
+		obj = lg.pass.Info.Uses[id]
+	}
+	if !lg.releaseReachable(rest, recv, obj) {
+		lg.pass.Reportf(call.Pos(), "%s.Reserve has no reachable %s.Release (and the result is not returned to the caller)", recv, recv)
+	}
+}
+
+// checkReserveIn finds Reserve calls inside node (a condition or other
+// nested position) and requires a reachable Release in the enclosing
+// statement or the continuation.
+func (lg *ledgerChecker) checkReserveIn(node ast.Node, enclosing ast.Stmt, rest [][]ast.Stmt) {
+	if node == nil {
+		return
+	}
+	inspectNoFuncLit(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := lg.isReserve(call)
+		if !ok {
+			return true
+		}
+		conts := append([][]ast.Stmt{{enclosing}}, rest...)
+		if !lg.releaseReachable(conts, recv, nil) {
+			lg.pass.Reportf(call.Pos(), "%s.Reserve has no reachable %s.Release", recv, recv)
+		}
+		return false
+	})
+}
+
+// releaseReachable reports whether any statement in the continuation —
+// including defers, nested closures, and calls to previously defined
+// local closures — calls Release on the same receiver, or returns the
+// Reserve result to the caller (ownership transfer).
+func (lg *ledgerChecker) releaseReachable(conts [][]ast.Stmt, recv string, resultVar types.Object) bool {
+	found := false
+	seen := map[*ast.FuncLit]bool{}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "Release" && types.ExprString(sel.X) == recv {
+						found = true
+						return false
+					}
+				}
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if lit := lg.closureOf(id); lit != nil && !seen[lit] {
+						seen[lit] = true
+						scan(lit.Body)
+					}
+				}
+			case *ast.ReturnStmt:
+				if resultVar != nil && identUsedInExprs(lg.pass.Info, n.Results, resultVar) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	for _, stmts := range conts {
+		for _, s := range stmts {
+			scan(s)
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (lg *ledgerChecker) closureOf(id *ast.Ident) *ast.FuncLit {
+	obj := lg.pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	return lg.closures[obj]
+}
+
+func identUsedInExprs(info *types.Info, exprs []ast.Expr, obj types.Object) bool {
+	for _, e := range exprs {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- span all-paths walk ----
+
+type outcome int
+
+const (
+	oOpen     outcome = iota // obligation still pending at list end
+	oReleased                // released (or ownership handed off) on all paths
+	oLeaked                  // some path terminated while still holding
+)
+
+// ensure walks the continuation lists in order; the span obligation for
+// obj must resolve before the function falls off the end.
+func (lg *ledgerChecker) ensure(conts [][]ast.Stmt, obj types.Object) outcome {
+	for _, stmts := range conts {
+		switch lg.ensureList(stmts, obj) {
+		case oReleased:
+			return oReleased
+		case oLeaked:
+			return oLeaked
+		}
+	}
+	return oOpen // fell off the function end still holding
+}
+
+func (lg *ledgerChecker) ensureList(stmts []ast.Stmt, obj types.Object) outcome {
+	for _, s := range stmts {
+		switch o := lg.ensureStmt(s, obj); o {
+		case oReleased, oLeaked:
+			return o
+		}
+	}
+	return oOpen
+}
+
+func (lg *ledgerChecker) ensureStmt(s ast.Stmt, obj types.Object) outcome {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		if identUsedInExprs(lg.pass.Info, s.Results, obj) {
+			return oReleased // span returned: ownership moves to the caller
+		}
+		if lg.flatEffect(s, obj) == effRelease {
+			return oReleased
+		}
+		return oLeaked
+	case *ast.AssignStmt:
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); ok && lg.pass.Info.Uses[id] == obj {
+				lg.pass.Reportf(s.Pos(), "span %s reassigned before End; the original span is orphaned", id.Name)
+				return oLeaked
+			}
+		}
+		if lg.flatEffect(s, obj) != effNone {
+			return oReleased
+		}
+		return oOpen
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if o := lg.ensureStmt(s.Init, obj); o != oOpen {
+				return o
+			}
+		}
+		if lg.flatEffect(s.Cond, obj) != effNone {
+			return oReleased
+		}
+		thenO := lg.ensureList(s.Body.List, obj)
+		elseO := oOpen
+		if s.Else != nil {
+			elseO = lg.ensureStmt(s.Else, obj)
+		}
+		if thenO == oLeaked || elseO == oLeaked {
+			return oLeaked
+		}
+		if thenO == oReleased && elseO == oReleased {
+			return oReleased
+		}
+		return oOpen
+	case *ast.BlockStmt:
+		return lg.ensureList(s.List, obj)
+	case *ast.LabeledStmt:
+		return lg.ensureStmt(s.Stmt, obj)
+	case *ast.SwitchStmt:
+		return lg.ensureClauses(s.Body.List, obj, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		return lg.ensureClauses(s.Body.List, obj, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// A select always runs exactly one of its cases.
+		return lg.ensureClauses(s.Body.List, obj, true)
+	case *ast.ForStmt:
+		if lg.ensureList(s.Body.List, obj) == oLeaked {
+			return oLeaked
+		}
+		return oOpen // body may run zero times
+	case *ast.RangeStmt:
+		if lg.ensureList(s.Body.List, obj) == oLeaked {
+			return oLeaked
+		}
+		return oOpen
+	case *ast.BranchStmt:
+		return oOpen // break/continue/goto: lose the thread, stay silent
+	case *ast.ExprStmt:
+		switch lg.flatEffect(s, obj) {
+		case effRelease:
+			return oReleased
+		case effPanic:
+			return oLeaked
+		}
+		return oOpen
+	default:
+		if lg.flatEffect(s, obj) == effRelease {
+			return oReleased
+		}
+		return oOpen
+	}
+}
+
+// ensureClauses: every clause must release for the compound statement
+// to count as released; any leak is a leak; a missing default leaves
+// the obligation open even if all present clauses release.
+func (lg *ledgerChecker) ensureClauses(clauses []ast.Stmt, obj types.Object, exhaustive bool) outcome {
+	allReleased := len(clauses) > 0
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			body = c.Body
+		case *ast.CommClause:
+			body = c.Body
+		}
+		switch lg.ensureList(body, obj) {
+		case oLeaked:
+			return oLeaked
+		case oOpen:
+			allReleased = false
+		}
+	}
+	if allReleased && exhaustive {
+		return oReleased
+	}
+	return oOpen
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+type effect int
+
+const (
+	effNone effect = iota
+	effRelease
+	effPanic
+)
+
+// flatEffect classifies a statement's (or expression's) impact on the
+// span obligation for obj:
+//
+//   - an End() call on the span (directly, in a deferred closure, or in
+//     the body of a previously defined local closure that is called or
+//     deferred here) releases it;
+//   - any use of the span variable other than as a method receiver —
+//     argument, operand, capture by a function literal — releases it by
+//     ownership hand-off;
+//   - a panic(...) with neither of the above leaks it.
+func (lg *ledgerChecker) flatEffect(n ast.Node, obj types.Object) effect {
+	released := false
+	panicked := false
+	seen := map[*ast.FuncLit]bool{}
+
+	// First pass: note every ident that appears as the X of a selector
+	// (receiver position) so bare uses can be told apart.
+	recvPos := map[*ast.Ident]bool{}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if sel, ok := m.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					recvPos[id] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(n, func(m ast.Node) bool {
+			if released {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+					if id, ok := sel.X.(*ast.Ident); ok && lg.pass.Info.Uses[id] == obj {
+						released = true
+						return false
+					}
+				}
+				if id, ok := m.Fun.(*ast.Ident); ok {
+					if id.Name == "panic" && lg.pass.Info.Uses[id] == nil && lg.pass.Info.Defs[id] == nil {
+						panicked = true
+					}
+					if lit := lg.closureOf(id); lit != nil && !seen[lit] {
+						seen[lit] = true
+						scan(lit.Body)
+					}
+				}
+			case *ast.FuncLit:
+				// A closure capturing the span extends its lifetime beyond
+				// this analysis: ownership hand-off.
+				if !seen[m] && identUsed(lg.pass.Info, m.Body, obj) {
+					released = true
+					return false
+				}
+			case *ast.Ident:
+				if lg.pass.Info.Uses[m] == obj && !recvPos[m] {
+					released = true // bare use: argument/operand/store — hand-off
+					return false
+				}
+			}
+			return true
+		})
+	}
+	scan(n)
+	switch {
+	case released:
+		return effRelease
+	case panicked:
+		return effPanic
+	}
+	return effNone
+}

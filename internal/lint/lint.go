@@ -1,0 +1,137 @@
+// Package lint is V2V's from-scratch static analysis framework: a
+// stdlib-only (go/parser + go/ast + go/types, no x/tools) harness that
+// loads and type-checks the module's packages and runs project-specific
+// analyzers over them, enforcing the invariants PRs 2-4 left implicit —
+// contexts consulted not dropped, cache-ledger reservations released on
+// every path, no locks held across channel operations, metric naming
+// discipline, and error wrapping across package boundaries.
+//
+// The pieces:
+//
+//   - Loader (load.go) parses and type-checks packages. Module-internal
+//     imports resolve against the module source tree; standard library
+//     imports go through the stdlib source importer, so no compiled
+//     export data or external tooling is needed.
+//   - Analyzer is the unit of checking: a name, a doc string, and a Run
+//     function over one type-checked package that reports positioned
+//     diagnostics.
+//   - Run applies a set of analyzers to a package and filters the
+//     diagnostics through //v2v:nolint suppressions (nolint.go). A
+//     suppression must name the analyzers it silences and carry a
+//     written reason; a bare suppression is itself a diagnostic.
+//
+// cmd/v2vlint is the CLI driver; docs/STATIC_ANALYSIS.md describes each
+// analyzer, the invariant it guards, and how to add a new one.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one positioned finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and nolint directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer guards.
+	Doc string
+	// Run inspects the package via pass and reports findings with
+	// pass.Reportf. Returning an error aborts the whole lint run (use it
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer this module ships, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxCheck, Ledger, LockCheck, MetricsName, ErrWrap}
+}
+
+// Run applies analyzers to each package, filters the findings through
+// the packages' //v2v:nolint directives, and returns the surviving
+// diagnostics sorted by position. Malformed or bare (reason-less)
+// nolint directives are reported as "nolint" diagnostics, which cannot
+// themselves be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// Every shipped analyzer is a valid nolint target even when only a
+	// subset runs, so a partial run never misreports directives aimed at
+	// the others; analyzers passed in (e.g. test-local ones) count too.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sups, nolintDiags := parseNolint(pkg, known)
+		out = append(out, nolintDiags...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, d := range diags {
+			if !sups.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}

@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Sources holds the raw bytes of each parsed file, keyed by path —
+	// the nolint scanner needs them to tell directive-only lines from
+	// trailing comments.
+	Sources map[string][]byte
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Imports inside
+// the module resolve against its source tree; everything else (the
+// standard library) goes through go/importer's source importer, so the
+// loader needs no compiled export data, no GOPATH layout, and no
+// external tooling — it matches the repo's stdlib-only rule.
+type Loader struct {
+	fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+
+	typed   map[string]*types.Package // import path -> type-checked package
+	pkgs    map[string]*Package       // import path -> full lint package
+	loading map[string]bool           // cycle guard
+}
+
+// NewLoader returns a loader for the module containing dir (found by
+// walking up to the nearest go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePathOf(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	// The stdlib source importer type-checks GOROOT packages from source
+	// through go/build; with cgo enabled it would shell out to the cgo
+	// tool for packages like net. Forcing the pure-Go build context keeps
+	// the loader hermetic.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleDir:  root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		typed:      map[string]*types.Package{},
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleDir returns the root directory of the loaded module.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+func modulePathOf(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Load resolves patterns to packages and type-checks them. Supported
+// patterns: "./..." (every package under the module), a directory path
+// (absolute or relative), or a directory path ending in "/..." (that
+// subtree). Directories named "testdata", hidden directories, and
+// directories without non-test .go files are skipped by tree patterns.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		root := l.moduleDir
+		switch {
+		case pat == "./..." || pat == "...":
+			// whole module
+		case strings.HasSuffix(pat, "/..."):
+			root = filepath.Join(l.moduleDir, strings.TrimSuffix(pat, "/..."))
+			if filepath.IsAbs(pat) {
+				root = strings.TrimSuffix(pat, "/...")
+			}
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(l.moduleDir, d)
+			}
+			if hasGoFiles(d) {
+				add(d)
+			} else {
+				return nil, fmt.Errorf("lint: no Go files in %s", d)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, e os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !e.IsDir() {
+				return nil
+			}
+			name := e.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory to its import path within the module;
+// directories outside the module import path space (testdata fixtures)
+// get a synthetic path derived from the directory.
+func (l *Loader) importPathFor(dir string) string {
+	rel, err := filepath.Rel(l.moduleDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return dir
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	if strings.Contains(rel, "testdata"+string(filepath.Separator)) || strings.HasPrefix(rel, "testdata") {
+		return filepath.ToSlash(rel)
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// LoadDir parses and type-checks the single package in dir.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(l.importPathFor(abs), abs)
+}
+
+// Import implements types.Importer: module-internal paths load from the
+// module tree, anything else delegates to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		pkg, err := l.load(path, filepath.Join(l.moduleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []*ast.File
+	sources := map[string][]byte{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		f, err := parser.ParseFile(l.fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", path, err)
+		}
+		files = append(files, f)
+		sources[path] = src
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, typeErrs[0])
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Sources:    sources,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck guards against the deadlock class the singleflight cache
+// fills are prone to: a sync mutex held across a potentially blocking
+// operation — channel send/receive, select, WaitGroup.Wait, time.Sleep,
+// or an os/net I/O call. The cache code's discipline is "unlock before
+// you wait" (GetOrFill releases the map lock before <-fill.done, the
+// arbiter unlocks around the evict callback); this analyzer makes that
+// discipline mechanical.
+//
+// The walker tracks the set of held locks per path, keyed by the
+// receiver expression text (mu resolution goes through go/types, so
+// embedded mutexes and *sync.RWMutex count). Branches are merged
+// conservatively: a lock held on either side of an if is considered
+// held after it. Function literals run in their own goroutine or frame
+// and are analyzed separately with an empty held set. sync.Cond.Wait is
+// exempt — it requires holding the lock by contract.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "no sync mutex held across channel ops, select, WaitGroup.Wait, sleeps, or os/net I/O",
+	Run:  runLockCheck,
+}
+
+type lockState map[string]token.Pos // receiver text -> Lock() position
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func (s lockState) keys() string {
+	ks := make([]string, 0, len(s))
+	for k := range s {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return strings.Join(ks, ", ")
+}
+
+func runLockCheck(pass *Pass) error {
+	lw := &lockWalker{pass: pass}
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			lw.walk(body.List, lockState{})
+		})
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+}
+
+// syncMethod resolves call to a method of the sync package (through
+// embedding) and returns its name, or "".
+func (lw *lockWalker) syncMethod(call *ast.CallExpr) (string, *ast.SelectorExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn := methodOf(lw.pass.Info, sel)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	return fn.Name(), sel
+}
+
+// walk processes stmts under held and returns the held set at the exit
+// plus whether every path through stmts terminates (return/branch).
+func (lw *lockWalker) walk(stmts []ast.Stmt, held lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = lw.walkStmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (lw *lockWalker) walkStmt(s ast.Stmt, held lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if name, sel := lw.syncMethod(call); sel != nil {
+				key := types.ExprString(sel.X)
+				switch name {
+				case "Lock", "RLock":
+					lw.checkExpr(sel.X, held) // evaluating the receiver may itself block
+					held[key] = call.Pos()
+					return held, false
+				case "Unlock", "RUnlock":
+					delete(held, key)
+					return held, false
+				}
+			}
+		}
+		lw.checkExpr(s.X, held)
+		return held, false
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			lw.pass.Reportf(s.Arrow, "channel send while holding %s", held.keys())
+		}
+		lw.checkExpr(s.Chan, held)
+		lw.checkExpr(s.Value, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lw.checkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lw.checkExpr(e, held)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		lw.checkExpr(s, held)
+		return held, false
+	case *ast.IncDecStmt:
+		lw.checkExpr(s.X, held)
+		return held, false
+	case *ast.DeferStmt:
+		// The deferred call runs at return; evaluating its arguments
+		// happens now.
+		for _, a := range s.Call.Args {
+			lw.checkExpr(a, held)
+		}
+		return held, false
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lw.checkExpr(a, held)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lw.checkExpr(e, held)
+		}
+		return held, true
+	case *ast.BranchStmt:
+		return held, true
+	case *ast.BlockStmt:
+		return lw.walk(s.List, held)
+	case *ast.LabeledStmt:
+		return lw.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = lw.walkStmt(s.Init, held)
+		}
+		lw.checkExpr(s.Cond, held)
+		thenHeld, thenTerm := lw.walk(s.Body.List, held.clone())
+		elseHeld, elseTerm := held.clone(), false
+		if s.Else != nil {
+			elseHeld, elseTerm = lw.walkStmt(s.Else, held.clone())
+		}
+		return mergeLocks(thenHeld, thenTerm, elseHeld, elseTerm)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = lw.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lw.checkExpr(s.Cond, held)
+		}
+		bodyHeld, _ := lw.walk(s.Body.List, held.clone())
+		if s.Post != nil {
+			bodyHeld, _ = lw.walkStmt(s.Post, bodyHeld)
+		}
+		out, _ := mergeLocks(held, false, bodyHeld, false)
+		return out, false
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t, ok := lw.pass.Info.TypeOf(s.X).Underlying().(*types.Chan); ok && t != nil {
+				lw.pass.Reportf(s.For, "range over channel while holding %s", held.keys())
+			}
+		}
+		lw.checkExpr(s.X, held)
+		bodyHeld, _ := lw.walk(s.Body.List, held.clone())
+		out, _ := mergeLocks(held, false, bodyHeld, false)
+		return out, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lw.checkExpr(s.Tag, held)
+		}
+		return lw.walkCases(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = lw.walkStmt(s.Init, held)
+		}
+		return lw.walkCases(s.Body.List, held)
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			lw.pass.Reportf(s.Select, "select while holding %s", held.keys())
+		}
+		return lw.walkCases(s.Body.List, held)
+	default:
+		return held, false
+	}
+}
+
+// walkCases merges the exits of every case body (union of held locks).
+// Termination is never claimed: a switch without a default may run no
+// case at all, and being conservative only means we keep scanning.
+func (lw *lockWalker) walkCases(clauses []ast.Stmt, held lockState) (lockState, bool) {
+	out := held.clone()
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				lw.checkExpr(e, held)
+			}
+			body = c.Body
+		case *ast.CommClause:
+			// The comm op itself is covered by the select diagnostic.
+			body = c.Body
+		}
+		caseHeld, _ := lw.walk(body, held.clone())
+		out, _ = mergeLocks(out, false, caseHeld, false)
+	}
+	return out, false
+}
+
+func mergeLocks(a lockState, aTerm bool, b lockState, bTerm bool) (lockState, bool) {
+	switch {
+	case aTerm && bTerm:
+		return a, true
+	case aTerm:
+		return b, false
+	case bTerm:
+		return a, false
+	}
+	out := a.clone()
+	for k, v := range b {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out, false
+}
+
+// checkExpr reports blocking operations inside an expression evaluated
+// while held is non-empty. Function literals are skipped: their bodies
+// run elsewhere and are walked independently with an empty held set.
+func (lw *lockWalker) checkExpr(n ast.Node, held lockState) {
+	if len(held) == 0 {
+		return
+	}
+	inspectNoFuncLit(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				lw.pass.Reportf(n.OpPos, "channel receive while holding %s", held.keys())
+			}
+		case *ast.CallExpr:
+			lw.checkBlockingCall(n, held)
+		}
+		return true
+	})
+}
+
+func (lw *lockWalker) checkBlockingCall(call *ast.CallExpr, held lockState) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn := methodOf(lw.pass.Info, sel)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg := fn.Pkg().Path()
+	switch {
+	case pkg == "sync" && fn.Name() == "Wait":
+		// Cond.Wait requires the lock by contract; WaitGroup.Wait (and
+		// anything else named Wait in sync) must not run under one.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if obj := namedObjOf(sig.Recv().Type()); obj != nil && obj.Name() == "Cond" {
+				return
+			}
+		}
+		lw.pass.Reportf(call.Pos(), "sync.%s.Wait while holding %s", recvName(fn), held.keys())
+	case pkg == "time" && fn.Name() == "Sleep":
+		lw.pass.Reportf(call.Pos(), "time.Sleep while holding %s", held.keys())
+	case pkg == "os" || pkg == "net" || strings.HasPrefix(pkg, "net/"):
+		lw.pass.Reportf(call.Pos(), "%s I/O call %s.%s while holding %s", pkg, types.ExprString(sel.X), fn.Name(), held.keys())
+	case pkg == "io" && (fn.Name() == "Copy" || fn.Name() == "ReadAll" || fn.Name() == "ReadFull"):
+		lw.pass.Reportf(call.Pos(), "io.%s while holding %s", fn.Name(), held.keys())
+	}
+}
+
+func recvName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if obj := namedObjOf(sig.Recv().Type()); obj != nil {
+			return obj.Name()
+		}
+	}
+	return "?"
+}

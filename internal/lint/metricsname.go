@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MetricsName enforces the metric-registration discipline obs.Registry
+// relies on: every family is `v2v_` + snake_case, counters end in
+// _total, histograms in a unit suffix (_seconds/_bytes), gauges never
+// in _total, names are compile-time constants, and library packages
+// register only at package scope (package-level var or init) so a
+// metric exists exactly once for the life of the process rather than
+// being re-looked-up on every request path.
+var MetricsName = &Analyzer{
+	Name: "metricsname",
+	Doc:  "metrics use v2v_ snake_case names with kind suffixes and are registered at package scope in libraries",
+	Run:  runMetricsName,
+}
+
+var metricFamilyRe = regexp.MustCompile(`^v2v_[a-z0-9]+(_[a-z0-9]+)*$`)
+
+func runMetricsName(pass *Pass) error {
+	isMain := pass.Pkg.Name() == "main"
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			atPackageScope := false
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				atPackageScope = d.Tok == token.VAR
+			case *ast.FuncDecl:
+				atPackageScope = d.Recv == nil && d.Name.Name == "init"
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := registryCall(pass, call)
+				if !ok {
+					return true
+				}
+				if !isMain && !atPackageScope {
+					pass.Reportf(call.Pos(), "library metrics must be registered at package scope (package-level var or init), not inside a function")
+				}
+				checkMetricName(pass, call, kind)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// registryCall reports whether call is Counter/Gauge/Histogram on a
+// receiver whose (possibly pointer) type is named Registry, returning
+// the method name.
+func registryCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind := sel.Sel.Name
+	if kind != "Counter" && kind != "Gauge" && kind != "Histogram" {
+		return "", false
+	}
+	fn := methodOf(pass.Info, sel)
+	if fn == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	obj := namedObjOf(sig.Recv().Type())
+	if obj == nil || obj.Name() != "Registry" {
+		return "", false
+	}
+	return kind, true
+}
+
+func checkMetricName(pass *Pass, call *ast.CallExpr, kind string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	arg := call.Args[0]
+	tv, ok := pass.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time string constant")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	family := name
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		family = name[:i]
+	}
+	if !metricFamilyRe.MatchString(family) {
+		pass.Reportf(arg.Pos(), "metric family %q must be v2v_-prefixed snake_case ([a-z0-9_])", family)
+		return
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(family, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total", family)
+		}
+	case "Histogram":
+		if !strings.HasSuffix(family, "_seconds") && !strings.HasSuffix(family, "_bytes") {
+			pass.Reportf(arg.Pos(), "histogram %q must carry a unit suffix (_seconds or _bytes)", family)
+		}
+	case "Gauge":
+		if strings.HasSuffix(family, "_total") {
+			pass.Reportf(arg.Pos(), "gauge %q must not end in _total (reserved for counters)", family)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// The suppression mechanism: a comment of the form
+//
+//	//v2v:nolint(analyzer1,analyzer2) written justification
+//
+// silences those analyzers' findings on the directive's line — or, when
+// the directive stands alone on its line, on the next line. The reason
+// is mandatory: a directive without one does not suppress anything and
+// is itself reported, so every silenced finding carries an auditable
+// justification in the source.
+
+var nolintRe = regexp.MustCompile(`^//\s*v2v:nolint\b(\(([^)]*)\))?(.*)$`)
+
+// suppressions maps file -> line -> analyzer names silenced there.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) suppresses(d Diagnostic) bool {
+	byLine, ok := s[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Analyzer]
+}
+
+// parseNolint scans a package's comments for nolint directives. It
+// returns the valid suppressions and a diagnostic (analyzer "nolint")
+// for each malformed directive: missing analyzer list, unknown analyzer
+// name, or missing reason.
+func parseNolint(pkg *Package, known map[string]bool) (suppressions, []Diagnostic) {
+	sups := suppressions{}
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "nolint",
+			Message:  msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				if m[1] == "" || strings.TrimSpace(m[2]) == "" {
+					report(c.Pos(), "v2v:nolint must name the analyzers it silences: //v2v:nolint(analyzer) reason")
+					continue
+				}
+				reason := strings.TrimSpace(m[3])
+				if reason == "" {
+					report(c.Pos(), "v2v:nolint requires a written reason after the analyzer list")
+					continue
+				}
+				var names []string
+				bad := false
+				for _, name := range strings.Split(m[2], ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					if !known[name] {
+						report(c.Pos(), "v2v:nolint names unknown analyzer "+strconvQuote(name))
+						bad = true
+						break
+					}
+					names = append(names, name)
+				}
+				if bad || len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if directiveAlone(pkg, pos) {
+					line++ // a standalone directive covers the next line
+				}
+				byLine := sups[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					sups[pos.Filename] = byLine
+				}
+				set := byLine[line]
+				if set == nil {
+					set = map[string]bool{}
+					byLine[line] = set
+				}
+				for _, n := range names {
+					set[n] = true
+				}
+			}
+		}
+	}
+	return sups, diags
+}
+
+// directiveAlone reports whether only whitespace precedes the comment on
+// its line, i.e. the directive is not trailing a statement.
+func directiveAlone(pkg *Package, pos token.Position) bool {
+	src, ok := pkg.Sources[pos.Filename]
+	if !ok {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[start:pos.Offset])) == ""
+}
+
+func strconvQuote(s string) string { return `"` + s + `"` }

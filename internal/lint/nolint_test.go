@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNolintDirectives(t *testing.T) {
+	pkg := loadTestPkg(t, filepath.Join("testdata", "src", "nolint"))
+	diags, err := Run([]*Package{pkg}, All())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	count := func(analyzer, substr string) int {
+		n := 0
+		for _, d := range diags {
+			if d.Analyzer == analyzer && strings.Contains(d.Message, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	// SameLine and NextLine are suppressed; Bare, Unknown, and
+	// WrongAnalyzer each leave their ctxcheck finding standing.
+	if got := count("ctxcheck", "severs cancellation"); got != 3 {
+		t.Errorf("ctxcheck findings = %d, want 3 (Bare, Unknown, WrongAnalyzer):\n%s", got, dump(diags))
+	}
+	// The reason-less directive is itself a finding.
+	if got := count("nolint", "requires a written reason"); got != 1 {
+		t.Errorf("bare-directive findings = %d, want 1:\n%s", got, dump(diags))
+	}
+	// As is the directive naming a nonexistent analyzer.
+	if got := count("nolint", "unknown analyzer"); got != 1 {
+		t.Errorf("unknown-analyzer findings = %d, want 1:\n%s", got, dump(diags))
+	}
+	if len(diags) != 5 {
+		t.Errorf("total findings = %d, want 5:\n%s", len(diags), dump(diags))
+	}
+}
+
+func dump(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

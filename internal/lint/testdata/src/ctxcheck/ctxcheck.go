@@ -1,0 +1,39 @@
+// Package ctxcheck is lint testdata: known-good and known-bad context
+// handling. Annotated lines must produce a diagnostic whose message
+// contains the quoted substring.
+package ctxcheck
+
+import "context"
+
+// Good: the ctx parameter is consulted.
+func Good(ctx context.Context) error { return ctx.Err() }
+
+// GoodClosure: capturing ctx in a closure counts as consulting it.
+func GoodClosure(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}
+
+// GoodForward: passing ctx on counts.
+func GoodForward(ctx context.Context) error { return Good(ctx) }
+
+func Dropped(ctx context.Context) int { // want "never uses its context.Context parameter"
+	return 1
+}
+
+func Blank(_ context.Context) int { // want "discards its context.Context parameter"
+	return 2
+}
+
+// unexported functions may ignore ctx (internal helpers that thread it
+// for signature symmetry).
+func unexportedDropped(ctx context.Context) int { return 3 }
+
+func Root() context.Context {
+	return context.Background() // want "severs cancellation"
+}
+
+func Todo() context.Context {
+	return context.TODO() // want "severs cancellation"
+}
+
+var _ = unexportedDropped

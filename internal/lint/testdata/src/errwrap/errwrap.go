@@ -1,0 +1,46 @@
+// Package errwrap is lint testdata: error comparison and wrapping
+// patterns.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrSentinel = errors.New("sentinel")
+
+func GoodIs(err error) bool    { return errors.Is(err, ErrSentinel) }
+func GoodNil(err error) bool   { return err == nil }
+func GoodNotNil(err error) bool { return err != nil }
+func GoodWrap(err error) error { return fmt.Errorf("op: %w", err) }
+
+// GoodMulti: two %w verbs are fine (sentinel plus cause).
+func GoodMulti(err error) error {
+	return fmt.Errorf("%w: detail: %w", ErrSentinel, err)
+}
+
+// GoodNonError: non-error args may use any verb.
+func GoodNonError(err error) error {
+	return fmt.Errorf("op %s failed: %w", "name", err)
+}
+
+func BadEq(err error) bool {
+	return err == ErrSentinel // want "use errors.Is"
+}
+
+func BadNeq(err error) bool {
+	return err != io.EOF // want "use !errors.Is"
+}
+
+func BadVerb(err error) error {
+	return fmt.Errorf("op failed: %v", err) // want "use %w"
+}
+
+func BadString(err error) error {
+	return fmt.Errorf("op failed: %s", err) // want "use %w"
+}
+
+func BadPositional(n int, err error) error {
+	return fmt.Errorf("op %d failed: %v", n, err) // want "use %w"
+}

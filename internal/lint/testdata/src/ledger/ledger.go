@@ -1,0 +1,181 @@
+// Package ledger is lint testdata: span and reservation acquire/release
+// pairing. The local Tracer/Span/Ledger mirror internal/obs and
+// internal/media.
+package ledger
+
+import "errors"
+
+type Span struct{}
+
+func (s *Span) End()            {}
+func (s *Span) Note(msg string) {}
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span   { return &Span{} }
+func (t *Tracer) Child(name string) *Span       { return &Span{} }
+func (t *Tracer) ChildThread(name string) *Span { return &Span{} }
+
+type Ledger struct{}
+
+func (l *Ledger) Reserve(key string, n int64) bool { return true }
+func (l *Ledger) Release(n int64)                  {}
+
+var errFail = errors.New("fail")
+
+// ---- spans: good ----
+
+func GoodLinear(t *Tracer) {
+	sp := t.StartSpan("x")
+	sp.Note("hi")
+	sp.End()
+}
+
+func GoodDefer(t *Tracer) error {
+	sp := t.StartSpan("x")
+	defer sp.End()
+	return errFail
+}
+
+func GoodDeferClosure(t *Tracer) {
+	sp := t.Child("x")
+	defer func() { sp.End() }()
+}
+
+func GoodBranches(t *Tracer, fail bool) error {
+	sp := t.StartSpan("x")
+	if fail {
+		sp.End()
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+// GoodHandoff: returning the span moves ownership to the caller.
+func GoodHandoff(t *Tracer) *Span {
+	sp := t.StartSpan("x")
+	sp.Note("handing off")
+	return sp
+}
+
+// GoodArgHandoff: passing the span to another function moves ownership.
+func GoodArgHandoff(t *Tracer) {
+	sp := t.ChildThread("x")
+	finish(sp)
+}
+
+func finish(sp *Span) { sp.End() }
+
+// GoodClosureRelease: the error-path closure ends the span; calling it
+// counts as a release (one-level closure resolution).
+func GoodClosureRelease(t *Tracer, fail bool) error {
+	sp := t.StartSpan("x")
+	done := func() { sp.End() }
+	if fail {
+		done()
+		return errFail
+	}
+	done()
+	return nil
+}
+
+// GoodReacquire: end, then reuse the variable for a fresh span.
+func GoodReacquire(t *Tracer) {
+	sp := t.StartSpan("a")
+	sp.End()
+	sp = t.StartSpan("b")
+	sp.End()
+}
+
+// ---- spans: bad ----
+
+func BadLeakOnError(t *Tracer, fail bool) error {
+	sp := t.StartSpan("x") // want "not ended on every path"
+	if fail {
+		return errFail
+	}
+	sp.End()
+	return nil
+}
+
+func BadNeverEnded(t *Tracer) {
+	sp := t.StartSpan("x") // want "not ended on every path"
+	sp.Note("hi")
+}
+
+func BadDiscarded(t *Tracer) {
+	t.StartSpan("x") // want "span discarded at creation"
+}
+
+func BadBlank(t *Tracer) {
+	_ = t.StartSpan("x") // want "assigned to _"
+}
+
+func BadReassign(t *Tracer) {
+	sp := t.StartSpan("a") // want "not ended on every path"
+	sp = t.StartSpan("b")  // want "reassigned before End"
+	sp.End()
+}
+
+func BadPanic(t *Tracer) {
+	sp := t.StartSpan("x") // want "not ended on every path"
+	sp.Note("about to blow")
+	panic("boom")
+}
+
+// ---- reservations ----
+
+// GoodReserveDefer: the arbiter idiom — bail if denied, otherwise defer
+// the release.
+func GoodReserveDefer(l *Ledger) error {
+	if !l.Reserve("k", 10) {
+		return errFail
+	}
+	defer l.Release(10)
+	return nil
+}
+
+// GoodReserveTransfer: admit()-style ownership transfer to the caller.
+func GoodReserveTransfer(l *Ledger) bool {
+	return l.Reserve("k", 10)
+}
+
+func GoodReserveVar(l *Ledger) error {
+	ok := l.Reserve("k", 10)
+	if !ok {
+		return errFail
+	}
+	defer l.Release(10)
+	return nil
+}
+
+// GoodReserveReturnVar: returning the bool transfers ownership.
+func GoodReserveReturnVar(l *Ledger) bool {
+	ok := l.Reserve("k", 10)
+	return ok
+}
+
+func BadReserveDropped(l *Ledger) {
+	l.Reserve("k", 10) // want "Reserve result discarded"
+}
+
+func BadReserveBlank(l *Ledger) {
+	_ = l.Reserve("k", 10) // want "Reserve result discarded"
+}
+
+func BadReserveNoRelease(l *Ledger) {
+	ok := l.Reserve("k", 10) // want "no reachable"
+	if ok {
+		work()
+	}
+}
+
+func BadReserveCondNoRelease(l *Ledger) {
+	if !l.Reserve("k", 10) { // want "no reachable"
+		return
+	}
+	work()
+}
+
+func work() {}

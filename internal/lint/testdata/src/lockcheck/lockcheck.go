@@ -1,0 +1,138 @@
+// Package lockcheck is lint testdata: mutexes held (or not) across
+// blocking operations.
+package lockcheck
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Good: lock released before returning, no blocking op inside.
+func Good(g *guarded) int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// GoodUnlockBeforeRecv: the singleflight discipline — drop the lock,
+// then wait.
+func GoodUnlockBeforeRecv(g *guarded) int {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+func BadRecvWhileLocked(g *guarded) int {
+	g.mu.Lock()
+	v := <-g.ch // want "channel receive while holding"
+	g.mu.Unlock()
+	return v
+}
+
+func BadSendWhileLocked(g *guarded) {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding"
+	g.mu.Unlock()
+}
+
+// BadDeferUnlockRecv: defer keeps the lock held until return, so the
+// receive still happens under it.
+func BadDeferUnlockRecv(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding"
+}
+
+func BadSelectWhileLocked(g *guarded) {
+	g.mu.Lock()
+	select { // want "select while holding"
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+	g.mu.Unlock()
+}
+
+func BadSleep(g *guarded) {
+	g.mu.Lock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while holding"
+	g.mu.Unlock()
+}
+
+func BadWaitGroup(g *guarded, wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait() // want "Wait while holding"
+	g.mu.Unlock()
+}
+
+type embedded struct {
+	sync.Mutex
+	ch chan int
+}
+
+// BadEmbedded: the mutex is embedded; resolution goes through go/types,
+// not the method name on the receiver.
+func BadEmbedded(e *embedded) int {
+	e.Lock()
+	v := <-e.ch // want "channel receive while holding"
+	e.Unlock()
+	return v
+}
+
+// GoodCond: sync.Cond.Wait requires holding the lock by contract.
+func GoodCond(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// GoodBranch: each path unlocks before its blocking op.
+func GoodBranch(g *guarded, b bool) int {
+	g.mu.Lock()
+	if b {
+		g.mu.Unlock()
+		return <-g.ch
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// BadMergedBranch: only one branch unlocks; after the join the lock may
+// still be held.
+func BadMergedBranch(g *guarded, b bool) int {
+	g.mu.Lock()
+	if b {
+		g.mu.Unlock()
+	}
+	return <-g.ch // want "channel receive while holding"
+}
+
+// GoodFuncLit: the literal's body runs later (possibly in another
+// goroutine); it is analyzed separately with no locks held.
+func GoodFuncLit(g *guarded) func() int {
+	g.mu.Lock()
+	f := func() int { return <-g.ch }
+	g.mu.Unlock()
+	return f
+}
+
+// BadRangeChan: ranging over a channel blocks per element.
+func BadRangeChan(g *guarded) int {
+	sum := 0
+	g.mu.Lock()
+	for v := range g.ch { // want "range over channel while holding"
+		sum += v
+	}
+	g.mu.Unlock()
+	return sum
+}

@@ -1,0 +1,42 @@
+// Package metricsname is lint testdata: metric registration naming and
+// placement. The local Registry mirrors internal/obs.
+package metricsname
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+func (r *Registry) Gauge(name, help string) *Gauge     { return nil }
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return nil
+}
+
+func Default() *Registry { return nil }
+
+var (
+	goodTotal   = Default().Counter("v2v_frobs_total", "Frobs.")
+	goodLabeled = Default().Counter(`v2v_frobs_total{kind="a"}`, "Frobs by kind.")
+	goodGauge   = Default().Gauge("v2v_inflight", "In flight.")
+	goodHist    = Default().Histogram("v2v_frob_seconds", "Latency.", nil)
+
+	badPrefix  = Default().Counter("frobs_total", "No prefix.")            // want "must be v2v_-prefixed"
+	badCase    = Default().Counter("v2v_Frobs_total", "Camel case.")      // want "snake_case"
+	badCounter = Default().Counter("v2v_frobs", "Counter sans _total.")   // want "must end in _total"
+	badGauge   = Default().Gauge("v2v_frobs_total", "Gauge with _total.") // want "must not end in _total"
+	badHist    = Default().Histogram("v2v_frob_latency", "No unit.", nil) // want "unit suffix"
+)
+
+func init() {
+	// Registration in init is package scope: fine.
+	_ = Default().Counter("v2v_init_total", "Registered in init.")
+}
+
+func Register(name string) {
+	_ = Default().Counter("v2v_lazy_total", "Lazily registered.") // want "package scope"
+	_ = Default().Counter(name, "Dynamic name.")                  // want "package scope" "string constant"
+}
+
+var _ = []any{goodTotal, goodLabeled, goodGauge, goodHist, badPrefix, badCase, badCounter, badGauge, badHist}

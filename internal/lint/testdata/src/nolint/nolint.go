@@ -1,0 +1,29 @@
+// Package nolint is lint testdata for the suppression mechanism itself;
+// expectations live in nolint_test.go rather than want-annotations
+// because the directives under test share the comment position the
+// annotations would need.
+package nolint
+
+import "context"
+
+func SameLine() context.Context {
+	return context.Background() //v2v:nolint(ctxcheck) fixture: producing a root context is this function's purpose
+}
+
+func NextLine() context.Context {
+	//v2v:nolint(ctxcheck) fixture: standalone directive covers the next line
+	return context.Background()
+}
+
+func Bare() context.Context {
+	return context.Background() //v2v:nolint(ctxcheck)
+}
+
+func Unknown() context.Context {
+	return context.Background() //v2v:nolint(nosuch) directive names an analyzer that does not exist
+}
+
+func WrongAnalyzer() {
+	//v2v:nolint(errwrap) fixture: directive names the wrong analyzer, so the finding survives
+	_ = context.Background()
+}

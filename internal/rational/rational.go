@@ -222,11 +222,11 @@ func Parse(s string) (Rat, error) {
 	if i := strings.IndexByte(s, '/'); i >= 0 {
 		num, err := strconv.ParseInt(strings.TrimSpace(s[:i]), 10, 64)
 		if err != nil {
-			return Rat{}, fmt.Errorf("rational: bad numerator in %q: %v", s, err)
+			return Rat{}, fmt.Errorf("rational: bad numerator in %q: %w", s, err)
 		}
 		den, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 10, 64)
 		if err != nil {
-			return Rat{}, fmt.Errorf("rational: bad denominator in %q: %v", s, err)
+			return Rat{}, fmt.Errorf("rational: bad denominator in %q: %w", s, err)
 		}
 		if den == 0 {
 			return Rat{}, fmt.Errorf("rational: zero denominator in %q", s)
@@ -246,11 +246,11 @@ func Parse(s string) (Rat, error) {
 		}
 		ip, err := strconv.ParseInt(intPart, 10, 64)
 		if err != nil {
-			return Rat{}, fmt.Errorf("rational: bad number %q: %v", s, err)
+			return Rat{}, fmt.Errorf("rational: bad number %q: %w", s, err)
 		}
 		fp, err := strconv.ParseInt(fracPart, 10, 64)
 		if err != nil {
-			return Rat{}, fmt.Errorf("rational: bad number %q: %v", s, err)
+			return Rat{}, fmt.Errorf("rational: bad number %q: %w", s, err)
 		}
 		den := int64(1)
 		for range fracPart {
@@ -264,7 +264,7 @@ func Parse(s string) (Rat, error) {
 	}
 	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		return Rat{}, fmt.Errorf("rational: bad number %q: %v", s, err)
+		return Rat{}, fmt.Errorf("rational: bad number %q: %w", s, err)
 	}
 	return FromInt(n), nil
 }

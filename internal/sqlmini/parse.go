@@ -490,7 +490,7 @@ func (p *parser) parsePrimary() (expr, error) {
 		if strings.ContainsAny(t.text, "/") {
 			r, err := rational.Parse(t.text)
 			if err != nil {
-				return nil, fmt.Errorf("sqlmini: bad rational %q: %v", t.text, err)
+				return nil, fmt.Errorf("sqlmini: bad rational %q: %w", t.text, err)
 			}
 			return &litExpr{RatCell(r)}, nil
 		}

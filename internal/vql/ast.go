@@ -49,7 +49,7 @@ func (e NumLit) EqualExpr(o Expr) bool {
 // StrLit is a string literal.
 type StrLit struct{ V string }
 
-func (e StrLit) String() string { return fmt.Sprintf("%q", e.V) }
+func (e StrLit) String() string { return quoteVQL(e.V) }
 
 func (e StrLit) EqualExpr(o Expr) bool {
 	s, ok := o.(StrLit)

@@ -1,0 +1,52 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the spec parser with arbitrary input. Two
+// properties are enforced: the parser never panics or overruns the
+// stack (maxParseDepth guards the recursive descent), and anything it
+// accepts survives a Format -> Parse -> Format round trip unchanged —
+// the same invariant roundtrip_test.go checks for generated ASTs,
+// extended here to adversarial concrete syntax.
+func FuzzParse(f *testing.F) {
+	f.Add(`timedomain range(0, 6, 1/24);
+videos { cam: "footage.vmf"; }
+data { bb: "footage.boxes.json"; }
+render(t) = match t {
+    t in range(0, 2, 1/24) => cam[t + 1],
+    t in range(2, 4, 1/24) => boxes(cam[t + 1], bb[t + 1]),
+    t in range(4, 6, 1/24) => grade(zoom(cam[t + 1], 2), 10, 1.1, 1.2),
+};`)
+	f.Add(`timedomain range(0, 1, 1/30);
+videos { v: "a.vmf"; }
+render(t) = v[t];`)
+	f.Add(`timedomain range(0, 1, 1/30);
+videos { v: "a.vmf"; }
+output { width: 64; height: 48; fps: 30; }
+render(t) = if t < 1/2 then v[t] else zoom(v[t], 2);`)
+	f.Add(`timedomain {0, 1/30, 2/30};
+videos { v: "a.vmf"; }
+render(t) = match t { t in {0} => v[t], t in {1/30, 2/30} => blur(v[t], 2), };`)
+	f.Add("render(t) = v[t];")
+	f.Add("timedomain range(0, 1, 1/30); videos { v: \"" + `\"quote\"` + ".vmf\"; } render(t) = v[t];")
+	f.Add(strings.Repeat("(", 500))
+	f.Add("not " + strings.Repeat("not ", 300) + "1")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		out := Format(spec)
+		spec2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse of formatted spec failed: %v\nformatted:\n%s", err, out)
+		}
+		if again := Format(spec2); again != out {
+			t.Fatalf("format not idempotent:\nfirst:\n%s\nsecond:\n%s", out, again)
+		}
+	})
+}

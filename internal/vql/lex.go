@@ -157,3 +157,29 @@ func lexAll(src string) ([]tok, error) {
 func isLetter(c byte) bool {
 	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
 }
+
+// quoteVQL renders s as a string literal using exactly the escapes the
+// string lexer above understands (\" \\ \n \t); every other byte passes
+// through raw, which the lexer also accepts. Printing with Go's %q
+// instead would emit escapes like \r that the lexer rejects, breaking
+// the Parse∘Format round trip.
+func quoteVQL(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -58,9 +58,25 @@ func ParseExpr(src string) (Expr, error) {
 }
 
 type specParser struct {
-	toks []tok
-	pos  int
+	toks  []tok
+	pos   int
+	depth int
 }
+
+// maxParseDepth bounds expression nesting so adversarial input (deeply
+// nested parens, long `not not ...` chains) fails with a parse error
+// instead of exhausting the goroutine stack.
+const maxParseDepth = 200
+
+func (p *specParser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("vql: expression nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *specParser) leave() { p.depth-- }
 
 func (p *specParser) peek() tok { return p.toks[p.pos] }
 
@@ -339,6 +355,10 @@ func constNum(e Expr) (rational.Rat, error) {
 func (p *specParser) parseExpr() (Expr, error) { return p.parseOr() }
 
 func (p *specParser) parseOr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	l, err := p.parseAnd()
 	if err != nil {
 		return nil, err
@@ -465,6 +485,10 @@ func foldNum(b BinOp) Expr {
 }
 
 func (p *specParser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.acceptPunct("-") {
 		e, err := p.parseUnary()
 		if err != nil {

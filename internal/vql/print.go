@@ -43,7 +43,7 @@ func writeBindings(sb *strings.Builder, section string, m map[string]string) {
 	sort.Strings(names)
 	fmt.Fprintf(sb, "%s {\n", section)
 	for _, k := range names {
-		fmt.Fprintf(sb, "  %s: %q;\n", k, m[k])
+		fmt.Fprintf(sb, "  %s: %s;\n", k, quoteVQL(m[k]))
 	}
 	sb.WriteString("}\n")
 }
