@@ -59,5 +59,5 @@ chaos:
 	@for off in 0 100 200; do \
 		seed=$$(( $(V2V_CHAOS_SEED) + $$off )); \
 		echo "== v2vbench -chaos -chaos-seed $$seed =="; \
-		$(GO) run ./cmd/v2vbench -chaos -chaos-seed $$seed || exit 1; \
+		$(GO) run ./cmd/v2vbench -chaos -chaos-seed $$seed -flight-out chaos-flight-$$seed.json || exit 1; \
 	done

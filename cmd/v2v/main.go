@@ -80,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	var tr *v2v.Trace
 	if *traceOut != "" {
 		tr = v2v.NewTrace("v2v " + rest[0])
+		// Stamp the trace with a run ID so its export joins the same
+		// run's metrics and flight records when loaded alongside them.
+		tr.SetID(v2v.NewTraceID())
 	}
 
 	sp := tr.StartSpan("parse")
@@ -88,12 +91,16 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
+	// A per-run stage recorder backs the -stats per-stage breakdown and
+	// the EXPLAIN ANALYZE stage annotations.
+	rec := v2v.NewRecorder()
 	opts := core.Options{
 		Optimize:    !*noOpt,
 		DataRewrite: !*noRewrite,
 		Parallelism: *parallel,
 		Conceal:     !*strict,
 		Trace:       tr,
+		Recorder:    rec,
 	}
 	if *cacheMB >= 0 {
 		opts.GOPCache = v2v.NewGOPCache(int64(*cacheMB) << 20)
@@ -168,6 +175,14 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 		fmt.Fprintf(stdout, "packets copied  %d (%d bytes)\n", m.Output.PacketsCopied, m.Output.BytesCopied)
 		if n := m.TotalConcealed(); n > 0 {
 			fmt.Fprintf(stdout, "frames concealed %d\n", n)
+		}
+		stages := rec.Stages()
+		for _, name := range []string{"decode", "filter", "encode", "copy"} {
+			st := stages[name]
+			if st.Frames == 0 && st.Wall == 0 {
+				continue
+			}
+			fmt.Fprintf(stdout, "stage %-9s %d frames, %d bytes, %v\n", name, st.Frames, st.Bytes, st.Wall)
 		}
 		if c := opts.GOPCache; c != nil {
 			cs := c.Stats()

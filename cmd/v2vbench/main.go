@@ -53,7 +53,10 @@ type compareJSON struct {
 	Query        string  `json:"query"`
 	UnoptSeconds float64 `json:"unopt_seconds"`
 	OptSeconds   float64 `json:"opt_seconds"`
-	Speedup      float64 `json:"speedup"`
+	// OptFirstOutputSeconds is time-to-first-frame for the optimized run,
+	// tracked (and delta-flagged) alongside total wall time.
+	OptFirstOutputSeconds float64 `json:"opt_first_output_seconds"`
+	Speedup               float64 `json:"speedup"`
 }
 
 type dataJoinJSON struct {
@@ -89,6 +92,9 @@ type cacheJSON struct {
 	ResultColdMisses  int64   `json:"result_cold_misses"`
 	ResultWarmHits    int64   `json:"result_warm_hits"`
 	ResultWarmMisses  int64   `json:"result_warm_misses"`
+	// ResultWarmFirstOutputSeconds is the warm repeat's time to first
+	// output — the interactivity win the result cache buys.
+	ResultWarmFirstOutputSeconds float64 `json:"result_warm_first_output_seconds"`
 }
 
 type ablationJSON struct {
@@ -117,6 +123,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection suite instead of the figures: every query under seeded read faults, strict and concealment modes")
 		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault streams (equal seeds replay equal faults)")
+		flightOut = flag.String("flight-out", "", "with -chaos, write the errored attempts' flight records as JSON to this file (the /debug/requests?errored=1 shape)")
 	)
 	flag.Parse()
 
@@ -154,9 +161,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		rows, err := benchkit.ChaosRun(kabr, cfg, *chaosSeed)
-		if err != nil {
-			fatal(err)
+		if *flightOut != "" {
+			cfg.Flight = obs.NewFlightRecorder(0)
+		}
+		rows, runErr := benchkit.ChaosRun(kabr, cfg, *chaosSeed)
+		// Dump the flight records before deciding the exit: a failing chaos
+		// run is exactly when the dump matters (CI uploads it on failure).
+		if *flightOut != "" {
+			if werr := writeFlightDump(*flightOut, cfg.Flight); werr != nil {
+				fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "wrote errored flight records to %s\n", *flightOut)
+		}
+		if runErr != nil {
+			fatal(runErr)
 		}
 		fmt.Println(benchkit.FormatChaos(
 			fmt.Sprintf("Chaos — KABR-sim queries under seeded read faults (seed %d)", *chaosSeed), rows))
@@ -265,11 +283,12 @@ func main() {
 func (r *report) addCompare(dataset string, rows []benchkit.Row) {
 	for _, row := range rows {
 		r.Compare = append(r.Compare, compareJSON{
-			Dataset:      dataset,
-			Query:        row.Query,
-			UnoptSeconds: row.Unopt.Seconds(),
-			OptSeconds:   row.Opt.Seconds(),
-			Speedup:      row.Speedup,
+			Dataset:               dataset,
+			Query:                 row.Query,
+			UnoptSeconds:          row.Unopt.Seconds(),
+			OptSeconds:            row.Opt.Seconds(),
+			OptFirstOutputSeconds: row.OptFirstOutput.Seconds(),
+			Speedup:               row.Speedup,
 		})
 	}
 }
@@ -313,6 +332,8 @@ func (r *report) addCache(dataset string, rows []benchkit.CacheRow) {
 			ResultColdMisses:  row.ResultColdMisses,
 			ResultWarmHits:    row.ResultWarmHits,
 			ResultWarmMisses:  row.ResultWarmMisses,
+
+			ResultWarmFirstOutputSeconds: row.ResultWarmFirstOutput.Seconds(),
 		})
 	}
 }
@@ -357,6 +378,30 @@ func reportDelta(priorPath, curPath, mdPath string) error {
 		fmt.Fprintf(os.Stderr, "wrote delta markdown to %s\n", mdPath)
 	}
 	return nil
+}
+
+// writeFlightDump writes the errored chaos attempts in the same JSON shape
+// v2vserve serves at /debug/requests?errored=1, so one set of tooling reads
+// both.
+func writeFlightDump(path string, fr *obs.FlightRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	recs := fr.Snapshot(obs.Filter{Errored: true})
+	if recs == nil {
+		recs = []obs.RequestRecord{}
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(struct {
+		SlowThresholdNS int64               `json:"slow_threshold_ns"`
+		Requests        []obs.RequestRecord `json:"requests"`
+	}{int64(fr.SlowThreshold()), recs})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func writeReport(path string, rep report) error {

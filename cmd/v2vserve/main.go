@@ -13,7 +13,13 @@
 //	GET  /synthesize?spec=X   loads <specs>/X -> VMS stream
 //	GET  /healthz             liveness probe
 //	GET  /metrics             Prometheus text exposition
+//	GET  /debug/requests      flight recorder: recent + in-flight requests
+//	GET  /debug/caches        GOP/result cache contents and budget split
 //	GET  /debug/pprof/        net/http/pprof profiles
+//
+// Every response carries an X-Trace-Id header; the same ID appears in the
+// request's structured log lines, its /debug/requests record, and its
+// span trace (/debug/requests?trace=<id> exports Chrome trace JSON).
 //
 // SIGINT/SIGTERM drain in-flight streams (up to -drain) before exiting.
 //
@@ -25,11 +31,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -49,49 +56,76 @@ import (
 // validateServeFlags rejects nonsensical flag values before any server
 // state is built, so a typo'd unit (bytes instead of MiB, negative
 // durations) fails fast with a clear message.
-func validateServeFlags(drain, synthTO time.Duration, cacheMB, resMB, budgetMB int) error {
+func validateServeFlags(drain, synthTO time.Duration, cacheMB, resMB, budgetMB, slowMS, flightSize int, logFormat string) error {
 	return errors.Join(
 		cliutil.ValidateTimeout("-drain", drain),
 		cliutil.ValidateTimeout("-synth-timeout", synthTO),
 		cliutil.ValidateCacheMB("-gop-cache-mb", cacheMB),
 		cliutil.ValidateCacheMB("-result-cache-mb", resMB),
 		cliutil.ValidateBudgetMB("-cache-budget-mb", budgetMB),
+		cliutil.ValidateMillis("-slow-query-ms", slowMS),
+		cliutil.ValidateRingSize("-flight-recorder-size", flightSize),
+		cliutil.ValidateLogFormat("-log-format", logFormat),
 	)
+}
+
+// newLogger builds the process logger; "json" selects JSON lines for log
+// shippers, anything else the human-readable text handler.
+func newLogger(format string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8370", "serve address")
-		specs    = flag.String("specs", ".", "directory for GET ?spec= lookups")
-		noOpt    = flag.Bool("no-opt", false, "disable the optimizer (for demos)")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
-		synthTO  = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
-		strict   = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
-		cacheMB  = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, -1 = disable)")
-		resMB    = flag.Int("result-cache-mb", 0, "encoded-result cache budget in MiB shared across all requests (0 = 256 MiB default, -1 = disable)")
-		budgetMB = flag.Int("cache-budget-mb", 0, "unified byte budget in MiB shared by the GOP and result caches via an arbiter (0 = sum of the per-cache budgets; ignored unless both caches are enabled)")
-		fetchURL = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
-		out      = flag.String("out", "", "client mode: output VMF path")
+		listen     = flag.String("listen", ":8370", "serve address")
+		specs      = flag.String("specs", ".", "directory for GET ?spec= lookups")
+		noOpt      = flag.Bool("no-opt", false, "disable the optimizer (for demos)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout for in-flight streams")
+		synthTO    = flag.Duration("synth-timeout", 0, "per-request synthesis timeout (0 = no limit)")
+		strict     = flag.Bool("strict", false, "fail requests on corrupt or undecodable source packets instead of concealing them")
+		cacheMB    = flag.Int("gop-cache-mb", 0, "decoded-GOP cache budget in MiB shared across all requests (0 = auto-size from the sources, -1 = disable)")
+		resMB      = flag.Int("result-cache-mb", 0, "encoded-result cache budget in MiB shared across all requests (0 = 256 MiB default, -1 = disable)")
+		budgetMB   = flag.Int("cache-budget-mb", 0, "unified byte budget in MiB shared by the GOP and result caches via an arbiter (0 = sum of the per-cache budgets; ignored unless both caches are enabled)")
+		slowMS     = flag.Int("slow-query-ms", 0, "log a warning for requests slower than this many milliseconds, and let /debug/requests?slow=1 filter on it (0 = disabled)")
+		flightSize = flag.Int("flight-recorder-size", 0, "completed requests kept in the /debug/requests ring (0 = default)")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		fetchURL   = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
+		out        = flag.String("out", "", "client mode: output VMF path")
 	)
 	flag.Parse()
 
-	if err := validateServeFlags(*drain, *synthTO, *cacheMB, *resMB, *budgetMB); err != nil {
-		log.Fatal("v2vserve: ", err)
+	logger := newLogger(*logFormat)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(1)
+	}
+
+	if err := validateServeFlags(*drain, *synthTO, *cacheMB, *resMB, *budgetMB, *slowMS, *flightSize, *logFormat); err != nil {
+		fatal("invalid flags", err)
 	}
 
 	if *fetchURL != "" {
 		if *out == "" {
-			log.Fatal("v2vserve: -fetch requires -out")
+			fatal("client mode", errors.New("-fetch requires -out"))
 		}
 		if err := fetch(*fetchURL, *out); err != nil {
-			log.Fatal("v2vserve: ", err)
+			fatal("fetch failed", err)
 		}
 		return
 	}
 
 	srv := newServer(*specs, !*noOpt, obs.Default())
+	srv.logger = logger
 	srv.synthTimeout = *synthTO
 	srv.strict = *strict
+	if *flightSize > 0 {
+		srv.flight = v2v.NewFlightRecorder(*flightSize)
+	}
+	srv.flight.SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+	srv.flight.SetLogger(logger)
 	if *cacheMB >= 0 {
 		// One process-wide cache: concurrent requests touching the same
 		// sources share decodes, and a hot GOP survives across requests.
@@ -105,9 +139,9 @@ func main() {
 	if srv.gopCache != nil && srv.resultCache != nil {
 		// Both caches enabled: arbitrate one shared byte budget between
 		// them instead of enforcing two independent hard caps.
-		arb := v2v.NewCacheArbiter(int64(*budgetMB) << 20)
-		srv.gopCache.AttachArbiter(arb)
-		srv.resultCache.AttachArbiter(arb)
+		srv.arbiter = v2v.NewCacheArbiter(int64(*budgetMB) << 20)
+		srv.gopCache.AttachArbiter(srv.arbiter)
+		srv.resultCache.AttachArbiter(srv.arbiter)
 	}
 	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
 
@@ -116,20 +150,20 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("v2vserve: listening on %s (specs from %s)", *listen, *specs)
+	logger.Info("listening", "addr", *listen, "specs", *specs)
 
 	select {
 	case err := <-errc:
-		log.Fatal("v2vserve: ", err)
+		fatal("server failed", err)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
-		log.Printf("v2vserve: shutdown signal, draining in-flight streams (up to %v)", *drain)
+		logger.Info("shutdown signal, draining in-flight streams", "drain", *drain)
 		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
-			log.Printf("v2vserve: drain incomplete: %v", err)
+			logger.Warn("drain incomplete", "error", err)
 		}
-		log.Printf("v2vserve: stopped")
+		logger.Info("stopped")
 	}
 }
 
@@ -150,7 +184,14 @@ type server struct {
 	// resultCache, when non-nil, memoizes rendered segments' encoded
 	// output across requests (nil = result caching disabled).
 	resultCache *v2v.ResultCache
-	reg         *obs.Registry
+	// arbiter, when non-nil, coordinates one byte budget across both
+	// caches; retained for /debug/caches introspection.
+	arbiter *v2v.CacheArbiter
+	// flight records recent and in-flight synthesis requests, served at
+	// /debug/requests.
+	flight *v2v.FlightRecorder
+	logger *slog.Logger
+	reg    *obs.Registry
 
 	requests      *obs.Counter
 	errs4xx       *obs.Counter
@@ -167,6 +208,8 @@ func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
 	return &server{
 		specDir:  specDir,
 		optimize: optimize,
+		flight:   v2v.NewFlightRecorder(0),
+		logger:   slog.Default(),
 		reg:      reg,
 		requests: reg.Counter("v2v_http_requests_total", "HTTP requests served."),
 		errs4xx: reg.Counter(`v2v_http_errors_total{class="4xx"}`,
@@ -195,6 +238,8 @@ func (s *server) routes() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/requests", s.flight.Handler())
+	mux.HandleFunc("/debug/caches", s.caches)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -203,16 +248,24 @@ func (s *server) routes() http.Handler {
 	return s.observed(mux)
 }
 
-// statusWriter captures the response status for logging and error
-// counting, passing flushes through so streaming stays progressive.
+// statusWriter captures the response status and bytes written for logging
+// and error counting, passing flushes through so streaming stays
+// progressive.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 func (w *statusWriter) Flush() {
@@ -221,14 +274,34 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// observed is the request middleware: it logs method, spec name, status,
-// and wall time, and feeds the request/error counters.
+// traceIDKey carries the request's trace ID through the context from the
+// middleware to the synthesize handler, so the flight record, the span
+// trace, and every log line share one ID.
+type traceIDKeyType struct{}
+
+var traceIDKey traceIDKeyType
+
+// requestTraceID returns the trace ID the middleware assigned, minting
+// one for handlers invoked outside the middleware (direct tests).
+func requestTraceID(r *http.Request) string {
+	if id, ok := r.Context().Value(traceIDKey).(string); ok && id != "" {
+		return id
+	}
+	return obs.NewTraceID()
+}
+
+// observed is the request middleware: it assigns the trace ID (echoed in
+// the X-Trace-Id response header), logs a structured request line, and
+// feeds the request/error counters.
 func (s *server) observed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		traceID := obs.NewTraceID()
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
+		w.Header().Set("X-Trace-Id", traceID)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r = r.WithContext(context.WithValue(r.Context(), traceIDKey, traceID))
 		next.ServeHTTP(sw, r)
 		s.requests.Inc()
 		switch {
@@ -241,8 +314,13 @@ func (s *server) observed(next http.Handler) http.Handler {
 		if name := r.URL.Query().Get("spec"); name != "" {
 			target += "?spec=" + name
 		}
-		log.Printf("v2vserve: %s %s -> %d in %v", r.Method, target, sw.status,
-			time.Since(start).Round(time.Millisecond))
+		s.logger.Info("request",
+			"method", r.Method,
+			"target", target,
+			"status", sw.status,
+			"bytes", sw.bytes,
+			"wall", time.Since(start).Round(time.Millisecond),
+			"trace_id", traceID)
 	})
 }
 
@@ -261,8 +339,46 @@ func validSpecName(name string) bool {
 	return true
 }
 
+// segmentRecords converts an executed run's per-segment actuals (plus the
+// plan's copy/smartcut/render decisions) into flight-recorder segment
+// records.
+func segmentRecords(res *v2v.Result) []obs.SegmentRecord {
+	acts := res.Metrics.Segments
+	out := make([]obs.SegmentRecord, 0, len(acts))
+	for i, a := range acts {
+		kind := "render"
+		if res.Plan != nil && i < len(res.Plan.Segments) {
+			kind = res.Plan.Segments[i].Kind.String()
+		}
+		out = append(out, obs.SegmentRecord{
+			Kind:           kind,
+			Wall:           a.Wall,
+			FramesRendered: a.FramesRendered,
+			FramesDecoded:  a.FramesDecoded,
+			FramesEncoded:  a.FramesEncoded,
+			PacketsCopied:  a.PacketsCopied,
+			BytesCopied:    a.BytesCopied,
+			Concealed:      a.Concealed,
+			GOPCacheHits:   a.GOPCacheHits,
+			GOPCacheMisses: a.GOPCacheMisses,
+			ResCacheHits:   a.ResultCacheHits,
+			ResCacheMisses: a.ResultCacheMisses,
+			Shards:         a.Shards,
+			DecodeWall:     a.DecodeWall,
+			FilterWall:     a.FilterWall,
+			EncodeWall:     a.EncodeWall,
+			DecodeBytes:    a.DecodeBytes,
+			FilterFrames:   a.FilterFrames,
+			FilterBytes:    a.FilterBytes,
+			EncodeBytes:    a.EncodeBytes,
+		})
+	}
+	return out
+}
+
 func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	var spec *v2v.Spec
+	var query string
 	var err error
 	switch r.Method {
 	case http.MethodPost:
@@ -271,6 +387,7 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, rerr.Error(), http.StatusBadRequest)
 			return
 		}
+		query = string(body)
 		spec, err = parseAny(body)
 	case http.MethodGet:
 		name := r.URL.Query().Get("spec")
@@ -278,12 +395,19 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "missing or invalid ?spec=", http.StatusBadRequest)
 			return
 		}
+		query = "spec=" + name
 		spec, err = v2v.LoadSpec(filepath.Join(s.specDir, name))
 	default:
 		http.Error(w, "POST a spec or GET ?spec=", http.StatusMethodNotAllowed)
 		return
 	}
+
+	// The flight record starts as soon as there is query text, so parse
+	// failures show up at /debug/requests?errored=1 too.
+	traceID := requestTraceID(r)
+	req := s.flight.Start(traceID, query)
 	if err != nil {
+		req.Finish("error", err)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -295,6 +419,12 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	opts.Conceal = !s.strict
 	opts.GOPCache = s.gopCache
 	opts.ResultCache = s.resultCache
+	// Every request gets its own span trace and stage recorder, joined to
+	// the flight record and the log lines by the shared trace ID.
+	tr := v2v.NewTrace("synthesize")
+	tr.SetID(traceID)
+	opts.Trace = tr
+	opts.Recorder = req.Recorder()
 	// The request context cancels the synthesis when the client goes away;
 	// shard workers stop within one GOP of work instead of rendering a
 	// stream nobody is reading.
@@ -307,24 +437,71 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-v2v-stream")
 	start := time.Now()
 	res, err := v2v.SynthesizeStreamContext(ctx, spec, w, opts)
+	req.SetTrace(tr)
 	if err != nil {
 		if ctx.Err() != nil {
 			s.synthCanceled.Inc()
-			log.Printf("v2vserve: synthesis canceled after %v: %v", time.Since(start), err)
+			req.Finish("canceled", err)
+			s.logger.Warn("synthesis canceled",
+				"wall", time.Since(start), "error", err, "trace_id", traceID)
 			return
 		}
 		// Headers may already be out; count the failure, log, and drop
 		// the connection so the client sees a truncated stream.
 		s.synthFail.Inc()
-		log.Printf("v2vserve: synthesis failed after %v: %v", time.Since(start), err)
+		req.Finish("error", err)
+		s.logger.Error("synthesis failed",
+			"wall", time.Since(start), "error", err, "trace_id", traceID)
 		return
 	}
 	s.synthOK.Inc()
 	s.wallHist.Observe(res.Metrics.Wall.Seconds())
 	s.firstHist.Observe(res.Metrics.FirstOutput.Seconds())
-	log.Printf("v2vserve: streamed %d packets in %v (first packet after %v, %d copied)",
-		res.Metrics.Output.PacketsCopied+res.Metrics.Output.FramesEncoded,
-		res.Metrics.Wall, res.Metrics.FirstOutput, res.Metrics.Output.PacketsCopied)
+	req.SetPlan(res.Plan.Explain())
+	req.SetSegments(segmentRecords(res))
+	req.SetCaches(res.Metrics.Source.GOPCacheHits, res.Metrics.Source.GOPCacheMisses,
+		res.Metrics.ResultCacheHits, res.Metrics.ResultCacheMisses)
+	req.Finish("ok", nil)
+	s.logger.Info("synthesis complete",
+		"packets", res.Metrics.Output.PacketsCopied+res.Metrics.Output.FramesEncoded,
+		"copied", res.Metrics.Output.PacketsCopied,
+		"wall", res.Metrics.Wall,
+		"first_output", res.Metrics.FirstOutput,
+		"trace_id", traceID)
+}
+
+// cacheDump is one cache's /debug/caches section: its counters plus the
+// resident entries, most recently used first.
+type cacheDump struct {
+	Stats   any `json:"stats"`
+	Entries any `json:"entries"`
+}
+
+// caches serves /debug/caches: resident GOP/result cache entries, the
+// arbiter's budget split, and doorkeeper denials. Sections for disabled
+// caches are omitted.
+func (s *server) caches(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		GOP     *cacheDump             `json:"gop,omitempty"`
+		Result  *cacheDump             `json:"result,omitempty"`
+		Arbiter *v2v.CacheArbiterStats `json:"arbiter,omitempty"`
+	}{}
+	if s.gopCache != nil {
+		resp.GOP = &cacheDump{Stats: s.gopCache.Stats(), Entries: s.gopCache.Entries()}
+	}
+	if s.resultCache != nil {
+		resp.Result = &cacheDump{Stats: s.resultCache.Stats(), Entries: s.resultCache.Entries()}
+	}
+	if s.arbiter != nil {
+		st := s.arbiter.Stats()
+		resp.Arbiter = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		s.logger.Warn("cache dump failed", "error", err)
+	}
 }
 
 func parseAny(raw []byte) (*v2v.Spec, error) {

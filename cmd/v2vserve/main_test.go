@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"v2v"
 	"v2v/internal/dataset"
 	"v2v/internal/faults"
 	"v2v/internal/frame"
@@ -299,29 +301,321 @@ func TestClientDisconnectCancelsSynthesis(t *testing.T) {
 }
 
 func TestValidateServeFlags(t *testing.T) {
-	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0); err != nil {
+	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0, 0, 0, "text"); err != nil {
 		t.Errorf("defaults should validate: %v", err)
 	}
-	if err := validateServeFlags(time.Minute, time.Minute, -1, -1, 0); err != nil {
+	if err := validateServeFlags(time.Minute, time.Minute, -1, -1, 0, 500, 1024, "json"); err != nil {
 		t.Errorf("-1 cache disables should validate: %v", err)
 	}
 	for _, tc := range []struct {
 		name                     string
 		drain, synthTO           time.Duration
 		cacheMB, resMB, budgetMB int
+		slowMS, flightSize       int
+		logFormat                string
 		want                     string
 	}{
-		{"negative drain", -time.Second, 0, 0, 0, 0, "-drain"},
-		{"negative synth timeout", 0, -time.Second, 0, 0, 0, "-synth-timeout"},
-		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, "exceeds"},
-		{"bad gop cache", 0, 0, -2, 0, 0, "-gop-cache-mb"},
-		{"bad result cache", 0, 0, 0, -9, 0, "-result-cache-mb"},
-		{"bytes-not-MiB cache", 0, 0, 1 << 30, 0, 0, "MiB, not bytes"},
-		{"negative budget", 0, 0, 0, 0, -1, "-cache-budget-mb"},
+		{"negative drain", -time.Second, 0, 0, 0, 0, 0, 0, "", "-drain"},
+		{"negative synth timeout", 0, -time.Second, 0, 0, 0, 0, 0, "", "-synth-timeout"},
+		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, 0, 0, "", "exceeds"},
+		{"bad gop cache", 0, 0, -2, 0, 0, 0, 0, "", "-gop-cache-mb"},
+		{"bad result cache", 0, 0, 0, -9, 0, 0, 0, "", "-result-cache-mb"},
+		{"bytes-not-MiB cache", 0, 0, 1 << 30, 0, 0, 0, 0, "", "MiB, not bytes"},
+		{"negative budget", 0, 0, 0, 0, -1, 0, 0, "", "-cache-budget-mb"},
+		{"negative slow threshold", 0, 0, 0, 0, 0, -5, 0, "", "-slow-query-ms"},
+		{"negative flight ring", 0, 0, 0, 0, 0, 0, -1, "", "-flight-recorder-size"},
+		{"absurd flight ring", 0, 0, 0, 0, 0, 0, 1 << 20, "", "-flight-recorder-size"},
+		{"bad log format", 0, 0, 0, 0, 0, 0, 0, "xml", "-log-format"},
 	} {
-		err := validateServeFlags(tc.drain, tc.synthTO, tc.cacheMB, tc.resMB, tc.budgetMB)
+		err := validateServeFlags(tc.drain, tc.synthTO, tc.cacheMB, tc.resMB, tc.budgetMB,
+			tc.slowMS, tc.flightSize, tc.logFormat)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// renderServer is testServer with a spec whose expression cannot be
+// stream-copied, so the request actually decodes, filters, and encodes —
+// the stage accounting the debug tests assert on.
+func renderServer(t *testing.T) (*server, *httptest.Server, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specText := fmt.Sprintf(`
+		timedomain range(0, 1, 1/24);
+		videos { cam: %q; }
+		render(t) = grade(cam[t], 5, 1.0, 1.0);`, vid)
+	srv := newServer(dir, true, obs.NewRegistry())
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, specText, vid
+}
+
+// flightResponse mirrors the /debug/requests JSON shape the tests assert.
+type flightResponse struct {
+	SlowThresholdNS int64 `json:"slow_threshold_ns"`
+	Requests        []struct {
+		ID       uint64 `json:"id"`
+		TraceID  string `json:"trace_id"`
+		Query    string `json:"query"`
+		Plan     string `json:"plan"`
+		Active   bool   `json:"active"`
+		Outcome  string `json:"outcome"`
+		Error    string `json:"error"`
+		Segments []struct {
+			Kind          string `json:"kind"`
+			WallNS        int64  `json:"wall_ns"`
+			FramesEncoded int64  `json:"frames_encoded"`
+			EncodeWallNS  int64  `json:"encode_wall_ns"`
+			EncodeBytes   int64  `json:"encode_bytes"`
+			DecodeWallNS  int64  `json:"decode_wall_ns"`
+			DecodeBytes   int64  `json:"decode_bytes"`
+		} `json:"segments"`
+		Stages map[string]struct {
+			Frames int64 `json:"frames"`
+			Bytes  int64 `json:"bytes"`
+			WallNS int64 `json:"wall_ns"`
+		} `json:"stages"`
+		GOPCacheHits   int64 `json:"gop_cache_hits"`
+		GOPCacheMisses int64 `json:"gop_cache_misses"`
+	} `json:"requests"`
+}
+
+func getFlight(t *testing.T, url string) flightResponse {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("%s status = %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("%s content type = %q", url, ct)
+	}
+	var fr flightResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// TestDebugRequestsRecordsSynthesis drives one request end to end and
+// asserts the flight record carries the per-segment decisions, per-stage
+// accounting, and the same trace ID the response header advertised.
+func TestDebugRequestsRecordsSynthesis(t *testing.T) {
+	_, ts, specText, _ := renderServer(t)
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if traceID == "" {
+		t.Fatal("no X-Trace-Id header on the synthesis response")
+	}
+
+	fr := getFlight(t, ts.URL+"/debug/requests")
+	if len(fr.Requests) != 1 {
+		t.Fatalf("requests = %d, want 1", len(fr.Requests))
+	}
+	rec := fr.Requests[0]
+	if rec.TraceID != traceID {
+		t.Errorf("record trace_id = %q, header = %q", rec.TraceID, traceID)
+	}
+	if rec.Outcome != "ok" || rec.Active {
+		t.Errorf("outcome = %q active = %v", rec.Outcome, rec.Active)
+	}
+	if !strings.Contains(rec.Query, "render(t)") {
+		t.Errorf("query text not recorded: %q", rec.Query)
+	}
+	if !strings.Contains(rec.Plan, "concat") {
+		t.Errorf("plan summary not recorded: %q", rec.Plan)
+	}
+	if len(rec.Segments) == 0 {
+		t.Fatal("no segment records")
+	}
+	seg := rec.Segments[0]
+	if seg.Kind != "render" {
+		t.Errorf("segment kind = %q", seg.Kind)
+	}
+	if seg.FramesEncoded == 0 || seg.EncodeWallNS == 0 || seg.EncodeBytes == 0 {
+		t.Errorf("segment stage accounting empty: %+v", seg)
+	}
+	if st, ok := rec.Stages["encode"]; !ok || st.Frames == 0 || st.Bytes == 0 {
+		t.Errorf("encode stage totals missing: %+v", rec.Stages)
+	}
+	if st, ok := rec.Stages["decode"]; !ok || st.Frames == 0 {
+		t.Errorf("decode stage totals missing: %+v", rec.Stages)
+	}
+
+	// The span trace is exported under the same ID.
+	resp, err = http.Get(ts.URL + "/debug/requests?trace=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceJSON, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace export status = %s", resp.Status)
+	}
+	for _, want := range []string{"traceEvents", traceID, "synthesize"} {
+		if !strings.Contains(string(traceJSON), want) {
+			t.Errorf("trace export missing %q", want)
+		}
+	}
+
+	// HTML rendering works and mentions the trace ID.
+	resp, err = http.Get(ts.URL + "/debug/requests?format=html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "<table") || !strings.Contains(string(page), traceID) {
+		t.Errorf("html view missing table or trace id:\n%.300s", page)
+	}
+}
+
+// TestDebugRequestsFilters exercises the errored= and slow= filters.
+func TestDebugRequestsFilters(t *testing.T) {
+	ts, specText, _ := testServer(t)
+
+	// One parse failure, one success.
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader("not a spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if all := getFlight(t, ts.URL+"/debug/requests"); len(all.Requests) != 2 {
+		t.Fatalf("unfiltered requests = %d, want 2", len(all.Requests))
+	}
+	errored := getFlight(t, ts.URL+"/debug/requests?errored=1")
+	if len(errored.Requests) != 1 || errored.Requests[0].Outcome != "error" {
+		t.Fatalf("errored filter = %+v", errored.Requests)
+	}
+	if errored.Requests[0].Error == "" {
+		t.Error("errored record has no error text")
+	}
+
+	// With no slow threshold configured the slow filter matches nothing;
+	// with a tiny one it matches every completed request.
+	if slow := getFlight(t, ts.URL+"/debug/requests?slow=1"); len(slow.Requests) != 0 {
+		t.Errorf("slow filter without threshold = %d records", len(slow.Requests))
+	}
+}
+
+// TestDebugRequestsSlowThreshold runs a server whose flight recorder has a
+// 1ns slow threshold, so every request qualifies as slow.
+func TestDebugRequestsSlowThreshold(t *testing.T) {
+	srv, ts, specText, _ := renderServer(t)
+	srv.flight.SetSlowThreshold(time.Nanosecond)
+
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	fr := getFlight(t, ts.URL+"/debug/requests?slow=1")
+	if len(fr.Requests) != 1 {
+		t.Fatalf("slow requests = %d, want 1", len(fr.Requests))
+	}
+	if fr.SlowThresholdNS != 1 {
+		t.Errorf("slow_threshold_ns = %d", fr.SlowThresholdNS)
+	}
+}
+
+// TestDebugCaches builds a server with both caches and the arbiter, runs a
+// synthesis, and asserts the cache dump reports stats, resident entries,
+// and the budget split.
+func TestDebugCaches(t *testing.T) {
+	srv, ts, specText, vid := renderServer(t)
+	srv.gopCache = v2v.NewGOPCache(64 << 20)
+	srv.resultCache = v2v.NewResultCache(64 << 20)
+	srv.arbiter = v2v.NewCacheArbiter(0)
+	srv.gopCache.AttachArbiter(srv.arbiter)
+	srv.resultCache.AttachArbiter(srv.arbiter)
+
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/debug/caches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var dump struct {
+		GOP *struct {
+			Stats struct {
+				Misses int64 `json:"misses"`
+				Bytes  int64 `json:"bytes"`
+			} `json:"stats"`
+			Entries []struct {
+				Path   string `json:"path"`
+				Frames int    `json:"frames"`
+				Bytes  int64  `json:"bytes"`
+			} `json:"entries"`
+		} `json:"gop"`
+		Result *struct {
+			Stats   map[string]any `json:"stats"`
+			Entries []any          `json:"entries"`
+		} `json:"result"`
+		Arbiter *struct {
+			Total  int64            `json:"total"`
+			Used   int64            `json:"used"`
+			Client map[string]int64 `json:"client"`
+		} `json:"arbiter"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.GOP == nil || dump.Result == nil || dump.Arbiter == nil {
+		t.Fatalf("missing sections: gop=%v result=%v arbiter=%v",
+			dump.GOP != nil, dump.Result != nil, dump.Arbiter != nil)
+	}
+	if dump.GOP.Stats.Misses == 0 || len(dump.GOP.Entries) == 0 {
+		t.Errorf("gop cache saw no fills: stats=%+v entries=%d", dump.GOP.Stats, len(dump.GOP.Entries))
+	}
+	if dump.GOP.Entries[0].Path != vid || dump.GOP.Entries[0].Frames == 0 {
+		t.Errorf("gop entry = %+v", dump.GOP.Entries[0])
+	}
+	if dump.Arbiter.Used == 0 || dump.Arbiter.Client["gop"] == 0 {
+		t.Errorf("arbiter split = %+v", dump.Arbiter)
+	}
+
+	// A cache-less server omits the sections instead of panicking.
+	bare := newServer(t.TempDir(), true, obs.NewRegistry())
+	bts := httptest.NewServer(bare.routes())
+	defer bts.Close()
+	resp, err = http.Get(bts.URL + "/debug/caches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "gop") || strings.Contains(string(body), "arbiter") {
+		t.Errorf("bare server dump should omit cache sections: %s", body)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"v2v/internal/container"
 	"v2v/internal/core"
 	"v2v/internal/faults"
+	"v2v/internal/obs"
 	"v2v/internal/vql"
 )
 
@@ -62,11 +63,17 @@ func ChaosRun(ds *Dataset, cfg Config, seed int64) ([]ChaosRow, error) {
 				LatencyProb: 0.01,
 			})
 			row := ChaosRow{Query: q.ID, Mode: mode}
+			// The flight record (nil-safe when cfg.Flight is unset) captures
+			// what each attempt was doing, for post-mortem dumps of failing
+			// chaos jobs.
+			freq := cfg.Flight.Start(obs.NewTraceID(),
+				fmt.Sprintf("chaos %s/%s seed=%d: %s", q.ID, mode, seed, src))
 			o := core.Options{
 				Optimize: true, DataRewrite: true,
 				Parallelism: cfg.Parallelism,
 				Conceal:     mode == "conceal",
 				Trace:       cfg.Trace,
+				Recorder:    freq.Recorder(),
 			}
 			start := time.Now()
 			inj.Activate()
@@ -75,6 +82,7 @@ func ChaosRun(ds *Dataset, cfg Config, seed int64) ([]ChaosRow, error) {
 			row.Wall = time.Since(start)
 			row.Faults = inj.Stats()
 			if err != nil {
+				freq.Finish("error", err)
 				row.Err = err.Error()
 				// Invariant: failure leaves no partial output behind.
 				for _, p := range []string{out, out + ".tmp"} {
@@ -83,6 +91,7 @@ func ChaosRun(ds *Dataset, cfg Config, seed int64) ([]ChaosRow, error) {
 					}
 				}
 			} else {
+				freq.Finish("ok", nil)
 				row.OK = true
 				row.Concealed = res.Metrics.TotalConcealed()
 				// Invariant: a completed run produced a readable container.

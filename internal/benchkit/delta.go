@@ -15,10 +15,11 @@ type ReportFile struct {
 	Scale   string `json:"scale"`
 	Repeats int    `json:"repeats"`
 	Compare []struct {
-		Dataset    string  `json:"dataset"`
-		Query      string  `json:"query"`
-		OptSeconds float64 `json:"opt_seconds"`
-		Speedup    float64 `json:"speedup"`
+		Dataset               string  `json:"dataset"`
+		Query                 string  `json:"query"`
+		OptSeconds            float64 `json:"opt_seconds"`
+		OptFirstOutputSeconds float64 `json:"opt_first_output_seconds"`
+		Speedup               float64 `json:"speedup"`
 	} `json:"compare"`
 	DataJoin []struct {
 		Dataset    string  `json:"dataset"`
@@ -26,10 +27,11 @@ type ReportFile struct {
 		V2VSeconds float64 `json:"v2v_seconds"`
 	} `json:"data_join"`
 	Cache []struct {
-		Dataset           string  `json:"dataset"`
-		Query             string  `json:"query"`
-		WarmSeconds       float64 `json:"warm_seconds"`
-		ResultWarmSeconds float64 `json:"result_warm_seconds"`
+		Dataset                      string  `json:"dataset"`
+		Query                        string  `json:"query"`
+		WarmSeconds                  float64 `json:"warm_seconds"`
+		ResultWarmSeconds            float64 `json:"result_warm_seconds"`
+		ResultWarmFirstOutputSeconds float64 `json:"result_warm_first_output_seconds"`
 	} `json:"cache"`
 }
 
@@ -81,11 +83,17 @@ func Delta(old, cur *ReportFile) []DeltaRow {
 	}
 	type key struct{ dataset, query string }
 	oldCompare := map[key]float64{}
+	oldFirst := map[key]float64{}
 	for _, e := range old.Compare {
 		oldCompare[key{e.Dataset, e.Query}] = e.OptSeconds
+		oldFirst[key{e.Dataset, e.Query}] = e.OptFirstOutputSeconds
 	}
 	for _, e := range cur.Compare {
 		add("compare", e.Dataset, e.Query, "opt_seconds", oldCompare[key{e.Dataset, e.Query}], e.OptSeconds)
+		// Time-to-first-frame regresses independently of total wall time
+		// (e.g. a lost stream-copy head), so it gets its own row; reports
+		// from before the metric existed yield 0 and are skipped by add.
+		add("compare", e.Dataset, e.Query, "opt_first_output_seconds", oldFirst[key{e.Dataset, e.Query}], e.OptFirstOutputSeconds)
 	}
 	oldJoin := map[key]float64{}
 	for _, e := range old.DataJoin {
@@ -96,13 +104,16 @@ func Delta(old, cur *ReportFile) []DeltaRow {
 	}
 	oldWarm := map[key]float64{}
 	oldResWarm := map[key]float64{}
+	oldResWarmFirst := map[key]float64{}
 	for _, e := range old.Cache {
 		oldWarm[key{e.Dataset, e.Query}] = e.WarmSeconds
 		oldResWarm[key{e.Dataset, e.Query}] = e.ResultWarmSeconds
+		oldResWarmFirst[key{e.Dataset, e.Query}] = e.ResultWarmFirstOutputSeconds
 	}
 	for _, e := range cur.Cache {
 		add("cache", e.Dataset, e.Query, "warm_seconds", oldWarm[key{e.Dataset, e.Query}], e.WarmSeconds)
 		add("cache", e.Dataset, e.Query, "result_warm_seconds", oldResWarm[key{e.Dataset, e.Query}], e.ResultWarmSeconds)
+		add("cache", e.Dataset, e.Query, "result_warm_first_output_seconds", oldResWarmFirst[key{e.Dataset, e.Query}], e.ResultWarmFirstOutputSeconds)
 	}
 	return rows
 }

@@ -38,6 +38,11 @@ type Config struct {
 	// Trace, when set, records one span per run (wrapping the pipeline's
 	// own stage spans) for the whole sweep.
 	Trace *obs.Trace
+	// Flight, when set, records each chaos attempt as a flight-recorder
+	// request (query, mode, outcome, error, stage totals) so a failing
+	// chaos job can dump what it was doing — the same record shape
+	// v2vserve serves at /debug/requests.
+	Flight *obs.FlightRecorder
 }
 
 // Mode selects the engine configuration for one measurement.
@@ -69,6 +74,10 @@ type Measurement struct {
 	Query   string
 	Mode    Mode
 	Wall    time.Duration
+	// FirstOutput is the latency until the first output packet — the
+	// paper's interactivity measure (zero for the baseline engine, which
+	// has no streaming path).
+	FirstOutput time.Duration
 	// Work counters (copies/encodes/decodes across the run).
 	Encodes int64
 	Decodes int64
@@ -134,6 +143,7 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 			return m, err
 		}
 		m.Wall = time.Since(start)
+		m.FirstOutput = res.Metrics.FirstOutput
 		m.Encodes = res.Metrics.TotalEncodes()
 		m.Decodes = res.Metrics.TotalDecodes()
 		m.Copies = res.Metrics.Output.PacketsCopied
@@ -153,6 +163,7 @@ func RunOnce(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		m.OutputSHA256 = h
 	}
 	sp.SetAttr("wall_us", m.Wall.Microseconds())
+	sp.SetAttr("first_output_us", m.FirstOutput.Microseconds())
 	sp.SetAttr("encodes", m.Encodes)
 	sp.SetAttr("decodes", m.Decodes)
 	sp.SetAttr("copies", m.Copies)
@@ -181,9 +192,11 @@ func Repeat(ds *Dataset, q Query, mode Mode, cfg Config) (Measurement, error) {
 		}
 		if i > 0 {
 			acc.Wall += m.Wall
+			acc.FirstOutput += m.FirstOutput
 		}
 	}
 	acc.Wall /= time.Duration(n)
+	acc.FirstOutput /= time.Duration(n)
 	return acc, nil
 }
 
@@ -193,6 +206,10 @@ type Row struct {
 	Unopt   time.Duration
 	Opt     time.Duration
 	Speedup float64
+	// OptFirstOutput is the optimized run's time to first output packet —
+	// tracked as a first-class metric so interactivity regressions are
+	// flagged alongside wall-time ones.
+	OptFirstOutput time.Duration
 }
 
 // CompareRun produces the unopt-vs-opt rows for every query on ds — the
@@ -214,7 +231,8 @@ func CompareRun(ds *Dataset, cfg Config) ([]Row, error) {
 		}
 		rows = append(rows, Row{
 			Query: q.ID, Unopt: u.Wall, Opt: o.Wall,
-			Speedup: seconds(u.Wall) / seconds(o.Wall),
+			Speedup:        seconds(u.Wall) / seconds(o.Wall),
+			OptFirstOutput: o.FirstOutput,
 		})
 	}
 	return rows, nil
@@ -285,6 +303,9 @@ type CacheRow struct {
 	// Result-cache hit/miss deltas.
 	ResultColdHits, ResultColdMisses int64
 	ResultWarmHits, ResultWarmMisses int64
+	// ResultWarmFirstOutput is the warm repeat's time to first output —
+	// the interactivity win the result cache buys.
+	ResultWarmFirstOutput time.Duration
 }
 
 // CacheRun measures every query in the optimized pipeline under five cache
@@ -362,6 +383,7 @@ func CacheRun(ds *Dataset, cfg Config) ([]CacheRow, error) {
 			ResultWarmDecodes: resWarm.Decodes, ResultWarmEncodes: resWarm.Encodes,
 			ResultColdHits: resCold.ResHits, ResultColdMisses: resCold.ResMisses,
 			ResultWarmHits: resWarm.ResHits, ResultWarmMisses: resWarm.ResMisses,
+			ResultWarmFirstOutput: resWarm.FirstOutput,
 		}
 		if cold.Decodes > 0 {
 			row.DecodeReduction = float64(off.Decodes) / float64(cold.Decodes)

@@ -21,6 +21,9 @@ const (
 	MaxTimeout = 24 * time.Hour
 	// MaxParallel caps shard parallelism.
 	MaxParallel = 4096
+	// MaxRingSize caps ring-buffer size flags (the flight recorder);
+	// anything larger is a unit mistake.
+	MaxRingSize = 1 << 16
 )
 
 // ValidateCacheMB checks a cache-size flag where -1 disables the cache
@@ -68,4 +71,38 @@ func ValidateParallel(name string, n int) error {
 		return fmt.Errorf("%s: parallelism %d exceeds the %d cap", name, n, MaxParallel)
 	}
 	return nil
+}
+
+// ValidateMillis checks a millisecond-threshold flag where 0 disables the
+// threshold. The cap matches MaxTimeout.
+func ValidateMillis(name string, ms int) error {
+	switch {
+	case ms < 0:
+		return fmt.Errorf("%s: negative threshold %d; use 0 to disable", name, ms)
+	case time.Duration(ms)*time.Millisecond > MaxTimeout:
+		return fmt.Errorf("%s: %dms exceeds the %s cap", name, ms, MaxTimeout)
+	}
+	return nil
+}
+
+// ValidateRingSize checks a ring-buffer size flag where 0 selects the
+// default capacity.
+func ValidateRingSize(name string, n int) error {
+	switch {
+	case n < 0:
+		return fmt.Errorf("%s: negative size %d; use 0 for the default", name, n)
+	case n > MaxRingSize:
+		return fmt.Errorf("%s: size %d exceeds the %d cap", name, n, MaxRingSize)
+	}
+	return nil
+}
+
+// ValidateLogFormat checks a -log-format flag; "" and "text" select the
+// human-readable handler, "json" selects JSON lines.
+func ValidateLogFormat(name, format string) error {
+	switch format {
+	case "", "text", "json":
+		return nil
+	}
+	return fmt.Errorf("%s: unknown format %q; use text or json", name, format)
 }

@@ -82,3 +82,49 @@ func checkErr(t *testing.T, fn string, arg any, err error, want string) {
 		t.Errorf("%s(%v) = %v, want error containing %q", fn, arg, err, want)
 	}
 }
+
+func TestValidateMillis(t *testing.T) {
+	for _, tc := range []struct {
+		ms      int
+		wantErr string
+	}{
+		{0, ""},
+		{250, ""},
+		{-1, "negative threshold"},
+		{int(MaxTimeout/time.Millisecond) + 1, "exceeds"},
+	} {
+		err := ValidateMillis("-slow-query-ms", tc.ms)
+		checkErr(t, "ValidateMillis", tc.ms, err, tc.wantErr)
+	}
+}
+
+func TestValidateRingSize(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		wantErr string
+	}{
+		{0, ""},
+		{256, ""},
+		{MaxRingSize, ""},
+		{-1, "negative size"},
+		{MaxRingSize + 1, "exceeds"},
+	} {
+		err := ValidateRingSize("-flight-recorder-size", tc.n)
+		checkErr(t, "ValidateRingSize", tc.n, err, tc.wantErr)
+	}
+}
+
+func TestValidateLogFormat(t *testing.T) {
+	for _, tc := range []struct {
+		format  string
+		wantErr string
+	}{
+		{"", ""},
+		{"text", ""},
+		{"json", ""},
+		{"xml", "unknown format"},
+	} {
+		err := ValidateLogFormat("-log-format", tc.format)
+		checkErr(t, "ValidateLogFormat", tc.format, err, tc.wantErr)
+	}
+}

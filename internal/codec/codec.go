@@ -27,8 +27,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"v2v/internal/frame"
+	"v2v/internal/obs"
 )
 
 // FourCC identifies the codec in container stream headers.
@@ -101,6 +103,7 @@ type Encoder struct {
 	resid    []byte
 	buf      bytes.Buffer
 	fw       *flate.Writer
+	rec      *obs.Recorder
 }
 
 // NewEncoder returns an encoder for the given configuration.
@@ -123,6 +126,10 @@ func (e *Encoder) Config() Config { return e.cfg }
 // this to restart prediction at splice boundaries.
 func (e *Encoder) ForceKeyframe() { e.forceKey = true }
 
+// SetRecorder attributes this encoder's work to a per-request recorder.
+// The process-wide encode-stage metrics are updated either way.
+func (e *Encoder) SetRecorder(rec *obs.Recorder) { e.rec = rec }
+
 // Encode compresses fr and returns its packet. fr must be YUV420 with the
 // configured dimensions.
 func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
@@ -130,6 +137,7 @@ func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
 		return Packet{}, fmt.Errorf("codec: frame %dx%d %v does not match config %dx%d yuv420",
 			fr.W, fr.H, fr.Format, e.cfg.Width, e.cfg.Height)
 	}
+	encStart := time.Now()
 	isKey := e.prev == nil || e.count >= e.cfg.GOP || e.forceKey
 	e.forceKey = false
 
@@ -162,6 +170,7 @@ func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
 	}
 	data := make([]byte, e.buf.Len())
 	copy(data, e.buf.Bytes())
+	e.rec.StageObserve(obs.StageEncode, 1, int64(len(data)), time.Since(encStart))
 	return Packet{Key: isKey, Data: data}, nil
 }
 
@@ -263,6 +272,7 @@ type Decoder struct {
 	cfg   Config
 	prev  *frame.Frame
 	resid []byte
+	rec   *obs.Recorder
 }
 
 // ErrNeedKeyframe is returned when a P-frame arrives with no reference —
@@ -287,9 +297,14 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 // Reset drops the reference frame, e.g. before seeking to a keyframe.
 func (d *Decoder) Reset() { d.prev = nil }
 
+// SetRecorder attributes this decoder's work to a per-request recorder.
+// The process-wide decode-stage metrics are updated either way.
+func (d *Decoder) SetRecorder(rec *obs.Recorder) { d.rec = rec }
+
 // Decode decompresses one packet. The returned frame is owned by the
 // caller (it is not reused by subsequent Decode calls).
 func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
+	decStart := time.Now()
 	if len(data) < 1 {
 		return nil, fmt.Errorf("%w: empty packet", ErrUndecodable)
 	}
@@ -335,6 +350,7 @@ func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 		}
 	}
 	d.prev = out
+	d.rec.StageObserve(obs.StageDecode, 1, int64(len(out.Pix)), time.Since(decStart))
 	return out, nil
 }
 

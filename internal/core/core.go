@@ -55,6 +55,10 @@ type Options struct {
 	// rewrite, optimize, execute), per optimizer pass, per segment, and
 	// per shard worker. Export it with obs.Trace.WriteJSON.
 	Trace *obs.Trace
+	// Recorder, when set, attributes per-stage (decode/filter/encode/
+	// copy) frames, bytes, and wall time to this run — v2vserve threads
+	// each request's flight-recorder entry here. See exec.Options.Recorder.
+	Recorder *obs.Recorder
 }
 
 // DefaultOptions enables the full V2V pipeline.
@@ -154,6 +158,7 @@ func execOptions(o Options) exec.Options {
 	return exec.Options{
 		Parallelism: o.Parallelism, Conceal: o.Conceal,
 		GOPCache: o.GOPCache, ResultCache: o.ResultCache, Trace: o.Trace,
+		Recorder: o.Recorder,
 	}
 }
 

@@ -134,7 +134,7 @@ func TestAlignChunkBoundsToSourceKeyframes(t *testing.T) {
 	p := buildPlan(t, `render(t) = grade(v[t + 7/24], 5, 1.0, 1.0);`, false)
 	s := p.Segments[0]
 	s.AlignVideo, s.AlignOff = "v", rational.New(7, 24)
-	readers := newReaderCache(p, false)
+	readers := newReaderCache(p, false, nil)
 	defer readers.closeAll(&Metrics{})
 
 	bounds := chunkBounds(48, 2, 24)

@@ -76,6 +76,13 @@ type Options struct {
 	ResultCache *media.ResultCache
 	// Trace, when set, records one span per segment and per shard worker.
 	Trace *obs.Trace
+	// Recorder attributes per-stage (decode/filter/encode/copy) frames,
+	// bytes, and wall time to this execution; v2vserve threads each
+	// request's flight-recorder entry here. When nil, ExecuteTo creates a
+	// private recorder so SegmentActuals stage fields are always
+	// populated. The process-wide v2v_stage_* metrics are updated in
+	// either case.
+	Recorder *obs.Recorder
 }
 
 // Metrics reports the work a plan execution performed.
@@ -158,11 +165,17 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 			m.FirstOutput = time.Since(start)
 		}
 	}
+	if o.Recorder == nil {
+		o.Recorder = obs.NewRecorder()
+	}
+	if sr, ok := w.(interface{ SetRecorder(*obs.Recorder) }); ok {
+		sr.SetRecorder(o.Recorder)
+	}
 	// Registered before the reader cache's defer so it runs after closeAll
 	// has folded still-open readers' stats into m — the counter then sees
 	// copy-path concealments too, on success and failure alike.
 	defer func() { framesConcealed.Add(m.TotalConcealed()) }()
-	readers := newReaderCache(p, o.Conceal)
+	readers := newReaderCache(p, o.Conceal, o.Recorder)
 	defer readers.closeAll(m)
 	if o.GOPCache != nil {
 		o.GOPCache.SetBudgetIfUnset(defaultGOPCacheBudget(p, o.Parallelism))
@@ -231,6 +244,11 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 	cacheMissesBefore := m.Source.GOPCacheMisses
 	resHitsBefore := m.ResultCacheHits
 	resMissesBefore := m.ResultCacheMisses
+	// Stage deltas are race-free snapshots: segments run sequentially and
+	// renderChunks joins every shard goroutine before runSegment returns.
+	decBefore := o.Recorder.Stage(obs.StageDecode)
+	fltBefore := o.Recorder.Stage(obs.StageFilter)
+	encBefore := o.Recorder.Stage(obs.StageEncode)
 	sp := o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))
 	sp.SetAttr("kind", s.Kind.String())
 	sp.SetAttr("t_start", s.Times.Start.String())
@@ -268,6 +286,9 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 	}
 
 	sinkAfter := w.Stats()
+	decAfter := o.Recorder.Stage(obs.StageDecode)
+	fltAfter := o.Recorder.Stage(obs.StageFilter)
+	encAfter := o.Recorder.Stage(obs.StageEncode)
 	act := plan.SegmentActuals{
 		Wall:              time.Since(segStart),
 		FramesRendered:    m.FramesRendered - renderedBefore,
@@ -281,6 +302,13 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 		ResultCacheHits:   m.ResultCacheHits - resHitsBefore,
 		ResultCacheMisses: m.ResultCacheMisses - resMissesBefore,
 		Shards:            effectiveShards(s, o),
+		DecodeWall:        decAfter.Wall - decBefore.Wall,
+		FilterWall:        fltAfter.Wall - fltBefore.Wall,
+		EncodeWall:        encAfter.Wall - encBefore.Wall,
+		DecodeBytes:       decAfter.Bytes - decBefore.Bytes,
+		FilterFrames:      fltAfter.Frames - fltBefore.Frames,
+		FilterBytes:       fltAfter.Bytes - fltBefore.Bytes,
+		EncodeBytes:       encAfter.Bytes - encBefore.Bytes,
 	}
 	m.Segments = append(m.Segments, act)
 	sp.SetAttr("frames_decoded", act.FramesDecoded)
@@ -321,12 +349,13 @@ func effectiveShards(s *plan.Segment, o Options) int {
 type readerCache struct {
 	p       *plan.Plan
 	conceal bool
+	rec     *obs.Recorder
 	mu      sync.Mutex
 	rs      map[string]*media.Reader
 }
 
-func newReaderCache(p *plan.Plan, conceal bool) *readerCache {
-	return &readerCache{p: p, conceal: conceal, rs: map[string]*media.Reader{}}
+func newReaderCache(p *plan.Plan, conceal bool, rec *obs.Recorder) *readerCache {
+	return &readerCache{p: p, conceal: conceal, rec: rec, rs: map[string]*media.Reader{}}
 }
 
 func (c *readerCache) get(video string) (*media.Reader, error) {
@@ -344,6 +373,7 @@ func (c *readerCache) get(video string) (*media.Reader, error) {
 		return nil, err
 	}
 	r.SetConceal(c.conceal)
+	r.SetRecorder(c.rec)
 	c.rs[video] = r
 	return r, nil
 }
@@ -414,7 +444,7 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	}
 	if shards == 1 {
 		// Sequential: encode through the output writer directly.
-		run := newSegmentRunner(p, s, o.Conceal, o.GOPCache)
+		run := newSegmentRunner(p, s, o.Conceal, o.GOPCache, o.Recorder)
 		defer run.close(m)
 		for i := 0; i < frames; i++ {
 			if i%gop == 0 {
@@ -527,7 +557,7 @@ func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []i
 					ch.err = fmt.Errorf("exec: shard [%d,%d) panicked: %v", ch.lo, ch.hi, r)
 				}
 			}()
-			run := newSegmentRunner(p, s, o.Conceal, o.GOPCache)
+			run := newSegmentRunner(p, s, o.Conceal, o.GOPCache, o.Recorder)
 			defer func() {
 				mu.Lock()
 				run.close(m)
@@ -542,6 +572,7 @@ func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []i
 				ch.err = err
 				return
 			}
+			enc.SetRecorder(o.Recorder)
 			for i := ch.lo; i < ch.hi; i++ {
 				if (i-ch.lo)%gop == 0 {
 					if err := ctx.Err(); err != nil {
@@ -774,10 +805,11 @@ type segmentRunner struct {
 	seg     *plan.Segment
 	cursors *media.Cursors
 	data    arraySource
+	rec     *obs.Recorder
 	root    *nodeRunner
 }
 
-func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool, cache *media.GOPCache) *segmentRunner {
+func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool, cache *media.GOPCache, rec *obs.Recorder) *segmentRunner {
 	paths := make(map[string]string, len(p.Checked.Sources))
 	for name, src := range p.Checked.Sources {
 		paths[name] = src.Path
@@ -786,8 +818,10 @@ func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool, cache *media.
 		p: p, seg: s,
 		cursors: media.NewCursors(paths, 0),
 		data:    arraySource(p.Checked.Arrays),
+		rec:     rec,
 	}
 	run.cursors.SetConceal(conceal)
+	run.cursors.SetRecorder(rec)
 	if cache != nil {
 		run.cursors.SetGOPCache(cache)
 	}
@@ -825,7 +859,9 @@ func (r *segmentRunner) renderAt(t rational.Rat) (fr *frame.Frame, err error) {
 	}
 	out := r.p.Checked.Output
 	if fr.W != out.Width || fr.H != out.Height {
+		scaleStart := time.Now()
 		fr = raster.Scale(fr, out.Width, out.Height)
+		r.rec.StageObserve(obs.StageFilter, 1, int64(len(fr.Pix)), time.Since(scaleStart))
 	}
 	return fr, nil
 }
@@ -894,6 +930,10 @@ func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
 				return vql.Val{}, false, nil
 			},
 		}
+		// Filter-stage wall covers the expression evaluation (raster
+		// transforms, composition); any source taps the expression reads
+		// directly are separately counted under the decode stage.
+		fltStart := time.Now()
 		v, err := vql.Eval(nr.node.Expr, env)
 		if err != nil {
 			return nil, fmt.Errorf("exec: filter %s at t=%s: %w", nr.node.Expr, t, err)
@@ -902,6 +942,7 @@ func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
 			return nil, fmt.Errorf("exec: filter %s produced %v, want a frame", nr.node.Expr, v.Type)
 		}
 		fr = v.Frame
+		nr.run.rec.StageObserve(obs.StageFilter, 1, int64(len(fr.Pix)), time.Since(fltStart))
 	}
 	if !nr.node.Materialize {
 		return fr, nil
@@ -927,6 +968,8 @@ func (nr *nodeRunner) materialize(fr *frame.Frame) (*frame.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
+		enc.SetRecorder(nr.run.rec)
+		dec.SetRecorder(nr.run.rec)
 		nr.enc, nr.dec, nr.matW, nr.matH = enc, dec, fr.W, fr.H
 	}
 	pkt, err := nr.enc.Encode(fr)

@@ -22,11 +22,18 @@ var (
 	goodGauge   = Default().Gauge("v2v_inflight", "In flight.")
 	goodHist    = Default().Histogram("v2v_frob_seconds", "Latency.", nil)
 
-	badPrefix  = Default().Counter("frobs_total", "No prefix.")            // want "must be v2v_-prefixed"
-	badCase    = Default().Counter("v2v_Frobs_total", "Camel case.")      // want "snake_case"
-	badCounter = Default().Counter("v2v_frobs", "Counter sans _total.")   // want "must end in _total"
-	badGauge   = Default().Gauge("v2v_frobs_total", "Gauge with _total.") // want "must not end in _total"
-	badHist    = Default().Histogram("v2v_frob_latency", "No unit.", nil) // want "unit suffix"
+	// Per-stage pipeline instruments: one family, stage label per series.
+	goodStageFrames = Default().Counter(`v2v_stage_frames_total{stage="decode"}`, "Frames per stage.")
+	goodStageBytes  = Default().Counter(`v2v_stage_bytes_total{stage="encode"}`, "Bytes per stage.")
+	goodStageWall   = Default().Histogram(`v2v_stage_wall_seconds{stage="filter"}`, "Stage wall.", nil)
+
+	badPrefix     = Default().Counter("frobs_total", "No prefix.")                                   // want "must be v2v_-prefixed"
+	badCase       = Default().Counter("v2v_Frobs_total", "Camel case.")                              // want "snake_case"
+	badCounter    = Default().Counter("v2v_frobs", "Counter sans _total.")                           // want "must end in _total"
+	badGauge      = Default().Gauge("v2v_frobs_total", "Gauge with _total.")                         // want "must not end in _total"
+	badHist       = Default().Histogram("v2v_frob_latency", "No unit.", nil)                         // want "unit suffix"
+	badStageCount = Default().Counter(`v2v_stage_frames{stage="decode"}`, "Labeled sans _total.")    // want "must end in _total"
+	badStageHist  = Default().Histogram(`v2v_stage_wall{stage="decode"}`, "Labeled sans unit.", nil) // want "unit suffix"
 )
 
 func init() {
@@ -39,4 +46,6 @@ func Register(name string) {
 	_ = Default().Counter(name, "Dynamic name.")                  // want "package scope" "string constant"
 }
 
-var _ = []any{goodTotal, goodLabeled, goodGauge, goodHist, badPrefix, badCase, badCounter, badGauge, badHist}
+var _ = []any{goodTotal, goodLabeled, goodGauge, goodHist,
+	goodStageFrames, goodStageBytes, goodStageWall,
+	badPrefix, badCase, badCounter, badGauge, badHist, badStageCount, badStageHist}

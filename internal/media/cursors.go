@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"v2v/internal/frame"
+	"v2v/internal/obs"
 	"v2v/internal/rational"
 )
 
@@ -21,6 +22,7 @@ type Cursors struct {
 	open    map[string][]*Reader
 	conceal bool
 	cache   *GOPCache
+	rec     *obs.Recorder
 	stats   Stats
 }
 
@@ -45,6 +47,17 @@ func (c *Cursors) SetConceal(on bool) {
 	for _, rs := range c.open {
 		for _, r := range rs {
 			r.SetConceal(on)
+		}
+	}
+}
+
+// SetRecorder attributes every cursor's (open and future) decode work to a
+// per-request recorder.
+func (c *Cursors) SetRecorder(rec *obs.Recorder) {
+	c.rec = rec
+	for _, rs := range c.open {
+		for _, r := range rs {
+			r.SetRecorder(rec)
 		}
 	}
 }
@@ -191,6 +204,7 @@ func (c *Cursors) openCursor(video string) (*Reader, error) {
 		return nil, err
 	}
 	r.SetConceal(c.conceal)
+	r.SetRecorder(c.rec)
 	c.open[video] = append(c.open[video], r)
 	return r, nil
 }

@@ -297,3 +297,29 @@ func (c *GOPCache) Stats() GOPCacheStats {
 		Budget:    c.effectiveBudgetLocked(),
 	}
 }
+
+// GOPCacheEntry describes one resident decoded GOP, for cache
+// introspection (v2vserve's /debug/caches).
+type GOPCacheEntry struct {
+	Path   string `json:"path"`
+	Start  int    `json:"start"`
+	Frames int    `json:"frames"`
+	Bytes  int64  `json:"bytes"`
+}
+
+// Entries snapshots the resident entries, most recently used first.
+func (c *GOPCache) Entries() []GOPCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GOPCacheEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*gopEntry)
+		out = append(out, GOPCacheEntry{
+			Path:   e.key.path,
+			Start:  e.key.start,
+			Frames: len(e.frames),
+			Bytes:  e.bytes,
+		})
+	}
+	return out
+}

@@ -13,10 +13,12 @@ package media
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"v2v/internal/codec"
 	"v2v/internal/container"
 	"v2v/internal/frame"
+	"v2v/internal/obs"
 	"v2v/internal/rational"
 )
 
@@ -105,6 +107,10 @@ func (r *Reader) Stats() Stats { return r.stats }
 // has produced none yet), counted in Stats.FramesConcealed — the behaviour
 // of production decoders facing bitstream damage.
 func (r *Reader) SetConceal(on bool) { r.conceal = on }
+
+// SetRecorder attributes the reader's decode work to a per-request
+// recorder (forwarded to the underlying codec decoder).
+func (r *Reader) SetRecorder(rec *obs.Recorder) { r.dec.SetRecorder(rec) }
 
 // Concealable reports whether err is in the class concealment absorbs:
 // payload corruption detected by the container CRC, undecodable
@@ -249,6 +255,7 @@ type Writer struct {
 	pts      int64
 	spliced  bool // a raw packet was written since the last encode
 	stats    Stats
+	rec      *obs.Recorder
 	closed   bool
 	closeErr error
 }
@@ -288,6 +295,13 @@ func (w *Writer) Stats() Stats { return w.stats }
 // FramesWritten returns the number of frames (encoded or copied) so far.
 func (w *Writer) FramesWritten() int64 { return w.pts }
 
+// SetRecorder attributes the writer's encode and packet-copy work to a
+// per-request recorder (encodes are forwarded to the codec encoder).
+func (w *Writer) SetRecorder(rec *obs.Recorder) {
+	w.rec = rec
+	w.enc.SetRecorder(rec)
+}
+
 // WriteFrame encodes fr as the next frame of the stream.
 func (w *Writer) WriteFrame(fr *frame.Frame) error {
 	if w.closed {
@@ -318,9 +332,11 @@ func (w *Writer) WriteRawPacket(key bool, data []byte) error {
 	if w.closed {
 		return errors.New("media: writer closed")
 	}
+	copyStart := time.Now()
 	if err := w.c.WritePacket(w.pts, key, data); err != nil {
 		return err
 	}
+	w.rec.StageObserve(obs.StageCopy, 1, int64(len(data)), time.Since(copyStart))
 	w.spliced = true
 	w.stats.PacketsCopied++
 	w.stats.BytesCopied += int64(len(data))

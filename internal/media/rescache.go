@@ -276,3 +276,27 @@ func (c *ResultCache) Stats() ResultCacheStats {
 		Budget:    c.budget,
 	}
 }
+
+// ResultCacheEntry describes one resident encoded-result segment, for
+// cache introspection (v2vserve's /debug/caches).
+type ResultCacheEntry struct {
+	Key     string `json:"key"`
+	Packets int    `json:"packets"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// Entries snapshots the resident entries, most recently used first.
+func (c *ResultCache) Entries() []ResultCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ResultCacheEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*resEntry)
+		out = append(out, ResultCacheEntry{
+			Key:     e.key,
+			Packets: len(e.seg.Packets),
+			Bytes:   e.seg.Bytes(),
+		})
+	}
+	return out
+}

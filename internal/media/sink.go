@@ -6,10 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"v2v/internal/codec"
 	"v2v/internal/container"
 	"v2v/internal/frame"
+	"v2v/internal/obs"
 )
 
 // Sink abstracts the destination of a synthesis run: a seekable VMF file
@@ -59,6 +61,7 @@ type StreamWriter struct {
 	pts     int64
 	spliced bool
 	stats   Stats
+	rec     *obs.Recorder
 	closed  bool
 }
 
@@ -102,6 +105,13 @@ func (s *StreamWriter) FramesWritten() int64 { return s.pts }
 // Stats returns cumulative write statistics.
 func (s *StreamWriter) Stats() Stats { return s.stats }
 
+// SetRecorder attributes the stream writer's encode and packet-copy work
+// to a per-request recorder (encodes are forwarded to the codec encoder).
+func (s *StreamWriter) SetRecorder(rec *obs.Recorder) {
+	s.rec = rec
+	s.enc.SetRecorder(rec)
+}
+
 func (s *StreamWriter) writePacket(key bool, data []byte) error {
 	if s.closed {
 		return errors.New("media: stream writer closed")
@@ -140,9 +150,11 @@ func (s *StreamWriter) WriteFrame(fr *frame.Frame) error {
 
 // WriteRawPacket streams a stream-copied packet.
 func (s *StreamWriter) WriteRawPacket(key bool, data []byte) error {
+	copyStart := time.Now()
 	if err := s.writePacket(key, data); err != nil {
 		return err
 	}
+	s.rec.StageObserve(obs.StageCopy, 1, int64(len(data)), time.Since(copyStart))
 	s.spliced = true
 	s.stats.PacketsCopied++
 	s.stats.BytesCopied += int64(len(data))

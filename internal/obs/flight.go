@@ -1,0 +1,459 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultFlightRecorderSize is the completed-request ring capacity used
+// when a FlightRecorder is built with size <= 0.
+const DefaultFlightRecorderSize = 256
+
+// maxRecordedText bounds the query and plan text stored per record so the
+// ring's memory footprint stays proportional to its capacity.
+const maxRecordedText = 2048
+
+// SegmentRecord is one plan segment's execution record inside a flight
+// record: the copy/smartcut/render decision and the measured costs. It
+// mirrors plan.SegmentActuals without importing the plan package.
+type SegmentRecord struct {
+	Kind           string        `json:"kind"` // copy | smartcut | render
+	Wall           time.Duration `json:"wall_ns"`
+	FramesRendered int64         `json:"frames_rendered,omitempty"`
+	FramesDecoded  int64         `json:"frames_decoded,omitempty"`
+	FramesEncoded  int64         `json:"frames_encoded,omitempty"`
+	PacketsCopied  int64         `json:"packets_copied,omitempty"`
+	BytesCopied    int64         `json:"bytes_copied,omitempty"`
+	Concealed      int64         `json:"concealed,omitempty"`
+	GOPCacheHits   int64         `json:"gop_cache_hits,omitempty"`
+	GOPCacheMisses int64         `json:"gop_cache_misses,omitempty"`
+	ResCacheHits   int64         `json:"result_cache_hits,omitempty"`
+	ResCacheMisses int64         `json:"result_cache_misses,omitempty"`
+	Shards         int           `json:"shards,omitempty"`
+	DecodeWall     time.Duration `json:"decode_wall_ns,omitempty"`
+	FilterWall     time.Duration `json:"filter_wall_ns,omitempty"`
+	EncodeWall     time.Duration `json:"encode_wall_ns,omitempty"`
+	DecodeBytes    int64         `json:"decode_bytes,omitempty"`
+	FilterFrames   int64         `json:"filter_frames,omitempty"`
+	FilterBytes    int64         `json:"filter_bytes,omitempty"`
+	EncodeBytes    int64         `json:"encode_bytes,omitempty"`
+}
+
+// RequestRecord is one request's flight-recorder entry: identity (trace
+// ID, query text, plan summary), per-segment decisions, per-stage work,
+// cache effectiveness, and the outcome. Snapshot returns copies, so a
+// record is safe to hold after the ring evicts it.
+type RequestRecord struct {
+	ID      uint64    `json:"id"`
+	TraceID string    `json:"trace_id"`
+	Query   string    `json:"query"`
+	Plan    string    `json:"plan,omitempty"`
+	Start   time.Time `json:"start"`
+	// Wall is the request's elapsed time; still running if Active.
+	Wall    time.Duration `json:"wall_ns"`
+	Active  bool          `json:"active"`
+	Outcome string        `json:"outcome,omitempty"` // ok | error | canceled
+	Error   string        `json:"error,omitempty"`
+
+	Segments []SegmentRecord       `json:"segments,omitempty"`
+	Stages   map[string]StageStats `json:"stages,omitempty"`
+
+	GOPCacheHits   int64 `json:"gop_cache_hits"`
+	GOPCacheMisses int64 `json:"gop_cache_misses"`
+	ResCacheHits   int64 `json:"result_cache_hits"`
+	ResCacheMisses int64 `json:"result_cache_misses"`
+}
+
+// Request is the mutable handle for an in-flight request record. All
+// methods are nil-safe so callers thread it unconditionally.
+type Request struct {
+	fr    *FlightRecorder
+	rec   *Recorder
+	trace *Trace
+
+	mu   sync.Mutex
+	data RequestRecord
+	done bool
+}
+
+// Recorder returns the request's per-stage recorder. Nil-safe (returns a
+// nil recorder, which still feeds process-wide stage metrics).
+func (q *Request) Recorder() *Recorder {
+	if q == nil {
+		return nil
+	}
+	return q.rec
+}
+
+// TraceID returns the request's trace identifier. Nil-safe.
+func (q *Request) TraceID() string {
+	if q == nil {
+		return ""
+	}
+	return q.data.TraceID
+}
+
+// SetPlan records the plan summary (truncated to a bounded length).
+func (q *Request) SetPlan(plan string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data.Plan = truncate(plan, maxRecordedText)
+}
+
+// SetSegments records the per-segment execution decisions and costs.
+func (q *Request) SetSegments(segs []SegmentRecord) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data.Segments = append([]SegmentRecord(nil), segs...)
+}
+
+// SetCaches records the request's cache hit/miss totals.
+func (q *Request) SetCaches(gopHits, gopMisses, resHits, resMisses int64) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data.GOPCacheHits, q.data.GOPCacheMisses = gopHits, gopMisses
+	q.data.ResCacheHits, q.data.ResCacheMisses = resHits, resMisses
+}
+
+// SetTrace attaches the request's span trace, served by the flight
+// recorder's handler at ?trace=<trace id>.
+func (q *Request) SetTrace(tr *Trace) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.trace = tr
+}
+
+// Finish completes the record with an outcome ("ok", "error", or
+// "canceled"), moves it from the active set into the ring, and emits the
+// slow-query log line when the request exceeded the recorder's threshold.
+// Idempotent and nil-safe.
+func (q *Request) Finish(outcome string, err error) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.done {
+		q.mu.Unlock()
+		return
+	}
+	q.done = true
+	q.data.Wall = time.Since(q.data.Start)
+	q.data.Active = false
+	q.data.Outcome = outcome
+	if err != nil {
+		q.data.Error = err.Error()
+	}
+	q.data.Stages = q.rec.Stages()
+	data, trace := q.data, q.trace
+	q.mu.Unlock()
+	q.fr.finish(q, data, trace)
+}
+
+// snapshot returns a deep copy of the record's current state, stamping
+// live wall time and stage stats for in-flight requests.
+func (q *Request) snapshot() RequestRecord {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	data := q.data
+	if data.Active {
+		data.Wall = time.Since(data.Start)
+		data.Stages = q.rec.Stages()
+	}
+	data.Segments = append([]SegmentRecord(nil), data.Segments...)
+	return data
+}
+
+// flightEntry pairs a completed record with its (optional) span trace.
+type flightEntry struct {
+	data  RequestRecord
+	trace *Trace
+}
+
+// FlightRecorder keeps a fixed-size ring of recently completed request
+// records plus the set of in-flight ones — the always-on "what is this
+// server doing right now / what did it just do" view. Per-request stage
+// counters are lock-free atomics; only ring bookkeeping takes the mutex.
+type FlightRecorder struct {
+	mu     sync.Mutex
+	size   int
+	ring   []flightEntry // oldest first
+	active map[uint64]*Request
+	seq    uint64
+	slow   time.Duration
+	logger *slog.Logger
+}
+
+// NewFlightRecorder returns a recorder keeping the last size completed
+// requests (DefaultFlightRecorderSize when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{size: size, active: map[uint64]*Request{}}
+}
+
+// SetSlowThreshold sets the slow-query log threshold; a completed request
+// whose wall time reaches d is logged at Warn level. d <= 0 disables slow
+// logging.
+func (f *FlightRecorder) SetSlowThreshold(d time.Duration) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slow = d
+}
+
+// SlowThreshold returns the current slow-query threshold.
+func (f *FlightRecorder) SlowThreshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slow
+}
+
+// SetLogger sets the logger used for slow-query lines (slog.Default when
+// unset).
+func (f *FlightRecorder) SetLogger(l *slog.Logger) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.logger = l
+}
+
+// Start opens a new in-flight request record. Nil-safe: a nil recorder
+// returns a nil *Request whose methods no-op.
+func (f *FlightRecorder) Start(traceID, query string) *Request {
+	if f == nil {
+		return nil
+	}
+	q := &Request{fr: f, rec: NewRecorder()}
+	f.mu.Lock()
+	f.seq++
+	q.data = RequestRecord{
+		ID:      f.seq,
+		TraceID: traceID,
+		Query:   truncate(query, maxRecordedText),
+		Start:   time.Now(),
+		Active:  true,
+	}
+	f.active[q.data.ID] = q
+	f.mu.Unlock()
+	return q
+}
+
+func (f *FlightRecorder) finish(q *Request, data RequestRecord, trace *Trace) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	delete(f.active, data.ID)
+	f.ring = append(f.ring, flightEntry{data: data, trace: trace})
+	if over := len(f.ring) - f.size; over > 0 {
+		f.ring = append(f.ring[:0:0], f.ring[over:]...)
+	}
+	slow, logger := f.slow, f.logger
+	f.mu.Unlock()
+	if slow > 0 && data.Wall >= slow {
+		if logger == nil {
+			logger = slog.Default()
+		}
+		logger.Warn("slow query",
+			"trace_id", data.TraceID,
+			"wall", data.Wall,
+			"threshold", slow,
+			"outcome", data.Outcome,
+			"query", data.Query)
+	}
+}
+
+// Filter restricts Snapshot output; set fields are conjunctive. Slow
+// matches completed or in-flight requests at or past the slow threshold,
+// Errored matches completed requests whose outcome is not "ok", Active
+// matches in-flight requests.
+type Filter struct {
+	Slow    bool
+	Errored bool
+	Active  bool
+}
+
+func (ft Filter) match(r RequestRecord, slow time.Duration) bool {
+	if ft.Slow && (slow <= 0 || r.Wall < slow) {
+		return false
+	}
+	if ft.Errored && (r.Active || r.Outcome == "ok") {
+		return false
+	}
+	if ft.Active && !r.Active {
+		return false
+	}
+	return true
+}
+
+// Snapshot returns copies of matching records, newest first, in-flight
+// requests ahead of completed ones.
+func (f *FlightRecorder) Snapshot(ft Filter) []RequestRecord {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	slow := f.slow
+	live := make([]*Request, 0, len(f.active))
+	for _, q := range f.active {
+		live = append(live, q)
+	}
+	done := make([]RequestRecord, 0, len(f.ring))
+	for i := len(f.ring) - 1; i >= 0; i-- {
+		done = append(done, f.ring[i].data)
+	}
+	f.mu.Unlock()
+
+	out := make([]RequestRecord, 0, len(live)+len(done))
+	for _, q := range live {
+		out = append(out, q.snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	out = append(out, done...)
+
+	kept := out[:0]
+	for _, r := range out {
+		if ft.match(r, slow) {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// Trace returns the span trace recorded for traceID (in-flight or in the
+// ring), or nil.
+func (f *FlightRecorder) Trace(traceID string) *Trace {
+	if f == nil || traceID == "" {
+		return nil
+	}
+	f.mu.Lock()
+	live := make([]*Request, 0, len(f.active))
+	for _, q := range f.active {
+		live = append(live, q)
+	}
+	var fromRing *Trace
+	for i := len(f.ring) - 1; i >= 0; i-- {
+		if f.ring[i].data.TraceID == traceID && f.ring[i].trace != nil {
+			fromRing = f.ring[i].trace
+			break
+		}
+	}
+	f.mu.Unlock()
+	for _, q := range live {
+		q.mu.Lock()
+		tr, id := q.trace, q.data.TraceID
+		q.mu.Unlock()
+		if id == traceID && tr != nil {
+			return tr
+		}
+	}
+	return fromRing
+}
+
+// Handler serves the flight recorder — mount it at /debug/requests.
+//
+//	GET /debug/requests                 JSON, newest first
+//	GET /debug/requests?active=1        in-flight only
+//	GET /debug/requests?errored=1       completed non-ok only
+//	GET /debug/requests?slow=1          at/past the slow threshold only
+//	GET /debug/requests?format=html     minimal HTML table (also via Accept)
+//	GET /debug/requests?trace=<id>      one request's Chrome trace JSON
+func (f *FlightRecorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		qp := r.URL.Query()
+		if id := qp.Get("trace"); id != "" {
+			tr := f.Trace(id)
+			if tr == nil {
+				http.Error(w, "no trace recorded for "+id, http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			tr.WriteJSON(w)
+			return
+		}
+		ft := Filter{
+			Slow:    isSet(qp.Get("slow")),
+			Errored: isSet(qp.Get("errored")),
+			Active:  isSet(qp.Get("active")),
+		}
+		recs := f.Snapshot(ft)
+		wantHTML := qp.Get("format") == "html" ||
+			(qp.Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/html"))
+		if wantHTML {
+			writeFlightHTML(w, recs, f.SlowThreshold())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(struct {
+			SlowThresholdNS time.Duration   `json:"slow_threshold_ns"`
+			Requests        []RequestRecord `json:"requests"`
+		}{f.SlowThreshold(), recs})
+	})
+}
+
+func isSet(v string) bool {
+	return v != "" && v != "0" && v != "false"
+}
+
+func writeFlightHTML(w http.ResponseWriter, recs []RequestRecord, slow time.Duration) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var sb strings.Builder
+	sb.WriteString("<!doctype html><title>v2v flight recorder</title>")
+	sb.WriteString("<style>table{border-collapse:collapse;font:13px monospace}td,th{border:1px solid #999;padding:2px 6px;text-align:left}</style>")
+	fmt.Fprintf(&sb, "<h1>flight recorder</h1><p>%d requests; slow threshold %s</p>", len(recs), slow)
+	sb.WriteString("<table><tr><th>id</th><th>trace</th><th>start</th><th>wall</th><th>outcome</th><th>segments</th><th>decoded</th><th>encoded</th><th>copied</th><th>gop hit/miss</th><th>query</th></tr>")
+	for _, r := range recs {
+		outcome := r.Outcome
+		if r.Active {
+			outcome = "active"
+		}
+		dec := r.Stages["decode"]
+		enc := r.Stages["encode"]
+		cp := r.Stages["copy"]
+		fmt.Fprintf(&sb, "<tr><td>%d</td><td><a href=\"?trace=%s\">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%dfr</td><td>%dfr</td><td>%dpkt</td><td>%d/%d</td><td>%s</td></tr>",
+			r.ID, html.EscapeString(r.TraceID), html.EscapeString(r.TraceID),
+			r.Start.Format(time.RFC3339), r.Wall.Round(time.Microsecond),
+			html.EscapeString(outcome), len(r.Segments),
+			dec.Frames, enc.Frames, cp.Frames,
+			r.GOPCacheHits, r.GOPCacheMisses,
+			html.EscapeString(truncate(r.Query, 120)))
+	}
+	sb.WriteString("</table>")
+	fmt.Fprint(w, sb.String())
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "…"
+}

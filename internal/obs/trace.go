@@ -28,6 +28,7 @@ type Trace struct {
 	start time.Time
 
 	mu      sync.Mutex
+	id      string
 	events  []traceEvent
 	nextTID int64
 }
@@ -44,6 +45,28 @@ type traceEvent struct {
 // trace viewers).
 func NewTrace(name string) *Trace {
 	return &Trace{name: name, start: time.Now(), nextTID: mainThread}
+}
+
+// SetID attaches the trace/request identifier shared with the flight
+// recorder and log lines; it is emitted in the exported trace's process
+// metadata so a Chrome trace joins back to its request. Nil-safe.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.id = id
+}
+
+// TraceID returns the identifier set with SetID ("" if unset). Nil-safe.
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
 }
 
 // StartSpan opens a span on the trace's main track. Nil-safe: a nil trace
@@ -155,9 +178,13 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 	if t != nil {
 		t.mu.Lock()
 		events = make([]jsonEvent, 0, len(t.events)+1)
+		meta := map[string]any{"name": t.name}
+		if t.id != "" {
+			meta["trace_id"] = t.id
+		}
 		events = append(events, jsonEvent{
 			Name: "process_name", Phase: "M", PID: 1, TID: mainThread,
-			Args: map[string]any{"name": t.name},
+			Args: meta,
 		})
 		for _, e := range t.events {
 			events = append(events, jsonEvent{

@@ -40,6 +40,18 @@ type SegmentActuals struct {
 	ResultCacheMisses int64
 	// Shards is the parallelism the executor actually used.
 	Shards int
+	// Per-stage pipeline accounting, measured by the request-scoped
+	// obs.Recorder: summed operation wall time (shard-parallel work sums,
+	// so a stage wall can exceed Wall) and bytes produced per stage.
+	// Decode and filter bytes are pixel bytes; encode bytes are encoded
+	// packet bytes (copied bytes are already in BytesCopied).
+	DecodeWall   time.Duration
+	FilterWall   time.Duration
+	EncodeWall   time.Duration
+	DecodeBytes  int64
+	FilterFrames int64
+	FilterBytes  int64
+	EncodeBytes  int64
 }
 
 // String renders the actuals as the annotation appended to explain lines.
@@ -69,6 +81,12 @@ func (a SegmentActuals) String() string {
 	}
 	if a.Shards > 1 {
 		parts = append(parts, fmt.Sprintf("shards=%d", a.Shards))
+	}
+	if a.DecodeWall > 0 || a.FilterWall > 0 || a.EncodeWall > 0 {
+		parts = append(parts, fmt.Sprintf("stages=dec:%s/%dB flt:%s/%dB enc:%s/%dB",
+			a.DecodeWall.Round(time.Microsecond), a.DecodeBytes,
+			a.FilterWall.Round(time.Microsecond), a.FilterBytes,
+			a.EncodeWall.Round(time.Microsecond), a.EncodeBytes))
 	}
 	return "actual: " + strings.Join(parts, " ")
 }

@@ -118,6 +118,27 @@ type MetricsRegistry = obs.Registry
 // NewTrace starts an empty span trace named name.
 func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
+// NewTraceID returns a random 16-hex-character request/run identifier,
+// suitable for Trace.SetID and for joining log lines to traces.
+func NewTraceID() string { return obs.NewTraceID() }
+
+// Recorder accumulates per-stage (decode/filter/encode/copy) frames,
+// bytes, and wall time for one synthesis run — assign one to
+// Options.Recorder. The process-wide v2v_stage_* metrics are fed whether
+// or not a recorder is attached.
+type Recorder = obs.Recorder
+
+// NewRecorder returns an empty per-run stage recorder.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// FlightRecorder keeps a fixed-size ring of recent request records plus
+// the in-flight set; v2vserve exposes one at /debug/requests.
+type FlightRecorder = obs.FlightRecorder
+
+// NewFlightRecorder returns a flight recorder keeping the last size
+// completed requests (a default size when size <= 0).
+func NewFlightRecorder(size int) *FlightRecorder { return obs.NewFlightRecorder(size) }
+
 // DefaultRegistry returns the process-wide metrics registry.
 func DefaultRegistry() *MetricsRegistry { return obs.Default() }
 
