@@ -4,18 +4,19 @@
 # docs/STATIC_ANALYSIS.md).
 # `make fuzz` runs the native fuzz targets for FUZZTIME each (the checked-in
 # corpora under testdata/fuzz always run as part of plain `go test`).
-# `make bench` regenerates every paper figure plus the cache sweep, writes
-# the per-query measurements to BENCH_PR4.json, and diffs them against the
-# prior generation (BENCH_PR3.json) with regressions flagged — CI uploads
-# both reports and appends the markdown diff to the job summary;
-# `make microbench` keeps the old go-test microbenchmarks.
-# `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) three
-# times with distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
+# `make bench` regenerates every paper figure plus the cache and overload
+# sweeps, writes the per-query measurements to BENCH_PR7.json, and diffs
+# them against the prior generation (BENCH_PR4.json) with regressions
+# flagged — CI uploads both reports and appends the markdown diff to the
+# job summary; `make microbench` keeps the old go-test microbenchmarks.
+# `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) — read
+# faults plus the overload/memory-pressure scenario — three times with
+# distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
 
 GO ?= go
 V2V_CHAOS_SEED ?= 1
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_PRIOR_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR7.json
+BENCH_PRIOR_JSON ?= BENCH_PR4.json
 BENCH_DELTA_MD ?= bench-delta.md
 BENCH_PARALLEL ?= 4
 FUZZTIME ?= 10s
@@ -55,7 +56,7 @@ microbench:
 	$(GO) test -bench=. -benchmem
 
 chaos:
-	$(GO) test -count=3 -run 'Corrupt|Cancel|Transient|Panic|Conceal|Abort|Atomic|Flaky|Injector' ./internal/container/ ./internal/exec/ ./internal/faults/
+	$(GO) test -count=3 -run 'Corrupt|Cancel|Transient|Panic|Conceal|Abort|Atomic|Flaky|Injector|Pressure|Burst' ./internal/container/ ./internal/exec/ ./internal/faults/
 	@for off in 0 100 200; do \
 		seed=$$(( $(V2V_CHAOS_SEED) + $$off )); \
 		echo "== v2vbench -chaos -chaos-seed $$seed =="; \

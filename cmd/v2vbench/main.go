@@ -9,6 +9,7 @@
 //	v2vbench -fig 5 [-stats]   # Fig. 5 table (both datasets)
 //	v2vbench -fig ablate       # per-pass ablation table
 //	v2vbench -fig cache        # cache sweep: off / GOP cold+warm / GOP+result cold+warm (ToS-sim)
+//	v2vbench -fig overload     # overload sweep: goodput, p99, shed rate at 1x/4x/16x offered load (KABR-sim)
 //	v2vbench -fig all -scale full -repeats 5
 //	v2vbench -fig 4 -json bench.json -trace bench-trace.json
 //	v2vbench -fig all -json BENCH_PR4.json -delta BENCH_PR3.json
@@ -46,6 +47,7 @@ type report struct {
 	DataJoin    []dataJoinJSON `json:"data_join,omitempty"`
 	Ablation    []ablationJSON `json:"ablation,omitempty"`
 	Cache       []cacheJSON    `json:"cache,omitempty"`
+	Overload    []overloadJSON `json:"overload,omitempty"`
 }
 
 type compareJSON struct {
@@ -97,6 +99,18 @@ type cacheJSON struct {
 	ResultWarmFirstOutputSeconds float64 `json:"result_warm_first_output_seconds"`
 }
 
+type overloadJSON struct {
+	Dataset    string  `json:"dataset"`
+	Load       float64 `json:"load"`
+	Offered    int     `json:"offered"`
+	Completed  int     `json:"completed"`
+	Shed       int     `json:"shed"`
+	Failed     int     `json:"failed"`
+	ShedRate   float64 `json:"shed_rate"`
+	GoodputQPS float64 `json:"goodput_qps"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
 type ablationJSON struct {
 	Dataset     string  `json:"dataset"`
 	Query       string  `json:"query"`
@@ -122,7 +136,7 @@ func main() {
 		deltaOut  = flag.String("delta-out", "", "with -delta, also write the diff as a markdown table to this file (for CI job summaries)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event profile of all runs to this file")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection suite instead of the figures: every query under seeded read faults, strict and concealment modes")
-		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault streams (equal seeds replay equal faults)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos fault streams and the -fig overload bursts (equal seeds replay equal arrivals)")
 		flightOut = flag.String("flight-out", "", "with -chaos, write the errored attempts' flight records as JSON to this file (the /debug/requests?errored=1 shape)")
 	)
 	flag.Parse()
@@ -164,6 +178,7 @@ func main() {
 		if *flightOut != "" {
 			cfg.Flight = obs.NewFlightRecorder(0)
 		}
+		overload, overloadErr := benchkit.ChaosOverloadRun(kabr, cfg, *chaosSeed)
 		rows, runErr := benchkit.ChaosRun(kabr, cfg, *chaosSeed)
 		// Dump the flight records before deciding the exit: a failing chaos
 		// run is exactly when the dump matters (CI uploads it on failure).
@@ -178,6 +193,11 @@ func main() {
 		}
 		fmt.Println(benchkit.FormatChaos(
 			fmt.Sprintf("Chaos — KABR-sim queries under seeded read faults (seed %d)", *chaosSeed), rows))
+		if overloadErr != nil {
+			fatal(overloadErr)
+		}
+		fmt.Println(benchkit.FormatChaosOverload(
+			fmt.Sprintf("Chaos — KABR-sim under a 16x burst with an injected memory-pressure episode (seed %d)", *chaosSeed), overload))
 		return
 	}
 
@@ -186,7 +206,8 @@ func main() {
 	need5 := *fig == "5" || *fig == "all"
 	needAblate := *fig == "ablate" || *fig == "all"
 	needCache := *fig == "cache" || *fig == "all"
-	if !need3 && !need4 && !need5 && !needAblate && !needCache {
+	needOverload := *fig == "overload" || *fig == "all"
+	if !need3 && !need4 && !need5 && !needAblate && !needCache && !needOverload {
 		fmt.Fprintf(os.Stderr, "v2vbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
@@ -199,7 +220,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if need4 || need5 || needAblate {
+	if need4 || need5 || needAblate || needOverload {
 		fmt.Fprintln(os.Stderr, "provisioning KABR-sim ...")
 		kabr, err = benchkit.ProvisionKABR(*dir, sc)
 		if err != nil {
@@ -248,6 +269,14 @@ func main() {
 		}
 		fmt.Println(benchkit.FormatCache("Caches — ToS-sim: off / GOP cache cold+warm / GOP+result stack cold+warm", rows))
 		rep.addCache(tos.Name, rows)
+	}
+	if needOverload {
+		rows, err := benchkit.OverloadRun(kabr, cfg, *chaosSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(benchkit.FormatOverload("Overload — KABR-sim Q4 bursts at 1x/4x/16x the measured service rate", rows))
+		rep.addOverload(kabr.Name, rows)
 	}
 	if needAblate {
 		rows, err := benchkit.AblationRun(kabr, "Q7", cfg)
@@ -334,6 +363,22 @@ func (r *report) addCache(dataset string, rows []benchkit.CacheRow) {
 			ResultWarmMisses:  row.ResultWarmMisses,
 
 			ResultWarmFirstOutputSeconds: row.ResultWarmFirstOutput.Seconds(),
+		})
+	}
+}
+
+func (r *report) addOverload(dataset string, rows []benchkit.OverloadRow) {
+	for _, row := range rows {
+		r.Overload = append(r.Overload, overloadJSON{
+			Dataset:    dataset,
+			Load:       row.Load,
+			Offered:    row.Offered,
+			Completed:  row.Completed,
+			Shed:       row.Shed,
+			Failed:     row.Failed,
+			ShedRate:   row.ShedRate,
+			GoodputQPS: row.GoodputQPS,
+			P99Seconds: row.P99.Seconds(),
 		})
 	}
 }

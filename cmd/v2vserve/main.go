@@ -15,11 +15,18 @@
 //	GET  /metrics             Prometheus text exposition
 //	GET  /debug/requests      flight recorder: recent + in-flight requests
 //	GET  /debug/caches        GOP/result cache contents and budget split
+//	GET  /debug/admit         admission controller + memory-pressure state
 //	GET  /debug/pprof/        net/http/pprof profiles
 //
 // Every response carries an X-Trace-Id header; the same ID appears in the
 // request's structured log lines, its /debug/requests record, and its
 // span trace (/debug/requests?trace=<id> exports Chrome trace JSON).
+//
+// Every synthesis passes cost-based admission control before executing
+// (docs/ADMISSION.md): X-Tenant (or X-API-Key) selects the fairness
+// bucket, X-Deadline-Ms sets a deadline the scheduler honors, and a
+// request the server cannot serve in time is refused with 429/503 plus
+// Retry-After instead of failing mid-stream.
 //
 // SIGINT/SIGTERM drain in-flight streams (up to -drain) before exiting.
 //
@@ -43,11 +50,13 @@ import (
 	"os/signal"
 	"path"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"v2v"
+	"v2v/internal/admit"
 	"v2v/internal/cliutil"
 	"v2v/internal/media"
 	"v2v/internal/obs"
@@ -56,15 +65,20 @@ import (
 // validateServeFlags rejects nonsensical flag values before any server
 // state is built, so a typo'd unit (bytes instead of MiB, negative
 // durations) fails fast with a clear message.
-func validateServeFlags(drain, synthTO time.Duration, cacheMB, resMB, budgetMB, slowMS, flightSize int, logFormat string) error {
+func validateServeFlags(drain, synthTO, admitTO time.Duration, cacheMB, resMB, budgetMB, slowMS, flightSize, parallel, maxQueue int, tenantWeight, logFormat string) error {
+	_, werr := cliutil.ParseTenantWeights("-tenant-weight", tenantWeight)
 	return errors.Join(
 		cliutil.ValidateTimeout("-drain", drain),
 		cliutil.ValidateTimeout("-synth-timeout", synthTO),
+		cliutil.ValidateTimeout("-admit-timeout", admitTO),
 		cliutil.ValidateCacheMB("-gop-cache-mb", cacheMB),
 		cliutil.ValidateCacheMB("-result-cache-mb", resMB),
 		cliutil.ValidateBudgetMB("-cache-budget-mb", budgetMB),
 		cliutil.ValidateMillis("-slow-query-ms", slowMS),
 		cliutil.ValidateRingSize("-flight-recorder-size", flightSize),
+		cliutil.ValidateParallel("-parallel", parallel),
+		cliutil.ValidateQueueDepth("-max-queue", maxQueue),
+		werr,
 		cliutil.ValidateLogFormat("-log-format", logFormat),
 	)
 }
@@ -91,6 +105,10 @@ func main() {
 		budgetMB   = flag.Int("cache-budget-mb", 0, "unified byte budget in MiB shared by the GOP and result caches via an arbiter (0 = sum of the per-cache budgets; ignored unless both caches are enabled)")
 		slowMS     = flag.Int("slow-query-ms", 0, "log a warning for requests slower than this many milliseconds, and let /debug/requests?slow=1 filter on it (0 = disabled)")
 		flightSize = flag.Int("flight-recorder-size", 0, "completed requests kept in the /debug/requests ring (0 = default)")
+		parallel   = flag.Int("parallel", 0, "shard parallelism per synthesis (0 = GOMAXPROCS)")
+		maxQueue   = flag.Int("max-queue", 0, "admission queue depth across all tenants (0 = default 64)")
+		admitTO    = flag.Duration("admit-timeout", 0, "max time a request may wait in the admission queue before being shed (0 = default 10s)")
+		tenantW    = flag.String("tenant-weight", "", `per-tenant admission fairness weights as "name=w,name=w" (e.g. "gold=3,free=1"); unlisted tenants get weight 1`)
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		fetchURL   = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out        = flag.String("out", "", "client mode: output VMF path")
@@ -103,7 +121,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := validateServeFlags(*drain, *synthTO, *cacheMB, *resMB, *budgetMB, *slowMS, *flightSize, *logFormat); err != nil {
+	if err := validateServeFlags(*drain, *synthTO, *admitTO, *cacheMB, *resMB, *budgetMB, *slowMS, *flightSize, *parallel, *maxQueue, *tenantW, *logFormat); err != nil {
 		fatal("invalid flags", err)
 	}
 
@@ -143,10 +161,31 @@ func main() {
 		srv.gopCache.AttachArbiter(srv.arbiter)
 		srv.resultCache.AttachArbiter(srv.arbiter)
 	}
+	srv.parallelism = *parallel
+	weights, _ := cliutil.ParseTenantWeights("-tenant-weight", *tenantW)
+	srv.admit = admit.NewController(admit.Config{
+		MaxQueue: *maxQueue,
+		MaxWait:  *admitTO,
+		Weights:  weights,
+	})
 	hs := &http.Server{Addr: *listen, Handler: srv.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// The memory-pressure monitor drives both back-pressure paths: the
+	// cache arbiter sheds resident bytes, the admission controller
+	// tightens its concurrency and cost capacity.
+	srv.monitor = admit.NewMonitor(0)
+	srv.monitor.OnChange(func(l admit.PressureLevel) {
+		f := l.Factor()
+		srv.admit.SetPressureFactor(f)
+		if srv.arbiter != nil {
+			srv.arbiter.SetPressureFactor(f)
+		}
+		logger.Info("memory pressure level", "level", l.String(), "factor", f)
+	})
+	srv.monitor.Run(ctx)
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
@@ -163,6 +202,8 @@ func main() {
 		if err := hs.Shutdown(sctx); err != nil {
 			logger.Warn("drain incomplete", "error", err)
 		}
+		srv.admit.Close()
+		srv.monitor.Wait()
 		logger.Info("stopped")
 	}
 }
@@ -190,8 +231,16 @@ type server struct {
 	// flight records recent and in-flight synthesis requests, served at
 	// /debug/requests.
 	flight *v2v.FlightRecorder
-	logger *slog.Logger
-	reg    *obs.Registry
+	// admit is the overload front door: every synthesis passes Acquire
+	// before executing, weighted by its plan's estimated cost.
+	admit *admit.Controller
+	// monitor drives the pressure factor into admit and arbiter (nil in
+	// tests that construct the server directly).
+	monitor *admit.Monitor
+	// parallelism caps each synthesis's shard fan-out (0 = GOMAXPROCS).
+	parallelism int
+	logger      *slog.Logger
+	reg         *obs.Registry
 
 	requests      *obs.Counter
 	errs4xx       *obs.Counter
@@ -209,6 +258,11 @@ func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
 		specDir:  specDir,
 		optimize: optimize,
 		flight:   v2v.NewFlightRecorder(0),
+		// A default-config controller: effectively permissive (capacity is
+		// unbounded until throughput is measured) yet still protective
+		// under real overload. main replaces it with the flag-configured
+		// one.
+		admit:    admit.NewController(admit.Config{}),
 		logger:   slog.Default(),
 		reg:      reg,
 		requests: reg.Counter("v2v_http_requests_total", "HTTP requests served."),
@@ -240,6 +294,7 @@ func (s *server) routes() http.Handler {
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/debug/requests", s.flight.Handler())
 	mux.HandleFunc("/debug/caches", s.caches)
+	mux.HandleFunc("/debug/admit", s.admitDebug)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -419,12 +474,27 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	opts.Conceal = !s.strict
 	opts.GOPCache = s.gopCache
 	opts.ResultCache = s.resultCache
+	opts.Parallelism = s.parallelism
 	// Every request gets its own span trace and stage recorder, joined to
 	// the flight record and the log lines by the shared trace ID.
 	tr := v2v.NewTrace("synthesize")
 	tr.SetID(traceID)
 	opts.Trace = tr
 	opts.Recorder = req.Recorder()
+
+	// Plan before admission: the plan's static cost estimate is the
+	// admission weight, and shed requests still leave their plan in the
+	// flight record for postmortems.
+	pr, err := v2v.Prepare(spec, opts)
+	if err != nil {
+		req.Finish("error", err)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	req.SetPlan(pr.Plan.Explain())
+	cost := pr.EstimatedCost().Units()
+	tenant := requestTenant(r)
+
 	// The request context cancels the synthesis when the client goes away;
 	// shard workers stop within one GOP of work instead of rendering a
 	// stream nobody is reading.
@@ -434,9 +504,56 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.synthTimeout)
 		defer cancel()
 	}
+	// An X-Deadline-Ms header is the client's latency budget: admission
+	// sheds early when it cannot plausibly be met, and the synthesis
+	// itself is bounded by it.
+	var deadline time.Time
+	if ms := r.Header.Get("X-Deadline-Ms"); ms != "" {
+		n, perr := strconv.Atoi(strings.TrimSpace(ms))
+		if perr != nil || n <= 0 {
+			err := fmt.Errorf("invalid X-Deadline-Ms %q", ms)
+			req.Finish("error", err)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		deadline = time.Now().Add(time.Duration(n) * time.Millisecond)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
+	}
+
+	admitStart := time.Now()
+	ticket, aerr := s.admit.Acquire(ctx, admit.Request{Tenant: tenant, Cost: cost, Deadline: deadline})
+	queuedWall := time.Since(admitStart)
+	if aerr != nil {
+		if shed := (*admit.ShedError)(nil); errors.As(aerr, &shed) {
+			// Typed load shed: tell the client it is retryable and when.
+			// (Shed counts and queue-wait histograms live in the admit
+			// package's v2v_admit_* instruments.)
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shed.RetryAfter)))
+			req.SetAdmission(tenant, cost, queuedWall, shed.Reason)
+			req.Finish("shed", aerr)
+			http.Error(w, aerr.Error(), admit.HTTPStatus(aerr))
+			s.logger.Warn("request shed",
+				"tenant", tenant, "reason", shed.Reason, "cost_units", cost,
+				"queued", queuedWall.Round(time.Millisecond), "trace_id", traceID)
+			return
+		}
+		// The client went away (or its deadline passed) while queued.
+		s.synthCanceled.Inc()
+		req.SetAdmission(tenant, cost, queuedWall, "")
+		req.Finish("canceled", aerr)
+		http.Error(w, aerr.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	req.SetAdmission(tenant, cost, queuedWall, "")
+	// Release feeds the measured work back into the controller's
+	// throughput estimate, whether the synthesis succeeds or not.
+	defer ticket.Release(opts.Recorder)
+
 	w.Header().Set("Content-Type", "application/x-v2v-stream")
 	start := time.Now()
-	res, err := v2v.SynthesizeStreamContext(ctx, spec, w, opts)
+	res, err := pr.SynthesizeStreamContext(ctx, w, opts)
 	req.SetTrace(tr)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -468,6 +585,67 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		"wall", res.Metrics.Wall,
 		"first_output", res.Metrics.FirstOutput,
 		"trace_id", traceID)
+}
+
+// requestTenant maps a request to its admission fairness bucket: the
+// X-Tenant header, else the X-API-Key header, else the shared default
+// bucket.
+func requestTenant(r *http.Request) string {
+	if t := strings.TrimSpace(r.Header.Get("X-Tenant")); t != "" {
+		return t
+	}
+	if k := strings.TrimSpace(r.Header.Get("X-API-Key")); k != "" {
+		return k
+	}
+	return admit.DefaultTenant
+}
+
+// retryAfterSeconds renders a shed's retry hint as the whole seconds the
+// Retry-After header requires, rounding up so clients never retry early.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admitDebug serves GET /debug/admit: the admission controller's queue
+// depths and per-tenant shares, the memory-pressure state, and the cache
+// arbiter's budget split.
+func (s *server) admitDebug(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		Admission admit.Stats            `json:"admission"`
+		Pressure  *pressureDump          `json:"pressure,omitempty"`
+		Arbiter   *v2v.CacheArbiterStats `json:"arbiter,omitempty"`
+	}{Admission: s.admit.Stats()}
+	if s.monitor != nil {
+		samp := s.monitor.LastSample()
+		resp.Pressure = &pressureDump{
+			Level:       s.monitor.Level().String(),
+			UsedBytes:   samp.Used,
+			LimitBytes:  samp.Limit,
+			Utilization: samp.Utilization(),
+		}
+	}
+	if s.arbiter != nil {
+		st := s.arbiter.Stats()
+		resp.Arbiter = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(resp); err != nil {
+		s.logger.Warn("admit dump failed", "error", err)
+	}
+}
+
+// pressureDump is /debug/admit's memory-pressure section.
+type pressureDump struct {
+	Level       string  `json:"level"`
+	UsedBytes   uint64  `json:"used_bytes"`
+	LimitBytes  uint64  `json:"limit_bytes"`
+	Utilization float64 `json:"utilization"`
 }
 
 // cacheDump is one cache's /debug/caches section: its counters plus the

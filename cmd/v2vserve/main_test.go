@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"v2v"
+	"v2v/internal/admit"
 	"v2v/internal/dataset"
 	"v2v/internal/faults"
 	"v2v/internal/frame"
@@ -301,34 +302,41 @@ func TestClientDisconnectCancelsSynthesis(t *testing.T) {
 }
 
 func TestValidateServeFlags(t *testing.T) {
-	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0, 0, 0, "text"); err != nil {
+	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "text"); err != nil {
 		t.Errorf("defaults should validate: %v", err)
 	}
-	if err := validateServeFlags(time.Minute, time.Minute, -1, -1, 0, 500, 1024, "json"); err != nil {
-		t.Errorf("-1 cache disables should validate: %v", err)
+	if err := validateServeFlags(time.Minute, time.Minute, 5*time.Second, -1, -1, 0, 500, 1024, 8, 128, "gold=3,free=1", "json"); err != nil {
+		t.Errorf("full flag set should validate: %v", err)
 	}
 	for _, tc := range []struct {
 		name                     string
-		drain, synthTO           time.Duration
+		drain, synthTO, admitTO  time.Duration
 		cacheMB, resMB, budgetMB int
 		slowMS, flightSize       int
+		parallel, maxQueue       int
+		tenantW                  string
 		logFormat                string
 		want                     string
 	}{
-		{"negative drain", -time.Second, 0, 0, 0, 0, 0, 0, "", "-drain"},
-		{"negative synth timeout", 0, -time.Second, 0, 0, 0, 0, 0, "", "-synth-timeout"},
-		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, 0, 0, "", "exceeds"},
-		{"bad gop cache", 0, 0, -2, 0, 0, 0, 0, "", "-gop-cache-mb"},
-		{"bad result cache", 0, 0, 0, -9, 0, 0, 0, "", "-result-cache-mb"},
-		{"bytes-not-MiB cache", 0, 0, 1 << 30, 0, 0, 0, 0, "", "MiB, not bytes"},
-		{"negative budget", 0, 0, 0, 0, -1, 0, 0, "", "-cache-budget-mb"},
-		{"negative slow threshold", 0, 0, 0, 0, 0, -5, 0, "", "-slow-query-ms"},
-		{"negative flight ring", 0, 0, 0, 0, 0, 0, -1, "", "-flight-recorder-size"},
-		{"absurd flight ring", 0, 0, 0, 0, 0, 0, 1 << 20, "", "-flight-recorder-size"},
-		{"bad log format", 0, 0, 0, 0, 0, 0, 0, "xml", "-log-format"},
+		{"negative drain", -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-drain"},
+		{"negative synth timeout", 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-synth-timeout"},
+		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "exceeds"},
+		{"negative admit timeout", 0, 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, "", "", "-admit-timeout"},
+		{"bad gop cache", 0, 0, 0, -2, 0, 0, 0, 0, 0, 0, "", "", "-gop-cache-mb"},
+		{"bad result cache", 0, 0, 0, 0, -9, 0, 0, 0, 0, 0, "", "", "-result-cache-mb"},
+		{"bytes-not-MiB cache", 0, 0, 0, 1 << 30, 0, 0, 0, 0, 0, 0, "", "", "MiB, not bytes"},
+		{"negative budget", 0, 0, 0, 0, 0, -1, 0, 0, 0, 0, "", "", "-cache-budget-mb"},
+		{"negative slow threshold", 0, 0, 0, 0, 0, 0, -5, 0, 0, 0, "", "", "-slow-query-ms"},
+		{"negative flight ring", 0, 0, 0, 0, 0, 0, 0, -1, 0, 0, "", "", "-flight-recorder-size"},
+		{"absurd flight ring", 0, 0, 0, 0, 0, 0, 0, 1 << 20, 0, 0, "", "", "-flight-recorder-size"},
+		{"negative parallel", 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, "", "", "-parallel"},
+		{"negative max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, "", "", "-max-queue"},
+		{"absurd max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1 << 20, "", "", "-max-queue"},
+		{"bad tenant weight", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "gold=0", "", "-tenant-weight"},
+		{"bad log format", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "xml", "-log-format"},
 	} {
-		err := validateServeFlags(tc.drain, tc.synthTO, tc.cacheMB, tc.resMB, tc.budgetMB,
-			tc.slowMS, tc.flightSize, tc.logFormat)
+		err := validateServeFlags(tc.drain, tc.synthTO, tc.admitTO, tc.cacheMB, tc.resMB, tc.budgetMB,
+			tc.slowMS, tc.flightSize, tc.parallel, tc.maxQueue, tc.tenantW, tc.logFormat)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
 		}
@@ -617,5 +625,235 @@ func TestDebugCaches(t *testing.T) {
 	resp.Body.Close()
 	if strings.Contains(string(body), "gop") || strings.Contains(string(body), "arbiter") {
 		t.Errorf("bare server dump should omit cache sections: %s", body)
+	}
+}
+
+// admissionServer is testServer, additionally returning the server struct
+// so tests can reach the admission controller directly.
+func admissionServer(t *testing.T) (*server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specText := fmt.Sprintf(`
+		timedomain range(0, 1, 1/24);
+		videos { cam: %q; }
+		render(t) = cam[t + 1];`, vid)
+	srv := newServer(dir, true, obs.NewRegistry())
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, specText
+}
+
+// flightDump decodes a /debug/requests JSON response.
+type flightDump struct {
+	Requests []struct {
+		Outcome    string  `json:"outcome"`
+		ShedReason string  `json:"shed_reason"`
+		Tenant     string  `json:"tenant"`
+		CostUnits  float64 `json:"cost_units"`
+	} `json:"requests"`
+}
+
+func TestPressureShedReturns503WithRetryAfter(t *testing.T) {
+	srv, ts, specText := admissionServer(t)
+	// Critical memory pressure with factor 0 closes admission entirely.
+	srv.admit.SetPressureFactor(0)
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %s, want 503; body %q", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After header")
+	}
+
+	// The shed request is queryable at /debug/requests?shed=1, with its
+	// tenant, cost estimate, and shed reason recorded.
+	dresp, err := http.Get(ts.URL + "/debug/requests?shed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump flightDump
+	err = json.NewDecoder(dresp.Body).Decode(&dump)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Requests) != 1 {
+		t.Fatalf("shed filter returned %d records, want 1", len(dump.Requests))
+	}
+	rec := dump.Requests[0]
+	if rec.Outcome != "shed" || rec.ShedReason != "pressure" {
+		t.Errorf("shed record outcome=%q reason=%q", rec.Outcome, rec.ShedReason)
+	}
+	if rec.Tenant != "default" || rec.CostUnits <= 0 {
+		t.Errorf("shed record tenant=%q cost=%v; want default tenant with a positive cost estimate", rec.Tenant, rec.CostUnits)
+	}
+
+	// Pressure clears: the same request is admitted and completes.
+	srv.admit.SetPressureFactor(1)
+	resp2, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status after recovery = %s, want 200", resp2.Status)
+	}
+	if got := len(readStream(t, resp2.Body)); got != 24 {
+		t.Fatalf("frames after recovery = %d", got)
+	}
+}
+
+func TestQueueFullShedsWith429(t *testing.T) {
+	srv, ts, specText := admissionServer(t)
+	// One slot, one queue seat: a held slot plus one queued request makes
+	// the next arrival overflow.
+	srv.admit = admit.NewController(admit.Config{SlotCap: 1, MaxQueue: 1, MaxWait: 30 * time.Second})
+	holder, err := srv.admit.Acquire(context.Background(), admit.Request{Cost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queued := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+		if err != nil {
+			queued <- err
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			queued <- fmt.Errorf("queued request status = %s, want 200", resp.Status)
+			return
+		}
+		queued <- nil
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.admit.Stats().Queued != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %s, want 429; body %q", resp.Status, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After header")
+	}
+
+	// Releasing the held slot lets the queued request run to completion.
+	holder.Release(nil)
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDebugAdmitEndpoint(t *testing.T) {
+	srv, ts, specText := admissionServer(t)
+	req, _ := http.NewRequest("POST", ts.URL+"/synthesize", strings.NewReader(specText))
+	req.Header.Set("X-Tenant", "gold")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesis status = %s", resp.Status)
+	}
+
+	dresp, err := http.Get(ts.URL + "/debug/admit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dump struct {
+		Admission admit.Stats `json:"admission"`
+	}
+	if err := json.NewDecoder(dresp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Admission.MaxQueue <= 0 || dump.Admission.SlotCap <= 0 {
+		t.Errorf("admission config not populated: %+v", dump.Admission)
+	}
+	gold, ok := dump.Admission.Tenants["gold"]
+	if !ok || gold.Admitted < 1 {
+		t.Errorf("tenant gold not accounted: %+v", dump.Admission.Tenants)
+	}
+	if srv.admit.Stats().Inflight != 0 {
+		t.Errorf("inflight = %d after request completed", srv.admit.Stats().Inflight)
+	}
+}
+
+func TestInvalidDeadlineHeaderRejected(t *testing.T) {
+	_, ts, specText := admissionServer(t)
+	for _, bad := range []string{"abc", "-5", "0"} {
+		req, _ := http.NewRequest("POST", ts.URL+"/synthesize", strings.NewReader(specText))
+		req.Header.Set("X-Deadline-Ms", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("X-Deadline-Ms %q: status = %s, want 400", bad, resp.Status)
+		}
+	}
+
+	// A generous deadline streams normally.
+	req, _ := http.NewRequest("POST", ts.URL+"/synthesize", strings.NewReader(specText))
+	req.Header.Set("X-Deadline-Ms", "60000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s, want 200", resp.Status)
+	}
+	if got := len(readStream(t, resp.Body)); got != 24 {
+		t.Fatalf("frames = %d", got)
+	}
+}
+
+func TestRequestTenant(t *testing.T) {
+	for _, tc := range []struct {
+		tenant, apiKey, want string
+	}{
+		{"", "", "default"},
+		{"gold", "", "gold"},
+		{"", "key123", "key123"},
+		{"gold", "key123", "gold"},
+		{"  ", "", "default"},
+	} {
+		r := httptest.NewRequest("POST", "/synthesize", nil)
+		if tc.tenant != "" {
+			r.Header.Set("X-Tenant", tc.tenant)
+		}
+		if tc.apiKey != "" {
+			r.Header.Set("X-API-Key", tc.apiKey)
+		}
+		if got := requestTenant(r); got != tc.want {
+			t.Errorf("requestTenant(X-Tenant=%q, X-API-Key=%q) = %q, want %q",
+				tc.tenant, tc.apiKey, got, tc.want)
+		}
 	}
 }

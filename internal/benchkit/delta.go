@@ -33,6 +33,11 @@ type ReportFile struct {
 		ResultWarmSeconds            float64 `json:"result_warm_seconds"`
 		ResultWarmFirstOutputSeconds float64 `json:"result_warm_first_output_seconds"`
 	} `json:"cache"`
+	Overload []struct {
+		Dataset    string  `json:"dataset"`
+		Load       float64 `json:"load"`
+		P99Seconds float64 `json:"p99_seconds"`
+	} `json:"overload"`
 }
 
 // LoadReport reads a v2vbench -json report.
@@ -115,8 +120,22 @@ func Delta(old, cur *ReportFile) []DeltaRow {
 		add("cache", e.Dataset, e.Query, "result_warm_seconds", oldResWarm[key{e.Dataset, e.Query}], e.ResultWarmSeconds)
 		add("cache", e.Dataset, e.Query, "result_warm_first_output_seconds", oldResWarmFirst[key{e.Dataset, e.Query}], e.ResultWarmFirstOutputSeconds)
 	}
+	// Overload points are keyed by their load multiple ("4x") in the query
+	// column. Only p99 is compared: goodput and shed rate move together by
+	// design under saturation, and p99 is the one with a latency contract.
+	oldOverload := map[key]float64{}
+	for _, e := range old.Overload {
+		oldOverload[key{e.Dataset, loadLabel(e.Load)}] = e.P99Seconds
+	}
+	for _, e := range cur.Overload {
+		add("overload", e.Dataset, loadLabel(e.Load), "p99_seconds", oldOverload[key{e.Dataset, loadLabel(e.Load)}], e.P99Seconds)
+	}
 	return rows
 }
+
+// loadLabel renders an offered-load multiple as the short "4x" form used in
+// tables and delta keys.
+func loadLabel(load float64) string { return fmt.Sprintf("%gx", load) }
 
 // FormatDelta renders delta rows as an aligned text table, flagging
 // regressions past the threshold.

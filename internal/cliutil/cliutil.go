@@ -8,6 +8,8 @@ package cliutil
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -24,6 +26,11 @@ const (
 	// MaxRingSize caps ring-buffer size flags (the flight recorder);
 	// anything larger is a unit mistake.
 	MaxRingSize = 1 << 16
+	// MaxQueueDepth caps the admission queue depth flag; queueing more
+	// requests than this only adds latency, never goodput.
+	MaxQueueDepth = 1 << 16
+	// MaxTenantWeight caps individual tenant fairness weights.
+	MaxTenantWeight = 1 << 20
 )
 
 // ValidateCacheMB checks a cache-size flag where -1 disables the cache
@@ -95,6 +102,57 @@ func ValidateRingSize(name string, n int) error {
 		return fmt.Errorf("%s: size %d exceeds the %d cap", name, n, MaxRingSize)
 	}
 	return nil
+}
+
+// ValidateQueueDepth checks an admission queue-depth flag where 0 selects
+// the default depth.
+func ValidateQueueDepth(name string, n int) error {
+	switch {
+	case n < 0:
+		return fmt.Errorf("%s: negative queue depth %d; use 0 for the default", name, n)
+	case n > MaxQueueDepth:
+		return fmt.Errorf("%s: queue depth %d exceeds the %d cap", name, n, MaxQueueDepth)
+	}
+	return nil
+}
+
+// ParseTenantWeights parses a -tenant-weight flag of the form
+// "name=weight,name=weight" (e.g. "gold=3,free=1") into a weight map.
+// Weights must be positive numbers; tenant names must be non-empty and
+// unique. An empty flag value returns an empty (nil) map: every tenant
+// then gets weight 1.
+func ParseTenantWeights(name, spec string) (map[string]float64, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, weight, ok := strings.Cut(part, "=")
+		tenant = strings.TrimSpace(tenant)
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("%s: %q is not tenant=weight", name, part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %q has a non-numeric weight", name, part)
+		}
+		if w <= 0 || w != w || w > MaxTenantWeight {
+			return nil, fmt.Errorf("%s: weight %v for tenant %q out of range (0, %d]", name, w, tenant, MaxTenantWeight)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("%s: tenant %q listed twice", name, tenant)
+		}
+		out[tenant] = w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: %q contains no tenant=weight pairs", name, spec)
+	}
+	return out, nil
 }
 
 // ValidateLogFormat checks a -log-format flag; "" and "text" select the

@@ -114,6 +114,59 @@ func TestValidateRingSize(t *testing.T) {
 	}
 }
 
+func TestValidateQueueDepth(t *testing.T) {
+	for _, tc := range []struct {
+		n       int
+		wantErr string
+	}{
+		{0, ""},
+		{64, ""},
+		{MaxQueueDepth, ""},
+		{-1, "negative queue depth"},
+		{MaxQueueDepth + 1, "exceeds"},
+	} {
+		err := ValidateQueueDepth("-max-queue", tc.n)
+		checkErr(t, "ValidateQueueDepth", tc.n, err, tc.wantErr)
+	}
+}
+
+func TestParseTenantWeights(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		want    map[string]float64
+		wantErr string
+	}{
+		{"", nil, ""},
+		{"gold=3,free=1", map[string]float64{"gold": 3, "free": 1}, ""},
+		{" gold = 3 , free = 0.5 ", map[string]float64{"gold": 3, "free": 0.5}, ""},
+		{"gold=3,", map[string]float64{"gold": 3}, ""},
+		{"gold", nil, "not tenant=weight"},
+		{"=3", nil, "not tenant=weight"},
+		{"gold=abc", nil, "non-numeric"},
+		{"gold=0", nil, "out of range"},
+		{"gold=-1", nil, "out of range"},
+		{"gold=NaN", nil, "out of range"},
+		{"gold=1e30", nil, "out of range"},
+		{"gold=3,gold=1", nil, "listed twice"},
+		{",", nil, "no tenant=weight pairs"},
+	} {
+		got, err := ParseTenantWeights("-tenant-weight", tc.spec)
+		checkErr(t, "ParseTenantWeights", tc.spec, err, tc.wantErr)
+		if tc.wantErr != "" {
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseTenantWeights(%q) = %v, want %v", tc.spec, got, tc.want)
+			continue
+		}
+		for k, v := range tc.want {
+			if got[k] != v {
+				t.Errorf("ParseTenantWeights(%q)[%q] = %v, want %v", tc.spec, k, got[k], v)
+			}
+		}
+	}
+}
+
 func TestValidateLogFormat(t *testing.T) {
 	for _, tc := range []struct {
 		format  string

@@ -153,6 +153,55 @@ func Plan(spec *vql.Spec, o Options) (*plan.Plan, rewrite.Stats, opt.Stats, erro
 	return p, rStats, oStats, nil
 }
 
+// Prepared is a planned-but-not-yet-executed synthesis: the output of the
+// front half of the pipeline (check, rewrite, plan, optimize), carrying
+// the plan's cost estimate. v2vserve plans every request before admission
+// so the admission controller can weigh it by estimated cost, then
+// executes the prepared plan once admitted — without re-running the
+// planner.
+type Prepared struct {
+	Plan         *plan.Plan
+	RewriteStats rewrite.Stats
+	OptStats     opt.Stats
+}
+
+// EstimatedCost returns the prepared plan's total static cost estimate.
+func (pr *Prepared) EstimatedCost() plan.Cost { return pr.Plan.EstimatedCost() }
+
+// Prepare runs the pipeline front half: validate, rewrite, plan,
+// optimize. The returned Prepared can be executed once.
+func Prepare(spec *vql.Spec, o Options) (*Prepared, error) {
+	p, rStats, oStats, err := Plan(spec, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{Plan: p, RewriteStats: rStats, OptStats: oStats}, nil
+}
+
+// SynthesizeStreamContext executes the prepared plan, delivering the
+// result progressively to w in the VMS stream format (see the package
+// SynthesizeStreamContext). The executor-facing options (caches, trace,
+// recorder, parallelism, concealment) are read from o; planning options
+// were already consumed by Prepare.
+func (pr *Prepared) SynthesizeStreamContext(ctx context.Context, w io.Writer, o Options) (*Result, error) {
+	info := pr.Plan.Checked.Output
+	info.Start = rational.Zero
+	sink, err := media.NewStreamWriter(w, info)
+	if err != nil {
+		return nil, err
+	}
+	metrics, err := exec.ExecuteTo(ctx, pr.Plan, sink, execOptions(o))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Plan:         pr.Plan,
+		Metrics:      metrics,
+		RewriteStats: pr.RewriteStats,
+		OptStats:     pr.OptStats,
+	}, nil
+}
+
 // execOptions translates core options to executor options.
 func execOptions(o Options) exec.Options {
 	return exec.Options{
@@ -222,24 +271,9 @@ func SynthesizeStream(spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
 // cancellation. A cancelled run stops without the end-of-stream marker,
 // so consumers observe truncation rather than a spuriously clean end.
 func SynthesizeStreamContext(ctx context.Context, spec *vql.Spec, w io.Writer, o Options) (*Result, error) {
-	p, rStats, oStats, err := Plan(spec, o)
+	pr, err := Prepare(spec, o)
 	if err != nil {
 		return nil, err
 	}
-	info := p.Checked.Output
-	info.Start = rational.Zero
-	sink, err := media.NewStreamWriter(w, info)
-	if err != nil {
-		return nil, err
-	}
-	metrics, err := exec.ExecuteTo(ctx, p, sink, execOptions(o))
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Plan:         p,
-		Metrics:      metrics,
-		RewriteStats: rStats,
-		OptStats:     oStats,
-	}, nil
+	return pr.SynthesizeStreamContext(ctx, w, o)
 }

@@ -1,0 +1,140 @@
+package faults
+
+// Overload-class faults: deterministic generators for the two overload
+// scenarios `v2vbench -chaos` replays — a memory-pressure episode (a
+// utilization walk that ramps past the critical threshold, holds, and
+// decays) and a request burst (arrival offsets at a multiple of the
+// service rate). Both draw from seeded PRNGs so a failing run reproduces
+// by replaying its seed, matching the read/write fault classes in
+// faults.go.
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// PressureEpisode is a deterministic memory-utilization walk: baseline →
+// ramp → hold at peak → decay → baseline, with seed-jittered steps. Feed
+// its samples to a memory-pressure monitor (admit.Monitor.SetSampler) to
+// replay an out-of-memory near-miss without allocating anything.
+type PressureEpisode struct {
+	mu   sync.Mutex
+	vals []float64
+	i    int
+}
+
+// NewPressureEpisode builds an episode rising from baseline to peak over
+// rampSteps samples, holding the peak for holdSteps, and decaying back
+// over rampSteps. Utilizations are fractions of the memory limit (0.95 =
+// 95%); peak is clamped to [baseline, 1]. Equal seeds produce equal
+// walks.
+func NewPressureEpisode(seed int64, baseline, peak float64, rampSteps, holdSteps int) *PressureEpisode {
+	if baseline < 0 {
+		baseline = 0
+	}
+	if peak < baseline {
+		peak = baseline
+	}
+	if peak > 1 {
+		peak = 1
+	}
+	if rampSteps < 1 {
+		rampSteps = 1
+	}
+	if holdSteps < 0 {
+		holdSteps = 0
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Jitter stays well under one ramp step so the walk never un-crosses
+	// a threshold it already passed.
+	jitter := (peak - baseline) / float64(rampSteps) / 4
+	sample := func(target float64) float64 {
+		v := target + (rng.Float64()*2-1)*jitter
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+	var vals []float64
+	for s := 1; s <= rampSteps; s++ {
+		vals = append(vals, sample(baseline+(peak-baseline)*float64(s)/float64(rampSteps)))
+	}
+	// Hold and the extreme points are exact: the episode is guaranteed to
+	// touch its peak and to end back at the baseline.
+	for s := 0; s < holdSteps; s++ {
+		vals = append(vals, peak)
+	}
+	for s := rampSteps - 1; s >= 1; s-- {
+		vals = append(vals, sample(baseline+(peak-baseline)*float64(s)/float64(rampSteps)))
+	}
+	vals = append(vals, baseline)
+	return &PressureEpisode{vals: vals}
+}
+
+// Next returns the episode's next utilization sample, sticking at the
+// final baseline once the walk completes. Safe for concurrent use.
+func (e *PressureEpisode) Next() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := e.vals[e.i]
+	if e.i < len(e.vals)-1 {
+		e.i++
+	}
+	return v
+}
+
+// Done reports whether the walk has reached its final sample.
+func (e *PressureEpisode) Done() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.i >= len(e.vals)-1
+}
+
+// Len returns the number of samples in the walk.
+func (e *PressureEpisode) Len() int { return len(e.vals) }
+
+// Values returns a copy of the full walk, for tests and plots.
+func (e *PressureEpisode) Values() []float64 {
+	out := make([]float64, len(e.vals))
+	copy(out, e.vals)
+	return out
+}
+
+// Sampler adapts the episode to a (used, limit) byte sampler against a
+// synthetic limit, the shape memory-pressure monitors consume.
+func (e *PressureEpisode) Sampler(limit uint64) func() (used, lim uint64) {
+	return func() (uint64, uint64) {
+		return uint64(e.Next() * float64(limit)), limit
+	}
+}
+
+// OverloadBurst returns n request arrival offsets (from t=0, sorted
+// ascending) modeling an offered load of factor× a service capacity of
+// one request per base: exponential inter-arrivals with mean base/factor,
+// capped at 4× the mean so one long gap cannot hide the overload. Equal
+// seeds produce equal bursts.
+func OverloadBurst(seed int64, n int, base time.Duration, factor float64) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if factor <= 0 {
+		factor = 1
+	}
+	mean := float64(base) / factor
+	rng := rand.New(rand.NewSource(seed))
+	offs := make([]time.Duration, n)
+	var t float64
+	for i := range offs {
+		gap := rng.ExpFloat64() * mean
+		if lim := 4 * mean; gap > lim {
+			gap = lim
+		}
+		t += gap
+		offs[i] = time.Duration(t)
+	}
+	return offs
+}

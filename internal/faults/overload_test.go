@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPressureEpisodeDeterministic(t *testing.T) {
+	a := NewPressureEpisode(7, 0.3, 0.95, 5, 3)
+	b := NewPressureEpisode(7, 0.3, 0.95, 5, 3)
+	av, bv := a.Values(), b.Values()
+	if len(av) != len(bv) {
+		t.Fatalf("lengths differ: %d vs %d", len(av), len(bv))
+	}
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, av[i], bv[i])
+		}
+	}
+	c := NewPressureEpisode(8, 0.3, 0.95, 5, 3)
+	same := true
+	for i, v := range c.Values() {
+		if v != av[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestPressureEpisodeShape(t *testing.T) {
+	e := NewPressureEpisode(1, 0.3, 0.95, 8, 4)
+	vals := e.Values()
+	if len(vals) != 8+4+7+1 {
+		t.Fatalf("len = %d, want %d", len(vals), 8+4+7+1)
+	}
+	peak := 0.0
+	for _, v := range vals {
+		if v < 0 || v > 1 {
+			t.Fatalf("sample %v out of [0,1]", v)
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak != 0.95 {
+		t.Errorf("peak = %v, want the configured 0.95 held exactly", peak)
+	}
+	if last := vals[len(vals)-1]; last != 0.3 {
+		t.Errorf("final sample = %v, want the 0.3 baseline", last)
+	}
+}
+
+func TestPressureEpisodeNextSticksAtEnd(t *testing.T) {
+	e := NewPressureEpisode(1, 0.2, 0.9, 2, 1)
+	for i := 0; i < e.Len(); i++ {
+		e.Next()
+	}
+	if !e.Done() {
+		t.Error("episode not done after consuming every sample")
+	}
+	if v := e.Next(); v != 0.2 {
+		t.Errorf("post-end sample = %v, want sticky baseline 0.2", v)
+	}
+}
+
+func TestPressureEpisodeSampler(t *testing.T) {
+	e := NewPressureEpisode(3, 0.5, 1, 1, 0)
+	sample := e.Sampler(1000)
+	used, lim := sample()
+	if lim != 1000 {
+		t.Fatalf("limit = %d, want 1000", lim)
+	}
+	if used != 1000 {
+		t.Errorf("used = %d at peak 1.0, want 1000", used)
+	}
+}
+
+func TestOverloadBurstDeterministic(t *testing.T) {
+	a := OverloadBurst(42, 50, 10*time.Millisecond, 16)
+	b := OverloadBurst(42, 50, 10*time.Millisecond, 16)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := OverloadBurst(43, 50, 10*time.Millisecond, 16)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical bursts")
+	}
+}
+
+func TestOverloadBurstShape(t *testing.T) {
+	base := 10 * time.Millisecond
+	offs := OverloadBurst(1, 200, base, 4)
+	prev := time.Duration(0)
+	for i, o := range offs {
+		if o < prev {
+			t.Fatalf("offset %d not monotone: %v after %v", i, o, prev)
+		}
+		prev = o
+	}
+	// 200 arrivals at 4x the service rate should span roughly 200 × 2.5ms;
+	// the cap on individual gaps keeps the tail bounded.
+	mean := offs[len(offs)-1] / 200
+	want := base / 4
+	if mean < want/3 || mean > want*3 {
+		t.Errorf("mean inter-arrival %v, want within 3x of %v", mean, want)
+	}
+	if OverloadBurst(1, 0, base, 4) != nil {
+		t.Error("n=0 should return nil")
+	}
+}

@@ -41,6 +41,13 @@ type Arbiter struct {
 	total   int64
 	clients []*BudgetClient
 
+	// pressureFactor scales the effective total and the per-client
+	// protected floors under memory pressure: 1 (or 0, the unset zero
+	// value) is the full budget, smaller values shrink it. Set by the
+	// admission subsystem's pressure monitor; shrinking evicts
+	// immediately rather than waiting for the next insertion.
+	pressureFactor float64
+
 	// Doorkeeper generations: cur fills, prev is the previous window.
 	cur, prev map[uint64]struct{}
 
@@ -81,17 +88,34 @@ func (a *Arbiter) Total() int64 {
 }
 
 func (a *Arbiter) effectiveTotalLocked() int64 {
-	if a.total > 0 {
-		return a.total
-	}
-	var t int64
-	for _, c := range a.clients {
-		t += c.budget()
-	}
+	t := a.total
 	if t <= 0 {
-		t = FallbackGOPCacheBytes
+		for _, c := range a.clients {
+			t += c.budget()
+		}
+		if t <= 0 {
+			t = FallbackGOPCacheBytes
+		}
+	}
+	if f := a.factorLocked(); f < 1 {
+		t = int64(float64(t) * f)
 	}
 	return t
+}
+
+// factorLocked returns the pressure factor with the unset zero value
+// reading as 1 (no pressure).
+func (a *Arbiter) factorLocked() float64 {
+	if a.pressureFactor <= 0 || a.pressureFactor > 1 {
+		return 1
+	}
+	return a.pressureFactor
+}
+
+// floorLocked is the client's protected eviction floor: half its own
+// budget, pressure-scaled so shrunken totals stay reachable by eviction.
+func (a *Arbiter) floorLocked(c *BudgetClient) int64 {
+	return int64(float64(c.budget()/2) * a.factorLocked())
 }
 
 // Used returns the bytes currently charged across all clients.
@@ -115,6 +139,9 @@ type ArbiterStats struct {
 	Used   int64            `json:"used"`
 	Denied int64            `json:"denied"` // admissions refused by the doorkeeper
 	Client map[string]int64 `json:"client"` // per-client charged bytes
+	// PressureFactor is the current memory-pressure budget multiplier
+	// (1 = full budget); Total above is already scaled by it.
+	PressureFactor float64 `json:"pressure_factor"`
 }
 
 // Stats snapshots the arbiter.
@@ -122,15 +149,69 @@ func (a *Arbiter) Stats() ArbiterStats {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := ArbiterStats{
-		Total:  a.effectiveTotalLocked(),
-		Used:   a.usedLocked(),
-		Denied: a.denied,
-		Client: make(map[string]int64, len(a.clients)),
+		Total:          a.effectiveTotalLocked(),
+		Used:           a.usedLocked(),
+		Denied:         a.denied,
+		Client:         make(map[string]int64, len(a.clients)),
+		PressureFactor: a.factorLocked(),
 	}
 	for _, c := range a.clients {
 		s.Client[c.name] = c.used
 	}
 	return s
+}
+
+// SetPressureFactor scales the shared budget by f (clamped to [0,1]; 1
+// restores the full budget). Shrinking the budget evicts immediately:
+// over-floor clients' LRU tails are trimmed until usage fits the new
+// total, using the same unlock-evict-relock discipline as Reserve (lock
+// order is always arbiter -> cache). Growth takes effect lazily — caches
+// simply regain admission headroom.
+func (a *Arbiter) SetPressureFactor(f float64) {
+	if f != f { // NaN
+		return
+	}
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	a.mu.Lock()
+	if f == 0 {
+		// Full close would make the effective total 0 and every Reserve
+		// fail; clamp to the smallest meaningful shrink instead.
+		f = 0.05
+	}
+	a.pressureFactor = f
+	for {
+		need := a.usedLocked() - a.effectiveTotalLocked()
+		if need <= 0 {
+			break
+		}
+		v := a.victimLocked()
+		if v == nil {
+			break // every client at its (scaled) floor
+		}
+		// Ask only for the victim's over-floor share; the loop repicks if
+		// more is needed, so one bulk shrink cannot strip a single client
+		// below its protected floor.
+		ask := need
+		if over := v.used - a.floorLocked(v); ask > over {
+			ask = over
+		}
+		a.mu.Unlock()
+		freed := v.evict(ask)
+		a.mu.Lock()
+		v.used -= freed
+		if v.used < 0 {
+			v.used = 0
+		}
+		if freed <= 0 {
+			break
+		}
+	}
+	a.mu.Unlock()
 }
 
 // BudgetClient is one cache's account with a shared arbiter.
@@ -184,7 +265,7 @@ func (a *Arbiter) victimLocked() *BudgetClient {
 	var best *BudgetClient
 	var bestOver int64
 	for _, c := range a.clients {
-		if over := c.used - c.budget()/2; over > bestOver {
+		if over := c.used - a.floorLocked(c); over > bestOver {
 			best, bestOver = c, over
 		}
 	}

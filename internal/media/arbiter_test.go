@@ -188,3 +188,77 @@ func TestArbiterRelease(t *testing.T) {
 		t.Errorf("Used after over-release = %d, want 0", got)
 	}
 }
+
+// Shrinking the budget under memory pressure must evict immediately, and
+// restoring the factor must restore the full budget for new admissions —
+// the PR 4 follow-on the pressure monitor drives.
+func TestArbiterPressureShrinkAndRecover(t *testing.T) {
+	a := NewArbiter(1000)
+	s := newFakeStore(a, "gop", 1000)
+	for i := 0; i < 10; i++ {
+		if !s.insertRetry(fmt.Sprintf("k%d", i), 100) {
+			t.Fatalf("insert %d refused under budget", i)
+		}
+	}
+	if got := a.Used(); got != 1000 {
+		t.Fatalf("used = %d, want 1000", got)
+	}
+
+	// Quarter the budget: usage must drop to the new effective total
+	// immediately, not on the next insertion.
+	a.SetPressureFactor(0.25)
+	st := a.Stats()
+	if st.Total != 250 {
+		t.Errorf("pressured total = %d, want 250", st.Total)
+	}
+	if st.PressureFactor != 0.25 {
+		t.Errorf("stats factor = %v, want 0.25", st.PressureFactor)
+	}
+	if st.Used > 250 {
+		t.Errorf("used = %d after shrink, want <= 250", st.Used)
+	}
+	if s.evicted == 0 {
+		t.Error("no entries evicted by the shrink")
+	}
+
+	// Recover: the full total returns and admissions regrow to it.
+	a.SetPressureFactor(1)
+	if got := a.Total(); got != 1000 {
+		t.Fatalf("recovered total = %d, want 1000", got)
+	}
+	for i := 10; i < 18; i++ {
+		s.insertRetry(fmt.Sprintf("k%d", i), 100)
+	}
+	if got := a.Used(); got <= 250 {
+		t.Errorf("used = %d after recovery, want growth past the pressured cap", got)
+	}
+	if got := a.Used(); got > 1000 {
+		t.Errorf("used = %d, exceeds recovered total", got)
+	}
+}
+
+// The shrink must respect the pressure-scaled fairness floors: a client at
+// its scaled floor is not evicted below it.
+func TestArbiterPressureRespectsScaledFloors(t *testing.T) {
+	a := NewArbiter(1000)
+	s1 := newFakeStore(a, "gop", 500)
+	s2 := newFakeStore(a, "result", 500)
+	for i := 0; i < 5; i++ {
+		s1.insertRetry(fmt.Sprintf("g%d", i), 100)
+		s2.insertRetry(fmt.Sprintf("r%d", i), 100)
+	}
+	a.SetPressureFactor(0.5)
+	// Scaled floors are 500/2 * 0.5 = 125 each; neither client may be
+	// evicted below that even though total used (1000) exceeds the new
+	// effective total (500).
+	if got := s1.client.Used(); got < 100 {
+		t.Errorf("gop client evicted to %d, below its scaled floor", got)
+	}
+	if got := s2.client.Used(); got < 100 {
+		t.Errorf("result client evicted to %d, below its scaled floor", got)
+	}
+	if got := a.Used(); got > 1000 {
+		t.Errorf("used = %d grew during shrink", got)
+	}
+	a.SetPressureFactor(1)
+}

@@ -59,8 +59,16 @@ type RequestRecord struct {
 	// Wall is the request's elapsed time; still running if Active.
 	Wall    time.Duration `json:"wall_ns"`
 	Active  bool          `json:"active"`
-	Outcome string        `json:"outcome,omitempty"` // ok | error | canceled
+	Outcome string        `json:"outcome,omitempty"` // ok | error | canceled | shed
 	Error   string        `json:"error,omitempty"`
+
+	// Admission fields, set by SetAdmission: the tenant bucket, the
+	// plan's estimated cost in plan.Cost units, the wall time spent queued
+	// before admission, and — for shed requests — the typed reason.
+	Tenant     string        `json:"tenant,omitempty"`
+	CostUnits  float64       `json:"cost_units,omitempty"`
+	QueuedWall time.Duration `json:"queued_wall_ns,omitempty"`
+	ShedReason string        `json:"shed_reason,omitempty"`
 
 	Segments []SegmentRecord       `json:"segments,omitempty"`
 	Stages   map[string]StageStats `json:"stages,omitempty"`
@@ -129,6 +137,22 @@ func (q *Request) SetCaches(gopHits, gopMisses, resHits, resMisses int64) {
 	defer q.mu.Unlock()
 	q.data.GOPCacheHits, q.data.GOPCacheMisses = gopHits, gopMisses
 	q.data.ResCacheHits, q.data.ResCacheMisses = resHits, resMisses
+}
+
+// SetAdmission records the request's admission outcome: its tenant
+// bucket, estimated cost, and time spent queued. shedReason is empty for
+// admitted requests and one of the admit package's Reason* values for
+// shed ones (the record's Outcome is then "shed", set via Finish).
+func (q *Request) SetAdmission(tenant string, costUnits float64, queuedWall time.Duration, shedReason string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data.Tenant = tenant
+	q.data.CostUnits = costUnits
+	q.data.QueuedWall = queuedWall
+	q.data.ShedReason = shedReason
 }
 
 // SetTrace attaches the request's span trace, served by the flight
@@ -293,11 +317,13 @@ func (f *FlightRecorder) finish(q *Request, data RequestRecord, trace *Trace) {
 // Filter restricts Snapshot output; set fields are conjunctive. Slow
 // matches completed or in-flight requests at or past the slow threshold,
 // Errored matches completed requests whose outcome is not "ok", Active
-// matches in-flight requests.
+// matches in-flight requests, Shed matches requests the admission
+// controller turned away (outcome "shed").
 type Filter struct {
 	Slow    bool
 	Errored bool
 	Active  bool
+	Shed    bool
 }
 
 func (ft Filter) match(r RequestRecord, slow time.Duration) bool {
@@ -308,6 +334,9 @@ func (ft Filter) match(r RequestRecord, slow time.Duration) bool {
 		return false
 	}
 	if ft.Active && !r.Active {
+		return false
+	}
+	if ft.Shed && r.Outcome != "shed" {
 		return false
 	}
 	return true
@@ -383,6 +412,7 @@ func (f *FlightRecorder) Trace(traceID string) *Trace {
 //	GET /debug/requests?active=1        in-flight only
 //	GET /debug/requests?errored=1       completed non-ok only
 //	GET /debug/requests?slow=1          at/past the slow threshold only
+//	GET /debug/requests?shed=1          shed by admission control only
 //	GET /debug/requests?format=html     minimal HTML table (also via Accept)
 //	GET /debug/requests?trace=<id>      one request's Chrome trace JSON
 func (f *FlightRecorder) Handler() http.Handler {
@@ -402,6 +432,7 @@ func (f *FlightRecorder) Handler() http.Handler {
 			Slow:    isSet(qp.Get("slow")),
 			Errored: isSet(qp.Get("errored")),
 			Active:  isSet(qp.Get("active")),
+			Shed:    isSet(qp.Get("shed")),
 		}
 		recs := f.Snapshot(ft)
 		wantHTML := qp.Get("format") == "html" ||
@@ -430,18 +461,23 @@ func writeFlightHTML(w http.ResponseWriter, recs []RequestRecord, slow time.Dura
 	sb.WriteString("<!doctype html><title>v2v flight recorder</title>")
 	sb.WriteString("<style>table{border-collapse:collapse;font:13px monospace}td,th{border:1px solid #999;padding:2px 6px;text-align:left}</style>")
 	fmt.Fprintf(&sb, "<h1>flight recorder</h1><p>%d requests; slow threshold %s</p>", len(recs), slow)
-	sb.WriteString("<table><tr><th>id</th><th>trace</th><th>start</th><th>wall</th><th>outcome</th><th>segments</th><th>decoded</th><th>encoded</th><th>copied</th><th>gop hit/miss</th><th>query</th></tr>")
+	sb.WriteString("<table><tr><th>id</th><th>trace</th><th>tenant</th><th>start</th><th>wall</th><th>queued</th><th>cost</th><th>outcome</th><th>segments</th><th>decoded</th><th>encoded</th><th>copied</th><th>gop hit/miss</th><th>query</th></tr>")
 	for _, r := range recs {
 		outcome := r.Outcome
 		if r.Active {
 			outcome = "active"
 		}
+		if r.Outcome == "shed" && r.ShedReason != "" {
+			outcome = "shed:" + r.ShedReason
+		}
 		dec := r.Stages["decode"]
 		enc := r.Stages["encode"]
 		cp := r.Stages["copy"]
-		fmt.Fprintf(&sb, "<tr><td>%d</td><td><a href=\"?trace=%s\">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%dfr</td><td>%dfr</td><td>%dpkt</td><td>%d/%d</td><td>%s</td></tr>",
+		fmt.Fprintf(&sb, "<tr><td>%d</td><td><a href=\"?trace=%s\">%s</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%.1f</td><td>%s</td><td>%d</td><td>%dfr</td><td>%dfr</td><td>%dpkt</td><td>%d/%d</td><td>%s</td></tr>",
 			r.ID, html.EscapeString(r.TraceID), html.EscapeString(r.TraceID),
+			html.EscapeString(r.Tenant),
 			r.Start.Format(time.RFC3339), r.Wall.Round(time.Microsecond),
+			r.QueuedWall.Round(time.Microsecond), r.CostUnits,
 			html.EscapeString(outcome), len(r.Segments),
 			dec.Frames, enc.Frames, cp.Frames,
 			r.GOPCacheHits, r.GOPCacheMisses,

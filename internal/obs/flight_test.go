@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -363,5 +364,61 @@ func TestFlightRecorderConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := len(f.Snapshot(Filter{})); got != 16 {
 		t.Errorf("final ring = %d records, want 16", got)
+	}
+}
+
+func TestFlightRecorderShedFilterAndAdmission(t *testing.T) {
+	fr := NewFlightRecorder(8)
+
+	ok := fr.Start("aaaaaaaaaaaaaaaa", "q ok")
+	ok.SetAdmission("tenant-a", 42.5, 3*time.Millisecond, "")
+	ok.Finish("ok", nil)
+
+	shed := fr.Start("bbbbbbbbbbbbbbbb", "q shed")
+	shed.SetAdmission("tenant-b", 900, 0, "queue_full")
+	shed.Finish("shed", errors.New("admit: overloaded"))
+
+	all := fr.Snapshot(Filter{})
+	if len(all) != 2 {
+		t.Fatalf("snapshot = %d records, want 2", len(all))
+	}
+	got := fr.Snapshot(Filter{Shed: true})
+	if len(got) != 1 || got[0].TraceID != "bbbbbbbbbbbbbbbb" {
+		t.Fatalf("shed filter = %+v, want only the shed record", got)
+	}
+	if got[0].Tenant != "tenant-b" || got[0].ShedReason != "queue_full" || got[0].CostUnits != 900 {
+		t.Errorf("shed record admission fields = %+v", got[0])
+	}
+
+	// The errored filter also matches shed records (outcome != ok), while
+	// the shed filter does not match plain errors.
+	errRec := fr.Start("cccccccccccccccc", "q err")
+	errRec.Finish("error", errors.New("boom"))
+	if n := len(fr.Snapshot(Filter{Errored: true})); n != 2 {
+		t.Errorf("errored filter = %d records, want 2 (shed + error)", n)
+	}
+	if n := len(fr.Snapshot(Filter{Shed: true})); n != 1 {
+		t.Errorf("shed filter = %d records, want 1", n)
+	}
+
+	// Handler: ?shed=1 restricts the JSON body.
+	srv := httptest.NewServer(fr.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "?shed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Requests []RequestRecord `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Requests) != 1 || body.Requests[0].ShedReason != "queue_full" {
+		t.Errorf("?shed=1 body = %+v, want the one shed record", body.Requests)
+	}
+	if body.Requests[0].QueuedWall != 0 || body.Requests[0].Tenant != "tenant-b" {
+		t.Errorf("admission fields did not round-trip: %+v", body.Requests[0])
 	}
 }

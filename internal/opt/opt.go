@@ -93,6 +93,9 @@ func Optimize(p *plan.Plan, o Options) (Stats, error) {
 		sp.End()
 	}
 	p.Optimized = true
+	// Segment kinds and operator boundaries changed above — re-estimate so
+	// admission weights and EXPLAIN reflect the plan that executes.
+	plan.EstimateCosts(p)
 	p.Notes = append(p.Notes, fmt.Sprintf(
 		"opt: merged %d segments, removed %d op boundaries, %d copies, %d smart cuts, %d sharded",
 		st.SegmentsMerged, st.FiltersMerged, st.Copies, st.SmartCuts, st.ShardedSegs))

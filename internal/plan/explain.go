@@ -122,6 +122,9 @@ func (p *Plan) explain(annotate func(i int) string) string {
 	out := p.Checked.Output
 	fmt.Fprintf(&sb, "plan (%s): output %dx%d@%s gop=%d passthrough=%t\n",
 		mode, out.Width, out.Height, out.FPS, out.GOP, p.Checked.Passthrough)
+	if total := p.EstimatedCost(); !total.IsZero() {
+		fmt.Fprintf(&sb, "estimated cost: %s\n", total)
+	}
 	fmt.Fprintf(&sb, "concat (%d segments)\n", len(p.Segments))
 	for i, s := range p.Segments {
 		last := i == len(p.Segments)-1
@@ -132,8 +135,11 @@ func (p *Plan) explain(annotate func(i int) string) string {
 			cont = "   "
 		}
 		suffix := ""
+		if !s.EstCost.IsZero() {
+			suffix = "  [est: " + s.EstCost.String() + "]"
+		}
 		if annotate != nil {
-			suffix = annotate(i)
+			suffix += annotate(i)
 		}
 		switch s.Kind {
 		case SegCopy:

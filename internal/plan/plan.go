@@ -111,6 +111,11 @@ type Segment struct {
 	// starts decoding mid-GOP. Set by the optimizer's shard pass.
 	AlignVideo string
 	AlignOff   rational.Rat
+	// EstCost is the segment's static cost estimate, set by
+	// plan.EstimateCosts (from Build and again after optimizer passes
+	// change segment kinds). The admission controller weighs requests by
+	// the plan-wide sum; EXPLAIN prints it per segment.
+	EstCost Cost
 }
 
 // Plan is an executable synthesis plan.
@@ -146,6 +151,7 @@ func Build(c *check.Checked) (*Plan, error) {
 			Times: s.times, Kind: SegFrames, Root: root, Shards: 1,
 		})
 	}
+	EstimateCosts(p)
 	return p, nil
 }
 

@@ -35,6 +35,7 @@ import (
 	"v2v/internal/media"
 	"v2v/internal/obs"
 	"v2v/internal/opt"
+	"v2v/internal/plan"
 	"v2v/internal/rewrite"
 	"v2v/internal/sqlmini"
 	"v2v/internal/vql"
@@ -268,3 +269,19 @@ func SynthesizeStream(spec *Spec, w io.Writer, o Options) (*Result, error) {
 func SynthesizeStreamContext(ctx context.Context, spec *Spec, w io.Writer, o Options) (*Result, error) {
 	return core.SynthesizeStreamContext(ctx, spec, w, o)
 }
+
+// PlanCost is a plan's static cost estimate — decode frames, encode
+// frames, copied packets/bytes — with Units() collapsing it to a single
+// scalar admission weight. Shown per segment and per plan in EXPLAIN.
+type PlanCost = plan.Cost
+
+// Prepared is a planned-but-not-yet-executed synthesis: the pipeline
+// front half (check, rewrite, plan, optimize) has run and the plan's cost
+// estimate is available. v2vserve prepares every request before admission
+// so the admission controller can weigh it by estimated cost, then
+// executes the prepared plan once admitted.
+type Prepared = core.Prepared
+
+// Prepare runs the pipeline front half and returns the prepared plan with
+// its cost estimate; execute it with Prepared.SynthesizeStreamContext.
+func Prepare(spec *Spec, o Options) (*Prepared, error) { return core.Prepare(spec, o) }
