@@ -10,6 +10,7 @@
 //	v2vbench -fig ablate       # per-pass ablation table
 //	v2vbench -fig cache        # cache sweep: off / GOP cold+warm / GOP+result cold+warm (ToS-sim)
 //	v2vbench -fig overload     # overload sweep: goodput, p99, shed rate at 1x/4x/16x offered load (KABR-sim)
+//	v2vbench -fig streaming    # streaming sweep: TTFF and inter-segment gap at 1/4/16 concurrent streams (KABR-sim Q7)
 //	v2vbench -fig all -scale full -repeats 5
 //	v2vbench -fig 4 -json bench.json -trace bench-trace.json
 //	v2vbench -fig all -json BENCH_PR4.json -delta BENCH_PR3.json
@@ -46,8 +47,27 @@ type report struct {
 	Compare     []compareJSON  `json:"compare,omitempty"`
 	DataJoin    []dataJoinJSON `json:"data_join,omitempty"`
 	Ablation    []ablationJSON `json:"ablation,omitempty"`
-	Cache       []cacheJSON    `json:"cache,omitempty"`
-	Overload    []overloadJSON `json:"overload,omitempty"`
+	Cache       []cacheJSON     `json:"cache,omitempty"`
+	Overload    []overloadJSON  `json:"overload,omitempty"`
+	Streaming   []streamingJSON `json:"streaming,omitempty"`
+}
+
+type streamingJSON struct {
+	Dataset  string `json:"dataset"`
+	Query    string `json:"query"`
+	Streams  int    `json:"streams"`
+	Segments int    `json:"segments"`
+	// WallSeconds is the mean end-to-end wall per stream; TTFFSeconds the
+	// mean time until the first bytes were flushed (the honest
+	// time-to-first-frame); MaxGapSeconds the worst inter-segment
+	// delivery gap a playing client would observe.
+	WallSeconds    float64 `json:"wall_seconds"`
+	TTFFSeconds    float64 `json:"ttff_seconds"`
+	TTFFMaxSeconds float64 `json:"ttff_max_seconds"`
+	MaxGapSeconds  float64 `json:"max_gap_seconds"`
+	// ByteIdentical confirms the streamed output matched the buffered
+	// reference byte for byte.
+	ByteIdentical bool `json:"byte_identical"`
 }
 
 type compareJSON struct {
@@ -123,7 +143,7 @@ type ablationJSON struct {
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, cache, or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, cache, overload, streaming, or all")
 		scale     = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
 		repeats   = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
 		parallel  = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
@@ -207,7 +227,8 @@ func main() {
 	needAblate := *fig == "ablate" || *fig == "all"
 	needCache := *fig == "cache" || *fig == "all"
 	needOverload := *fig == "overload" || *fig == "all"
-	if !need3 && !need4 && !need5 && !needAblate && !needCache && !needOverload {
+	needStreaming := *fig == "streaming" || *fig == "all"
+	if !need3 && !need4 && !need5 && !needAblate && !needCache && !needOverload && !needStreaming {
 		fmt.Fprintf(os.Stderr, "v2vbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
@@ -220,7 +241,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if need4 || need5 || needAblate || needOverload {
+	if need4 || need5 || needAblate || needOverload || needStreaming {
 		fmt.Fprintln(os.Stderr, "provisioning KABR-sim ...")
 		kabr, err = benchkit.ProvisionKABR(*dir, sc)
 		if err != nil {
@@ -277,6 +298,14 @@ func main() {
 		}
 		fmt.Println(benchkit.FormatOverload("Overload — KABR-sim Q4 bursts at 1x/4x/16x the measured service rate", rows))
 		rep.addOverload(kabr.Name, rows)
+	}
+	if needStreaming {
+		rows, err := benchkit.StreamingRun(kabr, "Q7", cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(benchkit.FormatStreaming("Streaming — KABR-sim Q7 (4-segment splice): presentation-order delivery at 1/4/16 concurrent streams", rows))
+		rep.addStreaming(kabr.Name, rows)
 	}
 	if needAblate {
 		rows, err := benchkit.AblationRun(kabr, "Q7", cfg)
@@ -379,6 +408,22 @@ func (r *report) addOverload(dataset string, rows []benchkit.OverloadRow) {
 			ShedRate:   row.ShedRate,
 			GoodputQPS: row.GoodputQPS,
 			P99Seconds: row.P99.Seconds(),
+		})
+	}
+}
+
+func (r *report) addStreaming(dataset string, rows []benchkit.StreamingRow) {
+	for _, row := range rows {
+		r.Streaming = append(r.Streaming, streamingJSON{
+			Dataset:        dataset,
+			Query:          row.Query,
+			Streams:        row.Streams,
+			Segments:       row.Segments,
+			WallSeconds:    row.Wall.Seconds(),
+			TTFFSeconds:    row.TTFF.Seconds(),
+			TTFFMaxSeconds: row.TTFFMax.Seconds(),
+			MaxGapSeconds:  row.MaxSegGap.Seconds(),
+			ByteIdentical:  row.ByteIdentical,
 		})
 	}
 }

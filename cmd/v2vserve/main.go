@@ -65,12 +65,13 @@ import (
 // validateServeFlags rejects nonsensical flag values before any server
 // state is built, so a typo'd unit (bytes instead of MiB, negative
 // durations) fails fast with a clear message.
-func validateServeFlags(drain, synthTO, admitTO time.Duration, cacheMB, resMB, budgetMB, slowMS, flightSize, parallel, maxQueue int, tenantWeight, logFormat string) error {
+func validateServeFlags(drain, synthTO, admitTO, flushInterval time.Duration, cacheMB, resMB, budgetMB, slowMS, flightSize, parallel, maxQueue, streamBufKB int, tenantWeight, logFormat string) error {
 	_, werr := cliutil.ParseTenantWeights("-tenant-weight", tenantWeight)
 	return errors.Join(
 		cliutil.ValidateTimeout("-drain", drain),
 		cliutil.ValidateTimeout("-synth-timeout", synthTO),
 		cliutil.ValidateTimeout("-admit-timeout", admitTO),
+		cliutil.ValidateTimeout("-flush-interval", flushInterval),
 		cliutil.ValidateCacheMB("-gop-cache-mb", cacheMB),
 		cliutil.ValidateCacheMB("-result-cache-mb", resMB),
 		cliutil.ValidateBudgetMB("-cache-budget-mb", budgetMB),
@@ -78,6 +79,7 @@ func validateServeFlags(drain, synthTO, admitTO time.Duration, cacheMB, resMB, b
 		cliutil.ValidateRingSize("-flight-recorder-size", flightSize),
 		cliutil.ValidateParallel("-parallel", parallel),
 		cliutil.ValidateQueueDepth("-max-queue", maxQueue),
+		cliutil.ValidateBufferKB("-stream-buffer-kb", streamBufKB),
 		werr,
 		cliutil.ValidateLogFormat("-log-format", logFormat),
 	)
@@ -109,6 +111,8 @@ func main() {
 		maxQueue   = flag.Int("max-queue", 0, "admission queue depth across all tenants (0 = default 64)")
 		admitTO    = flag.Duration("admit-timeout", 0, "max time a request may wait in the admission queue before being shed (0 = default 10s)")
 		tenantW    = flag.String("tenant-weight", "", `per-tenant admission fairness weights as "name=w,name=w" (e.g. "gold=3,free=1"); unlisted tenants get weight 1`)
+		flushIvl   = flag.Duration("flush-interval", 0, "minimum spacing between segment-boundary flushes on streaming (?stream=1) responses; the header and final flush are never delayed (0 = flush at every segment boundary)")
+		streamKB   = flag.Int("stream-buffer-kb", 0, "per-stream delivery queue cap in KiB for ?stream=1 responses; a client draining slower than synthesis blocks only its own request once the queue is full (0 = 256 KiB default)")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		fetchURL   = flag.String("fetch", "", "client mode: fetch this URL instead of serving")
 		out        = flag.String("out", "", "client mode: output VMF path")
@@ -121,7 +125,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := validateServeFlags(*drain, *synthTO, *admitTO, *cacheMB, *resMB, *budgetMB, *slowMS, *flightSize, *parallel, *maxQueue, *tenantW, *logFormat); err != nil {
+	if err := validateServeFlags(*drain, *synthTO, *admitTO, *flushIvl, *cacheMB, *resMB, *budgetMB, *slowMS, *flightSize, *parallel, *maxQueue, *streamKB, *tenantW, *logFormat); err != nil {
 		fatal("invalid flags", err)
 	}
 
@@ -162,6 +166,8 @@ func main() {
 		srv.resultCache.AttachArbiter(srv.arbiter)
 	}
 	srv.parallelism = *parallel
+	srv.flushInterval = *flushIvl
+	srv.streamBufBytes = *streamKB << 10
 	weights, _ := cliutil.ParseTenantWeights("-tenant-weight", *tenantW)
 	srv.admit = admit.NewController(admit.Config{
 		MaxQueue: *maxQueue,
@@ -239,8 +245,14 @@ type server struct {
 	monitor *admit.Monitor
 	// parallelism caps each synthesis's shard fan-out (0 = GOMAXPROCS).
 	parallelism int
-	logger      *slog.Logger
-	reg         *obs.Registry
+	// flushInterval bounds how often a streaming response flushes at
+	// segment boundaries (0 = every boundary); see -flush-interval.
+	flushInterval time.Duration
+	// streamBufBytes caps each streaming response's delivery queue — the
+	// per-request backpressure point (0 = media default); -stream-buffer-kb.
+	streamBufBytes int
+	logger         *slog.Logger
+	reg            *obs.Registry
 
 	requests      *obs.Counter
 	errs4xx       *obs.Counter
@@ -248,9 +260,11 @@ type server struct {
 	synthOK       *obs.Counter
 	synthFail     *obs.Counter
 	synthCanceled *obs.Counter
+	truncated     *obs.Counter
 	inflight      *obs.Gauge
 	wallHist      *obs.Histogram
 	firstHist     *obs.Histogram
+	ttffHist      *obs.Histogram
 }
 
 func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
@@ -275,11 +289,16 @@ func newServer(specDir string, optimize bool, reg *obs.Registry) *server {
 			"Syntheses that failed mid-stream, after headers were sent."),
 		synthCanceled: reg.Counter("v2v_synthesis_canceled_total",
 			"Syntheses stopped by client disconnect or the per-request timeout."),
+		truncated: reg.Counter("v2v_streams_truncated_total",
+			"Response streams that ended after the header without a clean end-of-stream trailer (failed or canceled mid-stream)."),
 		inflight: reg.Gauge("v2v_inflight_requests", "Requests currently being served."),
 		wallHist: reg.Histogram("v2v_synthesis_wall_seconds",
 			"End-to-end synthesis wall time.", obs.LatencyBuckets()),
 		firstHist: reg.Histogram("v2v_synthesis_first_output_seconds",
 			"Latency until the first output packet (the paper's interactivity measure).",
+			obs.LatencyBuckets()),
+		ttffHist: reg.Histogram("v2v_stream_ttff_seconds",
+			"Time until the first bytes were flushed to a streaming (?stream=1) client — the honest time-to-first-frame.",
 			obs.LatencyBuckets()),
 	}
 }
@@ -551,11 +570,47 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 	// throughput estimate, whether the synthesis succeeds or not.
 	defer ticket.Release(opts.Recorder)
 
+	// Streaming delivery is opt-in per request: ?stream=1 or an Accept
+	// header naming the stream media type. Opted-in responses go through a
+	// FlushingSink — segments are scheduled in presentation order, bytes
+	// are flushed to the client at the container header and every segment
+	// boundary (coalesced by -flush-interval), and a client draining
+	// slower than synthesis blocks only this request's delivery goroutine
+	// once the -stream-buffer-kb queue fills.
+	streaming := r.URL.Query().Get("stream") == "1" ||
+		strings.Contains(r.Header.Get("Accept"), "application/x-v2v-stream")
+
 	w.Header().Set("Content-Type", "application/x-v2v-stream")
 	start := time.Now()
-	res, err := pr.SynthesizeStreamContext(ctx, w, opts)
+	var dst io.Writer = w
+	var fs *media.FlushingSink
+	if streaming {
+		fs = media.NewFlushingSink(w, media.FlushConfig{
+			BufferBytes:   s.streamBufBytes,
+			FlushInterval: s.flushInterval,
+		})
+		dst = fs
+		opts.Streaming = true
+		opts.OnSegmentDone = func(int) { fs.Barrier() }
+	}
+	res, err := pr.SynthesizeStreamContext(ctx, dst, opts)
+	if fs != nil {
+		// Drain the queue before the handler returns: the typed trailer a
+		// failed synthesis wrote via the sink must reach the client before
+		// the connection closes. A downstream (client) write error
+		// surfaces here if the synthesis itself didn't observe it.
+		if cerr := fs.CloseFlush(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	req.SetTrace(tr)
 	if err != nil {
+		// Post-header failures no longer just drop the connection: the
+		// executor wrote a typed error trailer through the sink (satellite
+		// of the streaming contract), so clients distinguish a reported
+		// failure from raw truncation. Either way the stream did not end
+		// with a clean EOS trailer — count it.
+		s.truncated.Inc()
 		if ctx.Err() != nil {
 			s.synthCanceled.Inc()
 			req.Finish("canceled", err)
@@ -563,8 +618,6 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 				"wall", time.Since(start), "error", err, "trace_id", traceID)
 			return
 		}
-		// Headers may already be out; count the failure, log, and drop
-		// the connection so the client sees a truncated stream.
 		s.synthFail.Inc()
 		req.Finish("error", err)
 		s.logger.Error("synthesis failed",
@@ -572,6 +625,19 @@ func (s *server) synthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.synthOK.Inc()
+	if fs != nil {
+		// Honest TTFF: for streaming consumers, first output means "first
+		// bytes flushed to the client", not "first packet handed to Go's
+		// response buffers" (the executor's stamp). Override the metric
+		// with the flushing sink's measurement; file and non-streaming
+		// consumers keep the executor semantics.
+		if first, ok := fs.FirstFlush(); ok {
+			ttff := first.Sub(start)
+			res.Metrics.FirstOutput = ttff
+			s.ttffHist.Observe(ttff.Seconds())
+			req.SetStreaming(ttff)
+		}
+	}
 	s.wallHist.Observe(res.Metrics.Wall.Seconds())
 	s.firstHist.Observe(res.Metrics.FirstOutput.Seconds())
 	req.SetPlan(res.Plan.Explain())
@@ -724,6 +790,14 @@ func fetch(url, outPath string) error {
 		}
 		if err != nil {
 			w.Abort()
+			// The typed trailer distinguishes a failure the server reported
+			// from a connection that was simply cut mid-stream.
+			switch {
+			case errors.Is(err, media.ErrStreamFailed):
+				return fmt.Errorf("fetch: server reported failure mid-stream: %w", err)
+			case errors.Is(err, media.ErrTruncatedStream):
+				return fmt.Errorf("fetch: connection cut before end-of-stream trailer: %w", err)
+			}
 			return err
 		}
 		if err := w.WriteRawPacket(key, data); err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -21,6 +22,7 @@ import (
 	"v2v/internal/media"
 	"v2v/internal/obs"
 	"v2v/internal/rational"
+	"v2v/internal/vql"
 )
 
 func testServer(t *testing.T) (*httptest.Server, string, string) {
@@ -302,41 +304,45 @@ func TestClientDisconnectCancelsSynthesis(t *testing.T) {
 }
 
 func TestValidateServeFlags(t *testing.T) {
-	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "text"); err != nil {
+	if err := validateServeFlags(30*time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "text"); err != nil {
 		t.Errorf("defaults should validate: %v", err)
 	}
-	if err := validateServeFlags(time.Minute, time.Minute, 5*time.Second, -1, -1, 0, 500, 1024, 8, 128, "gold=3,free=1", "json"); err != nil {
+	if err := validateServeFlags(time.Minute, time.Minute, 5*time.Second, 100*time.Millisecond, -1, -1, 0, 500, 1024, 8, 128, 512, "gold=3,free=1", "json"); err != nil {
 		t.Errorf("full flag set should validate: %v", err)
 	}
 	for _, tc := range []struct {
-		name                     string
-		drain, synthTO, admitTO  time.Duration
-		cacheMB, resMB, budgetMB int
-		slowMS, flightSize       int
-		parallel, maxQueue       int
-		tenantW                  string
-		logFormat                string
-		want                     string
+		name                              string
+		drain, synthTO, admitTO, flushIvl time.Duration
+		cacheMB, resMB, budgetMB          int
+		slowMS, flightSize                int
+		parallel, maxQueue, streamKB      int
+		tenantW                           string
+		logFormat                         string
+		want                              string
 	}{
-		{"negative drain", -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-drain"},
-		{"negative synth timeout", 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-synth-timeout"},
-		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "exceeds"},
-		{"negative admit timeout", 0, 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, "", "", "-admit-timeout"},
-		{"bad gop cache", 0, 0, 0, -2, 0, 0, 0, 0, 0, 0, "", "", "-gop-cache-mb"},
-		{"bad result cache", 0, 0, 0, 0, -9, 0, 0, 0, 0, 0, "", "", "-result-cache-mb"},
-		{"bytes-not-MiB cache", 0, 0, 0, 1 << 30, 0, 0, 0, 0, 0, 0, "", "", "MiB, not bytes"},
-		{"negative budget", 0, 0, 0, 0, 0, -1, 0, 0, 0, 0, "", "", "-cache-budget-mb"},
-		{"negative slow threshold", 0, 0, 0, 0, 0, 0, -5, 0, 0, 0, "", "", "-slow-query-ms"},
-		{"negative flight ring", 0, 0, 0, 0, 0, 0, 0, -1, 0, 0, "", "", "-flight-recorder-size"},
-		{"absurd flight ring", 0, 0, 0, 0, 0, 0, 0, 1 << 20, 0, 0, "", "", "-flight-recorder-size"},
-		{"negative parallel", 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, "", "", "-parallel"},
-		{"negative max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, "", "", "-max-queue"},
-		{"absurd max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, 1 << 20, "", "", "-max-queue"},
-		{"bad tenant weight", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "gold=0", "", "-tenant-weight"},
-		{"bad log format", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "xml", "-log-format"},
+		{"negative drain", -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-drain"},
+		{"negative synth timeout", 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-synth-timeout"},
+		{"absurd synth timeout", 0, 48 * time.Hour, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "exceeds"},
+		{"negative admit timeout", 0, 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-admit-timeout"},
+		{"negative flush interval", 0, 0, 0, -time.Second, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-flush-interval"},
+		{"absurd flush interval", 0, 0, 0, 48 * time.Hour, 0, 0, 0, 0, 0, 0, 0, 0, "", "", "-flush-interval"},
+		{"bad gop cache", 0, 0, 0, 0, -2, 0, 0, 0, 0, 0, 0, 0, "", "", "-gop-cache-mb"},
+		{"bad result cache", 0, 0, 0, 0, 0, -9, 0, 0, 0, 0, 0, 0, "", "", "-result-cache-mb"},
+		{"bytes-not-MiB cache", 0, 0, 0, 0, 1 << 30, 0, 0, 0, 0, 0, 0, 0, "", "", "MiB, not bytes"},
+		{"negative budget", 0, 0, 0, 0, 0, 0, -1, 0, 0, 0, 0, 0, "", "", "-cache-budget-mb"},
+		{"negative slow threshold", 0, 0, 0, 0, 0, 0, 0, -5, 0, 0, 0, 0, "", "", "-slow-query-ms"},
+		{"negative flight ring", 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, 0, 0, "", "", "-flight-recorder-size"},
+		{"absurd flight ring", 0, 0, 0, 0, 0, 0, 0, 0, 1 << 20, 0, 0, 0, "", "", "-flight-recorder-size"},
+		{"negative parallel", 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, 0, "", "", "-parallel"},
+		{"negative max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, 0, "", "", "-max-queue"},
+		{"absurd max queue", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1 << 20, 0, "", "", "-max-queue"},
+		{"negative stream buffer", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, -1, "", "", "-stream-buffer-kb"},
+		{"bytes-not-KiB stream buffer", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1 << 28, "", "", "KiB, not bytes"},
+		{"bad tenant weight", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "gold=0", "", "-tenant-weight"},
+		{"bad log format", 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, "", "xml", "-log-format"},
 	} {
-		err := validateServeFlags(tc.drain, tc.synthTO, tc.admitTO, tc.cacheMB, tc.resMB, tc.budgetMB,
-			tc.slowMS, tc.flightSize, tc.parallel, tc.maxQueue, tc.tenantW, tc.logFormat)
+		err := validateServeFlags(tc.drain, tc.synthTO, tc.admitTO, tc.flushIvl, tc.cacheMB, tc.resMB, tc.budgetMB,
+			tc.slowMS, tc.flightSize, tc.parallel, tc.maxQueue, tc.streamKB, tc.tenantW, tc.logFormat)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
 		}
@@ -856,4 +862,281 @@ func TestRequestTenant(t *testing.T) {
 				tc.tenant, tc.apiKey, got, tc.want)
 		}
 	}
+}
+
+// streamingServer builds a server over a 3s source with a multi-segment
+// splice spec (one copyable arm, one rendered arm) and returns the server
+// struct so tests can read its counters directly.
+func streamingServer(t *testing.T, bufBytes int) (*server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specText := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { cam: %q; }
+		render(t) = match t {
+			t in range(0, 1, 1/24) => cam[t],
+			t in range(1, 2, 1/24) => grade(cam[t], 5, 1.0, 1.0),
+		};`, vid)
+	srv := newServer(dir, true, obs.NewRegistry())
+	srv.streamBufBytes = bufBytes
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, specText
+}
+
+// metricValue scrapes /metrics and returns the value of the named sample.
+func metricValue(t *testing.T, ts *httptest.Server, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parse %s sample %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+// TestStreamOptInDeliversIdenticalBytes asserts the ?stream=1 opt-in
+// changes delivery timing only: the response bytes are identical to the
+// buffered response, the stream ends with a clean typed trailer, and the
+// TTFF histogram records the request.
+func TestStreamOptInDeliversIdenticalBytes(t *testing.T) {
+	srv, ts, specText := streamingServer(t, 0)
+
+	post := func(url string) []byte {
+		resp, err := http.Post(url, "text/plain", strings.NewReader(specText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %s", resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	plain := post(ts.URL + "/synthesize")
+	streamed := post(ts.URL + "/synthesize?stream=1")
+	if !strings.EqualFold(fmt.Sprintf("%x", plain), fmt.Sprintf("%x", streamed)) {
+		t.Fatalf("streamed bytes differ from buffered bytes: %d vs %d", len(streamed), len(plain))
+	}
+
+	sr, err := media.NewStreamReader(strings.NewReader(string(streamed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	for {
+		if _, err := sr.NextFrame(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			t.Fatal(err)
+		}
+		frames++
+	}
+	if frames != 48 {
+		t.Fatalf("streamed frames = %d, want 48", frames)
+	}
+	if tr, ok := sr.Trailer(); !ok || tr.Status != "ok" {
+		t.Errorf("trailer = %+v,%v; want clean ok trailer", tr, ok)
+	}
+
+	if got := metricValue(t, ts, "v2v_stream_ttff_seconds_count"); got != 1 {
+		t.Errorf("ttff histogram count = %g, want 1 (only the ?stream=1 request)", got)
+	}
+	if n := srv.truncated.Value(); n != 0 {
+		t.Errorf("truncated streams = %d, want 0", n)
+	}
+}
+
+// TestStreamAcceptHeaderOptsIn asserts the Accept-based opt-in works like
+// ?stream=1.
+func TestStreamAcceptHeaderOptsIn(t *testing.T) {
+	_, ts, specText := streamingServer(t, 0)
+	req, _ := http.NewRequest("POST", ts.URL+"/synthesize", strings.NewReader(specText))
+	req.Header.Set("Accept", "application/x-v2v-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := len(readStream(t, resp.Body)); got != 48 {
+		t.Fatalf("frames = %d, want 48", got)
+	}
+	if got := metricValue(t, ts, "v2v_stream_ttff_seconds_count"); got != 1 {
+		t.Errorf("ttff histogram count = %g, want 1", got)
+	}
+}
+
+// TestStreamFailureWritesTypedTrailer injects a panicking transform into
+// the second segment: the response starts (header out), then fails. The
+// client must see the typed error trailer — not a silently cut stream —
+// and the server counts the truncation.
+func TestStreamFailureWritesTypedTrailer(t *testing.T) {
+	registerServePanicUDF()
+	srv, ts, _ := streamingServer(t, 0)
+	dir := t.TempDir()
+	vid := filepath.Join(dir, "cam.vmf")
+	if _, err := dataset.Generate(vid, "", dataset.TinyProfile(), rational.FromInt(3)); err != nil {
+		t.Fatal(err)
+	}
+	specText := fmt.Sprintf(`
+		timedomain range(0, 2, 1/24);
+		videos { cam: %q; }
+		render(t) = match t {
+			t in range(0, 1, 1/24) => grade(cam[t], 5, 1.0, 1.0),
+			t in range(1, 2, 1/24) => servetest_panic(cam[t]),
+		};`, vid)
+
+	for i, url := range []string{ts.URL + "/synthesize?stream=1", ts.URL + "/synthesize"} {
+		resp, err := http.Post(url, "text/plain", strings.NewReader(specText))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := media.NewStreamReader(resp.Body)
+		if err != nil {
+			resp.Body.Close()
+			t.Fatal(err)
+		}
+		var last error
+		for {
+			if _, _, last = sr.NextPacket(); last != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		if !errors.Is(last, media.ErrStreamFailed) {
+			t.Fatalf("request %d: stream ended with %v, want ErrStreamFailed", i, last)
+		}
+		if tr, ok := sr.Trailer(); !ok || tr.Status != "error" || tr.Error == "" {
+			t.Errorf("request %d: trailer = %+v,%v; want typed error trailer", i, tr, ok)
+		}
+	}
+	if n := srv.truncated.Value(); n != 2 {
+		t.Errorf("truncated streams = %d, want 2", n)
+	}
+	if n := srv.synthFail.Value(); n != 2 {
+		t.Errorf("synthesis failures = %d, want 2", n)
+	}
+}
+
+// TestStreamSlowClientDoesNotBlockOthers drains a streaming response a
+// few hundred bytes at a time with a pause between reads, while a second
+// buffered request runs concurrently. The slow client's backpressure must
+// stall only its own request: the concurrent request finishes first, and
+// the slow stream still arrives complete. The streaming request's TTFF is
+// also far below its wall time — the client got first bytes while the
+// rest was still being squeezed through the tiny queue.
+func TestStreamSlowClientDoesNotBlockOthers(t *testing.T) {
+	srv, ts, specText := streamingServer(t, 4<<10)
+
+	type done struct {
+		frames int
+		at     time.Time
+		err    error
+	}
+	slowCh := make(chan done, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/synthesize?stream=1", "text/plain", strings.NewReader(specText))
+		if err != nil {
+			slowCh <- done{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var whole []byte
+		buf := make([]byte, 512)
+		for {
+			n, rerr := resp.Body.Read(buf)
+			whole = append(whole, buf[:n]...)
+			if rerr != nil {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		sr, err := media.NewStreamReader(strings.NewReader(string(whole)))
+		if err != nil {
+			slowCh <- done{err: err}
+			return
+		}
+		frames := 0
+		for {
+			if _, err := sr.NextFrame(); err != nil {
+				if err != io.EOF {
+					slowCh <- done{err: err}
+					return
+				}
+				break
+			}
+			frames++
+		}
+		slowCh <- done{frames: frames, at: time.Now()}
+	}()
+
+	// Give the slow stream a head start, then run a buffered request.
+	time.Sleep(20 * time.Millisecond)
+	resp, err := http.Post(ts.URL+"/synthesize", "text/plain", strings.NewReader(specText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(readStream(t, resp.Body)); got != 48 {
+		t.Fatalf("concurrent request frames = %d, want 48", got)
+	}
+	resp.Body.Close()
+	fastDone := time.Now()
+
+	slow := <-slowCh
+	if slow.err != nil {
+		t.Fatal(slow.err)
+	}
+	if slow.frames != 48 {
+		t.Fatalf("slow client frames = %d, want 48", slow.frames)
+	}
+	if !fastDone.Before(slow.at) {
+		t.Errorf("concurrent request finished after the slow client; slow client pinned the server")
+	}
+	if n := srv.truncated.Value(); n != 0 {
+		t.Errorf("truncated streams = %d, want 0", n)
+	}
+
+	// Honest TTFF: the streaming request's first flush happened long
+	// before its wall clock ran out draining through the tiny queue.
+	ttff := metricValue(t, ts, "v2v_stream_ttff_seconds_sum")
+	wall := metricValue(t, ts, "v2v_synthesis_wall_seconds_sum")
+	if ttff <= 0 || ttff > wall/2 {
+		t.Errorf("ttff sum = %gs vs wall sum = %gs; TTFF should be well below wall", ttff, wall)
+	}
+}
+
+// registerServePanicUDF registers a panicking transform for the
+// mid-stream failure tests, skipping re-registration across -count runs.
+func registerServePanicUDF() {
+	if _, ok := vql.Lookup("servetest_panic"); ok {
+		return
+	}
+	vql.Register(&vql.Transform{
+		Name:   "servetest_panic",
+		Params: []vql.Type{vql.TypeFrame},
+		Result: vql.TypeFrame,
+		Eval: func([]vql.Val) (vql.Val, error) {
+			panic("boom")
+		},
+	})
 }

@@ -219,3 +219,83 @@ func TestAblationRunShape(t *testing.T) {
 		t.Error("unknown query should fail")
 	}
 }
+
+func TestStreamingRunShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := testScale()
+	rows, err := StreamingRun(kabrDS, "Q2", Config{Scale: sc, OutDir: t.TempDir(), Parallelism: 2, Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(streamingConcurrency) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(streamingConcurrency))
+	}
+	for i, r := range rows {
+		if r.Streams != streamingConcurrency[i] {
+			t.Errorf("row %d streams = %d, want %d", i, r.Streams, streamingConcurrency[i])
+		}
+		if r.Segments < 2 {
+			t.Errorf("row %d segments = %d; the splice query should keep multiple segments", i, r.Segments)
+		}
+		if r.Wall <= 0 || r.TTFF <= 0 || r.TTFFMax < r.TTFF {
+			t.Errorf("row %d timings: wall=%v ttff=%v ttffmax=%v", i, r.Wall, r.TTFF, r.TTFFMax)
+		}
+		// The tentpole's headline: playback can start well before the
+		// whole splice is synthesized.
+		if r.TTFF >= r.Wall {
+			t.Errorf("row %d TTFF %v >= wall %v; streaming delivered nothing early", i, r.TTFF, r.Wall)
+		}
+		if !r.ByteIdentical {
+			t.Errorf("row %d: streamed bytes differ from the buffered reference", i)
+		}
+	}
+	table := FormatStreaming("streaming", rows)
+	if !strings.Contains(table, "TTFF") || !strings.Contains(table, "MaxGap") {
+		t.Errorf("table:\n%s", table)
+	}
+	if _, err := StreamingRun(kabrDS, "Q99", Config{Scale: sc, OutDir: t.TempDir(), Repeats: 1}); err == nil {
+		t.Error("unknown query should fail")
+	}
+}
+
+func TestDeltaStreamingSection(t *testing.T) {
+	old := &ReportFile{}
+	old.Streaming = append(old.Streaming, struct {
+		Dataset       string  `json:"dataset"`
+		Query         string  `json:"query"`
+		Streams       int     `json:"streams"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		TTFFSeconds   float64 `json:"ttff_seconds"`
+		MaxGapSeconds float64 `json:"max_gap_seconds"`
+	}{"kabr-sim", "Q7", 4, 2.0, 0.1, 0.5})
+	cur := &ReportFile{}
+	cur.Streaming = append(cur.Streaming, struct {
+		Dataset       string  `json:"dataset"`
+		Query         string  `json:"query"`
+		Streams       int     `json:"streams"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		TTFFSeconds   float64 `json:"ttff_seconds"`
+		MaxGapSeconds float64 `json:"max_gap_seconds"`
+	}{"kabr-sim", "Q7", 4, 2.1, 0.3, 0.6})
+	rows := Delta(old, cur)
+	var ttff *DeltaRow
+	for i := range rows {
+		if rows[i].Metric == "ttff_seconds" {
+			ttff = &rows[i]
+		}
+	}
+	if ttff == nil {
+		t.Fatal("no ttff_seconds delta row")
+	}
+	if ttff.Query != "Q7@4" {
+		t.Errorf("ttff row query = %q, want Q7@4", ttff.Query)
+	}
+	if !ttff.Regressed() {
+		t.Errorf("3x TTFF slowdown not flagged (ratio %.2f)", ttff.Ratio)
+	}
+	if got := len(rows); got != 3 {
+		t.Errorf("delta rows = %d, want 3 (ttff, wall, max_gap)", got)
+	}
+}

@@ -38,6 +38,14 @@ type ReportFile struct {
 		Load       float64 `json:"load"`
 		P99Seconds float64 `json:"p99_seconds"`
 	} `json:"overload"`
+	Streaming []struct {
+		Dataset       string  `json:"dataset"`
+		Query         string  `json:"query"`
+		Streams       int     `json:"streams"`
+		WallSeconds   float64 `json:"wall_seconds"`
+		TTFFSeconds   float64 `json:"ttff_seconds"`
+		MaxGapSeconds float64 `json:"max_gap_seconds"`
+	} `json:"streaming"`
 }
 
 // LoadReport reads a v2vbench -json report.
@@ -130,7 +138,33 @@ func Delta(old, cur *ReportFile) []DeltaRow {
 	for _, e := range cur.Overload {
 		add("overload", e.Dataset, loadLabel(e.Load), "p99_seconds", oldOverload[key{e.Dataset, loadLabel(e.Load)}], e.P99Seconds)
 	}
+	// Streaming points are keyed by query plus the concurrency ("Q7@4").
+	// TTFF is the sweep's headline metric; wall and the worst
+	// inter-segment gap regress independently (a scheduler that renders
+	// everything before delivering keeps wall flat while both TTFF and
+	// the gap explode), so each gets its own row.
+	oldStreamTTFF := map[key]float64{}
+	oldStreamWall := map[key]float64{}
+	oldStreamGap := map[key]float64{}
+	for _, e := range old.Streaming {
+		k := key{e.Dataset, streamLabel(e.Query, e.Streams)}
+		oldStreamTTFF[k] = e.TTFFSeconds
+		oldStreamWall[k] = e.WallSeconds
+		oldStreamGap[k] = e.MaxGapSeconds
+	}
+	for _, e := range cur.Streaming {
+		k := key{e.Dataset, streamLabel(e.Query, e.Streams)}
+		add("streaming", e.Dataset, k.query, "ttff_seconds", oldStreamTTFF[k], e.TTFFSeconds)
+		add("streaming", e.Dataset, k.query, "wall_seconds", oldStreamWall[k], e.WallSeconds)
+		add("streaming", e.Dataset, k.query, "max_gap_seconds", oldStreamGap[k], e.MaxGapSeconds)
+	}
 	return rows
+}
+
+// streamLabel renders a streaming point key as the short "Q7@4" form used
+// in tables and delta keys.
+func streamLabel(query string, streams int) string {
+	return fmt.Sprintf("%s@%d", query, streams)
 }
 
 // loadLabel renders an offered-load multiple as the short "4x" form used in

@@ -31,6 +31,10 @@ const (
 	MaxQueueDepth = 1 << 16
 	// MaxTenantWeight caps individual tenant fairness weights.
 	MaxTenantWeight = 1 << 20
+	// MaxBufferKB caps per-stream buffer flags at 1 GiB expressed in KiB;
+	// a larger value is almost certainly a unit mistake (bytes passed
+	// where KiB were expected).
+	MaxBufferKB = 1 << 20
 )
 
 // ValidateCacheMB checks a cache-size flag where -1 disables the cache
@@ -100,6 +104,18 @@ func ValidateRingSize(name string, n int) error {
 		return fmt.Errorf("%s: negative size %d; use 0 for the default", name, n)
 	case n > MaxRingSize:
 		return fmt.Errorf("%s: size %d exceeds the %d cap", name, n, MaxRingSize)
+	}
+	return nil
+}
+
+// ValidateBufferKB checks a per-stream buffer-size flag where 0 selects
+// the default size.
+func ValidateBufferKB(name string, kb int) error {
+	switch {
+	case kb < 0:
+		return fmt.Errorf("%s: negative buffer size %d; use 0 for the default", name, kb)
+	case kb > MaxBufferKB:
+		return fmt.Errorf("%s: %d KiB exceeds the %d KiB (1 GiB) cap; the value is in KiB, not bytes", name, kb, MaxBufferKB)
 	}
 	return nil
 }

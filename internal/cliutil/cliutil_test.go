@@ -130,6 +130,22 @@ func TestValidateQueueDepth(t *testing.T) {
 	}
 }
 
+func TestValidateBufferKB(t *testing.T) {
+	for _, tc := range []struct {
+		kb      int
+		wantErr string
+	}{
+		{0, ""},
+		{256, ""},
+		{MaxBufferKB, ""},
+		{-1, "negative buffer size"},
+		{MaxBufferKB + 1, "KiB, not bytes"},
+	} {
+		err := ValidateBufferKB("-stream-buffer-kb", tc.kb)
+		checkErr(t, "ValidateBufferKB", tc.kb, err, tc.wantErr)
+	}
+}
+
 func TestParseTenantWeights(t *testing.T) {
 	for _, tc := range []struct {
 		spec    string

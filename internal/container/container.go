@@ -25,6 +25,14 @@
 // Timestamps are frame counts: packet PTS n has presentation time
 // Start + n/FPS, kept exact with rationals.
 //
+// VMF is a seekable-only format: because the index lives at the end of
+// the file, a VMF file is not consumable until it is complete, and a
+// truncated file is structurally detectable (missing footer). Progressive
+// consumption — header and packets valid the moment they are written,
+// with a typed end-of-stream trailer distinguishing a complete stream
+// from a cut connection — is the VMS stream format's job
+// (internal/media's StreamWriter/StreamReader; docs/STREAMING.md).
+//
 // Robustness properties:
 //
 //   - Writers are atomic: Create writes to <path>.tmp and Close renames it

@@ -59,6 +59,18 @@ type Options struct {
 	// copy) frames, bytes, and wall time to this run — v2vserve threads
 	// each request's flight-recorder entry here. See exec.Options.Recorder.
 	Recorder *obs.Recorder
+	// Streaming schedules multi-segment plans strictly in presentation
+	// order, delivering each segment's packets as it completes while later
+	// segments render concurrently. Output bytes are identical to a
+	// non-streaming run; only delivery timing changes. See
+	// exec.Options.Streaming.
+	Streaming bool
+	// OnSegmentDone, when set, is called with -1 after the container
+	// header is written and then with each segment index after that
+	// segment's packets reach the sink — the flush hook streaming
+	// consumers use to push bytes at segment boundaries. See
+	// exec.Options.OnSegmentDone.
+	OnSegmentDone func(segment int)
 }
 
 // DefaultOptions enables the full V2V pipeline.
@@ -208,6 +220,7 @@ func execOptions(o Options) exec.Options {
 		Parallelism: o.Parallelism, Conceal: o.Conceal,
 		GOPCache: o.GOPCache, ResultCache: o.ResultCache, Trace: o.Trace,
 		Recorder: o.Recorder,
+		Streaming: o.Streaming, OnSegmentDone: o.OnSegmentDone,
 	}
 }
 

@@ -49,6 +49,53 @@ func init() {
 // is never the first error, so callers never see it.
 var errShardAborted = fmt.Errorf("exec: shard aborted after prior failure")
 
+// firstStampSink wraps the output sink to stamp Metrics.FirstOutput the
+// moment the first packet is handed over, on every write path (sequential
+// encode, raw splice, shard delivery). Centralizing the stamp here means
+// no delivery path can forget it: copy/smart-cut segments and warm
+// result-cache splices stamp on their first packet, not at segment end.
+// For a file sink "handed over" is honest enough; a server wraps the
+// stream in a flushing sink and overrides FirstOutput with the first
+// actual network flush (see media.FlushingSink).
+//
+// All writes happen on the delivery goroutine, so m needs no locking
+// here.
+type firstStampSink struct {
+	media.Sink
+	start time.Time
+	m     *Metrics
+}
+
+func (f *firstStampSink) stamp() {
+	if f.m.FirstOutput == 0 {
+		f.m.FirstOutput = time.Since(f.start)
+	}
+}
+
+func (f *firstStampSink) WriteFrame(fr *frame.Frame) error {
+	if err := f.Sink.WriteFrame(fr); err != nil {
+		return err
+	}
+	f.stamp()
+	return nil
+}
+
+func (f *firstStampSink) WriteRawPacket(key bool, data []byte) error {
+	if err := f.Sink.WriteRawPacket(key, data); err != nil {
+		return err
+	}
+	f.stamp()
+	return nil
+}
+
+func (f *firstStampSink) WriteEncodedFrame(key bool, data []byte) error {
+	if err := f.Sink.WriteEncodedFrame(key, data); err != nil {
+		return err
+	}
+	f.stamp()
+	return nil
+}
+
 // Options configures execution.
 type Options struct {
 	// Parallelism caps concurrently running shards; 0 means unlimited
@@ -83,6 +130,21 @@ type Options struct {
 	// populated. The process-wide v2v_stage_* metrics are updated in
 	// either case.
 	Recorder *obs.Recorder
+	// Streaming schedules multi-segment plans strictly in presentation
+	// order: later segments render concurrently (bounded by Parallelism
+	// and a fixed delivery window), but packets are delivered to the sink
+	// segment by segment, front to back, so a consumer can play the
+	// output while the tail is still rendering. The written bytes are
+	// identical to a non-streaming run. Single-segment plans already
+	// deliver pipelined chunks in order, so the flag is a no-op for them.
+	Streaming bool
+	// OnSegmentDone, when set, is called on the delivery goroutine with
+	// -1 once the container header is out (the sink wrote it before
+	// ExecuteTo ran) and then with each segment's index after that
+	// segment's packets have all been handed to the sink — the flush
+	// hook a streaming server uses to push buffered bytes to the client
+	// at segment boundaries.
+	OnSegmentDone func(segment int)
 }
 
 // Metrics reports the work a plan execution performed.
@@ -160,17 +222,17 @@ func Execute(ctx context.Context, p *plan.Plan, outPath string, o Options) (*Met
 func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Metrics, error) {
 	start := time.Now()
 	m := &Metrics{}
-	markFirst := func() {
-		if m.FirstOutput == 0 && w.FramesWritten() > 0 {
-			m.FirstOutput = time.Since(start)
-		}
-	}
 	if o.Recorder == nil {
 		o.Recorder = obs.NewRecorder()
 	}
+	// Attach the recorder to the raw sink before wrapping it: the stamp
+	// wrapper embeds only the Sink interface, so SetRecorder would not
+	// promote through it.
 	if sr, ok := w.(interface{ SetRecorder(*obs.Recorder) }); ok {
 		sr.SetRecorder(o.Recorder)
 	}
+	raw := w
+	w = &firstStampSink{Sink: raw, start: start, m: m}
 	// Registered before the reader cache's defer so it runs after closeAll
 	// has folded still-open readers' stats into m — the counter then sees
 	// copy-path concealments too, on success and failure alike.
@@ -196,17 +258,38 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 		}
 		execSpan.SetAttr("error", err.Error())
 		execSpan.End()
-		w.Abort()
+		// A stream sink whose header is already on the wire writes a typed
+		// error trailer (best-effort) so the consumer can tell a producer
+		// failure from a cut connection; a file sink discards its temp
+		// file as before.
+		if aw, ok := raw.(interface{ AbortWithError(error) error }); ok {
+			aw.AbortWithError(err)
+		} else {
+			w.Abort()
+		}
 		return nil, err
 	}
-	for i, s := range p.Segments {
-		if err := ctx.Err(); err != nil {
+	if o.OnSegmentDone != nil {
+		// The container header went out when the sink was constructed;
+		// give streaming consumers their first flush point now.
+		o.OnSegmentDone(-1)
+	}
+	if o.Streaming && len(p.Segments) > 1 {
+		if err := runStreamingPlan(ctx, p, w, m, o, fp, readers); err != nil {
 			return fail(err)
 		}
-		if err := runSegment(ctx, p, i, s, w, m, o, fp, readers, markFirst); err != nil {
-			return fail(err)
+	} else {
+		for i, s := range p.Segments {
+			if err := ctx.Err(); err != nil {
+				return fail(err)
+			}
+			if err := runSegment(ctx, p, i, s, w, m, o, fp, readers); err != nil {
+				return fail(err)
+			}
+			if o.OnSegmentDone != nil {
+				o.OnSegmentDone(i)
+			}
 		}
-		markFirst()
 	}
 	if err := w.Close(); err != nil {
 		execSpan.End()
@@ -234,7 +317,7 @@ func ExecuteTo(ctx context.Context, p *plan.Plan, w media.Sink, o Options) (*Met
 
 // runSegment executes one segment, measuring its actual costs into
 // m.Segments and recording a span with the decoded/encoded/copied counts.
-func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache, markFirst func()) error {
+func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache) error {
 	segStart := time.Now()
 	sinkBefore := w.Stats()
 	renderedBefore := m.FramesRendered
@@ -275,7 +358,7 @@ func runSegment(ctx context.Context, p *plan.Plan, i int, s *plan.Segment, w med
 			segErr = fmt.Errorf("exec: smart cut segment: %w", err)
 		}
 	case plan.SegFrames:
-		segErr = runFrameSegment(ctx, p, s, w, m, o, fp, readers, markFirst, sp)
+		segErr = runFrameSegment(ctx, p, s, w, m, o, fp, readers, sp)
 	default:
 		segErr = fmt.Errorf("exec: unknown segment kind %v", s.Kind)
 	}
@@ -427,7 +510,7 @@ func (s arraySource) DataAt(name string, t rational.Rat) (data.Value, bool, erro
 // runFrameSegment renders one segment, splitting it into shards when the
 // plan asks for parallelism. segSpan (nil when tracing is off) parents the
 // per-shard-worker spans.
-func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
+func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache, segSpan *obs.Span) error {
 	frames := s.FrameCount()
 	if frames == 0 {
 		return nil
@@ -437,9 +520,16 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 		gop = 48
 	}
 	shards := effectiveShards(s, o)
+	// Shard bounds (also the fill bounds a result-cache miss renders
+	// with) are computed here, on the caller goroutine: alignChunkBounds
+	// walks shared readers that are not safe to touch from workers.
+	bounds := []int{0, frames}
+	if shards > 1 {
+		bounds = alignChunkBounds(chunkBounds(frames, shards, gop), s, readers)
+	}
 	if o.ResultCache != nil && fp != nil {
 		if key, ok := fp.Segment(s, shards); ok {
-			return runFrameSegmentCached(ctx, p, s, key, shards, gop, w, m, o, readers, markFirst, segSpan)
+			return runFrameSegmentCached(ctx, p, s, key, bounds, gop, w, m, o, segSpan)
 		}
 	}
 	if shards == 1 {
@@ -460,7 +550,6 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 				return err
 			}
 			m.FramesRendered++
-			markFirst()
 		}
 		return nil
 	}
@@ -474,9 +563,8 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	abort := make(chan struct{})
 	var abortOnce sync.Once
 	cancelShards := func() { abortOnce.Do(func() { close(abort) }) }
-	bounds := chunkBounds(frames, shards, gop)
-	bounds = alignChunkBounds(bounds, s, readers)
-	chunks := renderChunks(ctx, p, s, bounds, gop, m, o, segSpan, abort)
+	var mu sync.Mutex // guards metrics accumulation across shard workers
+	chunks := renderChunks(ctx, p, s, bounds, gop, m, &mu, o, segSpan, abort)
 	// Deliver chunks in output order as each completes (pipelined with the
 	// still-running later shards), so streaming consumers see packets as
 	// soon as the first shard lands. On any failure — a shard error or a
@@ -504,103 +592,127 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 				break
 			}
 			m.FramesRendered++
-			// First-output latency is the first packet a consumer could
-			// play, not the first whole chunk.
-			markFirst()
 		}
 	}
 	return firstErr
 }
 
 // chunk is one shard's work item: the half-open output frame range
-// [lo, hi) and, once done closes, the encoded packets or the error.
+// [lo, hi) and, once done closes, the results or the error. An encoding
+// worker fills pkts; a raw-rendering worker (streaming single-shard
+// segments, whose frames the sink's continuous encoder must compress)
+// fills frames instead. windowHeld records whether the streaming
+// scheduler charged this chunk against the delivery window; it is
+// written before the worker starts and read only after done closes.
 type chunk struct {
-	lo, hi int
-	pkts   []codec.Packet
-	err    error
-	done   chan struct{}
+	lo, hi     int
+	pkts       []codec.Packet
+	frames     []*frame.Frame
+	err        error
+	done       chan struct{}
+	windowHeld bool
 }
 
 // renderChunks spawns one shard worker per bounds interval; each renders
 // its frames through a fresh segment runner and encodes them with its own
 // encoder (so every chunk starts on a keyframe). Workers honor ctx at GOP
 // boundaries and stop early when abort closes (nil means no abort
-// signal). The caller must receive on every chunk's done channel before
-// reading m: workers fold their reader stats into m on exit.
-func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []int, gop int, m *Metrics, o Options, segSpan *obs.Span, abort <-chan struct{}) []*chunk {
+// signal). mu guards every mutation of m; callers running segments
+// concurrently must pass the same mutex for all of them. The caller must
+// receive on every chunk's done channel before reading m: workers fold
+// their reader stats into m on exit.
+func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []int, gop int, m *Metrics, mu *sync.Mutex, o Options, segSpan *obs.Span, abort <-chan struct{}) []*chunk {
 	var chunks []*chunk
 	for bi := 0; bi+1 < len(bounds); bi++ {
 		chunks = append(chunks, &chunk{lo: bounds[bi], hi: bounds[bi+1], done: make(chan struct{})})
 	}
-	var mu sync.Mutex // guards metrics accumulation
 	for _, ch := range chunks {
-		go func(ch *chunk) {
-			defer close(ch.done)
-			sp := segSpan.ChildThread(fmt.Sprintf("shard[%d,%d)", ch.lo, ch.hi))
-			sp.SetAttr("frames", ch.hi-ch.lo)
-			defer func() {
-				if ch.err != nil {
-					sp.SetAttr("error", ch.err.Error())
-				}
-				sp.SetAttr("frames_encoded", len(ch.pkts))
-				sp.End()
-			}()
-			// Isolate the worker: a panic anywhere in this goroutine (runner
-			// construction, encoder setup, splice bookkeeping) would crash
-			// the whole process since no caller frame can recover across a
-			// `go`. Convert it to a per-segment error instead. renderAt has
-			// its own recover for transform panics; this is the backstop for
-			// everything else.
-			defer func() {
-				if r := recover(); r != nil {
-					panicsRecovered.Inc()
-					ch.err = fmt.Errorf("exec: shard [%d,%d) panicked: %v", ch.lo, ch.hi, r)
-				}
-			}()
-			run := newSegmentRunner(p, s, o.Conceal, o.GOPCache, o.Recorder)
-			defer func() {
-				mu.Lock()
-				run.close(m)
-				mu.Unlock()
-			}()
-			enc, err := codec.NewEncoder(codec.Config{
-				Width: p.Checked.Output.Width, Height: p.Checked.Output.Height,
-				Quality: p.Checked.Output.Quality, GOP: p.Checked.Output.GOP,
-				Level: p.Checked.Output.Level,
-			})
-			if err != nil {
+		go runChunkWorker(ctx, p, s, ch, gop, m, mu, o, segSpan, abort, true)
+	}
+	return chunks
+}
+
+// runChunkWorker renders one chunk's frames through a fresh segment
+// runner. With encode set it compresses them with its own encoder (so the
+// chunk starts on a keyframe and splices anywhere); without it the raw
+// frames are kept for the delivery goroutine to feed the sink's
+// continuous encoder, preserving byte-identity with sequential output.
+// Runs to completion or error, then closes ch.done; never touches the
+// sink.
+func runChunkWorker(ctx context.Context, p *plan.Plan, s *plan.Segment, ch *chunk, gop int, m *Metrics, mu *sync.Mutex, o Options, segSpan *obs.Span, abort <-chan struct{}, encode bool) {
+	defer close(ch.done)
+	sp := segSpan.ChildThread(fmt.Sprintf("shard[%d,%d)", ch.lo, ch.hi))
+	sp.SetAttr("frames", ch.hi-ch.lo)
+	defer func() {
+		if ch.err != nil {
+			sp.SetAttr("error", ch.err.Error())
+		}
+		sp.SetAttr("frames_encoded", len(ch.pkts))
+		sp.End()
+	}()
+	// Isolate the worker: a panic anywhere in this goroutine (runner
+	// construction, encoder setup, splice bookkeeping) would crash
+	// the whole process since no caller frame can recover across a
+	// `go`. Convert it to a per-segment error instead. renderAt has
+	// its own recover for transform panics; this is the backstop for
+	// everything else.
+	defer func() {
+		if r := recover(); r != nil {
+			panicsRecovered.Inc()
+			ch.err = fmt.Errorf("exec: shard [%d,%d) panicked: %v", ch.lo, ch.hi, r)
+		}
+	}()
+	run := newSegmentRunner(p, s, o.Conceal, o.GOPCache, o.Recorder)
+	defer func() {
+		mu.Lock()
+		run.close(m)
+		mu.Unlock()
+	}()
+	var enc *codec.Encoder
+	if encode {
+		var err error
+		enc, err = codec.NewEncoder(codec.Config{
+			Width: p.Checked.Output.Width, Height: p.Checked.Output.Height,
+			Quality: p.Checked.Output.Quality, GOP: p.Checked.Output.GOP,
+			Level: p.Checked.Output.Level,
+		})
+		if err != nil {
+			ch.err = err
+			return
+		}
+		enc.SetRecorder(o.Recorder)
+	}
+	for i := ch.lo; i < ch.hi; i++ {
+		if (i-ch.lo)%gop == 0 {
+			if err := ctx.Err(); err != nil {
 				ch.err = err
 				return
 			}
-			enc.SetRecorder(o.Recorder)
-			for i := ch.lo; i < ch.hi; i++ {
-				if (i-ch.lo)%gop == 0 {
-					if err := ctx.Err(); err != nil {
-						ch.err = err
-						return
-					}
-					select {
-					case <-abort:
-						ch.err = errShardAborted
-						return
-					default:
-					}
-				}
-				fr, err := run.renderAt(s.Times.At(i))
-				if err != nil {
-					ch.err = err
-					return
-				}
-				pkt, err := enc.Encode(fr)
-				if err != nil {
-					ch.err = err
-					return
-				}
-				ch.pkts = append(ch.pkts, pkt)
+			select {
+			case <-abort:
+				ch.err = errShardAborted
+				return
+			default:
 			}
-		}(ch)
+		}
+		fr, err := run.renderAt(s.Times.At(i))
+		if err != nil {
+			ch.err = err
+			return
+		}
+		if !encode {
+			// Decoded and filtered frames are freshly allocated per frame,
+			// so holding them until delivery is safe.
+			ch.frames = append(ch.frames, fr)
+			continue
+		}
+		pkt, err := enc.Encode(fr)
+		if err != nil {
+			ch.err = err
+			return
+		}
+		ch.pkts = append(ch.pkts, pkt)
 	}
-	return chunks
 }
 
 // runFrameSegmentCached serves a cacheable rendered segment through the
@@ -609,26 +721,11 @@ func renderChunks(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []i
 // fills the cache, and delivers them. Concurrent executions of the same
 // key collapse singleflight-style — the waiter splices the filler's
 // packets.
-func runFrameSegmentCached(ctx context.Context, p *plan.Plan, s *plan.Segment, key string, shards, gop int, w media.Sink, m *Metrics, o Options, readers *readerCache, markFirst func(), segSpan *obs.Span) error {
-	seg, hit, filled, err := o.ResultCache.GetOrFill(ctx, key, func() (*media.ResultSegment, error) {
-		pkts, err := renderSegmentPackets(ctx, p, s, shards, gop, m, o, readers, segSpan)
-		if err != nil {
-			return nil, err
-		}
-		return media.NewResultSegment(pkts), nil
-	})
+func runFrameSegmentCached(ctx context.Context, p *plan.Plan, s *plan.Segment, key string, bounds []int, gop int, w media.Sink, m *Metrics, o Options, segSpan *obs.Span) error {
+	var mu sync.Mutex
+	seg, hit, err := resolveCachedSegment(ctx, p, s, key, bounds, gop, m, &mu, o, segSpan)
 	if err != nil {
-		if filled || ctx.Err() != nil {
-			return err
-		}
-		// A concurrent request's fill failed; its error (possibly its own
-		// cancellation) is not ours. Render directly, uncached.
-		pkts, rerr := renderSegmentPackets(ctx, p, s, shards, gop, m, o, readers, segSpan)
-		if rerr != nil {
-			return rerr
-		}
-		m.ResultCacheMisses++
-		return deliverResult(media.NewResultSegment(pkts), w, m, markFirst, false)
+		return err
 	}
 	if hit {
 		m.ResultCacheHits++
@@ -637,14 +734,42 @@ func runFrameSegmentCached(ctx context.Context, p *plan.Plan, s *plan.Segment, k
 		m.ResultCacheMisses++
 		segSpan.SetAttr("rescache", "miss")
 	}
-	return deliverResult(seg, w, m, markFirst, hit)
+	return deliverResult(seg, w, m, hit)
+}
+
+// resolveCachedSegment fetches a cacheable rendered segment's packets,
+// rendering and filling the cache on a miss. It never touches the sink,
+// so the streaming scheduler can run it on a worker goroutine; bounds are
+// the precomputed fill shard bounds. hit reports whether the packets came
+// from the cache (including another request's concurrent fill).
+func resolveCachedSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, key string, bounds []int, gop int, m *Metrics, mu *sync.Mutex, o Options, segSpan *obs.Span) (*media.ResultSegment, bool, error) {
+	seg, hit, filled, err := o.ResultCache.GetOrFill(ctx, key, func() (*media.ResultSegment, error) {
+		pkts, err := renderSegmentPackets(ctx, p, s, bounds, gop, m, mu, o, segSpan)
+		if err != nil {
+			return nil, err
+		}
+		return media.NewResultSegment(pkts), nil
+	})
+	if err != nil {
+		if filled || ctx.Err() != nil {
+			return nil, false, err
+		}
+		// A concurrent request's fill failed; its error (possibly its own
+		// cancellation) is not ours. Render directly, uncached.
+		pkts, rerr := renderSegmentPackets(ctx, p, s, bounds, gop, m, mu, o, segSpan)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		return media.NewResultSegment(pkts), false, nil
+	}
+	return seg, hit, nil
 }
 
 // deliverResult writes a segment's packets to the sink. Cache hits splice
 // as raw packets (stream copies — nothing was rendered this run); fills
 // deliver as shard-encoded frames, exactly as the parallel path counts
 // its own work.
-func deliverResult(seg *media.ResultSegment, w media.Sink, m *Metrics, markFirst func(), hit bool) error {
+func deliverResult(seg *media.ResultSegment, w media.Sink, m *Metrics, hit bool) error {
 	for _, pkt := range seg.Packets {
 		var err error
 		if hit {
@@ -656,7 +781,6 @@ func deliverResult(seg *media.ResultSegment, w media.Sink, m *Metrics, markFirst
 		if err != nil {
 			return fmt.Errorf("exec: deliver cached segment: %w", err)
 		}
-		markFirst()
 	}
 	return nil
 }
@@ -665,16 +789,13 @@ func deliverResult(seg *media.ResultSegment, w media.Sink, m *Metrics, markFirst
 // packets without touching the sink — the fill path of the result cache.
 // Each shard (and the single-shard case) uses a fresh encoder, so the
 // packet bytes are self-contained: they start on a keyframe and depend
-// only on the segment's content, never on writer state.
-func renderSegmentPackets(ctx context.Context, p *plan.Plan, s *plan.Segment, shards, gop int, m *Metrics, o Options, readers *readerCache, segSpan *obs.Span) ([]media.EncodedPacket, error) {
-	frames := s.FrameCount()
-	bounds := []int{0, frames}
-	if shards > 1 {
-		bounds = alignChunkBounds(chunkBounds(frames, shards, gop), s, readers)
-	}
+// only on the segment's content, never on writer state. bounds are the
+// shard bounds, precomputed on the plan's delivery goroutine (boundary
+// alignment reads shared readers that workers must not touch).
+func renderSegmentPackets(ctx context.Context, p *plan.Plan, s *plan.Segment, bounds []int, gop int, m *Metrics, mu *sync.Mutex, o Options, segSpan *obs.Span) ([]media.EncodedPacket, error) {
 	abort := make(chan struct{})
 	var abortOnce sync.Once
-	chunks := renderChunks(ctx, p, s, bounds, gop, m, o, segSpan, abort)
+	chunks := renderChunks(ctx, p, s, bounds, gop, m, mu, o, segSpan, abort)
 	var pkts []media.EncodedPacket
 	var firstErr error
 	for _, ch := range chunks {

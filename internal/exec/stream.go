@@ -1,0 +1,380 @@
+package exec
+
+// This file implements streaming execution: presentation-order
+// scheduling with bounded lookahead.
+//
+// The non-streaming engine runs segments one after another; within a
+// sharded segment, chunks render in parallel and deliver pipelined, but a
+// later segment never starts until the previous one is fully delivered.
+// That leaves parallelism on the table exactly when a streaming consumer
+// cares most: the head of the output is rendering alone while the tail's
+// shards sit idle.
+//
+// runStreamingPlan extends the intra-segment pipelined-chunk discipline
+// across the whole plan. Every segment is decomposed into chunks up
+// front; a scheduler goroutine starts chunk workers strictly in
+// presentation order, bounded by two token pools — a parallelism
+// semaphore (CPU) and a delivery window (memory: how many rendered, not
+// yet delivered chunks may exist). The delivery loop, on the caller's
+// goroutine, consumes chunks in the same order and writes packets to the
+// sink the moment each chunk lands, so the first seconds of output reach
+// the consumer while later segments are still rendering.
+//
+// Output bytes are identical to a non-streaming run: the sequence of sink
+// write calls (WriteFrame / WriteRawPacket / WriteEncodedFrame, same data,
+// same order) is preserved exactly — single-shard render segments ship
+// raw frames to the delivery goroutine and feed the sink's continuous
+// encoder there, sharded segments deliver their self-contained
+// fresh-encoder packets, and copy/smart-cut segments run inline at
+// delivery (they read the source on the delivery goroutine and may use
+// the sink's encoder).
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"v2v/internal/media"
+	"v2v/internal/obs"
+	"v2v/internal/plan"
+)
+
+// unitKind classifies how a plan segment is produced and delivered when
+// streaming.
+type unitKind int
+
+const (
+	// unitCopy runs inline on the delivery goroutine: packet copies and
+	// smart cuts are I/O-bound splices that may also use the sink's
+	// encoder (smart-cut boundary re-encodes), so they cannot run ahead.
+	unitCopy unitKind = iota
+	// unitFrames renders raw frames on workers (GOP-sized chunks) and
+	// encodes them through the sink's continuous encoder at delivery —
+	// the streaming form of the sequential single-shard path.
+	unitFrames
+	// unitPackets renders and encodes on workers with fresh per-chunk
+	// encoders — the streaming form of the sharded path.
+	unitPackets
+	// unitCached resolves through the result cache on a worker (splice on
+	// hit, full render + fill on miss) and delivers at its turn.
+	unitCached
+)
+
+// streamUnit is one plan segment prepared for streaming execution. All
+// bounds and cache keys are computed on the caller goroutine before any
+// worker starts: chunk-boundary alignment and fingerprinting walk shared
+// readers that are not goroutine-safe.
+type streamUnit struct {
+	idx    int // segment index in the plan
+	s      *plan.Segment
+	kind   unitKind
+	shards int
+	chunks []*chunk // unitFrames / unitPackets
+
+	// unitCached resolution, filled by its worker before done closes.
+	key        string
+	bounds     []int
+	done       chan struct{}
+	seg        *media.ResultSegment
+	hit        bool
+	err        error
+	windowHeld bool
+
+	span *obs.Span
+}
+
+// runStreamingPlan executes a multi-segment plan with presentation-order
+// scheduling. It returns the first error; like the non-streaming shard
+// loop it drains every started worker before returning, since workers
+// fold stats into m on exit.
+func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metrics, o Options, fp *plan.Fingerprinter, readers *readerCache) error {
+	gop := p.Checked.Output.GOP
+	if gop <= 0 {
+		gop = 48
+	}
+	units, err := buildStreamUnits(p, gop, o, fp, readers)
+	if err != nil {
+		return err
+	}
+
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	// sem caps concurrently rendering workers; window caps rendered but
+	// undelivered chunks (each can hold up to a GOP of frames or packets
+	// in memory). 2x parallelism keeps workers busy while delivery
+	// catches up without letting a slow consumer buffer the whole tail.
+	sem := make(chan struct{}, par)
+	window := make(chan struct{}, 2*par)
+
+	abort := make(chan struct{})
+	var abortOnce sync.Once
+	cancelStream := func() { abortOnce.Do(func() { close(abort) }) }
+	var mu sync.Mutex // guards m across all units' workers
+	schedDone := make(chan struct{})
+
+	go func() {
+		defer close(schedDone)
+		for ui, u := range units {
+			switch u.kind {
+			case unitCopy:
+				// Runs inline at delivery; nothing to schedule.
+			case unitCached:
+				if !streamAcquire(window, sem, abort) {
+					abortStreamUnits(units, ui, 0)
+					return
+				}
+				u.windowHeld = true
+				go func(u *streamUnit) {
+					defer func() { <-sem }()
+					defer close(u.done)
+					u.seg, u.hit, u.err = resolveCachedSegment(ctx, p, u.s, u.key, u.bounds, gop, m, &mu, o, u.span)
+				}(u)
+			default:
+				for ci, ch := range u.chunks {
+					if !streamAcquire(window, sem, abort) {
+						abortStreamUnits(units, ui, ci)
+						return
+					}
+					ch.windowHeld = true
+					go func(u *streamUnit, ch *chunk) {
+						defer func() { <-sem }()
+						runChunkWorker(ctx, p, u.s, ch, gop, m, &mu, o, u.span, abort, u.kind == unitPackets)
+					}(u, ch)
+				}
+			}
+		}
+	}()
+
+	var firstErr error
+	setErr := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+			cancelStream()
+		}
+	}
+	for _, u := range units {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+		}
+		segStart := time.Now()
+		sinkBefore := w.Stats()
+		renderedBefore := m.FramesRendered
+		resHitsBefore, resMissesBefore := m.ResultCacheHits, m.ResultCacheMisses
+
+		switch u.kind {
+		case unitCopy:
+			if firstErr == nil {
+				setErr(runCopyUnit(u, w, readers))
+			}
+		case unitFrames, unitPackets:
+			for _, ch := range u.chunks {
+				<-ch.done
+				if ch.windowHeld {
+					<-window
+				}
+				if ch.err != nil {
+					// errShardAborted only appears after cancelStream, so it
+					// can never become firstErr (setErr is a no-op by then).
+					setErr(fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err))
+					continue
+				}
+				if firstErr != nil {
+					continue // drain remaining chunks, deliver nothing further
+				}
+				if u.kind == unitFrames {
+					for _, fr := range ch.frames {
+						if err := w.WriteFrame(fr); err != nil {
+							setErr(fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err))
+							break
+						}
+						m.FramesRendered++
+					}
+				} else {
+					for _, pkt := range ch.pkts {
+						if err := w.WriteEncodedFrame(pkt.Key, pkt.Data); err != nil {
+							setErr(fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err))
+							break
+						}
+						m.FramesRendered++
+					}
+				}
+			}
+		case unitCached:
+			<-u.done
+			if u.windowHeld {
+				<-window
+			}
+			if u.err != nil {
+				setErr(u.err)
+			} else if firstErr == nil {
+				if u.hit {
+					m.ResultCacheHits++
+					u.span.SetAttr("rescache", "hit")
+				} else {
+					m.ResultCacheMisses++
+					u.span.SetAttr("rescache", "miss")
+				}
+				setErr(deliverResult(u.seg, w, m, u.hit))
+			}
+		}
+
+		if firstErr == nil {
+			// Per-unit actuals from sink deltas: the sink is written only
+			// by this goroutine. Decode/filter stage walls and concealment
+			// are deliberately left zero — segments render concurrently
+			// here, so per-segment attribution of shared-recorder deltas
+			// would be fiction (run totals are still exact; see
+			// docs/STREAMING.md).
+			sinkAfter := w.Stats()
+			act := plan.SegmentActuals{
+				Wall:              time.Since(segStart),
+				FramesRendered:    m.FramesRendered - renderedBefore,
+				FramesEncoded:     sinkAfter.FramesEncoded - sinkBefore.FramesEncoded,
+				PacketsCopied:     sinkAfter.PacketsCopied - sinkBefore.PacketsCopied,
+				BytesCopied:       sinkAfter.BytesCopied - sinkBefore.BytesCopied,
+				ResultCacheHits:   m.ResultCacheHits - resHitsBefore,
+				ResultCacheMisses: m.ResultCacheMisses - resMissesBefore,
+				Shards:            u.shards,
+			}
+			m.Segments = append(m.Segments, act)
+			u.span.SetAttr("frames_encoded", act.FramesEncoded)
+			u.span.SetAttr("packets_copied", act.PacketsCopied)
+			u.span.SetAttr("frames_rendered", act.FramesRendered)
+			u.span.SetAttr("shards", act.Shards)
+			if o.OnSegmentDone != nil {
+				o.OnSegmentDone(u.idx)
+			}
+		} else {
+			u.span.SetAttr("error", firstErr.Error())
+		}
+		u.span.End()
+	}
+	<-schedDone
+	return firstErr
+}
+
+// buildStreamUnits classifies every segment and precomputes chunk bounds
+// and cache keys on the caller goroutine (shared readers and the
+// fingerprinter are not safe to use from workers).
+func buildStreamUnits(p *plan.Plan, gop int, o Options, fp *plan.Fingerprinter, readers *readerCache) ([]*streamUnit, error) {
+	units := make([]*streamUnit, 0, len(p.Segments))
+	for i, s := range p.Segments {
+		u := &streamUnit{idx: i, s: s, shards: 1, span: o.Trace.StartSpan(fmt.Sprintf("segment[%d] %s", i, s.Kind))}
+		u.span.SetAttr("kind", s.Kind.String())
+		u.span.SetAttr("t_start", s.Times.Start.String())
+		u.span.SetAttr("t_end", s.Times.End.String())
+		u.span.SetAttr("streaming", true)
+		switch s.Kind {
+		case plan.SegCopy, plan.SegSmartCut:
+			u.kind = unitCopy
+		case plan.SegFrames:
+			frames := s.FrameCount()
+			shards := effectiveShards(s, o)
+			u.shards = shards
+			fillBounds := []int{0, frames}
+			if shards > 1 {
+				fillBounds = alignChunkBounds(chunkBounds(frames, shards, gop), s, readers)
+			}
+			if key, ok := cacheKey(fp, o, s, shards); ok {
+				u.kind = unitCached
+				u.key = key
+				u.bounds = fillBounds
+				u.done = make(chan struct{})
+				break
+			}
+			var bounds []int
+			if shards > 1 {
+				u.kind = unitPackets
+				bounds = fillBounds
+			} else {
+				u.kind = unitFrames
+				if frames > 0 {
+					// GOP-sized chunks: the finest granularity whose raw
+					// frames still encode identically through the sink's
+					// continuous encoder (cancellation checks, keyframe
+					// cadence, and chunk memory all align to the GOP).
+					bounds = chunkBounds(frames, (frames+gop-1)/gop, gop)
+				}
+			}
+			for bi := 0; bi+1 < len(bounds); bi++ {
+				u.chunks = append(u.chunks, &chunk{lo: bounds[bi], hi: bounds[bi+1], done: make(chan struct{})})
+			}
+		default:
+			u.span.End()
+			return nil, fmt.Errorf("exec: unknown segment kind %v", s.Kind)
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func cacheKey(fp *plan.Fingerprinter, o Options, s *plan.Segment, shards int) (string, bool) {
+	if o.ResultCache == nil || fp == nil || s.FrameCount() == 0 {
+		return "", false
+	}
+	return fp.Segment(s, shards)
+}
+
+// runCopyUnit executes a copy or smart-cut segment inline on the delivery
+// goroutine, exactly as the non-streaming path does.
+func runCopyUnit(u *streamUnit, w media.Sink, readers *readerCache) error {
+	r, err := readers.get(u.s.Video)
+	if err != nil {
+		return err
+	}
+	switch u.s.Kind {
+	case plan.SegCopy:
+		if err := media.CopyRange(w, r, u.s.From, u.s.To); err != nil {
+			return fmt.Errorf("exec: copy segment: %w", err)
+		}
+	default: // plan.SegSmartCut
+		if _, _, err := media.SmartCut(w, r, u.s.From, u.s.To); err != nil {
+			return fmt.Errorf("exec: smart cut segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// streamAcquire takes one delivery-window token then one parallelism
+// token, bailing out (and restoring the window token) if the stream
+// aborts while waiting. Returns false on abort.
+func streamAcquire(window, sem chan struct{}, abort <-chan struct{}) bool {
+	select {
+	case window <- struct{}{}:
+	case <-abort:
+		return false
+	}
+	select {
+	case sem <- struct{}{}:
+		return true
+	case <-abort:
+		<-window
+		return false
+	}
+}
+
+// abortStreamUnits marks every not-yet-started chunk and cached unit from
+// (ui, ci) onward as aborted so the delivery loop's drain completes
+// immediately. Their windowHeld stays false: no token to return.
+func abortStreamUnits(units []*streamUnit, ui, ci int) {
+	for i := ui; i < len(units); i++ {
+		u := units[i]
+		if u.kind == unitCached && !u.windowHeld {
+			u.err = errShardAborted
+			close(u.done)
+			continue
+		}
+		start := 0
+		if i == ui {
+			start = ci
+		}
+		for j := start; j < len(u.chunks); j++ {
+			u.chunks[j].err = errShardAborted
+			close(u.chunks[j].done)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlushConfig tunes a FlushingSink.
+type FlushConfig struct {
+	// BufferBytes caps the bytes queued but not yet written downstream.
+	// A producer whose consumer falls behind blocks in Write once the
+	// queue is full — per-request backpressure that stalls only the
+	// delivery goroutine, never shard workers. <= 0 selects
+	// DefaultStreamBufferBytes.
+	BufferBytes int
+	// FlushInterval is the minimum spacing between barrier-triggered
+	// downstream flushes, bounding flush syscalls under plans with many
+	// small segments. <= 0 flushes at every barrier. The first flush
+	// (container header) and the final flush at close are never delayed.
+	FlushInterval time.Duration
+}
+
+// DefaultStreamBufferBytes is the queue cap used when FlushConfig leaves
+// BufferBytes unset: enough for a few GOPs of tiny-profile output without
+// letting one slow client hold megabytes of rendered packets.
+const DefaultStreamBufferBytes = 256 << 10
+
+// FlushingSink decouples synthesis from a (possibly slow) streaming
+// consumer. The producer writes into a bounded in-memory queue; a single
+// drain goroutine copies queued bytes to the destination writer and calls
+// its Flush method (if it has one — http.ResponseWriter does) at barrier
+// points, so network syscalls and a stalled client never sit between
+// shard workers and the sink.
+//
+// Write, Barrier, and CloseFlush are safe to call from one producer
+// goroutine; accessors are safe from any goroutine.
+type FlushingSink struct {
+	dst      io.Writer
+	cap      int
+	interval time.Duration
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	pending    []byte
+	barrier    bool
+	closed     bool
+	err        error
+	firstFlush time.Time
+	bytesOut   int64
+	flushes    int64
+
+	drainDone chan struct{}
+}
+
+// NewFlushingSink starts the drain goroutine and returns the sink. The
+// caller must call CloseFlush to stop it and observe any write error.
+func NewFlushingSink(dst io.Writer, cfg FlushConfig) *FlushingSink {
+	if cfg.BufferBytes <= 0 {
+		cfg.BufferBytes = DefaultStreamBufferBytes
+	}
+	f := &FlushingSink{
+		dst:       dst,
+		cap:       cfg.BufferBytes,
+		interval:  cfg.FlushInterval,
+		drainDone: make(chan struct{}),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	go f.drain()
+	return f
+}
+
+// Write queues p for delivery, blocking while the queue is over its byte
+// cap (the backpressure point). The data is copied, so callers may reuse
+// p. A downstream write failure is sticky: every later Write returns it,
+// which is what aborts the synthesis feeding this sink.
+func (f *FlushingSink) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	for f.err == nil && !f.closed && len(f.pending) > 0 && len(f.pending)+len(p) > f.cap {
+		f.cond.Wait()
+	}
+	if f.err != nil {
+		err := f.err
+		f.mu.Unlock()
+		return 0, err
+	}
+	if f.closed {
+		f.mu.Unlock()
+		return 0, errors.New("media: flushing sink closed")
+	}
+	f.pending = append(f.pending, p...)
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return len(p), nil
+}
+
+// Barrier marks a flush point: the drain goroutine flushes the
+// destination once everything queued so far is written, coalesced by
+// FlushInterval. Segment boundaries (and the container header) are the
+// intended barrier points.
+func (f *FlushingSink) Barrier() {
+	f.mu.Lock()
+	f.barrier = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// CloseFlush drains the queue, performs a final flush, stops the drain
+// goroutine, and returns the sticky downstream error, if any.
+func (f *FlushingSink) CloseFlush() error {
+	f.mu.Lock()
+	alreadyClosed := f.closed
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	if !alreadyClosed {
+		<-f.drainDone
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// FirstFlush reports when the first bytes reached the destination and
+// were flushed — the honest time-to-first-output for a network consumer.
+func (f *FlushingSink) FirstFlush() (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstFlush, !f.firstFlush.IsZero()
+}
+
+// BytesOut returns the bytes written downstream so far.
+func (f *FlushingSink) BytesOut() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytesOut
+}
+
+// Flushes returns how many downstream flushes have been issued.
+func (f *FlushingSink) Flushes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushes
+}
+
+// drain is the single consumer of the queue. It takes whole batches under
+// the lock but performs downstream writes and flushes unlocked, so a slow
+// destination blocks only this goroutine (and, via the byte cap, the
+// producer's Write).
+func (f *FlushingSink) drain() {
+	defer close(f.drainDone)
+	var lastFlush time.Time
+	flushed := false
+	barrierPending := false
+	for {
+		f.mu.Lock()
+		for len(f.pending) == 0 && !f.barrier && !f.closed {
+			f.cond.Wait()
+		}
+		batch := f.pending
+		f.pending = nil
+		if f.barrier {
+			barrierPending = true
+			f.barrier = false
+		}
+		closed := f.closed
+		failed := f.err != nil
+		f.cond.Broadcast()
+		f.mu.Unlock()
+
+		if !failed && len(batch) > 0 {
+			if _, werr := f.dst.Write(batch); werr != nil {
+				f.mu.Lock()
+				f.err = fmt.Errorf("media: flushing sink: %w", werr)
+				f.cond.Broadcast()
+				f.mu.Unlock()
+				failed = true
+			} else {
+				f.mu.Lock()
+				f.bytesOut += int64(len(batch))
+				f.mu.Unlock()
+			}
+		}
+		if !failed && (closed || barrierPending) {
+			// The first flush (header) and the final flush are immediate;
+			// intermediate barriers are coalesced by the flush interval.
+			if closed || !flushed || f.interval <= 0 || time.Since(lastFlush) >= f.interval {
+				if fl, ok := f.dst.(interface{ Flush() }); ok {
+					fl.Flush()
+				}
+				now := time.Now()
+				lastFlush = now
+				barrierPending = false
+				f.mu.Lock()
+				f.flushes++
+				if !flushed {
+					f.firstFlush = now
+				}
+				f.mu.Unlock()
+				flushed = true
+			}
+		}
+		if closed {
+			return
+		}
+	}
+}

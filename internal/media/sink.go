@@ -52,6 +52,40 @@ var (
 // can decode while the producer is still synthesizing.
 const vmsMagic = "VMS1"
 
+// Packet flag bytes. 0 and 1 mark non-key and key data packets; 2 marks
+// the typed end-of-stream trailer whose body is a JSON StreamTrailer.
+const (
+	flagNonKey  = 0
+	flagKey     = 1
+	flagTrailer = 2
+)
+
+// maxTrailerLen bounds the trailer body a reader will accept. Trailers
+// carry a short JSON status, never media data.
+const maxTrailerLen = 1 << 16
+
+// Typed end-of-stream errors. A consumer that reads a VMS stream to the
+// end sees exactly one of three outcomes: clean io.EOF (trailer status
+// "ok" or the legacy zero-length header), an error wrapping
+// ErrStreamFailed (the producer finished the header but the synthesis
+// failed — the trailer carries the remote error text), or an error
+// wrapping ErrTruncatedStream (the bytes stopped without any trailer:
+// a crashed producer or a cut connection).
+var (
+	ErrTruncatedStream = errors.New("media: stream truncated before end-of-stream trailer")
+	ErrStreamFailed    = errors.New("media: stream producer reported failure")
+)
+
+// StreamTrailer is the typed end-of-stream marker. Status is "ok" for a
+// complete stream or "error" when the producer failed after the header
+// was already out; Packets echoes the packet count so readers can
+// cross-check; Error carries the producer's message on failure.
+type StreamTrailer struct {
+	Status  string `json:"status"`
+	Packets int64  `json:"packets"`
+	Error   string `json:"error,omitempty"`
+}
+
 // StreamWriter writes the VMS progressive format to any io.Writer. Not
 // safe for concurrent use.
 type StreamWriter struct {
@@ -119,7 +153,7 @@ func (s *StreamWriter) writePacket(key bool, data []byte) error {
 	var head [5]byte
 	binary.LittleEndian.PutUint32(head[:4], uint32(len(data)))
 	if key {
-		head[4] = 1
+		head[4] = flagKey
 	}
 	if _, err := s.w.Write(head[:]); err != nil {
 		return fmt.Errorf("media: stream packet: %w", err)
@@ -179,14 +213,44 @@ func (s *StreamWriter) Abort() error {
 	return nil
 }
 
-// Close writes the end-of-stream marker (a zero-length packet header).
+// AbortWithError stops the stream but first writes a typed error trailer,
+// so a consumer that already received the header can distinguish "the
+// producer failed" (with its message) from a cut connection. The write is
+// best-effort: if the transport is the thing that failed, the consumer
+// sees truncation instead, which is still accurate.
+func (s *StreamWriter) AbortWithError(cause error) error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	return s.writeTrailer(StreamTrailer{Status: "error", Packets: s.pts, Error: msg})
+}
+
+// Close writes the typed end-of-stream trailer marking a complete stream.
 func (s *StreamWriter) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	return s.writeTrailer(StreamTrailer{Status: "ok", Packets: s.pts})
+}
+
+func (s *StreamWriter) writeTrailer(tr StreamTrailer) error {
+	body, err := json.Marshal(tr)
+	if err != nil {
+		return fmt.Errorf("media: stream trailer: %w", err)
+	}
 	var head [5]byte
+	binary.LittleEndian.PutUint32(head[:4], uint32(len(body)))
+	head[4] = flagTrailer
 	if _, err := s.w.Write(head[:]); err != nil {
+		return fmt.Errorf("media: stream trailer: %w", err)
+	}
+	if _, err := s.w.Write(body); err != nil {
 		return fmt.Errorf("media: stream trailer: %w", err)
 	}
 	return nil
@@ -195,10 +259,12 @@ func (s *StreamWriter) Close() error {
 // StreamReader consumes the VMS progressive format, decoding frames as
 // packets arrive.
 type StreamReader struct {
-	r    io.Reader
-	dec  *codec.Decoder
-	info container.StreamInfo
-	done bool
+	r          io.Reader
+	dec        *codec.Decoder
+	info       container.StreamInfo
+	done       bool
+	trailer    StreamTrailer
+	hasTrailer bool
 }
 
 // NewStreamReader parses the stream header.
@@ -238,17 +304,28 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 // Info returns the stream description.
 func (s *StreamReader) Info() container.StreamInfo { return s.info }
 
-// NextPacket reads one packet; io.EOF signals a clean end of stream.
+// NextPacket reads one packet; io.EOF signals a clean end of stream
+// (typed "ok" trailer, or the legacy zero-length header older producers
+// wrote). A stream that stops mid-flight returns an error wrapping
+// ErrTruncatedStream; a typed error trailer returns an error wrapping
+// ErrStreamFailed carrying the producer's message.
 func (s *StreamReader) NextPacket() (key bool, data []byte, err error) {
 	if s.done {
 		return false, nil, io.EOF
 	}
 	var head [5]byte
 	if _, err := io.ReadFull(s.r, head[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return false, nil, fmt.Errorf("media: stream packet header: %w", ErrTruncatedStream)
+		}
 		return false, nil, fmt.Errorf("media: stream packet header: %w", err)
 	}
 	size := binary.LittleEndian.Uint32(head[:4])
+	if head[4] == flagTrailer {
+		return false, nil, s.readTrailer(size)
+	}
 	if size == 0 {
+		// Legacy clean end-of-stream marker (pre-trailer producers).
 		s.done = true
 		return false, nil, io.EOF
 	}
@@ -257,10 +334,38 @@ func (s *StreamReader) NextPacket() (key bool, data []byte, err error) {
 	}
 	data = make([]byte, size)
 	if _, err := io.ReadFull(s.r, data); err != nil {
-		return false, nil, fmt.Errorf("media: stream packet body: %w", err)
+		return false, nil, fmt.Errorf("media: stream packet body: %w: %w", ErrTruncatedStream, err)
 	}
-	return head[4] == 1, data, nil
+	return head[4] == flagKey, data, nil
 }
+
+// readTrailer consumes and interprets a typed end-of-stream trailer.
+func (s *StreamReader) readTrailer(size uint32) error {
+	if size == 0 || size > maxTrailerLen {
+		return fmt.Errorf("media: implausible stream trailer length %d", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(s.r, body); err != nil {
+		return fmt.Errorf("media: stream trailer body: %w: %w", ErrTruncatedStream, err)
+	}
+	var tr StreamTrailer
+	if err := json.Unmarshal(body, &tr); err != nil {
+		return fmt.Errorf("media: stream trailer: %w", err)
+	}
+	s.trailer, s.hasTrailer = tr, true
+	s.done = true
+	if tr.Status != "ok" {
+		if tr.Error != "" {
+			return fmt.Errorf("%w: %s", ErrStreamFailed, tr.Error)
+		}
+		return ErrStreamFailed
+	}
+	return io.EOF
+}
+
+// Trailer returns the typed end-of-stream trailer, if one was read.
+// Legacy streams ending in the zero-length marker have none.
+func (s *StreamReader) Trailer() (StreamTrailer, bool) { return s.trailer, s.hasTrailer }
 
 // NextFrame reads and decodes the next frame; io.EOF at end of stream.
 func (s *StreamReader) NextFrame() (*frame.Frame, error) {

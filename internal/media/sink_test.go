@@ -2,7 +2,9 @@ package media
 
 import (
 	"bytes"
+	"errors"
 	"io"
+	"strings"
 	"testing"
 
 	"v2v/internal/frame"
@@ -139,5 +141,134 @@ func TestStreamWriterRejectsBadInfo(t *testing.T) {
 	odd.Width = 33
 	if _, err := NewStreamWriter(&buf, odd); err == nil {
 		t.Error("odd width should fail")
+	}
+}
+
+// TestStreamTrailerTyped asserts the end-of-stream contract: a Closed
+// stream carries an "ok" trailer with the packet count, an AbortWithError
+// stream carries an "error" trailer the reader surfaces as ErrStreamFailed,
+// and a stream that just stops reads as ErrTruncatedStream.
+func TestStreamTrailerTyped(t *testing.T) {
+	info := testInfo(6)
+	writeFrames := func(w *StreamWriter, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			fr := frame.New(info.Width, info.Height, frame.FormatYUV420)
+			frame.Stamp(fr, uint32(i))
+			if err := w.WriteFrame(fr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	drain := func(r *StreamReader) error {
+		for {
+			if _, _, err := r.NextPacket(); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Clean close: ok trailer, packet count echoed, sticky io.EOF.
+	var ok bytes.Buffer
+	w, _ := NewStreamWriter(&ok, info)
+	writeFrames(w, 3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewStreamReader(&ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drain(r); !errors.Is(err, io.EOF) {
+		t.Fatalf("clean stream end = %v, want io.EOF", err)
+	}
+	tr, has := r.Trailer()
+	if !has || tr.Status != "ok" || tr.Packets != 3 {
+		t.Fatalf("trailer = %+v,%v; want ok with 3 packets", tr, has)
+	}
+	if _, _, err := r.NextPacket(); !errors.Is(err, io.EOF) {
+		t.Error("EOF should stay sticky after the trailer")
+	}
+
+	// Producer failure after the header: typed error trailer with message.
+	var failed bytes.Buffer
+	w, _ = NewStreamWriter(&failed, info)
+	writeFrames(w, 2)
+	if err := w.AbortWithError(errors.New("boom: disk on fire")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error("close after abort should be nil")
+	}
+	r, err = NewStreamReader(&failed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = drain(r)
+	if !errors.Is(err, ErrStreamFailed) {
+		t.Fatalf("failed stream end = %v, want ErrStreamFailed", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Errorf("error trailer lost the producer message: %v", err)
+	}
+	if tr, has := r.Trailer(); !has || tr.Status != "error" || tr.Packets != 2 {
+		t.Errorf("error trailer = %+v,%v", tr, has)
+	}
+
+	// Silent truncation (Abort, or a cut connection): typed truncation error.
+	var cut bytes.Buffer
+	w, _ = NewStreamWriter(&cut, info)
+	writeFrames(w, 2)
+	if err := w.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	r, err = NewStreamReader(&cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drain(r); !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("truncated stream end = %v, want ErrTruncatedStream", err)
+	}
+	if _, has := r.Trailer(); has {
+		t.Error("truncated stream should have no trailer")
+	}
+
+	// Truncation inside a packet body is typed too.
+	var mid bytes.Buffer
+	w, _ = NewStreamWriter(&mid, info)
+	writeFrames(w, 1)
+	r, err = NewStreamReader(bytes.NewReader(mid.Bytes()[:mid.Len()-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drain(r); !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("mid-packet truncation = %v, want ErrTruncatedStream", err)
+	}
+}
+
+// TestStreamLegacyZeroTrailer keeps pre-trailer streams readable: a
+// zero-length packet header is still a clean end of stream.
+func TestStreamLegacyZeroTrailer(t *testing.T) {
+	info := testInfo(6)
+	var buf bytes.Buffer
+	w, _ := NewStreamWriter(&buf, info)
+	fr := frame.New(info.Width, info.Height, frame.FormatYUV420)
+	if err := w.WriteFrame(fr); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()                                 // no typed trailer
+	buf.Write([]byte{0, 0, 0, 0, flagNonKey}) // legacy zero-length marker
+	r, err := NewStreamReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextPacket(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.NextPacket(); !errors.Is(err, io.EOF) {
+		t.Fatalf("legacy marker end = %v, want io.EOF", err)
+	}
+	if _, has := r.Trailer(); has {
+		t.Error("legacy stream should report no trailer")
 	}
 }

@@ -70,6 +70,13 @@ type RequestRecord struct {
 	QueuedWall time.Duration `json:"queued_wall_ns,omitempty"`
 	ShedReason string        `json:"shed_reason,omitempty"`
 
+	// Streaming fields, set by SetStreaming: whether the response was
+	// delivered as an eagerly flushed stream, and the honest
+	// time-to-first-frame — the wall time until the first bytes were
+	// flushed to the client, not merely handed to the kernel buffers.
+	Streaming bool          `json:"streaming,omitempty"`
+	TTFF      time.Duration `json:"ttff_ns,omitempty"`
+
 	Segments []SegmentRecord       `json:"segments,omitempty"`
 	Stages   map[string]StageStats `json:"stages,omitempty"`
 
@@ -153,6 +160,18 @@ func (q *Request) SetAdmission(tenant string, costUnits float64, queuedWall time
 	q.data.CostUnits = costUnits
 	q.data.QueuedWall = queuedWall
 	q.data.ShedReason = shedReason
+}
+
+// SetStreaming records that the response was streamed and its measured
+// time-to-first-flush (the client-observable TTFF).
+func (q *Request) SetStreaming(ttff time.Duration) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.data.Streaming = true
+	q.data.TTFF = ttff
 }
 
 // SetTrace attaches the request's span trace, served by the flight
