@@ -5,18 +5,18 @@
 # `make fuzz` runs the native fuzz targets for FUZZTIME each (the checked-in
 # corpora under testdata/fuzz always run as part of plain `go test`).
 # `make bench` regenerates every paper figure plus the cache, overload,
-# and streaming sweeps, writes the per-query measurements to
-# BENCH_PR8.json, and diffs them against the prior generation
-# (BENCH_PR7.json) with regressions flagged — CI uploads both reports and
-# appends the markdown diff to the job summary; `make microbench` keeps
-# the old go-test microbenchmarks.
+# streaming, and pixel-pipeline sweeps, writes the per-query measurements
+# to BENCH_PR9.json, and diffs them against the prior committed generation
+# (BENCH_PR7.json — PR 8's baseline was never committed) with regressions
+# flagged — CI uploads both reports and appends the markdown diff to the
+# job summary; `make microbench` keeps the old go-test microbenchmarks.
 # `make chaos` runs the fault-injection suite (docs/ROBUSTNESS.md) — read
 # faults plus the overload/memory-pressure scenario — three times with
 # distinct seeds; set V2V_CHAOS_SEED to pin the base seed.
 
 GO ?= go
 V2V_CHAOS_SEED ?= 1
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR9.json
 BENCH_PRIOR_JSON ?= BENCH_PR7.json
 BENCH_DELTA_MD ?= bench-delta.md
 BENCH_PARALLEL ?= 4

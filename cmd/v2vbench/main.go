@@ -11,6 +11,7 @@
 //	v2vbench -fig cache        # cache sweep: off / GOP cold+warm / GOP+result cold+warm (ToS-sim)
 //	v2vbench -fig overload     # overload sweep: goodput, p99, shed rate at 1x/4x/16x offered load (KABR-sim)
 //	v2vbench -fig streaming    # streaming sweep: TTFF and inter-segment gap at 1/4/16 concurrent streams (KABR-sim Q7)
+//	v2vbench -fig pixels       # per-stage pixel pipeline: MB/s per filter, fused vs unfused 3-op chain, codec frames, allocs/frame
 //	v2vbench -fig all -scale full -repeats 5
 //	v2vbench -fig 4 -json bench.json -trace bench-trace.json
 //	v2vbench -fig all -json BENCH_PR4.json -delta BENCH_PR3.json
@@ -50,6 +51,22 @@ type report struct {
 	Cache       []cacheJSON     `json:"cache,omitempty"`
 	Overload    []overloadJSON  `json:"overload,omitempty"`
 	Streaming   []streamingJSON `json:"streaming,omitempty"`
+	Pixels      []pixelsJSON    `json:"pixels,omitempty"`
+}
+
+type pixelsJSON struct {
+	Stage  string `json:"stage"`
+	Frames int    `json:"frames"`
+	// MBPerSecond is plane throughput; SecondsPerMB and SecondsPerFrame
+	// are the time-like forms the delta reporter compares.
+	MBPerSecond     float64 `json:"mb_per_second"`
+	SecondsPerMB    float64 `json:"seconds_per_mb"`
+	SecondsPerFrame float64 `json:"seconds_per_frame"`
+	AllocsPerFrame  float64 `json:"allocs_per_frame"`
+	// Speedup and Identical are set on the fused chain row only: wall
+	// ratio against the unfused chain and the SHA byte-identity check.
+	Speedup   float64 `json:"speedup,omitempty"`
+	Identical bool    `json:"identical,omitempty"`
 }
 
 type streamingJSON struct {
@@ -143,7 +160,7 @@ type ablationJSON struct {
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, cache, overload, streaming, or all")
+		fig       = flag.String("fig", "all", "figure to regenerate: 3, 4, 5, ablate, cache, overload, streaming, pixels, or all")
 		scale     = flag.String("scale", "quick", "dataset scale: quick or full (paper-shaped durations)")
 		repeats   = flag.Int("repeats", 3, "measured runs per configuration (after one warm-up)")
 		parallel  = flag.Int("parallel", 0, "shard parallelism (0 = GOMAXPROCS)")
@@ -228,7 +245,8 @@ func main() {
 	needCache := *fig == "cache" || *fig == "all"
 	needOverload := *fig == "overload" || *fig == "all"
 	needStreaming := *fig == "streaming" || *fig == "all"
-	if !need3 && !need4 && !need5 && !needAblate && !needCache && !needOverload && !needStreaming {
+	needPixels := *fig == "pixels" || *fig == "all"
+	if !need3 && !need4 && !need5 && !needAblate && !needCache && !needOverload && !needStreaming && !needPixels {
 		fmt.Fprintf(os.Stderr, "v2vbench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
@@ -306,6 +324,14 @@ func main() {
 		}
 		fmt.Println(benchkit.FormatStreaming("Streaming — KABR-sim Q7 (4-segment splice): presentation-order delivery at 1/4/16 concurrent streams", rows))
 		rep.addStreaming(kabr.Name, rows)
+	}
+	if needPixels {
+		rows, err := benchkit.PixelsRun(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(benchkit.FormatPixels("Pixels — per-stage pipeline throughput: point filters, fused vs unfused 3-op chain, codec encode/decode", rows))
+		rep.addPixels(rows)
 	}
 	if needAblate {
 		rows, err := benchkit.AblationRun(kabr, "Q7", cfg)
@@ -424,6 +450,21 @@ func (r *report) addStreaming(dataset string, rows []benchkit.StreamingRow) {
 			TTFFMaxSeconds: row.TTFFMax.Seconds(),
 			MaxGapSeconds:  row.MaxSegGap.Seconds(),
 			ByteIdentical:  row.ByteIdentical,
+		})
+	}
+}
+
+func (r *report) addPixels(rows []benchkit.PixelRow) {
+	for _, row := range rows {
+		r.Pixels = append(r.Pixels, pixelsJSON{
+			Stage:           row.Stage,
+			Frames:          row.Frames,
+			MBPerSecond:     row.MBPerSecond,
+			SecondsPerMB:    row.SecondsPerMB,
+			SecondsPerFrame: row.SecondsPerFrame,
+			AllocsPerFrame:  row.AllocsPerFrame,
+			Speedup:         row.Speedup,
+			Identical:       row.Identical,
 		})
 	}
 }

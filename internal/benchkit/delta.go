@@ -46,6 +46,12 @@ type ReportFile struct {
 		TTFFSeconds   float64 `json:"ttff_seconds"`
 		MaxGapSeconds float64 `json:"max_gap_seconds"`
 	} `json:"streaming"`
+	Pixels []struct {
+		Stage           string  `json:"stage"`
+		SecondsPerMB    float64 `json:"seconds_per_mb"`
+		SecondsPerFrame float64 `json:"seconds_per_frame"`
+		AllocsPerFrame  float64 `json:"allocs_per_frame"`
+	} `json:"pixels"`
 }
 
 // LoadReport reads a v2vbench -json report.
@@ -157,6 +163,25 @@ func Delta(old, cur *ReportFile) []DeltaRow {
 		add("streaming", e.Dataset, k.query, "ttff_seconds", oldStreamTTFF[k], e.TTFFSeconds)
 		add("streaming", e.Dataset, k.query, "wall_seconds", oldStreamWall[k], e.WallSeconds)
 		add("streaming", e.Dataset, k.query, "max_gap_seconds", oldStreamGap[k], e.MaxGapSeconds)
+	}
+	// Pixel-pipeline stages are synthetic (no dataset); all three metrics
+	// are higher-is-worse, so the shared >1.5x ratio flags slowdowns: raw
+	// plane throughput, per-frame stage latency, and allocations per frame
+	// (a pooled path regressing to per-frame allocation jumps from ~0 —
+	// skipped by add when the prior is 0 — to whole numbers, caught by
+	// seconds moving with it).
+	oldPixMB := map[string]float64{}
+	oldPixFrame := map[string]float64{}
+	oldPixAllocs := map[string]float64{}
+	for _, e := range old.Pixels {
+		oldPixMB[e.Stage] = e.SecondsPerMB
+		oldPixFrame[e.Stage] = e.SecondsPerFrame
+		oldPixAllocs[e.Stage] = e.AllocsPerFrame
+	}
+	for _, e := range cur.Pixels {
+		add("pixels", "synth", e.Stage, "seconds_per_mb", oldPixMB[e.Stage], e.SecondsPerMB)
+		add("pixels", "synth", e.Stage, "seconds_per_frame", oldPixFrame[e.Stage], e.SecondsPerFrame)
+		add("pixels", "synth", e.Stage, "allocs_per_frame", oldPixAllocs[e.Stage], e.AllocsPerFrame)
 	}
 	return rows
 }

@@ -98,6 +98,7 @@ type Packet struct {
 type Encoder struct {
 	cfg      Config
 	prev     *frame.Frame // previous reconstruction; nil before first frame
+	spare    *frame.Frame // retired reconstruction, reused for the next one
 	count    int          // frames since last keyframe
 	forceKey bool
 	resid    []byte
@@ -141,7 +142,15 @@ func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
 	isKey := e.prev == nil || e.count >= e.cfg.GOP || e.forceKey
 	e.forceKey = false
 
-	recon := frame.New(e.cfg.Width, e.cfg.Height, frame.FormatYUV420)
+	// Reconstructions ping-pong between two buffers: the retiring prev
+	// becomes the spare for the encode after this one. Both frames are
+	// internal (never returned), so reuse is safe and the steady-state
+	// encode loop allocates nothing for reconstructions.
+	recon := e.spare
+	e.spare = nil
+	if recon == nil {
+		recon = frame.New(e.cfg.Width, e.cfg.Height, frame.FormatYUV420)
+	}
 	if isKey {
 		e.encodeIntra(fr, recon)
 	} else {
@@ -162,6 +171,7 @@ func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
 		return Packet{}, fmt.Errorf("codec: compress: %w", err)
 	}
 
+	e.spare = e.prev
 	e.prev = recon
 	if isKey {
 		e.count = 1
@@ -273,6 +283,7 @@ type Decoder struct {
 	prev  *frame.Frame
 	resid []byte
 	rec   *obs.Recorder
+	pool  *frame.Pool
 }
 
 // ErrNeedKeyframe is returned when a P-frame arrives with no reference —
@@ -294,15 +305,29 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	return &Decoder{cfg: cfg, resid: make([]byte, frame.FormatYUV420.Size(cfg.Width, cfg.Height))}, nil
 }
 
-// Reset drops the reference frame, e.g. before seeking to a keyframe.
-func (d *Decoder) Reset() { d.prev = nil }
+// Reset drops the reference frame, e.g. before seeking to a keyframe,
+// releasing it back to the frame pool when one is attached.
+func (d *Decoder) Reset() {
+	if d.prev != nil {
+		d.prev.Release()
+		d.prev = nil
+	}
+}
 
 // SetRecorder attributes this decoder's work to a per-request recorder.
 // The process-wide decode-stage metrics are updated either way.
 func (d *Decoder) SetRecorder(rec *obs.Recorder) { d.rec = rec }
 
+// SetFramePool makes the decoder allocate output frames from p. Pooled
+// output changes the ownership contract: the caller must Release each
+// decoded frame when done with it. The decoder holds its own reference to
+// the latest frame for P-frame prediction and drops it on the next Decode
+// or Reset, so callers may Release in any order relative to later decodes.
+func (d *Decoder) SetFramePool(p *frame.Pool) { d.pool = p }
+
 // Decode decompresses one packet. The returned frame is owned by the
-// caller (it is not reused by subsequent Decode calls).
+// caller (it is not reused by subsequent Decode calls); with a frame pool
+// attached (SetFramePool), the caller must Release it when finished.
 func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 	decStart := time.Now()
 	if len(data) < 1 {
@@ -321,7 +346,14 @@ func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 	}
 	fr.Close()
 
-	out := frame.New(d.cfg.Width, d.cfg.Height, frame.FormatYUV420)
+	// Pooled frames carry stale pixels; both decode paths below write
+	// every byte of every plane, so no clearing is needed.
+	var out *frame.Frame
+	if d.pool != nil {
+		out = d.pool.Get(d.cfg.Width, d.cfg.Height, frame.FormatYUV420)
+	} else {
+		out = frame.New(d.cfg.Width, d.cfg.Height, frame.FormatYUV420)
+	}
 	q := d.cfg.Quality
 	if ftype == frameTypeI {
 		off := 0
@@ -348,6 +380,12 @@ func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 				out.Pix[i] = byte(r)
 			}
 		}
+	}
+	// The decoder keeps its own reference for P-frame prediction; the
+	// caller's reference is theirs to Release. No-ops for unpooled frames.
+	out.Retain()
+	if d.prev != nil {
+		d.prev.Release()
 	}
 	d.prev = out
 	d.rec.StageObserve(obs.StageDecode, 1, int64(len(out.Pix)), time.Since(decStart))

@@ -232,6 +232,36 @@ func TestQ4StyleBlurEquivalence(t *testing.T) {
 	assertEquivalent(t, src)
 }
 
+// TestFusedPointOpChainEquivalence exercises the optimizer's kernel-fusion
+// pass end to end: a chain of fusable point ops (crossfade -> wipe ->
+// grade, with secondary-frame inputs) must fuse into a single kernel node
+// and still be pixel-identical to the unoptimized run.
+func TestFusedPointOpChainEquivalence(t *testing.T) {
+	src := specSrc(`render(t) = grade(wipe(crossfade(v[t], w[t], 2/5), w[t], 3/5), -8, 12/10, 9/10);`)
+	_, o := assertEquivalent(t, src)
+	fused := false
+	for _, s := range o.Plan.Segments {
+		if s.Kind != plan.SegFrames || s.Root == nil {
+			continue
+		}
+		s.Root.Walk(func(n *plan.Node) {
+			if n.Fused != nil {
+				fused = true
+			}
+		})
+	}
+	if !fused {
+		t.Error("optimized plan contains no fused kernel node")
+	}
+}
+
+// TestFusedChainInsideNonFusableOpEquivalence checks fusion of a chain
+// hoisted out of a non-fusable enclosing transform (the chain feeds grid).
+func TestFusedChainInsideNonFusableOpEquivalence(t *testing.T) {
+	src := specSrc(`render(t) = grid(grade(grade(v[t], 10, 11/10, 1), -5, 9/10, 12/10), w[t], v[t + 1], w[t + 1]);`)
+	assertEquivalent(t, src)
+}
+
 func TestQ5StyleBoxesEquivalence(t *testing.T) {
 	src := specSrc(`render(t) = boxes(v[t], bb[t]);`)
 	u := synth(t, src, "unopt.vmf", Options{})

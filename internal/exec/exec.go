@@ -546,7 +546,9 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 			if err != nil {
 				return err
 			}
-			if err := w.WriteFrame(fr); err != nil {
+			err = w.WriteFrame(fr)
+			fr.Release() // the sink copied or encoded the pixels
+			if err != nil {
 				return err
 			}
 			m.FramesRendered++
@@ -701,12 +703,16 @@ func runChunkWorker(ctx context.Context, p *plan.Plan, s *plan.Segment, ch *chun
 			return
 		}
 		if !encode {
-			// Decoded and filtered frames are freshly allocated per frame,
-			// so holding them until delivery is safe.
+			// Raw-rendering workers hand frame ownership to the delivery
+			// goroutine, which releases each frame after the sink's
+			// continuous encoder consumes it. Rendered frames are either
+			// pooled (refcounted, never recycled while held) or fresh
+			// allocations, so holding them until delivery is safe.
 			ch.frames = append(ch.frames, fr)
 			continue
 		}
 		pkt, err := enc.Encode(fr)
+		fr.Release() // the packet holds its own copy of the pixels
 		if err != nil {
 			ch.err = err
 			return
@@ -921,12 +927,20 @@ func defaultGOPCacheBudget(p *plan.Plan, par int) int64 {
 }
 
 // segmentRunner executes one segment's operator tree for one goroutine.
+//
+// Frame ownership: every frame a nodeRunner returns is owned by its caller,
+// which must Release it when done (Release is a no-op on unpooled frames,
+// so the discipline is universal). Pooled frames originate only in audited
+// paths — fused kernel outputs, the output-scaling destination, and the
+// materialize decoder — while cursor/source frames stay unpooled (the GOP
+// cache may hold them indefinitely).
 type segmentRunner struct {
 	p       *plan.Plan
 	seg     *plan.Segment
 	cursors *media.Cursors
 	data    arraySource
 	rec     *obs.Recorder
+	pool    *frame.Pool
 	root    *nodeRunner
 }
 
@@ -940,6 +954,7 @@ func newSegmentRunner(p *plan.Plan, s *plan.Segment, conceal bool, cache *media.
 		cursors: media.NewCursors(paths, 0),
 		data:    arraySource(p.Checked.Arrays),
 		rec:     rec,
+		pool:    frame.DefaultPool(),
 	}
 	run.cursors.SetConceal(conceal)
 	run.cursors.SetRecorder(rec)
@@ -955,6 +970,9 @@ func (r *segmentRunner) close(m *Metrics) {
 	r.root.walk(func(nr *nodeRunner) {
 		m.Intermediate.FramesEncoded += nr.matEncodes
 		m.Intermediate.FramesDecoded += nr.matDecodes
+		if nr.dec != nil {
+			nr.dec.Reset() // release the pooled prediction frame
+		}
 	})
 }
 
@@ -981,19 +999,30 @@ func (r *segmentRunner) renderAt(t rational.Rat) (fr *frame.Frame, err error) {
 	out := r.p.Checked.Output
 	if fr.W != out.Width || fr.H != out.Height {
 		scaleStart := time.Now()
-		fr = raster.Scale(fr, out.Width, out.Height)
+		scaled := r.pool.Get(out.Width, out.Height, frame.FormatYUV420)
+		raster.ScaleInto(scaled, fr)
+		fr.Release()
+		fr = scaled
 		r.rec.StageObserve(obs.StageFilter, 1, int64(len(fr.Pix)), time.Since(scaleStart))
 	}
 	return fr, nil
 }
 
 // nodeRunner carries per-node execution state: the intermediate codec pair
-// for materialized boundaries and the rendered child frames.
+// for materialized boundaries, the rendered child frames, the reusable
+// evaluation environment, and the fused-kernel scratch state.
 type nodeRunner struct {
 	run      *segmentRunner
 	node     *plan.Node
 	children []*nodeRunner
 	frames   []*frame.Frame // children's frames for the current time
+	env      vql.Env        // reused across frames; only T changes per frame
+
+	// Fused-kernel state: ops is the per-frame kernel scratch (rebuilt
+	// allocation-free each frame) and stages caches per-stage prepared
+	// state (grade LUTs) across frames, keyed by the stage's arguments.
+	ops    []raster.PointOp
+	stages []fusedStageState
 
 	enc        *codec.Encoder
 	dec        *codec.Decoder
@@ -1002,12 +1031,42 @@ type nodeRunner struct {
 	matDecodes int64
 }
 
+// fusedStageState caches one fused stage's prepared kernel between frames.
+// Grade is the only op whose construction allocates (two 256-byte LUTs);
+// its kernel is rebuilt only when the evaluated arguments change.
+type fusedStageState struct {
+	gradeOp raster.PointOp
+	gradeB  int
+	gradeC  float64
+	gradeS  float64
+	gradeOK bool
+}
+
 func (r *segmentRunner) buildRunner(n *plan.Node) *nodeRunner {
 	nr := &nodeRunner{run: r, node: n}
 	for _, in := range n.Inputs {
 		nr.children = append(nr.children, r.buildRunner(in))
 	}
 	nr.frames = make([]*frame.Frame, len(nr.children))
+	// One environment per node, reused for every frame: the Ext closure
+	// resolving ports is allocated once here instead of per render call.
+	nr.env = vql.Env{
+		Frames: r,
+		Data:   r.data,
+		Ext: func(e vql.Expr, _ *vql.Env) (vql.Val, bool, error) {
+			if p, ok := e.(plan.PortRef); ok {
+				if p.Port < 0 || p.Port >= len(nr.frames) {
+					return vql.Val{}, true, fmt.Errorf("exec: port %d out of range", p.Port)
+				}
+				return vql.FrameVal(nr.frames[p.Port]), true, nil
+			}
+			return vql.Val{}, false, nil
+		},
+	}
+	if n.Fused != nil {
+		nr.ops = make([]raster.PointOp, len(n.Fused))
+		nr.stages = make([]fusedStageState, len(n.Fused))
+	}
 	return nr
 }
 
@@ -1018,10 +1077,52 @@ func (nr *nodeRunner) walk(visit func(*nodeRunner)) {
 	}
 }
 
+// releaseFrames releases every owned frame in frames except result (the
+// frame being passed up, which may alias a child on passthrough transforms
+// and zero-copy Scale) and duplicate pointers (the same child frame bound
+// to two ports). Entries are cleared so stale pointers never outlive the
+// call. Release is a no-op on unpooled frames.
+func releaseFrames(frames []*frame.Frame, result *frame.Frame) {
+	for i, fr := range frames {
+		if fr == nil || fr == result {
+			continue
+		}
+		dup := false
+		for j := 0; j < i; j++ {
+			if frames[j] == fr {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fr.Release()
+		}
+	}
+	for i := range frames {
+		frames[i] = nil
+	}
+}
+
+// renderChildren renders every child for time t into nr.frames. On error
+// the already-rendered prefix is released.
+func (nr *nodeRunner) renderChildren(t rational.Rat) error {
+	for i, c := range nr.children {
+		cf, err := c.renderAt(t)
+		if err != nil {
+			releaseFrames(nr.frames[:i], nil)
+			return err
+		}
+		nr.frames[i] = cf
+	}
+	return nil
+}
+
 func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
 	var fr *frame.Frame
-	if nr.node.IsLeaf() {
-		idx, err := vql.Eval(nr.node.Clip.Index, &vql.Env{T: t})
+	switch {
+	case nr.node.IsLeaf():
+		nr.env.T = t
+		idx, err := vql.Eval(nr.node.Clip.Index, &nr.env)
 		if err != nil {
 			return nil, fmt.Errorf("exec: clip index: %w", err)
 		}
@@ -1029,46 +1130,170 @@ func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-	} else {
-		for i, c := range nr.children {
-			cf, err := c.renderAt(t)
-			if err != nil {
-				return nil, err
-			}
-			nr.frames[i] = cf
+	case nr.node.Fused != nil:
+		var err error
+		fr, err = nr.renderFused(t)
+		if err != nil {
+			return nil, err
 		}
-		env := &vql.Env{
-			T:      t,
-			Frames: nr.run,
-			Data:   nr.run.data,
-			Ext: func(e vql.Expr, _ *vql.Env) (vql.Val, bool, error) {
-				if p, ok := e.(plan.PortRef); ok {
-					if p.Port < 0 || p.Port >= len(nr.frames) {
-						return vql.Val{}, true, fmt.Errorf("exec: port %d out of range", p.Port)
-					}
-					return vql.FrameVal(nr.frames[p.Port]), true, nil
-				}
-				return vql.Val{}, false, nil
-			},
+	default:
+		if err := nr.renderChildren(t); err != nil {
+			return nil, err
 		}
+		nr.env.T = t
 		// Filter-stage wall covers the expression evaluation (raster
 		// transforms, composition); any source taps the expression reads
 		// directly are separately counted under the decode stage.
 		fltStart := time.Now()
-		v, err := vql.Eval(nr.node.Expr, env)
+		v, err := vql.Eval(nr.node.Expr, &nr.env)
 		if err != nil {
+			releaseFrames(nr.frames, nil)
 			return nil, fmt.Errorf("exec: filter %s at t=%s: %w", nr.node.Expr, t, err)
 		}
 		if v.Type != vql.TypeFrame || v.Frame == nil {
+			releaseFrames(nr.frames, nil)
 			return nil, fmt.Errorf("exec: filter %s produced %v, want a frame", nr.node.Expr, v.Type)
 		}
 		fr = v.Frame
+		// Passthrough transforms (identity-parameter ops, zero-copy
+		// scale) may return a child frame itself; releaseFrames keeps it.
+		releaseFrames(nr.frames, fr)
 		nr.run.rec.StageObserve(obs.StageFilter, 1, int64(len(fr.Pix)), time.Since(fltStart))
 	}
 	if !nr.node.Materialize {
 		return fr, nil
 	}
 	return nr.materialize(fr)
+}
+
+// renderFused executes a fused kernel node: children render once, the
+// stage kernels are prepared (scalar arguments re-evaluate each frame, the
+// expensive grade LUTs cache across frames), and raster.ApplyFused makes a
+// single pass over the planes into a pooled destination — one frame
+// allocation (amortized to zero by the pool) and one traversal for the
+// whole chain, byte-identical to evaluating the ops one by one.
+func (nr *nodeRunner) renderFused(t rational.Rat) (*frame.Frame, error) {
+	if err := nr.renderChildren(t); err != nil {
+		return nil, err
+	}
+	base := nr.frames[0]
+	fltStart := time.Now()
+	nr.env.T = t
+	for i, st := range nr.node.Fused {
+		op, err := nr.stageOp(i, st, base)
+		if err != nil {
+			releaseFrames(nr.frames, nil)
+			return nil, fmt.Errorf("exec: fused %s at t=%s: %w", st.Op, t, err)
+		}
+		nr.ops[i] = op
+	}
+	dst := nr.run.pool.Get(base.W, base.H, base.Format)
+	raster.ApplyFused(dst, base, nr.ops)
+	// dst comes from the pool, so it never aliases a child frame.
+	releaseFrames(nr.frames, nil)
+	nr.run.rec.StageObserve(obs.StageFilter, 1, int64(len(dst.Pix)), time.Since(fltStart))
+	return dst, nil
+}
+
+// stageOp prepares the kernel for one fused stage at the current time.
+// Shape validation replicates the standalone vql transforms' errors so a
+// fused plan fails exactly where the unfused plan would.
+func (nr *nodeRunner) stageOp(i int, st plan.FusedStage, base *frame.Frame) (raster.PointOp, error) {
+	switch st.Op {
+	case "grade":
+		b, err := nr.evalInt(st.Args[1])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		c, err := nr.evalFloat(st.Args[2])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		s, err := nr.evalFloat(st.Args[3])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		sc := &nr.stages[i]
+		if !sc.gradeOK || sc.gradeB != b || sc.gradeC != c || sc.gradeS != s {
+			sc.gradeOp = raster.GradeOp(b, c, s)
+			sc.gradeB, sc.gradeC, sc.gradeS, sc.gradeOK = b, c, s, true
+		}
+		return sc.gradeOp, nil
+	case "crossfade":
+		other, err := nr.evalFrame(st.Args[1])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		tt, err := nr.evalFloat(st.Args[2])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		if !base.SameShape(other) {
+			return raster.PointOp{}, fmt.Errorf("vql: crossfade frames must share a shape (%dx%d vs %dx%d)",
+				base.W, base.H, other.W, other.H)
+		}
+		return raster.CrossfadeOp(other, tt), nil
+	case "wipe":
+		other, err := nr.evalFrame(st.Args[1])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		tt, err := nr.evalFloat(st.Args[2])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		if !base.SameShape(other) {
+			return raster.PointOp{}, fmt.Errorf("vql: wipe frames must share a shape (%dx%d vs %dx%d)",
+				base.W, base.H, other.W, other.H)
+		}
+		return raster.WipeOp(other, tt), nil
+	case "overlay":
+		img, err := nr.evalFrame(st.Args[1])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		x, err := nr.evalInt(st.Args[2])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		y, err := nr.evalInt(st.Args[3])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		a, err := nr.evalInt(st.Args[4])
+		if err != nil {
+			return raster.PointOp{}, err
+		}
+		return raster.OverlayOp(img, x, y, a), nil
+	}
+	return raster.PointOp{}, fmt.Errorf("exec: no fused kernel for %q", st.Op)
+}
+
+func (nr *nodeRunner) evalInt(e vql.Expr) (int, error) {
+	v, err := vql.Eval(e, &nr.env)
+	if err != nil {
+		return 0, err
+	}
+	return v.Int(), nil
+}
+
+func (nr *nodeRunner) evalFloat(e vql.Expr) (float64, error) {
+	v, err := vql.Eval(e, &nr.env)
+	if err != nil {
+		return 0, err
+	}
+	return v.Float(), nil
+}
+
+func (nr *nodeRunner) evalFrame(e vql.Expr) (*frame.Frame, error) {
+	v, err := vql.Eval(e, &nr.env)
+	if err != nil {
+		return nil, err
+	}
+	if v.Type != vql.TypeFrame || v.Frame == nil {
+		return nil, fmt.Errorf("exec: fused stage argument produced %v, want a frame", v.Type)
+	}
+	return v.Frame, nil
 }
 
 // materialize round-trips the frame through the node's intermediate codec
@@ -1083,17 +1308,23 @@ func (nr *nodeRunner) materialize(fr *frame.Frame) (*frame.Frame, error) {
 		}
 		enc, err := codec.NewEncoder(cfg)
 		if err != nil {
+			fr.Release()
 			return nil, err
 		}
 		dec, err := codec.NewDecoder(cfg)
 		if err != nil {
+			fr.Release()
 			return nil, err
 		}
 		enc.SetRecorder(nr.run.rec)
 		dec.SetRecorder(nr.run.rec)
+		dec.SetFramePool(nr.run.pool)
 		nr.enc, nr.dec, nr.matW, nr.matH = enc, dec, fr.W, fr.H
 	}
 	pkt, err := nr.enc.Encode(fr)
+	// The input frame is consumed by the boundary either way: its pixels
+	// now live in the encoded packet (or the error abandons them).
+	fr.Release()
 	if err != nil {
 		return nil, fmt.Errorf("exec: materialize encode: %w", err)
 	}

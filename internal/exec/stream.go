@@ -187,7 +187,9 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 				}
 				if u.kind == unitFrames {
 					for _, fr := range ch.frames {
-						if err := w.WriteFrame(fr); err != nil {
+						err := w.WriteFrame(fr)
+						fr.Release() // the sink's encoder consumed the pixels
+						if err != nil {
 							setErr(fmt.Errorf("exec: shard [%d,%d) deliver: %w", ch.lo, ch.hi, err))
 							break
 						}

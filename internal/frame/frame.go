@@ -11,6 +11,7 @@ package frame
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Format identifies a pixel format.
@@ -64,6 +65,45 @@ type Frame struct {
 	W, H   int
 	Format Format
 	Pix    []byte
+
+	// Pooling state (see Pool). pool is nil for frames from New/Clone;
+	// such frames are garbage-collected normally and Retain/Release are
+	// no-ops on them. buf keeps the full-capacity buffer so Pix can be
+	// poisoned on release and reattached on reuse. refs is manipulated
+	// atomically.
+	pool *Pool
+	buf  []byte
+	refs int32
+}
+
+// Pooled reports whether the frame came from a Pool (and therefore has
+// live refcount semantics).
+func (fr *Frame) Pooled() bool { return fr != nil && fr.pool != nil }
+
+// Retain adds a reference to a pooled frame; each holder must eventually
+// call Release. No-op on unpooled frames. Returns fr for chaining.
+func (fr *Frame) Retain() *Frame {
+	if fr != nil && fr.pool != nil {
+		atomic.AddInt32(&fr.refs, 1)
+	}
+	return fr
+}
+
+// Release drops one reference; the final release returns the buffer to its
+// pool and poisons Pix. Releasing more times than retained panics. No-op
+// on nil or unpooled frames, so callers can release unconditionally.
+func (fr *Frame) Release() {
+	if fr == nil || fr.pool == nil {
+		return
+	}
+	n := atomic.AddInt32(&fr.refs, -1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("frame: Release of already-released frame (double release)")
+	}
+	fr.pool.put(fr)
 }
 
 // New allocates a zeroed frame. For YUV420 a zero buffer is green-ish;

@@ -1,0 +1,102 @@
+package frame
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"v2v/internal/obs"
+)
+
+// Pool recycles frame buffers between pipeline stages so the steady-state
+// render loop (decode -> filter -> encode) performs ~0 heap allocations per
+// frame. Buffers are bucketed by exact byte size and backed by sync.Pool,
+// so unused buffers are reclaimed under GC pressure rather than pinned.
+//
+// Ownership protocol:
+//
+//   - Get returns a frame with refcount 1 owned by the caller. The pixel
+//     buffer contents are UNSPECIFIED (stale data from a previous user) —
+//     the caller must overwrite every byte before the frame escapes.
+//   - Retain adds a reference; each holder must eventually call Release.
+//   - Release drops a reference; the final Release poisons Pix (nil) and
+//     recycles the buffer. Releasing past zero panics (double release).
+//   - Both Retain and Release are no-ops on frames that did not come from
+//     a pool (frame.New, Clone, decoded cache entries without a pool), so
+//     callers can apply the release discipline unconditionally.
+//
+// A frame must never be recycled while any holder can still read it: code
+// that stores frames in shared caches Retains them on insert and Releases
+// on evict, keeping refs >= 1 for the cache's lifetime.
+type Pool struct {
+	buckets sync.Map // byte size -> *sync.Pool of *Frame
+}
+
+// Pool instruments are process-wide (shared across Pool instances): the
+// interesting signal is aggregate churn avoided, not per-pool breakdown.
+var (
+	poolGets = obs.Default().Counter("v2v_frame_pool_gets_total",
+		"Frames handed out by frame pools.")
+	poolRecycled = obs.Default().Counter("v2v_frame_pool_recycled_total",
+		"Pool gets served from a recycled buffer (no allocation).")
+	poolReleases = obs.Default().Counter("v2v_frame_pool_releases_total",
+		"Final releases returning a frame buffer to its pool.")
+	poolLive = obs.Default().Gauge("v2v_frame_pool_live_frames",
+		"Pooled frames currently checked out (refs > 0).")
+)
+
+// NewPool returns an empty frame pool.
+func NewPool() *Pool { return &Pool{} }
+
+// defaultPool serves callers that have no per-pipeline pool wired through;
+// sharing one pool maximizes buffer reuse across segments.
+var defaultPool = NewPool()
+
+// DefaultPool returns the process-wide shared frame pool.
+func DefaultPool() *Pool { return defaultPool }
+
+func (p *Pool) bucket(size int) *sync.Pool {
+	if b, ok := p.buckets.Load(size); ok {
+		return b.(*sync.Pool)
+	}
+	b, _ := p.buckets.LoadOrStore(size, &sync.Pool{})
+	return b.(*sync.Pool)
+}
+
+// Get returns a w×h frame of format f with refcount 1. The pixel contents
+// are unspecified — the caller must fully overwrite them. Dimension
+// validation matches New.
+func (p *Pool) Get(w, h int, f Format) *Frame {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+	}
+	if f == FormatYUV420 && (w%2 != 0 || h%2 != 0) {
+		panic(fmt.Sprintf("frame: yuv420 dimensions must be even, got %dx%d", w, h))
+	}
+	size := f.Size(w, h)
+	poolGets.Inc()
+	poolLive.Add(1)
+	if v := p.bucket(size).Get(); v != nil {
+		fr := v.(*Frame)
+		fr.W, fr.H, fr.Format = w, h, f
+		fr.Pix = fr.buf[:size]
+		atomic.StoreInt32(&fr.refs, 1)
+		poolRecycled.Inc()
+		return fr
+	}
+	fr := &Frame{W: w, H: h, Format: f, Pix: make([]byte, size)}
+	fr.buf = fr.Pix
+	fr.pool = p
+	fr.refs = 1
+	return fr
+}
+
+// put recycles a frame whose refcount just hit zero. Pix is poisoned so a
+// use-after-release fails fast (nil dereference) instead of silently
+// reading recycled pixels.
+func (p *Pool) put(fr *Frame) {
+	poolReleases.Inc()
+	poolLive.Add(-1)
+	fr.Pix = nil
+	p.bucket(len(fr.buf)).Put(fr)
+}

@@ -113,6 +113,7 @@ func TestLedger(t *testing.T)      { testAnalyzer(t, Ledger, "ledger") }
 func TestLockCheck(t *testing.T)   { testAnalyzer(t, LockCheck, "lockcheck") }
 func TestMetricsName(t *testing.T) { testAnalyzer(t, MetricsName, "metricsname") }
 func TestErrWrap(t *testing.T)     { testAnalyzer(t, ErrWrap, "errwrap") }
+func TestPoolCheck(t *testing.T)   { testAnalyzer(t, PoolCheck, "poolcheck") }
 
 // TestLoaderModuleImports checks the hybrid importer end to end: a real
 // module package whose imports resolve partly against the module tree

@@ -41,7 +41,16 @@ var Ledger = &Analyzer{
 func runLedger(pass *Pass) error {
 	for _, f := range pass.Files {
 		funcBodies(f, func(_ string, body *ast.BlockStmt) {
-			lg := &ledgerChecker{pass: pass, closures: collectClosures(pass, body)}
+			lg := &ledgerChecker{
+				pass:          pass,
+				closures:      collectClosures(pass, body),
+				releaseMethod: "End",
+				noun:          "span",
+			}
+			lg.checkStmt = lg.checkStmtAcquires
+			lg.checkCond = func(cond ast.Expr, enclosing ast.Stmt, rest [][]ast.Stmt) {
+				lg.checkReserveIn(cond, enclosing, rest)
+			}
 			lg.findAcquires(body.List, nil)
 		})
 	}
@@ -76,9 +85,25 @@ func collectClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.Func
 	return out
 }
 
+// ledgerChecker is the reusable obligation walk: findAcquires provides
+// the continuation-passing statement scaffold, ensure/ensureStmt the
+// all-paths release analysis, and flatEffect the per-statement effect
+// classification. The protocol being checked is parameterized so other
+// analyzers (poolcheck) can reuse the machinery with their own acquire
+// matcher and release-method name.
 type ledgerChecker struct {
 	pass     *Pass
 	closures map[types.Object]*ast.FuncLit
+
+	// checkStmt is the acquire matcher findAcquires dispatches flat
+	// statements to; checkCond (optional) handles acquisitions buried in
+	// an if condition.
+	checkStmt func(s ast.Stmt, rest [][]ast.Stmt)
+	checkCond func(cond ast.Expr, enclosing ast.Stmt, rest [][]ast.Stmt)
+	// releaseMethod discharges an obligation ("End" for spans, "Release"
+	// for pooled frames); noun names the held resource in diagnostics.
+	releaseMethod string
+	noun          string
 }
 
 // isSpanAcquire reports whether call mints a span: a method named
@@ -128,8 +153,10 @@ func (lg *ledgerChecker) findAcquires(stmts []ast.Stmt, cont [][]ast.Stmt) {
 			if s.Else != nil {
 				lg.findAcquires([]ast.Stmt{s.Else}, rest)
 			}
-			lg.checkStmtAcquires(s.Init, rest)
-			lg.checkReserveIn(s.Cond, s, rest)
+			lg.checkStmt(s.Init, rest)
+			if lg.checkCond != nil {
+				lg.checkCond(s.Cond, s, rest)
+			}
 			continue
 		case *ast.ForStmt:
 			lg.findAcquires(s.Body.List, rest)
@@ -139,7 +166,7 @@ func (lg *ledgerChecker) findAcquires(stmts []ast.Stmt, cont [][]ast.Stmt) {
 			continue
 		case *ast.SwitchStmt:
 			lg.findClauseAcquires(s.Body.List, rest)
-			lg.checkStmtAcquires(s.Init, rest)
+			lg.checkStmt(s.Init, rest)
 			continue
 		case *ast.TypeSwitchStmt:
 			lg.findClauseAcquires(s.Body.List, rest)
@@ -151,7 +178,7 @@ func (lg *ledgerChecker) findAcquires(stmts []ast.Stmt, cont [][]ast.Stmt) {
 			lg.findAcquires([]ast.Stmt{s.Stmt}, rest)
 			continue
 		}
-		lg.checkStmtAcquires(s, rest)
+		lg.checkStmt(s, rest)
 	}
 }
 
@@ -328,6 +355,17 @@ func (lg *ledgerChecker) releaseReachable(conts [][]ast.Stmt, recv string, resul
 	return false
 }
 
+// isBuiltinOrUnresolved reports whether id denotes a universe builtin
+// (or nothing at all) — i.e. it is not shadowed by a local definition.
+func isBuiltinOrUnresolved(info *types.Info, id *ast.Ident) bool {
+	obj := info.Uses[id]
+	if obj == nil {
+		return info.Defs[id] == nil
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
 func (lg *ledgerChecker) closureOf(id *ast.Ident) *ast.FuncLit {
 	obj := lg.pass.Info.Uses[id]
 	if obj == nil {
@@ -399,7 +437,8 @@ func (lg *ledgerChecker) ensureStmt(s ast.Stmt, obj types.Object) outcome {
 	case *ast.AssignStmt:
 		for _, l := range s.Lhs {
 			if id, ok := l.(*ast.Ident); ok && lg.pass.Info.Uses[id] == obj {
-				lg.pass.Reportf(s.Pos(), "span %s reassigned before End; the original span is orphaned", id.Name)
+				lg.pass.Reportf(s.Pos(), "%s %s reassigned before %s; the original %s is orphaned",
+					lg.noun, id.Name, lg.releaseMethod, lg.noun)
 				return oLeaked
 			}
 		}
@@ -511,12 +550,13 @@ const (
 )
 
 // flatEffect classifies a statement's (or expression's) impact on the
-// span obligation for obj:
+// obligation for obj:
 //
-//   - an End() call on the span (directly, in a deferred closure, or in
-//     the body of a previously defined local closure that is called or
-//     deferred here) releases it;
-//   - any use of the span variable other than as a method receiver —
+//   - a releaseMethod call (End for spans, Release for pooled frames) on
+//     the held variable — directly, in a deferred closure, or in the
+//     body of a previously defined local closure that is called or
+//     deferred here — releases it;
+//   - any use of the held variable other than as a method receiver —
 //     argument, operand, capture by a function literal — releases it by
 //     ownership hand-off;
 //   - a panic(...) with neither of the above leaks it.
@@ -544,14 +584,14 @@ func (lg *ledgerChecker) flatEffect(n ast.Node, obj types.Object) effect {
 			}
 			switch m := m.(type) {
 			case *ast.CallExpr:
-				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if sel, ok := m.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == lg.releaseMethod {
 					if id, ok := sel.X.(*ast.Ident); ok && lg.pass.Info.Uses[id] == obj {
 						released = true
 						return false
 					}
 				}
 				if id, ok := m.Fun.(*ast.Ident); ok {
-					if id.Name == "panic" && lg.pass.Info.Uses[id] == nil && lg.pass.Info.Defs[id] == nil {
+					if id.Name == "panic" && isBuiltinOrUnresolved(lg.pass.Info, id) {
 						panicked = true
 					}
 					if lit := lg.closureOf(id); lit != nil && !seen[lit] {

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolCheck enforces the frame-pool ownership discipline the
+// zero-allocation render loop depends on (internal/frame.Pool):
+//
+//   - A frame acquired from a pool — any method named Get whose result
+//     is a type named Frame — must be released on every path: an
+//     explicit Release() on all branches, a defer, or an ownership
+//     hand-off (returning the frame, passing it to a call, storing it,
+//     or capturing it in a closure). A path that returns or panics
+//     while still holding the frame leaks a pool buffer; dropping the
+//     result on the floor or reassigning the variable before releasing
+//     orphans it outright.
+//   - A Retain() call takes an extra reference that must be balanced:
+//     the retained frame needs a reachable Release, or the reference
+//     must visibly move somewhere longer-lived (a store, a return, a
+//     call). Protocols that release in a different function (a cache
+//     releasing at eviction) are beyond the analysis and carry a
+//     //v2v:nolint(poolcheck) with the reason.
+//
+// The walk is the same continuation-passing machinery as the ledger
+// analyzer, instantiated with Release as the discharging method.
+// Because any non-receiver use counts as a hand-off, the analyzer is
+// deliberately permissive: it catches the classic leak shapes (acquire
+// then early-return, acquire then fall off the end) without flagging
+// every custody transfer it cannot follow.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "pool.Get/Retain frame acquisitions are Released on all paths or ownership is handed off",
+	Run:  runPoolCheck,
+}
+
+func runPoolCheck(pass *Pass) error {
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			pc := &poolChecker{ledgerChecker{
+				pass:          pass,
+				closures:      collectClosures(pass, body),
+				releaseMethod: "Release",
+				noun:          "pooled frame",
+			}}
+			pc.checkStmt = pc.checkPoolStmt
+			pc.findAcquires(body.List, nil)
+		})
+	}
+	return nil
+}
+
+type poolChecker struct {
+	ledgerChecker
+}
+
+// isPoolAcquire reports whether call creates a frame-ownership
+// obligation: a method named Get or Retain whose result is a type named
+// Frame. The method name is returned for diagnostics.
+func (pc *poolChecker) isPoolAcquire(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Get", "Retain":
+	default:
+		return "", false
+	}
+	if methodOf(pc.pass.Info, sel) == nil {
+		return "", false // package-level function, not the pool protocol
+	}
+	obj := namedObjOf(pc.pass.Info.TypeOf(call))
+	if obj == nil || obj.Name() != "Frame" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// checkPoolStmt is the acquire matcher the shared findAcquires scaffold
+// dispatches flat statements to.
+func (pc *poolChecker) checkPoolStmt(s ast.Stmt, rest [][]ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		kind, ok := pc.isPoolAcquire(call)
+		if !ok {
+			return
+		}
+		if kind == "Retain" {
+			pc.checkBareRetain(call, rest)
+			return
+		}
+		pc.pass.Reportf(call.Pos(), "pooled frame discarded at acquisition; it can never be released")
+	case *ast.ReturnStmt:
+		return // acquiring in a return hands ownership to the caller
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return
+		}
+		call, ok := s.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if _, ok := pc.isPoolAcquire(call); !ok {
+			return
+		}
+		pc.checkFrameAssign(s, call, rest)
+	case *ast.GoStmt, *ast.DeferStmt:
+		return // ownership moves into the spawned/deferred call
+	}
+}
+
+// checkBareRetain handles `fr.Retain()` with the result discarded: the
+// extra reference lives on the receiver, so the receiver itself must be
+// released or handed off afterwards.
+func (pc *poolChecker) checkBareRetain(call *ast.CallExpr, rest [][]ast.Stmt) {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := pc.pass.Info.Uses[id]; obj != nil {
+			if pc.ensure(rest, obj) == oReleased {
+				return
+			}
+			pc.pass.Reportf(call.Pos(), "%s.Retain has no reachable %s.Release or hand-off; the extra reference is never dropped", id.Name, id.Name)
+			return
+		}
+	}
+	// Non-ident receiver (e.g. a field or index expression): fall back to
+	// a textual reachability scan for Release on the same receiver.
+	recv := types.ExprString(sel.X)
+	if !pc.releaseReachable(rest, recv, nil) {
+		pc.pass.Reportf(call.Pos(), "%s.Retain has no reachable %s.Release or hand-off; the extra reference is never dropped", recv, recv)
+	}
+}
+
+func (pc *poolChecker) checkFrameAssign(s *ast.AssignStmt, call *ast.CallExpr, rest [][]ast.Stmt) {
+	if len(s.Lhs) != 1 {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return // stored straight into a field or slot: ownership moved with it
+	}
+	if id.Name == "_" {
+		pc.pass.Reportf(call.Pos(), "pooled frame assigned to _; it can never be released")
+		return
+	}
+	obj := pc.pass.Info.Defs[id]
+	if obj == nil {
+		obj = pc.pass.Info.Uses[id] // plain `=` reassignment acquires too
+	}
+	if obj == nil {
+		return
+	}
+	if pc.ensure(rest, obj) != oReleased {
+		pc.pass.Reportf(call.Pos(), "pooled frame %s is not released on every path (call %s.Release(), defer it, or hand the frame off)", id.Name, id.Name)
+	}
+}

@@ -1,0 +1,168 @@
+// Package poolcheck is lint testdata: frames acquired from a pool
+// (Get) or reference-counted up (Retain) must be Released on every
+// path, or ownership must visibly move. The local Pool/Frame mirror
+// internal/frame.
+package poolcheck
+
+import "errors"
+
+type Frame struct {
+	Pix  []byte
+	W, H int
+}
+
+func (f *Frame) Retain() *Frame { return f }
+func (f *Frame) Release()       {}
+
+type Pool struct{}
+
+func (p *Pool) Get(w, h int) *Frame { return &Frame{} }
+
+var errFail = errors.New("fail")
+
+// ---- good ----
+
+func GoodLinear(p *Pool) {
+	fr := p.Get(2, 2)
+	fr.Pix[0] = 1
+	fr.Release()
+}
+
+func GoodDefer(p *Pool) error {
+	fr := p.Get(2, 2)
+	defer fr.Release()
+	return errFail
+}
+
+func GoodBranches(p *Pool, fail bool) error {
+	fr := p.Get(2, 2)
+	if fail {
+		fr.Release()
+		return errFail
+	}
+	fr.Release()
+	return nil
+}
+
+// GoodHandoffReturn: returning the frame moves ownership to the caller.
+func GoodHandoffReturn(p *Pool) *Frame {
+	fr := p.Get(2, 2)
+	fr.Pix[0] = 1
+	return fr
+}
+
+// GoodHandoffArg: passing the frame to another function moves ownership.
+func GoodHandoffArg(p *Pool) {
+	fr := p.Get(2, 2)
+	consume(fr)
+}
+
+func consume(fr *Frame) { fr.Release() }
+
+// GoodClosureRelease: capturing the frame in a closure extends its
+// lifetime beyond the analysis — ownership hand-off.
+func GoodClosureRelease(p *Pool, fail bool) error {
+	fr := p.Get(2, 2)
+	done := func() { fr.Release() }
+	if fail {
+		done()
+		return errFail
+	}
+	done()
+	return nil
+}
+
+// GoodRetainStored: the extra reference visibly moves into a field;
+// whoever owns the field releases it later.
+type holder struct{ prev *Frame }
+
+func (h *holder) GoodRetainStored(fr *Frame) {
+	fr.Retain()
+	if h.prev != nil {
+		h.prev.Release()
+	}
+	h.prev = fr
+}
+
+// GoodRetainBalanced: the retained reference is dropped on every path.
+func GoodRetainBalanced(p *Pool, fail bool) error {
+	fr := p.Get(2, 2)
+	ref := fr.Retain()
+	if fail {
+		ref.Release()
+		fr.Release()
+		return errFail
+	}
+	ref.Release()
+	fr.Release()
+	return nil
+}
+
+// GoodReacquire: release, then reuse the variable for a fresh frame.
+func GoodReacquire(p *Pool) {
+	fr := p.Get(2, 2)
+	fr.Release()
+	fr = p.Get(3, 3)
+	fr.Release()
+}
+
+// ---- bad ----
+
+func BadLeakOnError(p *Pool, fail bool) error {
+	fr := p.Get(2, 2) // want "pooled frame fr is not released on every path"
+	if fail {
+		return errFail // leaks fr
+	}
+	fr.Release()
+	return nil
+}
+
+func BadNeverReleased(p *Pool) {
+	fr := p.Get(2, 2) // want "pooled frame fr is not released on every path"
+	fr.Pix[0] = 1
+}
+
+func BadDiscarded(p *Pool) {
+	p.Get(2, 2) // want "pooled frame discarded at acquisition"
+}
+
+func BadBlank(p *Pool) {
+	_ = p.Get(2, 2) // want "pooled frame assigned to _"
+}
+
+func BadReassign(p *Pool) {
+	fr := p.Get(2, 2) // want "pooled frame fr is not released on every path"
+	fr = p.Get(3, 3)  // want "reassigned before Release"
+	fr.Release()
+}
+
+func BadPanicWhileHolding(p *Pool, fail bool) {
+	fr := p.Get(2, 2) // want "pooled frame fr is not released on every path"
+	if fail {
+		panic("boom") // leaks fr
+	}
+	fr.Release()
+}
+
+func BadBareRetain(fr *Frame) {
+	fr.Retain() // want "fr.Retain has no reachable fr.Release or hand-off"
+	fr.Pix[0] = 1
+}
+
+func BadRetainAssignLeak(p *Pool, fail bool) error {
+	fr := p.Get(2, 2)
+	defer fr.Release()
+	ref := fr.Retain() // want "pooled frame ref is not released on every path"
+	if fail {
+		return errFail // leaks the extra reference
+	}
+	ref.Release()
+	return nil
+}
+
+// SuppressedLeak: the escape hatch for cross-function protocols.
+func SuppressedLeak(p *Pool) {
+	//v2v:nolint(poolcheck) released by the cache at eviction, beyond intra-function analysis
+	fr := p.Get(2, 2)
+	fr.Pix[0] = 1
+}

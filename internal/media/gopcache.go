@@ -198,6 +198,13 @@ func (c *GOPCache) GetOrFill(path string, start int, fill func() ([]*frame.Frame
 			c.mu.Lock()
 			delete(c.inflight, key)
 			if admitted {
+				// The cache holds a reference to each resident frame until
+				// eviction (no-ops for the unpooled frames source decoders
+				// produce today; the protocol keeps pooled frames safe).
+				for _, fr := range f.frames {
+					//v2v:nolint(poolcheck) the cache holds this reference until eviction; removeLocked releases it
+					fr.Retain()
+				}
 				el := c.lru.PushFront(&gopEntry{key: key, frames: f.frames, bytes: b})
 				c.entries[key] = el
 				c.bytes += b
@@ -248,6 +255,9 @@ func (c *GOPCache) evictOverBudgetLocked(keep *list.Element) {
 
 func (c *GOPCache) removeLocked(el *list.Element) int64 {
 	e := el.Value.(*gopEntry)
+	for _, fr := range e.frames {
+		fr.Release() // drop the cache's reference taken at insertion
+	}
 	c.lru.Remove(el)
 	delete(c.entries, e.key)
 	c.bytes -= e.bytes

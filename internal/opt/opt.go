@@ -24,6 +24,11 @@ type Options struct {
 	// MergeFilters collapses each segment's layered operator tree into a
 	// single filter, removing intermediate encode/decode pairs.
 	MergeFilters bool
+	// FuseKernels collapses chains of fusable per-pixel point ops (grade,
+	// crossfade, wipe, overlay) into single fused kernel nodes executed in
+	// one pass over the planes. Requires MergeFilters (fusion operates on
+	// the merged expressions).
+	FuseKernels bool
 	// StreamCopy converts keyframe-aligned plain clips into packet copies
 	// (passthrough plans only).
 	StreamCopy bool
@@ -43,6 +48,7 @@ func Default() Options {
 	return Options{
 		MergeSegments: true,
 		MergeFilters:  true,
+		FuseKernels:   true,
 		StreamCopy:    true,
 		SmartCut:      true,
 		Shard:         true,
@@ -53,6 +59,7 @@ func Default() Options {
 type Stats struct {
 	SegmentsMerged int
 	FiltersMerged  int // operator boundaries (materializations) removed
+	KernelsFused   int // point ops folded into fused kernel nodes
 	Copies         int
 	SmartCuts      int
 	ShardedSegs    int
@@ -71,6 +78,12 @@ func Optimize(p *plan.Plan, o Options) (Stats, error) {
 		sp := o.Trace.StartSpan("opt.merge_filters")
 		st.FiltersMerged = mergeFilters(p)
 		sp.SetAttr("boundaries_removed", st.FiltersMerged)
+		sp.End()
+	}
+	if o.FuseKernels && o.MergeFilters {
+		sp := o.Trace.StartSpan("opt.fuse_kernels")
+		st.KernelsFused = fusePass(p)
+		sp.SetAttr("ops_fused", st.KernelsFused)
 		sp.End()
 	}
 	if (o.StreamCopy || o.SmartCut) && p.Checked.Passthrough {
@@ -97,8 +110,8 @@ func Optimize(p *plan.Plan, o Options) (Stats, error) {
 	// admission weights and EXPLAIN reflect the plan that executes.
 	plan.EstimateCosts(p)
 	p.Notes = append(p.Notes, fmt.Sprintf(
-		"opt: merged %d segments, removed %d op boundaries, %d copies, %d smart cuts, %d sharded",
-		st.SegmentsMerged, st.FiltersMerged, st.Copies, st.SmartCuts, st.ShardedSegs))
+		"opt: merged %d segments, removed %d op boundaries, fused %d point ops, %d copies, %d smart cuts, %d sharded",
+		st.SegmentsMerged, st.FiltersMerged, st.KernelsFused, st.Copies, st.SmartCuts, st.ShardedSegs))
 	return st, nil
 }
 

@@ -1,0 +1,328 @@
+package raster
+
+import (
+	"fmt"
+
+	"v2v/internal/frame"
+)
+
+// This file implements the fused per-pixel kernel form of the point
+// operations (Grade, Crossfade, WipeLR, Overlay, FillRect). A chain of
+// point ops normally costs one full pass over the YUV planes — and one
+// fresh frame allocation — per op. ApplyFused makes ONE pass: each row is
+// loaded once, every op is applied while the row is L1-resident, and the
+// destination buffer is caller-provided (poolable).
+//
+// Correctness: every fusable op writes each output pixel as a function of
+// the same-position input pixel (plus constant secondary frames), so
+// applying ops row-by-row in order is byte-identical to applying them
+// frame-by-frame in order. The kernels below replicate the standalone
+// functions' arithmetic exactly — same integer rounding, same clipping,
+// same traversal — which the equivalence tests enforce.
+
+type opKind uint8
+
+const (
+	opGrade opKind = iota
+	opCrossfade
+	opWipe
+	opOverlay
+	opFillRect
+)
+
+const (
+	modeBlend    uint8 = iota // apply the op's arithmetic
+	modeIdentity              // op is a no-op at these parameters (t<=0)
+	modeCopy                  // op replaces dst with its other frame (t>=1)
+)
+
+// PointOp is one fusable per-pixel operation, prepared for repeated
+// application. Construct with GradeOp, CrossfadeOp, WipeOp, OverlayOp, or
+// FillRectOp; apply chains with ApplyFused. A PointOp is immutable after
+// construction and safe for concurrent use as long as its secondary frame
+// (crossfade/wipe other, overlay image) is not mutated or released.
+type PointOp struct {
+	kind opKind
+	mode uint8
+
+	// Grade: per-plane lookup tables.
+	lumaLUT, chromaLUT *[256]byte
+
+	// Crossfade/Wipe second frame or Overlay image (always YUV420), with
+	// its planes pre-split so row application allocates nothing.
+	other       *frame.Frame
+	otherPlanes [3][]byte
+
+	alpha int     // crossfade blend weight or overlay alpha, 0..255
+	t     float64 // wipe fraction (cut depends on dst width)
+	x, y  int     // overlay offset
+	rect  Rect    // fillrect
+	color Color
+}
+
+// GradeOp returns the kernel form of Grade(src, brightness, contrast,
+// saturation).
+func GradeOp(brightness int, contrast, saturation float64) PointOp {
+	var lumaLUT, chromaLUT [256]byte
+	for i := 0; i < 256; i++ {
+		v := (float64(i)-128)*contrast + 128 + float64(brightness)
+		lumaLUT[i] = clampF(v)
+		c := (float64(i)-128)*saturation + 128
+		chromaLUT[i] = clampF(c)
+	}
+	return PointOp{kind: opGrade, lumaLUT: &lumaLUT, chromaLUT: &chromaLUT}
+}
+
+// CrossfadeOp returns the kernel form of Crossfade(src, b, t).
+func CrossfadeOp(b *frame.Frame, t float64) PointOp {
+	op := PointOp{kind: opCrossfade, other: b, otherPlanes: planes3(b)}
+	switch {
+	case t <= 0:
+		op.mode = modeIdentity
+	case t >= 1:
+		op.mode = modeCopy
+	default:
+		op.alpha = int(t*255 + 0.5)
+	}
+	return op
+}
+
+// WipeOp returns the kernel form of WipeLR(src, b, t).
+func WipeOp(b *frame.Frame, t float64) PointOp {
+	op := PointOp{kind: opWipe, other: b, otherPlanes: planes3(b), t: t}
+	switch {
+	case t <= 0:
+		op.mode = modeIdentity
+	case t >= 1:
+		op.mode = modeCopy
+	}
+	return op
+}
+
+// OverlayOp returns the kernel form of Overlay(src, image, x, y, alpha).
+// Non-YUV420 images are converted once here, not per frame.
+func OverlayOp(image *frame.Frame, x, y, alpha int) PointOp {
+	img := image
+	if img.Format != frame.FormatYUV420 {
+		img = image.Convert(frame.FormatYUV420)
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if alpha > 255 {
+		alpha = 255
+	}
+	return PointOp{kind: opOverlay, other: img, otherPlanes: planes3(img), alpha: alpha, x: x, y: y}
+}
+
+// FillRectOp returns the kernel form of FillRect(dst, r, c).
+func FillRectOp(r Rect, c Color) PointOp {
+	return PointOp{kind: opFillRect, rect: r, color: c}
+}
+
+func planes3(fr *frame.Frame) [3][]byte {
+	p := fr.Planes()
+	return [3][]byte{p[0], p[1], p[2]}
+}
+
+// ApplyFused copies src into dst and applies ops in order in a single
+// row-wise pass over the planes. dst and src must be same-shape YUV420;
+// dst == src applies the chain in place. Every byte of dst is written, so
+// a pooled dst with stale contents is safe. Shape mismatches against a
+// crossfade/wipe secondary frame panic with the standalone ops' messages.
+// ApplyFused performs no heap allocation.
+func ApplyFused(dst, src *frame.Frame, ops []PointOp) {
+	mustYUV(src, "ApplyFused")
+	if dst != src {
+		mustYUV(dst, "ApplyFused")
+		if !dst.SameShape(src) {
+			panic(fmt.Sprintf("raster: ApplyFused dst %dx%d does not match src %dx%d",
+				dst.W, dst.H, src.W, src.H))
+		}
+	}
+	for i := range ops {
+		switch ops[i].kind {
+		case opCrossfade:
+			if !src.SameShape(ops[i].other) {
+				panic("raster: Crossfade frames must be same shape")
+			}
+		case opWipe:
+			if !src.SameShape(ops[i].other) {
+				panic("raster: WipeLR frames must be same shape")
+			}
+		}
+	}
+	// Adjacent grades compose exactly — grade is a pure per-byte LUT, so a
+	// run of them is one lookup through the composed table
+	// (last∘…∘first), byte-identical to applying them in sequence. The
+	// rewrite is inlined here, into stack scratch, so it allocates
+	// nothing; chains longer than the scratch (rare — real queries stay
+	// shallow) run op by op.
+	var scratch [gradeComposeMax]PointOp
+	var luts [gradeComposeMax][2][256]byte
+	if n := len(ops); n <= gradeComposeMax {
+		used := 0 // indexed stores, not append: append's realloc path would force luts to the heap
+		for i := 0; i < n; {
+			if ops[i].kind != opGrade || i+1 >= n || ops[i+1].kind != opGrade {
+				scratch[used] = ops[i]
+				used++
+				i++
+				continue
+			}
+			luma, chroma := &luts[used][0], &luts[used][1]
+			*luma, *chroma = *ops[i].lumaLUT, *ops[i].chromaLUT
+			for i++; i < n && ops[i].kind == opGrade; i++ {
+				for j := 0; j < 256; j++ {
+					luma[j] = ops[i].lumaLUT[luma[j]]
+					chroma[j] = ops[i].chromaLUT[chroma[j]]
+				}
+			}
+			scratch[used] = PointOp{kind: opGrade, lumaLUT: luma, chromaLUT: chroma}
+			used++
+		}
+		ops = scratch[:used]
+	}
+	dp := planes3(dst)
+	sp := dp
+	if dst != src {
+		sp = planes3(src)
+	}
+	for pi := 0; pi < 3; pi++ {
+		w, h := dst.W, dst.H
+		if pi > 0 {
+			w, h = w/2, h/2
+		}
+		for row := 0; row < h; row++ {
+			drow := dp[pi][row*w : (row+1)*w]
+			if dst != src {
+				copy(drow, sp[pi][row*w:(row+1)*w])
+			}
+			for i := range ops {
+				ops[i].applyRow(dst, pi, row, w, drow)
+			}
+		}
+	}
+}
+
+// gradeComposeMax bounds ApplyFused's grade-composition stack scratch.
+const gradeComposeMax = 8
+
+// applyRow applies the op to one plane row already resident in drow.
+func (op *PointOp) applyRow(dst *frame.Frame, plane, row, w int, drow []byte) {
+	switch op.kind {
+	case opGrade:
+		lut := op.lumaLUT
+		if plane > 0 {
+			lut = op.chromaLUT
+		}
+		for i, v := range drow {
+			drow[i] = lut[v]
+		}
+
+	case opCrossfade:
+		switch op.mode {
+		case modeIdentity:
+			return
+		case modeCopy:
+			copy(drow, op.otherPlanes[plane][row*w:(row+1)*w])
+			return
+		}
+		orow := op.otherPlanes[plane][row*w : (row+1)*w]
+		a := op.alpha
+		for i, v := range drow {
+			drow[i] = byte((int(orow[i])*a + int(v)*(255-a) + 127) / 255)
+		}
+
+	case opWipe:
+		switch op.mode {
+		case modeIdentity:
+			return
+		case modeCopy:
+			copy(drow, op.otherPlanes[plane][row*w:(row+1)*w])
+			return
+		}
+		cut := even(int(op.t * float64(dst.W)))
+		if cut == 0 {
+			return
+		}
+		if plane > 0 {
+			cut /= 2
+		}
+		copy(drow[:cut], op.otherPlanes[plane][row*w:row*w+cut])
+
+	case opOverlay:
+		img, a := op.other, op.alpha
+		if plane == 0 {
+			irow := row - op.y
+			if irow < 0 || irow >= img.H {
+				return
+			}
+			ip := op.otherPlanes[0][irow*img.W : (irow+1)*img.W]
+			for col := 0; col < img.W; col++ {
+				dx := op.x + col
+				if dx < 0 || dx >= w {
+					continue
+				}
+				drow[dx] = byte((int(ip[col])*a + int(drow[dx])*(255-a) + 127) / 255)
+			}
+			return
+		}
+		irow := row - op.y/2
+		icw := img.W / 2
+		if irow < 0 || irow >= img.H/2 {
+			return
+		}
+		ip := op.otherPlanes[plane][irow*icw : (irow+1)*icw]
+		for col := 0; col < icw; col++ {
+			dx := op.x/2 + col
+			if dx < 0 || dx >= w {
+				continue
+			}
+			drow[dx] = byte((int(ip[col])*a + int(drow[dx])*(255-a) + 127) / 255)
+		}
+
+	case opFillRect:
+		cr, ok := op.rect.clip(dst.W, dst.H)
+		if !ok {
+			return
+		}
+		if plane == 0 {
+			if row < cr.Y || row >= cr.Y+cr.H {
+				return
+			}
+			fill := drow[cr.X : cr.X+cr.W]
+			for i := range fill {
+				fill[i] = op.color.Y
+			}
+			return
+		}
+		if row < cr.Y/2 || row >= (cr.Y+cr.H+1)/2 {
+			return
+		}
+		v := op.color.Cb
+		if plane == 2 {
+			v = op.color.Cr
+		}
+		fill := drow[cr.X/2 : (cr.X+cr.W+1)/2]
+		for i := range fill {
+			fill[i] = v
+		}
+	}
+}
+
+// ScaleInto is Scale with a caller-provided destination, enabling pooled
+// buffers on the output-scaling hot path. dst's dimensions select the
+// target size; every byte of dst is written. dst must not alias src.
+func ScaleInto(dst, src *frame.Frame) {
+	if src.Format != frame.FormatYUV420 || dst.Format != frame.FormatYUV420 {
+		panic(fmt.Sprintf("raster: ScaleInto wants yuv420, got %v -> %v", src.Format, dst.Format))
+	}
+	if dst.W == src.W && dst.H == src.H {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	sp, dp := src.Planes(), dst.Planes()
+	scalePlane(sp[0], src.W, src.H, dp[0], dst.W, dst.H)
+	scalePlane(sp[1], src.W/2, src.H/2, dp[1], dst.W/2, dst.H/2)
+	scalePlane(sp[2], src.W/2, src.H/2, dp[2], dst.W/2, dst.H/2)
+}

@@ -1,0 +1,179 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+
+	"v2v/internal/frame"
+)
+
+// randomFrame returns a deterministic pseudo-random YUV420 frame.
+func randomFrame(rng *rand.Rand, w, h int) *frame.Frame {
+	fr := frame.New(w, h, frame.FormatYUV420)
+	rng.Read(fr.Pix)
+	return fr
+}
+
+// applyUnfused runs the standalone (frame-at-a-time) form of one op.
+func applyUnfused(t *testing.T, src *frame.Frame, name string, mk func() (PointOp, func(*frame.Frame) *frame.Frame)) (*frame.Frame, *frame.Frame) {
+	t.Helper()
+	op, ref := mk()
+	want := ref(src)
+	got := frame.New(src.W, src.H, frame.FormatYUV420)
+	got.Pix[0] = 0x55 // stale contents must not leak through
+	ApplyFused(got, src, []PointOp{op})
+	if !got.Equal(want) {
+		t.Fatalf("%s: fused output differs from standalone op", name)
+	}
+	return got, want
+}
+
+func TestKernelsMatchStandaloneOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := randomFrame(rng, 64, 36)
+	b := randomFrame(rng, 64, 36)
+	small := randomFrame(rng, 20, 12)
+
+	cases := []struct {
+		name string
+		mk   func() (PointOp, func(*frame.Frame) *frame.Frame)
+	}{
+		{"grade", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return GradeOp(12, 1.25, 0.8), func(f *frame.Frame) *frame.Frame { return Grade(f, 12, 1.25, 0.8) }
+		}},
+		{"grade-extreme", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return GradeOp(-200, 3.5, 0), func(f *frame.Frame) *frame.Frame { return Grade(f, -200, 3.5, 0) }
+		}},
+		{"crossfade-mid", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return CrossfadeOp(b, 0.37), func(f *frame.Frame) *frame.Frame { return Crossfade(f, b, 0.37) }
+		}},
+		{"crossfade-zero", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return CrossfadeOp(b, 0), func(f *frame.Frame) *frame.Frame { return Crossfade(f, b, 0) }
+		}},
+		{"crossfade-one", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return CrossfadeOp(b, 1), func(f *frame.Frame) *frame.Frame { return Crossfade(f, b, 1) }
+		}},
+		{"crossfade-near-one", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return CrossfadeOp(b, 0.999), func(f *frame.Frame) *frame.Frame { return Crossfade(f, b, 0.999) }
+		}},
+		{"wipe-mid", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return WipeOp(b, 0.43), func(f *frame.Frame) *frame.Frame { return WipeLR(f, b, 0.43) }
+		}},
+		{"wipe-tiny", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			// t small enough that the even() cut collapses to 0.
+			return WipeOp(b, 0.01), func(f *frame.Frame) *frame.Frame { return WipeLR(f, b, 0.01) }
+		}},
+		{"wipe-one", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return WipeOp(b, 1), func(f *frame.Frame) *frame.Frame { return WipeLR(f, b, 1) }
+		}},
+		{"overlay", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return OverlayOp(small, 10, 6, 180), func(f *frame.Frame) *frame.Frame { return Overlay(f, small, 10, 6, 180) }
+		}},
+		{"overlay-negative-offset", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return OverlayOp(small, -7, -3, 200), func(f *frame.Frame) *frame.Frame { return Overlay(f, small, -7, -3, 200) }
+		}},
+		{"overlay-clipped-right", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return OverlayOp(small, 58, 30, 255), func(f *frame.Frame) *frame.Frame { return Overlay(f, small, 58, 30, 255) }
+		}},
+		{"overlay-alpha-clamped", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			return OverlayOp(small, 4, 4, 999), func(f *frame.Frame) *frame.Frame { return Overlay(f, small, 4, 4, 999) }
+		}},
+		{"fillrect", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			r, c := Rect{X: 5, Y: 3, W: 21, H: 13}, Red
+			return FillRectOp(r, c), func(f *frame.Frame) *frame.Frame {
+				out := f.Clone()
+				FillRect(out, r, c)
+				return out
+			}
+		}},
+		{"fillrect-clipped", func() (PointOp, func(*frame.Frame) *frame.Frame) {
+			r, c := Rect{X: -4, Y: 30, W: 100, H: 100}, Blue
+			return FillRectOp(r, c), func(f *frame.Frame) *frame.Frame {
+				out := f.Clone()
+				FillRect(out, r, c)
+				return out
+			}
+		}},
+	}
+	for _, tc := range cases {
+		applyUnfused(t, src, tc.name, tc.mk)
+	}
+}
+
+func TestFusedChainMatchesSequentialOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	src := randomFrame(rng, 48, 32)
+	b := randomFrame(rng, 48, 32)
+	logo := randomFrame(rng, 16, 8)
+
+	want := Grade(Overlay(Crossfade(src, b, 0.6), logo, 3, 5, 128), -10, 1.4, 1.2)
+
+	ops := []PointOp{
+		CrossfadeOp(b, 0.6),
+		OverlayOp(logo, 3, 5, 128),
+		GradeOp(-10, 1.4, 1.2),
+	}
+	got := frame.New(48, 32, frame.FormatYUV420)
+	ApplyFused(got, src, ops)
+	if !got.Equal(want) {
+		t.Fatal("3-op fused chain differs from sequential standalone ops")
+	}
+
+	// In-place application (dst == src) on a copy must match too.
+	inPlace := src.Clone()
+	ApplyFused(inPlace, inPlace, ops)
+	if !inPlace.Equal(want) {
+		t.Fatal("in-place fused chain differs from sequential standalone ops")
+	}
+}
+
+func TestApplyFusedShapePanics(t *testing.T) {
+	src := frame.New(16, 16, frame.FormatYUV420)
+	other := frame.New(32, 16, frame.FormatYUV420)
+	defer func() {
+		if r := recover(); r != "raster: Crossfade frames must be same shape" {
+			t.Fatalf("panic = %v, want Crossfade shape message", r)
+		}
+	}()
+	ApplyFused(frame.New(16, 16, frame.FormatYUV420), src, []PointOp{CrossfadeOp(other, 0.5)})
+}
+
+func TestApplyFusedZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := randomFrame(rng, 64, 32)
+	b := randomFrame(rng, 64, 32)
+	dst := frame.New(64, 32, frame.FormatYUV420)
+	ops := []PointOp{GradeOp(5, 1.1, 0.9), CrossfadeOp(b, 0.5), WipeOp(b, 0.25)}
+	allocs := testing.AllocsPerRun(50, func() {
+		ApplyFused(dst, src, ops)
+	})
+	if allocs != 0 {
+		t.Fatalf("ApplyFused allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestScaleSameSizeReturnsSrc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := randomFrame(rng, 32, 16)
+	if got := Scale(src, 32, 16); got != src {
+		t.Fatal("Scale to identical dimensions should return src itself")
+	}
+}
+
+func TestScaleIntoMatchesScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := randomFrame(rng, 62, 34)
+	want := Scale(src, 32, 20)
+	dst := frame.New(32, 20, frame.FormatYUV420)
+	dst.Pix[0] = 0xEE
+	ScaleInto(dst, src)
+	if !dst.Equal(want) {
+		t.Fatal("ScaleInto differs from Scale")
+	}
+	// Same-size path must be a pure copy.
+	same := frame.New(62, 34, frame.FormatYUV420)
+	ScaleInto(same, src)
+	if !same.Equal(src) {
+		t.Fatal("same-size ScaleInto differs from src")
+	}
+}

@@ -38,9 +38,10 @@ func TestScaleIdentity(t *testing.T) {
 	if !dst.Equal(src) {
 		t.Error("same-size scale should be identity")
 	}
-	dst.Pix[0] ^= 0xFF
-	if src.Pix[0] == dst.Pix[0] {
-		t.Error("scale should not alias source")
+	// The identity path returns src itself (no copy) — callers must clone
+	// before mutating. See the Scale doc comment.
+	if dst != src {
+		t.Error("same-size scale should return src (zero-copy identity)")
 	}
 }
 

@@ -18,6 +18,11 @@ import (
 
 // Scale resizes src to w×h using bilinear interpolation in fixed-point
 // arithmetic (16.16), per plane. w and h must be positive and even.
+//
+// When the target equals the source dimensions, Scale returns src itself
+// (NOT a copy): callers must treat the result as aliasing src and clone
+// before mutating. Every in-tree caller either only reads the result
+// (blit, Zoom) or clones/blends into a fresh frame (PiP, Overlay).
 func Scale(src *frame.Frame, w, h int) *frame.Frame {
 	if src.Format != frame.FormatYUV420 {
 		panic(fmt.Sprintf("raster: Scale wants yuv420, got %v", src.Format))
@@ -26,7 +31,7 @@ func Scale(src *frame.Frame, w, h int) *frame.Frame {
 		panic(fmt.Sprintf("raster: bad scale target %dx%d", w, h))
 	}
 	if w == src.W && h == src.H {
-		return src.Clone()
+		return src
 	}
 	dst := frame.New(w, h, frame.FormatYUV420)
 	sp, dp := src.Planes(), dst.Planes()
