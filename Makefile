@@ -2,6 +2,9 @@
 # `make check` adds vet, the race detector (required for internal/obs), and
 # the project linters (`make lint`, cmd/v2vlint — see
 # docs/STATIC_ANALYSIS.md).
+# `make alloccheck` runs the compiler-driven hot-path escape check
+# (`v2vlint -escapes`): every //v2v:hotpath function must be free of
+# unsuppressed heap escapes (docs/STATIC_ANALYSIS.md).
 # `make fuzz` runs the native fuzz targets for FUZZTIME each (the checked-in
 # corpora under testdata/fuzz always run as part of plain `go test`).
 # `make bench` regenerates every paper figure plus the cache, overload,
@@ -22,7 +25,7 @@ BENCH_DELTA_MD ?= bench-delta.md
 BENCH_PARALLEL ?= 4
 FUZZTIME ?= 10s
 
-.PHONY: all build test tier1 vet race lint fuzz check bench microbench chaos
+.PHONY: all build test tier1 vet race lint alloccheck fuzz check bench microbench chaos
 
 all: tier1
 
@@ -43,13 +46,21 @@ race:
 lint:
 	$(GO) run ./cmd/v2vlint ./...
 
+alloccheck:
+	$(GO) run ./cmd/v2vlint -escapes ./...
+
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/vql/
 	$(GO) test -run='^$$' -fuzz=FuzzNewReader -fuzztime=$(FUZZTIME) ./internal/container/
 
-check: tier1 vet race lint
+check: tier1 vet race lint alloccheck
 
 bench:
+	@test -f $(BENCH_PRIOR_JSON) || { \
+		echo "make bench: baseline $(BENCH_PRIOR_JSON) is missing —" \
+		     "commit the prior generation's report or point" \
+		     "BENCH_PRIOR_JSON at one; refusing to run without a delta" >&2; \
+		exit 1; }
 	$(GO) run ./cmd/v2vbench -fig all -parallel $(BENCH_PARALLEL) -json $(BENCH_JSON) \
 		-delta $(BENCH_PRIOR_JSON) -delta-out $(BENCH_DELTA_MD)
 

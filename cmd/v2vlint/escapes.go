@@ -1,0 +1,188 @@
+package main
+
+// The -escapes mode: compiler-enforced allocation budgets for the warm
+// loop. Functions annotated //v2v:hotpath (see internal/lint hotpath)
+// promise zero heap allocations; this driver runs the real escape
+// analysis — `go build -gcflags=-m=2` — over the module, parses the
+// `escapes to heap` / `moved to heap` diagnostics, attributes each to
+// the annotated function whose body contains it, and fails on any hit
+// not suppressed by a reasoned //v2v:nolint(hotpath) on the offending
+// line. `make alloccheck` wires this into the check gate.
+//
+// Go's build cache replays compiler diagnostics on cached builds, so
+// repeat runs are cheap and still see the full output.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"v2v/internal/lint"
+)
+
+// escapeFinding is one heap allocation attributed to a hotpath
+// function.
+type escapeFinding struct {
+	File    string
+	Line    int
+	Col     int
+	Func    string
+	Message string
+}
+
+// escapeDiagRe matches one compiler diagnostic line. -m=2 also emits
+// indented `flow:`/`from` explanation lines under the same position
+// prefix; the message-shape check below keeps only the headlines.
+var escapeDiagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+func runEscapes(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	hot, suppressed, err := collectHotpath(dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "v2vlint: -escapes: %v\n", err)
+		return 2
+	}
+	if len(hot) == 0 {
+		fmt.Fprintf(stderr, "v2vlint: -escapes: no //v2v:hotpath annotations under %s\n", dir)
+		return 2
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, runErr := cmd.CombinedOutput()
+	if runErr != nil {
+		fmt.Fprintf(stderr, "v2vlint: -escapes: go %s failed:\n%s", strings.Join(args, " "), out)
+		return 2
+	}
+	var findings []escapeFinding
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeDiagRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if strings.HasPrefix(msg, " ") || strings.HasPrefix(msg, "\t") {
+			continue // -m=2 flow explanation line
+		}
+		isEscape := strings.Contains(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap")
+		if !isEscape {
+			continue
+		}
+		file := filepath.Clean(m[1])
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		fn := owningHotpath(hot, file, ln)
+		if fn == "" {
+			continue // escape outside any annotated function: out of budget scope
+		}
+		if suppressed[file][ln] {
+			continue // reasoned //v2v:nolint(hotpath) on the offending line
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue // -m=2 repeats the headline with and without flow detail
+		}
+		seen[key] = true
+		findings = append(findings, escapeFinding{File: file, Line: ln, Col: col, Func: fn, Message: msg})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	if jsonOut {
+		var diags []lint.Diagnostic
+		for _, f := range findings {
+			diags = append(diags, lint.Diagnostic{
+				Pos:      token.Position{Filename: f.File, Line: f.Line, Column: f.Col},
+				Analyzer: "hotpath",
+				Message:  fmt.Sprintf("%s in hotpath function %s", f.Message, f.Func),
+			})
+		}
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "v2vlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: [hotpath] %s in hotpath function %s\n", f.File, f.Line, f.Col, f.Message, f.Func)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "v2vlint: %d heap escape(s) in %d annotated hotpath function(s)\n", len(findings), len(hot))
+		return 1
+	}
+	fmt.Fprintf(stderr, "v2vlint: 0 heap escapes in %d annotated hotpath function(s)\n", len(hot))
+	return 0
+}
+
+// collectHotpath walks the module tree under dir for //v2v:hotpath
+// annotations and //v2v:nolint(hotpath) suppressions. File paths are
+// dir-relative, matching the compiler's diagnostic positions when the
+// build runs in dir.
+func collectHotpath(dir string) ([]lint.HotpathFunc, map[string]map[int]bool, error) {
+	var hot []lint.HotpathFunc
+	suppressed := map[string]map[int]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		// Parse with the dir-relative name so the recorded positions match
+		// the compiler's diagnostic paths when the build runs in dir.
+		f, perr := parser.ParseFile(fset, filepath.Clean(rel), src, parser.ParseComments)
+		if perr != nil {
+			return nil // unbuildable file; the go build step complains if it matters
+		}
+		hot = append(hot, lint.HotpathFuncs(fset, f)...)
+		if lines := lint.NolintLines(src, "hotpath"); len(lines) > 0 {
+			suppressed[filepath.Clean(rel)] = lines
+		}
+		return nil
+	})
+	return hot, suppressed, err
+}
+
+// owningHotpath returns the name of the annotated function whose body
+// spans (file, line), or "".
+func owningHotpath(hot []lint.HotpathFunc, file string, line int) string {
+	for _, h := range hot {
+		if h.File == file && line >= h.StartLine && line <= h.EndLine {
+			return h.Name
+		}
+	}
+	return ""
+}

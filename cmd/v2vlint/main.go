@@ -4,14 +4,23 @@
 //
 // Usage:
 //
-//	v2vlint [-dir module] [-analyzers a,b] [packages...]
+//	v2vlint [-dir module] [-analyzers a,b] [-json] [packages...]
+//	v2vlint -escapes [-dir module] [-json] [packages...]
 //
 // Packages default to ./... (every package in the module, skipping
 // testdata). Findings print one per line as
-// file:line:col: [analyzer] message.
+// file:line:col: [analyzer] message; -json emits them as a JSON array
+// instead (machine-readable, for CI problem matchers and tooling).
+//
+// -escapes switches to the compiler-driven hot-path allocation check:
+// it builds the packages with -gcflags=-m=2, attributes escape
+// diagnostics to //v2v:hotpath-annotated functions, and fails on any
+// unsuppressed heap escape inside one (see escapes.go and
+// docs/STATIC_ANALYSIS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,8 +40,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	dir := fs.String("dir", ".", "directory inside the module to lint")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	escapes := fs.Bool("escapes", false, "run the compiler-driven //v2v:hotpath escape check instead of the AST analyzers")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *escapes {
+		patterns := fs.Args()
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		return runEscapes(*dir, patterns, *jsonOut, stdout, stderr)
 	}
 	analyzers := lint.All()
 	if *list {
@@ -77,12 +95,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "v2vlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	if *jsonOut {
+		if err := writeJSON(stdout, diags); err != nil {
+			fmt.Fprintf(stderr, "v2vlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "v2vlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
 		return 1
 	}
 	return 0
+}
+
+// writeJSON emits findings as a stable JSON array (empty runs print
+// `[]`, not `null`, so consumers can always range over the result).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	type finding struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	out := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

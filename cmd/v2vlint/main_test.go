@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -68,6 +69,96 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errb, "unknown analyzer") {
 		t.Errorf("stderr missing unknown-analyzer message: %s", errb)
+	}
+}
+
+// jsonFinding mirrors the writeJSON schema for round-trip assertions.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func TestJSONOutput(t *testing.T) {
+	code, out, _ := runLint(t, "-dir", "testdata/fixture", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("findings = %d, want 3:\n%s", len(findings), out)
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJSONCleanEmitsEmptyArray(t *testing.T) {
+	code, out, _ := runLint(t, "-dir", "testdata/clean", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out)
+	}
+}
+
+func TestEscapesSeededFixtureFails(t *testing.T) {
+	code, out, errb := runLint(t, "-escapes", "-dir", "testdata/escapes")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (seeded escape must fail); stdout: %s stderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "[hotpath]") || !strings.Contains(out, "in hotpath function leaky") {
+		t.Errorf("seeded escape not attributed to leaky:\n%s", out)
+	}
+	// The clean function, the suppressed line, and the unannotated
+	// function must all stay silent.
+	for _, silent := range []string{"function sum", "function suppressed", "function unannotated"} {
+		if strings.Contains(out, silent) {
+			t.Errorf("unexpected finding mentioning %q:\n%s", silent, out)
+		}
+	}
+	if !strings.Contains(errb, "3 annotated hotpath function(s)") {
+		t.Errorf("stderr missing annotation count: %s", errb)
+	}
+}
+
+func TestEscapesJSON(t *testing.T) {
+	code, out, _ := runLint(t, "-escapes", "-dir", "testdata/escapes", "-json")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("-escapes -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings in -escapes -json output")
+	}
+	for _, f := range findings {
+		if f.Analyzer != "hotpath" {
+			t.Errorf("analyzer = %q, want hotpath", f.Analyzer)
+		}
+		if !strings.Contains(f.Message, "leaky") {
+			t.Errorf("finding not attributed to leaky: %+v", f)
+		}
+	}
+}
+
+func TestEscapesRequiresAnnotations(t *testing.T) {
+	code, _, errb := runLint(t, "-escapes", "-dir", "testdata/clean")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb, "no //v2v:hotpath annotations") {
+		t.Errorf("stderr missing no-annotations message: %s", errb)
 	}
 }
 

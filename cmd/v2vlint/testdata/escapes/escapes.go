@@ -1,0 +1,37 @@
+// Package escapes is the -escapes mode fixture: one clean hotpath
+// function, one with a seeded heap escape (the test asserts the driver
+// fails on it), and one whose escape carries a reasoned suppression.
+package escapes
+
+// sum stays entirely on the stack.
+//
+//v2v:hotpath
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// leaky returns the address of a local: the compiler moves v to the
+// heap, which the escape checker must catch.
+//
+//v2v:hotpath
+func leaky(n int) *int {
+	v := n + 1
+	return &v
+}
+
+// suppressed allocates on a line that documents why that is acceptable.
+//
+//v2v:hotpath
+func suppressed() *byte {
+	buf := make([]byte, 64) //v2v:nolint(hotpath) fixture: documented cold path
+	return &buf[0]
+}
+
+// unannotated escapes freely; the checker must not attribute it.
+func unannotated(n int) *int {
+	return &n
+}

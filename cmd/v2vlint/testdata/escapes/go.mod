@@ -1,0 +1,3 @@
+module escapes
+
+go 1.22

@@ -182,6 +182,8 @@ func PixelsRun(cfg Config) ([]PixelRow, error) {
 		}
 		if len(pkts) < n {
 			pkts = append(pkts, pkt.Data)
+		} else {
+			enc.Recycle(pkt)
 		}
 	})
 	rows = append(rows, pixelRow("codec:encode", n, frameBytes, eWall, eAllocs))

@@ -104,6 +104,7 @@ type Encoder struct {
 	resid    []byte
 	buf      bytes.Buffer
 	fw       *flate.Writer
+	sparePkt []byte // recycled packet buffer (see Recycle)
 	rec      *obs.Recorder
 }
 
@@ -178,14 +179,32 @@ func (e *Encoder) Encode(fr *frame.Frame) (Packet, error) {
 	} else {
 		e.count++
 	}
-	data := make([]byte, e.buf.Len())
-	copy(data, e.buf.Bytes())
+	// The output buffer comes from the recycle slot when the previous
+	// packet was returned via Recycle; continuous-encode paths (media
+	// writers, operator-boundary materialization) reach zero steady-state
+	// allocations per packet this way.
+	data := append(e.sparePkt[:0], e.buf.Bytes()...)
+	e.sparePkt = nil
 	e.rec.StageObserve(obs.StageEncode, 1, int64(len(data)), time.Since(encStart))
 	return Packet{Key: isKey, Data: data}, nil
 }
 
+// Recycle hands a packet's buffer back to the encoder for reuse by the
+// next Encode. Only recycle packets produced by this encoder whose bytes
+// have been fully consumed (written to a container or stream, or
+// decoded); the caller must not touch pkt.Data afterwards. Packets that
+// are retained — result-cache fills, shard delivery queues — must never
+// be recycled.
+func (e *Encoder) Recycle(pkt Packet) {
+	if cap(pkt.Data) > cap(e.sparePkt) {
+		e.sparePkt = pkt.Data[:0]
+	}
+}
+
 // encodeIntra writes the I-frame residual for fr into e.resid and the
 // reconstruction into recon.
+//
+//v2v:hotpath
 func (e *Encoder) encodeIntra(fr, recon *frame.Frame) {
 	q := e.cfg.Quality
 	off := 0
@@ -197,6 +216,7 @@ func (e *Encoder) encodeIntra(fr, recon *frame.Frame) {
 	}
 }
 
+//v2v:hotpath
 func intraPlane(src, recon, resid []byte, w, h, q int) {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -216,6 +236,8 @@ func intraPlane(src, recon, resid []byte, w, h, q int) {
 }
 
 // encodePredicted writes the P-frame residual (vs. e.prev) into e.resid.
+//
+//v2v:hotpath
 func (e *Encoder) encodePredicted(fr, recon *frame.Frame) {
 	q := e.cfg.Quality
 	src, prev, rec := fr.Pix, e.prev.Pix, recon.Pix
@@ -392,6 +414,7 @@ func (d *Decoder) Decode(data []byte) (*frame.Frame, error) {
 	return out, nil
 }
 
+//v2v:hotpath
 func decodeIntraPlane(resid, out []byte, w, h, q int) {
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {

@@ -428,3 +428,60 @@ func TestDecodeCorruptedValidPacket(t *testing.T) {
 		dec.Decode(data) // corrupt flate stream: error or wrong pixels, no panic
 	}
 }
+
+func TestRecycleLosslessRoundTrip(t *testing.T) {
+	// Recycling each packet after it is decoded must not corrupt the
+	// stream: the next Encode reuses the buffer, not the decoded bytes.
+	cfg := testConfig()
+	frames := genFrames(cfg, 12, 9)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	for i, fr := range frames {
+		pkt, err := enc.Encode(fr)
+		if err != nil {
+			t.Fatalf("Encode[%d]: %v", i, err)
+		}
+		got, err := dec.Decode(pkt.Data)
+		enc.Recycle(pkt)
+		if err != nil {
+			t.Fatalf("Decode[%d]: %v", i, err)
+		}
+		if !fr.Equal(got) {
+			t.Fatalf("frame %d not lossless with recycled packet buffers", i)
+		}
+	}
+}
+
+func TestEncodeRecycleSteadyStateAllocs(t *testing.T) {
+	// With the output packet recycled, the steady-state encode loop must
+	// be allocation-free: reconstructions ping-pong, the flate writer and
+	// scratch buffers are reused, and the packet bytes come from the
+	// recycle slot.
+	cfg := testConfig()
+	frames := genFrames(cfg, 10, 4)
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	i := 0
+	encodeOne := func() {
+		pkt, err := enc.Encode(frames[i%len(frames)])
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		enc.Recycle(pkt)
+		i++
+	}
+	for warm := 0; warm < 3*len(frames); warm++ {
+		encodeOne()
+	}
+	if allocs := testing.AllocsPerRun(50, encodeOne); allocs > 0 {
+		t.Errorf("steady-state Encode+Recycle allocates %.1f per packet, want 0", allocs)
+	}
+}

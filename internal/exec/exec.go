@@ -576,7 +576,7 @@ func runFrameSegment(ctx context.Context, p *plan.Plan, s *plan.Segment, w media
 	// m. cancelShards bounds the wasted work to one GOP per live shard.
 	var firstErr error
 	for _, ch := range chunks {
-		<-ch.done
+		<-ch.done //v2v:nolint(sendblock) must-drain join: workers exit promptly on abort/ctx and returning early would race on m
 		if ch.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
@@ -717,6 +717,8 @@ func runChunkWorker(ctx context.Context, p *plan.Plan, s *plan.Segment, ch *chun
 			ch.err = err
 			return
 		}
+		// Retained until delivery (and possibly aliased into the result
+		// cache), so this packet is never Recycled.
 		ch.pkts = append(ch.pkts, pkt)
 	}
 }
@@ -805,7 +807,7 @@ func renderSegmentPackets(ctx context.Context, p *plan.Plan, s *plan.Segment, bo
 	var pkts []media.EncodedPacket
 	var firstErr error
 	for _, ch := range chunks {
-		<-ch.done
+		<-ch.done //v2v:nolint(sendblock) must-drain join: workers exit promptly on abort/ctx and returning early would race on m
 		if ch.err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("exec: shard [%d,%d): %w", ch.lo, ch.hi, ch.err)
@@ -1172,6 +1174,8 @@ func (nr *nodeRunner) renderAt(t rational.Rat) (*frame.Frame, error) {
 // single pass over the planes into a pooled destination — one frame
 // allocation (amortized to zero by the pool) and one traversal for the
 // whole chain, byte-identical to evaluating the ops one by one.
+//
+//v2v:hotpath
 func (nr *nodeRunner) renderFused(t rational.Rat) (*frame.Frame, error) {
 	if err := nr.renderChildren(t); err != nil {
 		return nil, err
@@ -1183,7 +1187,7 @@ func (nr *nodeRunner) renderFused(t rational.Rat) (*frame.Frame, error) {
 		op, err := nr.stageOp(i, st, base)
 		if err != nil {
 			releaseFrames(nr.frames, nil)
-			return nil, fmt.Errorf("exec: fused %s at t=%s: %w", st.Op, t, err)
+			return nil, fmt.Errorf("exec: fused %s at t=%s: %w", st.Op, t, err) //v2v:nolint(hotpath) cold error path; allocates only when a stage rejects its arguments
 		}
 		nr.ops[i] = op
 	}
@@ -1330,6 +1334,7 @@ func (nr *nodeRunner) materialize(fr *frame.Frame) (*frame.Frame, error) {
 	}
 	nr.matEncodes++
 	got, err := nr.dec.Decode(pkt.Data)
+	nr.enc.Recycle(pkt) // Decode fully consumed the bytes; reuse the buffer
 	if err != nil {
 		return nil, fmt.Errorf("exec: materialize decode: %w", err)
 	}

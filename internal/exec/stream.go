@@ -129,7 +129,7 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 				}
 				u.windowHeld = true
 				go func(u *streamUnit) {
-					defer func() { <-sem }()
+					defer func() { <-sem }() //v2v:nolint(sendblock) frees this worker's own buffered semaphore slot; never blocks
 					defer close(u.done)
 					u.seg, u.hit, u.err = resolveCachedSegment(ctx, p, u.s, u.key, u.bounds, gop, m, &mu, o, u.span)
 				}(u)
@@ -141,7 +141,7 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 					}
 					ch.windowHeld = true
 					go func(u *streamUnit, ch *chunk) {
-						defer func() { <-sem }()
+						defer func() { <-sem }() //v2v:nolint(sendblock) frees this worker's own buffered semaphore slot; never blocks
 						runChunkWorker(ctx, p, u.s, ch, gop, m, &mu, o, u.span, abort, u.kind == unitPackets)
 					}(u, ch)
 				}
@@ -172,9 +172,9 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 			}
 		case unitFrames, unitPackets:
 			for _, ch := range u.chunks {
-				<-ch.done
+				<-ch.done //v2v:nolint(sendblock) must-drain join: workers exit promptly on abort/ctx; skipping would race on m
 				if ch.windowHeld {
-					<-window
+					<-window //v2v:nolint(sendblock) frees the held window slot from a buffered channel; never blocks
 				}
 				if ch.err != nil {
 					// errShardAborted only appears after cancelStream, so it
@@ -206,9 +206,9 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 				}
 			}
 		case unitCached:
-			<-u.done
+			<-u.done //v2v:nolint(sendblock) must-drain join: workers exit promptly on abort/ctx; skipping would race on m
 			if u.windowHeld {
-				<-window
+				<-window //v2v:nolint(sendblock) frees the held window slot from a buffered channel; never blocks
 			}
 			if u.err != nil {
 				setErr(u.err)
@@ -255,7 +255,7 @@ func runStreamingPlan(ctx context.Context, p *plan.Plan, w media.Sink, m *Metric
 		}
 		u.span.End()
 	}
-	<-schedDone
+	<-schedDone //v2v:nolint(sendblock) joins the scheduler, which exits promptly once abort is closed or units are exhausted
 	return firstErr
 }
 

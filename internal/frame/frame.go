@@ -82,6 +82,8 @@ func (fr *Frame) Pooled() bool { return fr != nil && fr.pool != nil }
 
 // Retain adds a reference to a pooled frame; each holder must eventually
 // call Release. No-op on unpooled frames. Returns fr for chaining.
+//
+//v2v:hotpath
 func (fr *Frame) Retain() *Frame {
 	if fr != nil && fr.pool != nil {
 		atomic.AddInt32(&fr.refs, 1)
@@ -92,6 +94,8 @@ func (fr *Frame) Retain() *Frame {
 // Release drops one reference; the final release returns the buffer to its
 // pool and poisons Pix. Releasing more times than retained panics. No-op
 // on nil or unpooled frames, so callers can release unconditionally.
+//
+//v2v:hotpath
 func (fr *Frame) Release() {
 	if fr == nil || fr.pool == nil {
 		return
@@ -101,7 +105,7 @@ func (fr *Frame) Release() {
 		return
 	}
 	if n < 0 {
-		panic("frame: Release of already-released frame (double release)")
+		panic("frame: Release of already-released frame (double release)") //v2v:nolint(hotpath) cold panic path
 	}
 	fr.pool.put(fr)
 }

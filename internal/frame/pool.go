@@ -66,12 +66,14 @@ func (p *Pool) bucket(size int) *sync.Pool {
 // Get returns a w×h frame of format f with refcount 1. The pixel contents
 // are unspecified — the caller must fully overwrite them. Dimension
 // validation matches New.
+//
+//v2v:hotpath
 func (p *Pool) Get(w, h int, f Format) *Frame {
 	if w <= 0 || h <= 0 {
-		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h))
+		panic(fmt.Sprintf("frame: invalid dimensions %dx%d", w, h)) //v2v:nolint(hotpath) cold panic path
 	}
 	if f == FormatYUV420 && (w%2 != 0 || h%2 != 0) {
-		panic(fmt.Sprintf("frame: yuv420 dimensions must be even, got %dx%d", w, h))
+		panic(fmt.Sprintf("frame: yuv420 dimensions must be even, got %dx%d", w, h)) //v2v:nolint(hotpath) cold panic path
 	}
 	size := f.Size(w, h)
 	poolGets.Inc()
@@ -84,7 +86,7 @@ func (p *Pool) Get(w, h int, f Format) *Frame {
 		poolRecycled.Inc()
 		return fr
 	}
-	fr := &Frame{W: w, H: h, Format: f, Pix: make([]byte, size)}
+	fr := &Frame{W: w, H: h, Format: f, Pix: make([]byte, size)} //v2v:nolint(hotpath) cold miss path: first use of this size bucket; steady state recycles
 	fr.buf = fr.Pix
 	fr.pool = p
 	fr.refs = 1
@@ -94,6 +96,8 @@ func (p *Pool) Get(w, h int, f Format) *Frame {
 // put recycles a frame whose refcount just hit zero. Pix is poisoned so a
 // use-after-release fails fast (nil dereference) instead of silently
 // reading recycled pixels.
+//
+//v2v:hotpath
 func (p *Pool) put(fr *Frame) {
 	poolReleases.Inc()
 	poolLive.Add(-1)

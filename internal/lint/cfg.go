@@ -1,0 +1,429 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared control-flow-graph layer the path-sensitive
+// analyzers (ledger, poolcheck, goleak) are built on. buildCFG lowers
+// one function body to basic blocks of *flat* nodes — straight-line
+// statements and control conditions — connected by successor edges that
+// model the things a syntactic walk gets wrong: labeled break and
+// continue, goto, fallthrough, the zero-iteration path around loops,
+// the missing-default path around switches, and panic/return
+// termination.
+//
+// Design decisions, chosen to match (and where noted, improve on) the
+// bespoke continuation-passing walks this layer replaced:
+//
+//   - Function literals are opaque expressions. A closure body runs in
+//     its own dynamic context (another goroutine, a later defer), so it
+//     gets its own CFG via funcBodies; the enclosing graph sees only
+//     the literal itself inside a node.
+//   - defer is a flat node at its syntactic position. The obligation
+//     analyses treat a deferred release as discharging every subsequent
+//     path, which is exactly defer's semantics, so no exit-edge
+//     machinery is needed.
+//   - A select has no fall-through edge: it always executes one of its
+//     clauses (default is just another clause). An expression switch
+//     without a default keeps an edge straight to the code after it.
+//   - An ExprStmt that is a direct call to the panic builtin terminates
+//     its block with no successors: nothing after it on that path is
+//     reachable.
+//   - Statements after a terminator (return, panic, break, goto) start
+//     a fresh unreachable block. They are still scanned for
+//     acquisition sites — dead code should stay lint-clean — but they
+//     contribute nothing to reachability from live code.
+type cfgNode struct {
+	// Exactly one of stmt/cond is set: a flat statement, or a control
+	// condition (if/for condition, switch tag, range operand, case-list
+	// expression) evaluated at this point.
+	stmt ast.Stmt
+	cond ast.Expr
+}
+
+// pos returns the node's source position (for diagnostics).
+func (n cfgNode) pos() token.Pos {
+	if n.stmt != nil {
+		return n.stmt.Pos()
+	}
+	return n.cond.Pos()
+}
+
+// cfgBlock is one basic block: flat nodes executed in order, then a
+// transfer to one of succs. A block with no successors terminates the
+// function (the exit block, or a panic).
+type cfgBlock struct {
+	nodes []cfgNode
+	succs []*cfgBlock
+	// done marks the block as ended by an explicit transfer (return,
+	// panic, break, continue, goto, fallthrough); no fall-through edge
+	// may be appended after it.
+	done bool
+}
+
+func (b *cfgBlock) jump(to *cfgBlock) {
+	if b.done {
+		return
+	}
+	for _, s := range b.succs {
+		if s == to {
+			return
+		}
+	}
+	b.succs = append(b.succs, to)
+}
+
+// funcCFG is the graph for one function body. blocks holds every block
+// in construction order (source order for the nodes they contain),
+// entry first; exit is the synthetic all-returns-join with no nodes and
+// no successors.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// cfgPoint addresses the program point just before node i of block b
+// (i == len(b.nodes) means the block's end, before the transfer).
+type cfgPoint struct {
+	b *cfgBlock
+	i int
+}
+
+// eachNode visits every node of every block in source order, paired
+// with the point immediately after it — the continuation an analyzer
+// checks an acquisition against.
+func (g *funcCFG) eachNode(visit func(n cfgNode, after cfgPoint)) {
+	for _, b := range g.blocks {
+		for i, n := range b.nodes {
+			visit(n, cfgPoint{b, i + 1})
+		}
+	}
+}
+
+// reachableNodes collects every node reachable from p (including the
+// remainder of p's own block), in deterministic order. Panic-terminated
+// and exit blocks contribute their nodes but no successors.
+func (g *funcCFG) reachableNodes(p cfgPoint) []cfgNode {
+	var out []cfgNode
+	seen := map[*cfgBlock]bool{}
+	var walk func(b *cfgBlock, start int)
+	walk = func(b *cfgBlock, start int) {
+		out = append(out, b.nodes[start:]...)
+		for _, s := range b.succs {
+			if !seen[s] {
+				seen[s] = true
+				walk(s, 0)
+			}
+		}
+	}
+	// The starting block is marked visited only for re-entry through a
+	// back edge; its tail from p.i is emitted directly.
+	seen[p.b] = true
+	walk(p.b, p.i)
+	return out
+}
+
+// ---- builder ----
+
+type cfgTarget struct {
+	label string
+	block *cfgBlock
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	g    *funcCFG
+	cur  *cfgBlock
+	info *types.Info
+
+	breaks    []cfgTarget
+	continues []cfgTarget
+	fallts    []*cfgBlock // fallthrough targets, innermost last
+	labels    map[string]*cfgBlock
+	gotos     []pendingGoto
+	// pendingLabel is the label naming the next loop/switch/select, so
+	// labeled break/continue resolve to the right construct.
+	pendingLabel string
+}
+
+// buildCFG lowers body to a control-flow graph. info is consulted only
+// to recognize the panic builtin (a shadowed local panic is not a
+// terminator).
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	g := &funcCFG{exit: &cfgBlock{}}
+	c := &cfgBuilder{g: g, info: info, labels: map[string]*cfgBlock{}}
+	c.cur = c.newBlock()
+	g.entry = c.cur
+	c.stmtList(body.List)
+	c.cur.jump(g.exit)
+	// Gotos may jump forward to labels that did not exist yet while the
+	// branch was lowered; resolve them now. The goto itself is the
+	// block's transfer, so the edge bypasses jump()'s done guard.
+	for _, pg := range c.gotos {
+		if to := c.labels[pg.label]; to != nil {
+			pg.from.succs = append(pg.from.succs, to)
+		}
+	}
+	return g
+}
+
+func (c *cfgBuilder) newBlock() *cfgBlock {
+	b := &cfgBlock{}
+	c.g.blocks = append(c.g.blocks, b)
+	return b
+}
+
+// startBlock begins a new block reached by fall-through from cur.
+func (c *cfgBuilder) startBlock() *cfgBlock {
+	b := c.newBlock()
+	c.cur.jump(b)
+	c.cur = b
+	return b
+}
+
+func (c *cfgBuilder) emit(n cfgNode) {
+	c.cur.nodes = append(c.cur.nodes, n)
+}
+
+// terminate seals the current block (after an explicit transfer) and
+// starts a fresh, unreachable block for any dead statements behind it.
+func (c *cfgBuilder) terminate() {
+	c.cur.done = true
+	c.cur = c.newBlock()
+}
+
+// takeLabel consumes the pending label for a breakable construct.
+func (c *cfgBuilder) takeLabel() string {
+	l := c.pendingLabel
+	c.pendingLabel = ""
+	return l
+}
+
+func findTarget(stack []cfgTarget, label string) *cfgBlock {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (c *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+func (c *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		c.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so gotos have a
+		// landing point; the label also names the construct for
+		// labeled break/continue.
+		lb := c.startBlock()
+		c.labels[s.Label.Name] = lb
+		c.pendingLabel = s.Label.Name
+		c.stmt(s.Stmt)
+		c.pendingLabel = ""
+	case *ast.IfStmt:
+		c.takeLabel() // if is not breakable; drop any label
+		if s.Init != nil {
+			c.emit(cfgNode{stmt: s.Init})
+		}
+		c.emit(cfgNode{cond: s.Cond})
+		condBlk := c.cur
+		after := c.newBlock()
+		thenB := c.newBlock()
+		condBlk.jump(thenB)
+		c.cur = thenB
+		c.stmtList(s.Body.List)
+		c.cur.jump(after)
+		if s.Else != nil {
+			elseB := c.newBlock()
+			condBlk.jump(elseB)
+			c.cur = elseB
+			c.stmt(s.Else)
+			c.cur.jump(after)
+		} else {
+			condBlk.jump(after)
+		}
+		c.cur = after
+	case *ast.ForStmt:
+		label := c.takeLabel()
+		if s.Init != nil {
+			c.emit(cfgNode{stmt: s.Init})
+		}
+		head := c.startBlock()
+		if s.Cond != nil {
+			c.emit(cfgNode{cond: s.Cond})
+		}
+		after := c.newBlock()
+		if s.Cond != nil {
+			head.jump(after) // condition false: the body may run zero times
+		}
+		contTo := head
+		if s.Post != nil {
+			post := c.newBlock()
+			post.nodes = append(post.nodes, cfgNode{stmt: s.Post})
+			post.jump(head)
+			contTo = post
+		}
+		c.breaks = append(c.breaks, cfgTarget{label, after})
+		c.continues = append(c.continues, cfgTarget{label, contTo})
+		body := c.newBlock()
+		head.jump(body)
+		c.cur = body
+		c.stmtList(s.Body.List)
+		c.cur.jump(contTo)
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.continues = c.continues[:len(c.continues)-1]
+		c.cur = after
+	case *ast.RangeStmt:
+		label := c.takeLabel()
+		c.emit(cfgNode{cond: s.X}) // the range operand is evaluated once
+		head := c.startBlock()
+		after := c.newBlock()
+		head.jump(after) // the body may run zero times
+		c.breaks = append(c.breaks, cfgTarget{label, after})
+		c.continues = append(c.continues, cfgTarget{label, head})
+		body := c.newBlock()
+		head.jump(body)
+		c.cur = body
+		c.stmtList(s.Body.List)
+		c.cur.jump(head)
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.continues = c.continues[:len(c.continues)-1]
+		c.cur = after
+	case *ast.SwitchStmt:
+		label := c.takeLabel()
+		if s.Init != nil {
+			c.emit(cfgNode{stmt: s.Init})
+		}
+		if s.Tag != nil {
+			c.emit(cfgNode{cond: s.Tag})
+		}
+		c.buildClauses(s.Body.List, label, true)
+	case *ast.TypeSwitchStmt:
+		label := c.takeLabel()
+		if s.Init != nil {
+			c.emit(cfgNode{stmt: s.Init})
+		}
+		c.emit(cfgNode{stmt: s.Assign})
+		c.buildClauses(s.Body.List, label, false)
+	case *ast.SelectStmt:
+		label := c.takeLabel()
+		head := c.cur
+		after := c.newBlock()
+		c.breaks = append(c.breaks, cfgTarget{label, after})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			clB := c.newBlock()
+			head.jump(clB)
+			c.cur = clB
+			if cc.Comm != nil {
+				c.emit(cfgNode{stmt: cc.Comm})
+			}
+			c.stmtList(cc.Body)
+			c.cur.jump(after)
+		}
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		// No head→after edge: a select always runs exactly one clause
+		// (an empty select blocks forever, which keeps after
+		// unreachable — also correct).
+		c.cur = after
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if to := findTarget(c.breaks, labelName(s.Label)); to != nil {
+				c.cur.jump(to)
+			}
+			c.terminate()
+		case token.CONTINUE:
+			if to := findTarget(c.continues, labelName(s.Label)); to != nil {
+				c.cur.jump(to)
+			}
+			c.terminate()
+		case token.GOTO:
+			c.gotos = append(c.gotos, pendingGoto{c.cur, labelName(s.Label)})
+			c.terminate()
+		case token.FALLTHROUGH:
+			if n := len(c.fallts); n > 0 && c.fallts[n-1] != nil {
+				c.cur.jump(c.fallts[n-1])
+			}
+			c.terminate()
+		}
+	case *ast.ReturnStmt:
+		c.emit(cfgNode{stmt: s})
+		c.cur.jump(c.g.exit)
+		c.terminate()
+	case *ast.ExprStmt:
+		c.emit(cfgNode{stmt: s})
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltinOrUnresolved(c.info, id) {
+				c.terminate() // no successors: panic never falls through
+			}
+		}
+	default:
+		// Flat statements: assignments, declarations, sends, inc/dec,
+		// go, defer, empty.
+		c.emit(cfgNode{stmt: s})
+	}
+}
+
+// buildClauses lowers the clause list of an expression or type switch.
+// Case-list expressions are emitted as condition nodes at the head of
+// their clause. An expression switch may fall through to the next
+// clause; both kinds fall past the switch entirely when no default
+// clause exists.
+func (c *cfgBuilder) buildClauses(clauses []ast.Stmt, label string, allowFallthrough bool) {
+	head := c.cur
+	after := c.newBlock()
+	c.breaks = append(c.breaks, cfgTarget{label, after})
+	blocks := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		blocks[i] = c.newBlock()
+		head.jump(blocks[i])
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		head.jump(after)
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		c.cur = blocks[i]
+		for _, e := range cc.List {
+			c.emit(cfgNode{cond: e})
+		}
+		ft := (*cfgBlock)(nil)
+		if allowFallthrough && i+1 < len(blocks) {
+			ft = blocks[i+1]
+		}
+		c.fallts = append(c.fallts, ft)
+		c.stmtList(cc.Body)
+		c.fallts = c.fallts[:len(c.fallts)-1]
+		c.cur.jump(after)
+	}
+	c.breaks = c.breaks[:len(c.breaks)-1]
+	c.cur = after
+}
+
+func labelName(id *ast.Ident) string {
+	if id == nil {
+		return ""
+	}
+	return id.Name
+}

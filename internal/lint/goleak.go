@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every goroutine spawned in library code to be
+// join-able or cancelable. A `go` statement passes when the spawned
+// work — the function literal, a same-package function or method body,
+// or a local closure — reaches at least one lifecycle signal:
+//
+//   - a ctx.Done()/ctx.Err() check, or a context.Context handed onward
+//     to a call (delegating cancellation);
+//   - a WaitGroup.Done (the spawner's Wait joins it);
+//   - any channel operation — send, receive, close, range, or select —
+//     which ties the goroutine's lifetime to a peer (a close or a
+//     drained queue ends it; a send hands its result off).
+//
+// A goroutine with none of these runs until process exit with no way to
+// stop or observe it — the leaked-worker shape that accumulates under
+// long-lived servers and background maintenance. Package main is exempt
+// (a binary owns its goroutines' lifetime); protocols the analysis
+// cannot see (lifetime managed through a field, a foreign package, or a
+// runtime.Gosched loop) carry //v2v:nolint(goleak) with the reason.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in library code reach a ctx.Done()/Err() check, a WaitGroup.Done, or a channel hand-off",
+	Run:  runGoLeak,
+}
+
+func runGoLeak(pass *Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return nil // binaries own their goroutines' lifetime
+	}
+	g := &goleakChecker{pass: pass, decls: map[types.Object]*ast.FuncDecl{}}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					g.decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		funcBodies(f, func(_ string, body *ast.BlockStmt) {
+			closures := collectClosures(pass, body)
+			inspectNoFuncLit(body, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					g.checkGo(gs, closures)
+				}
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+type goleakChecker struct {
+	pass  *Pass
+	decls map[types.Object]*ast.FuncDecl
+}
+
+func (g *goleakChecker) checkGo(gs *ast.GoStmt, closures map[types.Object]*ast.FuncLit) {
+	call := gs.Call
+	// A context, channel, or WaitGroup argument hands the spawned
+	// function its lifecycle signal even when the body is out of sight.
+	for _, arg := range call.Args {
+		if g.signalType(g.pass.Info.TypeOf(arg)) {
+			return
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		if g.hasSignal(fun.Body) {
+			return
+		}
+	case *ast.Ident:
+		if obj := g.pass.Info.Uses[fun]; obj != nil {
+			if lit := closures[obj]; lit != nil && g.hasSignal(lit.Body) {
+				return
+			}
+			if fd := g.decls[obj]; fd != nil && g.hasSignal(fd.Body) {
+				return
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method value (s.run) or package-qualified call: resolvable only
+		// same-package.
+		if fn := methodOf(g.pass.Info, fun); fn != nil {
+			if fd := g.decls[fn]; fd != nil && g.hasSignal(fd.Body) {
+				return
+			}
+		}
+		if g.signalType(g.pass.Info.TypeOf(fun.X)) {
+			return // e.g. go ch.close-wrapper; receiver carries the signal
+		}
+	}
+	g.pass.Reportf(gs.Pos(), "goroutine is not joinable or cancelable: no ctx.Done()/Err() check, WaitGroup.Done, or channel hand-off in sight (join it, plumb cancellation, or explain with //v2v:nolint(goleak))")
+}
+
+// signalType reports whether t can carry a goroutine lifecycle signal:
+// a context, a channel, or a WaitGroup.
+func (g *goleakChecker) signalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isContextType(t) {
+		return true
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	obj := namedObjOf(t)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// hasSignal scans a spawned body — including its nested literals, which
+// run as part of the same goroutine via defer or direct call — for any
+// lifecycle signal.
+func (g *goleakChecker) hasSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := g.pass.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && isBuiltinOrUnresolved(g.pass.Info, id) {
+				found = true
+				break
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				recv := g.pass.Info.TypeOf(sel.X)
+				switch sel.Sel.Name {
+				case "Done", "Err":
+					if recv != nil && isContextType(recv) {
+						found = true
+					}
+				}
+				if sel.Sel.Name == "Done" && recv != nil {
+					if obj := namedObjOf(recv); obj != nil && obj.Pkg() != nil &&
+						obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+						found = true
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				if t := g.pass.Info.TypeOf(arg); t != nil && isContextType(t) {
+					found = true // cancellation delegated to the callee
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -115,6 +115,14 @@ func TestMetricsName(t *testing.T) { testAnalyzer(t, MetricsName, "metricsname")
 func TestErrWrap(t *testing.T)     { testAnalyzer(t, ErrWrap, "errwrap") }
 func TestPoolCheck(t *testing.T)   { testAnalyzer(t, PoolCheck, "poolcheck") }
 
+func TestGoLeak(t *testing.T)    { testAnalyzer(t, GoLeak, "goleak") }
+func TestSendBlock(t *testing.T) { testAnalyzer(t, SendBlock, "sendblock") }
+
+// TestLedgerCFGEdges pins the CFG backend's path-sensitivity on shapes
+// the old continuation walk could not follow: loops, labeled break,
+// goto, select arms, switch without default.
+func TestLedgerCFGEdges(t *testing.T) { testAnalyzer(t, Ledger, "cfgledger") }
+
 // TestLoaderModuleImports checks the hybrid importer end to end: a real
 // module package whose imports resolve partly against the module tree
 // and partly against the stdlib source importer.

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath validates the `//v2v:hotpath` annotation grammar and catches
+// the allocation hazards visible at the AST level. The annotation marks
+// a function as belonging to the zero-allocation warm loop; the actual
+// escape budget (0 heap escapes per annotated function) is enforced by
+// the compiler-driven `v2vlint -escapes` mode (`make alloccheck`),
+// which this analyzer complements:
+//
+//   - the directive must be exactly `//v2v:hotpath` and must be part of
+//     a function declaration's doc comment — anywhere else it silently
+//     guards nothing, so it is a finding;
+//   - an annotated function must not spawn goroutines or make maps or
+//     channels: those allocate by construction, no escape analysis
+//     needed.
+//
+// Per-line escapes the compiler proves (a cold miss path, a panic
+// message) carry //v2v:nolint(hotpath) with the reason; -escapes honors
+// the same suppressions.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "//v2v:hotpath annotations are well-formed and annotated functions avoid AST-visible allocations",
+	Run:  runHotPath,
+}
+
+// hotpathDirective is the exact annotation line. HotpathFuncs (used by
+// the -escapes driver) and this analyzer agree on the grammar through
+// these helpers.
+const hotpathDirective = "//v2v:hotpath"
+
+// isHotpathLine reports whether a comment line is (or tries to be) the
+// hotpath directive; exact reports whether it matches the grammar
+// exactly.
+func isHotpathLine(text string) (is, exact bool) {
+	trimmed := strings.TrimRight(text, " \t")
+	if trimmed == hotpathDirective {
+		return true, true
+	}
+	return strings.HasPrefix(text, hotpathDirective), false
+}
+
+// HotpathFunc is a function annotated //v2v:hotpath, with the file line
+// range the -escapes driver attributes compiler diagnostics to.
+type HotpathFunc struct {
+	Name      string // receiver-qualified, e.g. "(*PointOp).applyRow"
+	File      string
+	StartLine int
+	EndLine   int
+}
+
+// HotpathFuncs returns the annotated functions of a parsed file (which
+// must have been parsed with comments). It is the single source of
+// truth for directive placement, shared by the analyzer and the
+// -escapes driver in cmd/v2vlint.
+func HotpathFuncs(fset *token.FileSet, f *ast.File) []HotpathFunc {
+	var out []HotpathFunc
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		for _, c := range fd.Doc.List {
+			if _, exact := isHotpathLine(c.Text); !exact {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				name = "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + name
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.Body.Rbrace)
+			out = append(out, HotpathFunc{Name: name, File: start.Filename, StartLine: start.Line, EndLine: end.Line})
+			break
+		}
+	}
+	return out
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Comments that legitimately carry the directive: doc groups of
+		// function declarations.
+		docOf := map[*ast.Comment]*ast.FuncDecl{}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				docOf[c] = fd
+			}
+		}
+		annotated := map[*ast.FuncDecl]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				is, exact := isHotpathLine(c.Text)
+				if !is {
+					continue
+				}
+				if !exact {
+					pass.Reportf(c.Pos(), "malformed v2v:hotpath directive (write exactly //v2v:hotpath on its own line)")
+					continue
+				}
+				fd, ok := docOf[c]
+				if !ok {
+					pass.Reportf(c.Pos(), "v2v:hotpath must be part of a function declaration's doc comment; here it guards nothing")
+					continue
+				}
+				if fd.Body == nil {
+					pass.Reportf(c.Pos(), "v2v:hotpath on a bodyless declaration guards nothing")
+					continue
+				}
+				annotated[fd] = true
+			}
+		}
+		for fd := range annotated {
+			checkHotpathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// checkHotpathBody reports AST-visible allocation hazards inside an
+// annotated function. Escape-analysis-level allocations (closures,
+// interface conversions, growing appends) are left to -escapes.
+func checkHotpathBody(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hotpath function %s spawns a goroutine (allocation and a scheduler round-trip on the hot path)", fd.Name.Name)
+		case *ast.CallExpr:
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" || !isBuiltinOrUnresolved(pass.Info, id) {
+				return true
+			}
+			switch pass.Info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(n.Pos(), "hotpath function %s makes a map (always heap-allocated)", fd.Name.Name)
+			case *types.Chan:
+				pass.Reportf(n.Pos(), "hotpath function %s makes a channel (always heap-allocated)", fd.Name.Name)
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHotPath(t *testing.T) { testAnalyzer(t, HotPath, "hotpath") }
+
+// TestHotPathMisplaced pins the placement diagnostics: a directive that
+// is not a function declaration's doc comment fires wherever it sits
+// (on a type, inside a body). These cannot use the // want harness
+// because the directive line cannot carry a second comment.
+func TestHotPathMisplaced(t *testing.T) {
+	pkg := loadTestPkg(t, filepath.Join("testdata", "src", "hotpathbad"))
+	diags, err := Run([]*Package{pkg}, []*Analyzer{HotPath})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "must be part of a function declaration's doc comment") {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// TestHotpathFuncs pins the region extraction the -escapes driver
+// depends on: names are receiver-qualified and line ranges span the
+// whole body.
+func TestHotpathFuncs(t *testing.T) {
+	pkg := loadTestPkg(t, filepath.Join("testdata", "src", "hotpath"))
+	var got []HotpathFunc
+	for _, f := range pkg.Files {
+		got = append(got, HotpathFuncs(pkg.Fset, f)...)
+	}
+	names := map[string]bool{}
+	for _, h := range got {
+		names[h.Name] = true
+		if h.EndLine <= h.StartLine {
+			t.Errorf("%s: degenerate range %d-%d", h.Name, h.StartLine, h.EndLine)
+		}
+		if !strings.HasSuffix(h.File, "hotpath.go") {
+			t.Errorf("%s: unexpected file %s", h.Name, h.File)
+		}
+	}
+	for _, want := range []string{"sum", "spawns", "maker", "slicemaker"} {
+		if !names[want] {
+			t.Errorf("annotated function %s not found (got %v)", want, names)
+		}
+	}
+	if names["trailing"] {
+		t.Errorf("malformed directive on trailing must not annotate it")
+	}
+}

@@ -23,15 +23,15 @@ import (
 //     closure), unless the bool is returned to the caller — that is the
 //     admit() ownership-transfer idiom.
 //
-// The span analysis is a continuation-passing walk over statement
-// lists: branches must all release (or terminate having released), a
-// path that returns or panics while holding is a leak, and loops are
-// treated conservatively (a leak inside the body is reported; a release
-// inside the body does not count for the zero-iteration path, so the
-// walk keeps scanning after the loop). Any non-receiver use of the span
-// variable counts as an ownership hand-off; the escape hatch for
-// intentional patterns beyond the analysis is //v2v:nolint(ledger) with
-// a reason.
+// The all-paths analysis runs over the shared control-flow graph
+// (cfg.go): from the point after an acquisition, every path to the
+// function's exit must resolve the obligation. A path that returns or
+// panics while holding is a leak; a loop's zero-iteration edge keeps a
+// release inside the body from discharging the paths around it; labeled
+// break, goto, and fallthrough follow their real targets. Any
+// non-receiver use of the held variable counts as an ownership
+// hand-off; the escape hatch for protocols beyond the analysis is
+// //v2v:nolint(ledger) with a reason.
 var Ledger = &Analyzer{
 	Name: "ledger",
 	Doc:  "Reserve/StartSpan-style acquisitions are released (Release/End) on all paths or ownership is handed off",
@@ -44,14 +44,13 @@ func runLedger(pass *Pass) error {
 			lg := &ledgerChecker{
 				pass:          pass,
 				closures:      collectClosures(pass, body),
+				cfg:           buildCFG(body, pass.Info),
 				releaseMethod: "End",
 				noun:          "span",
 			}
 			lg.checkStmt = lg.checkStmtAcquires
-			lg.checkCond = func(cond ast.Expr, enclosing ast.Stmt, rest [][]ast.Stmt) {
-				lg.checkReserveIn(cond, enclosing, rest)
-			}
-			lg.findAcquires(body.List, nil)
+			lg.checkCond = func(cond ast.Expr, after cfgPoint) { lg.checkReserveIn(cond, after) }
+			lg.findAcquires()
 		})
 	}
 	return nil
@@ -85,25 +84,39 @@ func collectClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.Func
 	return out
 }
 
-// ledgerChecker is the reusable obligation walk: findAcquires provides
-// the continuation-passing statement scaffold, ensure/ensureStmt the
-// all-paths release analysis, and flatEffect the per-statement effect
-// classification. The protocol being checked is parameterized so other
-// analyzers (poolcheck) can reuse the machinery with their own acquire
-// matcher and release-method name.
+// ledgerChecker is the reusable obligation analysis: findAcquires scans
+// the function's CFG for acquisition sites, ensure runs the all-paths
+// release analysis from the point after one, and flatEffect classifies
+// a node's effect on a held obligation. The protocol being checked is
+// parameterized so other analyzers (poolcheck) can reuse the machinery
+// with their own acquire matcher and release-method name.
 type ledgerChecker struct {
 	pass     *Pass
 	closures map[types.Object]*ast.FuncLit
+	cfg      *funcCFG
 
-	// checkStmt is the acquire matcher findAcquires dispatches flat
-	// statements to; checkCond (optional) handles acquisitions buried in
-	// an if condition.
-	checkStmt func(s ast.Stmt, rest [][]ast.Stmt)
-	checkCond func(cond ast.Expr, enclosing ast.Stmt, rest [][]ast.Stmt)
+	// checkStmt is the acquire matcher statement nodes dispatch to;
+	// checkCond (optional) handles acquisitions buried in control
+	// conditions (if/for conditions, switch tags, range operands).
+	checkStmt func(s ast.Stmt, after cfgPoint)
+	checkCond func(cond ast.Expr, after cfgPoint)
 	// releaseMethod discharges an obligation ("End" for spans, "Release"
 	// for pooled frames); noun names the held resource in diagnostics.
 	releaseMethod string
 	noun          string
+}
+
+// findAcquires dispatches every CFG node to the acquire matchers,
+// paired with the point just after it (the continuation the obligation
+// is checked against).
+func (lg *ledgerChecker) findAcquires() {
+	lg.cfg.eachNode(func(n cfgNode, after cfgPoint) {
+		if n.stmt != nil {
+			lg.checkStmt(n.stmt, after)
+		} else if lg.checkCond != nil {
+			lg.checkCond(n.cond, after)
+		}
+	})
 }
 
 // isSpanAcquire reports whether call mints a span: a method named
@@ -139,63 +152,9 @@ func (lg *ledgerChecker) isReserve(call *ast.CallExpr) (string, bool) {
 	return types.ExprString(sel.X), true
 }
 
-// findAcquires scans stmts for acquisition sites; cont is the chain of
-// statement lists that execute after this one (innermost first).
-func (lg *ledgerChecker) findAcquires(stmts []ast.Stmt, cont [][]ast.Stmt) {
-	for i, s := range stmts {
-		rest := append([][]ast.Stmt{stmts[i+1:]}, cont...)
-		switch s := s.(type) {
-		case *ast.BlockStmt:
-			lg.findAcquires(s.List, rest)
-			continue
-		case *ast.IfStmt:
-			lg.findAcquires(s.Body.List, rest)
-			if s.Else != nil {
-				lg.findAcquires([]ast.Stmt{s.Else}, rest)
-			}
-			lg.checkStmt(s.Init, rest)
-			if lg.checkCond != nil {
-				lg.checkCond(s.Cond, s, rest)
-			}
-			continue
-		case *ast.ForStmt:
-			lg.findAcquires(s.Body.List, rest)
-			continue
-		case *ast.RangeStmt:
-			lg.findAcquires(s.Body.List, rest)
-			continue
-		case *ast.SwitchStmt:
-			lg.findClauseAcquires(s.Body.List, rest)
-			lg.checkStmt(s.Init, rest)
-			continue
-		case *ast.TypeSwitchStmt:
-			lg.findClauseAcquires(s.Body.List, rest)
-			continue
-		case *ast.SelectStmt:
-			lg.findClauseAcquires(s.Body.List, rest)
-			continue
-		case *ast.LabeledStmt:
-			lg.findAcquires([]ast.Stmt{s.Stmt}, rest)
-			continue
-		}
-		lg.checkStmt(s, rest)
-	}
-}
-
-func (lg *ledgerChecker) findClauseAcquires(clauses []ast.Stmt, rest [][]ast.Stmt) {
-	for _, c := range clauses {
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			lg.findAcquires(c.Body, rest)
-		case *ast.CommClause:
-			lg.findAcquires(c.Body, rest)
-		}
-	}
-}
-
 // checkStmtAcquires handles acquisition sites in a single flat
-// statement; rest is the continuation after it.
-func (lg *ledgerChecker) checkStmtAcquires(s ast.Stmt, rest [][]ast.Stmt) {
+// statement; after is the program point following it.
+func (lg *ledgerChecker) checkStmtAcquires(s ast.Stmt, after cfgPoint) {
 	switch s := s.(type) {
 	case nil:
 		return
@@ -221,23 +180,23 @@ func (lg *ledgerChecker) checkStmtAcquires(s ast.Stmt, rest [][]ast.Stmt) {
 			return
 		}
 		if lg.isSpanAcquire(call) {
-			lg.checkSpanAssign(s, call, rest)
+			lg.checkSpanAssign(s, call, after)
 			return
 		}
 		if recv, ok := lg.isReserve(call); ok {
-			lg.checkReserveAssign(s, call, recv, rest)
+			lg.checkReserveAssign(s, call, recv, after)
 			return
 		}
 	case *ast.GoStmt, *ast.DeferStmt:
 		return // ownership moves into the spawned/deferred call
 	default:
-		// Reserve buried in another statement shape (e.g. a condition):
-		// require a reachable Release.
-		lg.checkReserveIn(s, s, rest)
+		// Reserve buried in another statement shape (e.g. a send or a
+		// declaration): require a reachable Release.
+		lg.checkReserveIn(s, after)
 	}
 }
 
-func (lg *ledgerChecker) checkSpanAssign(s *ast.AssignStmt, call *ast.CallExpr, rest [][]ast.Stmt) {
+func (lg *ledgerChecker) checkSpanAssign(s *ast.AssignStmt, call *ast.CallExpr, after cfgPoint) {
 	if len(s.Lhs) != 1 {
 		return
 	}
@@ -256,14 +215,14 @@ func (lg *ledgerChecker) checkSpanAssign(s *ast.AssignStmt, call *ast.CallExpr, 
 	if obj == nil {
 		return
 	}
-	switch lg.ensure(rest, obj) {
+	switch lg.ensure(after, obj) {
 	case oReleased:
 	default:
 		lg.pass.Reportf(call.Pos(), "span %s is not ended on every path (call %s.End(), defer it, or hand the span off)", id.Name, id.Name)
 	}
 }
 
-func (lg *ledgerChecker) checkReserveAssign(s *ast.AssignStmt, call *ast.CallExpr, recv string, rest [][]ast.Stmt) {
+func (lg *ledgerChecker) checkReserveAssign(s *ast.AssignStmt, call *ast.CallExpr, recv string, after cfgPoint) {
 	if len(s.Lhs) != 1 {
 		return
 	}
@@ -279,15 +238,17 @@ func (lg *ledgerChecker) checkReserveAssign(s *ast.AssignStmt, call *ast.CallExp
 	if obj == nil {
 		obj = lg.pass.Info.Uses[id]
 	}
-	if !lg.releaseReachable(rest, recv, obj) {
+	if !lg.releaseReachable(nil, after, recv, obj) {
 		lg.pass.Reportf(call.Pos(), "%s.Reserve has no reachable %s.Release (and the result is not returned to the caller)", recv, recv)
 	}
 }
 
-// checkReserveIn finds Reserve calls inside node (a condition or other
-// nested position) and requires a reachable Release in the enclosing
-// statement or the continuation.
-func (lg *ledgerChecker) checkReserveIn(node ast.Node, enclosing ast.Stmt, rest [][]ast.Stmt) {
+// checkReserveIn finds Reserve calls inside node (a control condition
+// or another nested position) and requires a Release reachable from the
+// following program point — or within the node itself (e.g. the body of
+// an if whose condition reserves is covered by after's successors; a
+// Release textually inside the same statement counts too).
+func (lg *ledgerChecker) checkReserveIn(node ast.Node, after cfgPoint) {
 	if node == nil {
 		return
 	}
@@ -300,19 +261,19 @@ func (lg *ledgerChecker) checkReserveIn(node ast.Node, enclosing ast.Stmt, rest 
 		if !ok {
 			return true
 		}
-		conts := append([][]ast.Stmt{{enclosing}}, rest...)
-		if !lg.releaseReachable(conts, recv, nil) {
+		if !lg.releaseReachable([]ast.Node{node}, after, recv, nil) {
 			lg.pass.Reportf(call.Pos(), "%s.Reserve has no reachable %s.Release", recv, recv)
 		}
 		return false
 	})
 }
 
-// releaseReachable reports whether any statement in the continuation —
-// including defers, nested closures, and calls to previously defined
-// local closures — calls Release on the same receiver, or returns the
-// Reserve result to the caller (ownership transfer).
-func (lg *ledgerChecker) releaseReachable(conts [][]ast.Stmt, recv string, resultVar types.Object) bool {
+// releaseReachable reports whether any node in extra, or any CFG node
+// reachable from p — including defers, nested closures, and calls to
+// previously defined local closures — calls Release on the same
+// receiver, or returns the Reserve result to the caller (ownership
+// transfer).
+func (lg *ledgerChecker) releaseReachable(extra []ast.Node, p cfgPoint, recv string, resultVar types.Object) bool {
 	found := false
 	seen := map[*ast.FuncLit]bool{}
 	var scan func(n ast.Node)
@@ -344,12 +305,20 @@ func (lg *ledgerChecker) releaseReachable(conts [][]ast.Stmt, recv string, resul
 			return true
 		})
 	}
-	for _, stmts := range conts {
-		for _, s := range stmts {
-			scan(s)
-			if found {
-				return true
-			}
+	for _, n := range extra {
+		scan(n)
+		if found {
+			return true
+		}
+	}
+	for _, cn := range lg.cfg.reachableNodes(p) {
+		if cn.stmt != nil {
+			scan(cn.stmt)
+		} else {
+			scan(cn.cond)
+		}
+		if found {
+			return true
 		}
 	}
 	return false
@@ -390,42 +359,111 @@ func identUsedInExprs(info *types.Info, exprs []ast.Expr, obj types.Object) bool
 	return false
 }
 
-// ---- span all-paths walk ----
+// ---- all-paths obligation walk over the CFG ----
 
 type outcome int
 
 const (
-	oOpen     outcome = iota // obligation still pending at list end
+	oOpen     outcome = iota // obligation still pending at the path's end
 	oReleased                // released (or ownership handed off) on all paths
 	oLeaked                  // some path terminated while still holding
+	oCycle                   // internal: every way forward loops back into the walk
 )
 
-// ensure walks the continuation lists in order; the span obligation for
-// obj must resolve before the function falls off the end.
-func (lg *ledgerChecker) ensure(conts [][]ast.Stmt, obj types.Object) outcome {
-	for _, stmts := range conts {
-		switch lg.ensureList(stmts, obj) {
-		case oReleased:
-			return oReleased
-		case oLeaked:
-			return oLeaked
-		}
-	}
-	return oOpen // fell off the function end still holding
+// ensure runs the all-paths analysis for obj from program point p:
+// every path from p must resolve the obligation before the function
+// ends. Blocks are memoized (each is visited at most once per call, so
+// a reassignment diagnostic fires once). A back edge into a block
+// already on the walk contributes no vote of its own — the looped
+// path's fate is whatever the loop's exit edges decide, which keeps the
+// analysis loop-transparent like the old continuation walk (a release
+// inside the body still does not discharge the zero-iteration path,
+// because the head's exit edge is checked separately) — and a region
+// with no way forward except looping counts as open: holding inside
+// `for {}` is a leak.
+func (lg *ledgerChecker) ensure(p cfgPoint, obj types.Object) outcome {
+	e := &ensurer{lg: lg, obj: obj, memo: map[*cfgBlock]outcome{}, busy: map[*cfgBlock]bool{}}
+	return e.from(p)
 }
 
-func (lg *ledgerChecker) ensureList(stmts []ast.Stmt, obj types.Object) outcome {
-	for _, s := range stmts {
-		switch o := lg.ensureStmt(s, obj); o {
+type ensurer struct {
+	lg   *ledgerChecker
+	obj  types.Object
+	memo map[*cfgBlock]outcome
+	busy map[*cfgBlock]bool
+}
+
+func (e *ensurer) from(p cfgPoint) outcome {
+	for i := p.i; i < len(p.b.nodes); i++ {
+		switch o := e.lg.nodeOutcome(p.b.nodes[i], e.obj); o {
 		case oReleased, oLeaked:
 			return o
 		}
 	}
+	if len(p.b.succs) == 0 {
+		return oOpen // exit (or a panic edge): fell off the end still holding
+	}
+	// Every successor is evaluated (not short-circuited) so diagnostics
+	// inside sibling branches — a reassignment in an else arm — fire
+	// deterministically regardless of edge order.
+	all, leaked, voted := true, false, false
+	for _, s := range p.b.succs {
+		switch e.block(s) {
+		case oLeaked:
+			leaked = true
+			voted = true
+		case oOpen:
+			all = false
+			voted = true
+		case oReleased:
+			voted = true
+		case oCycle:
+			// Back edge: no vote — this path rejoins the walk and exits
+			// wherever the loop does.
+		}
+	}
+	switch {
+	case leaked:
+		return oLeaked
+	case !voted:
+		return oCycle // nothing ahead but the loop itself
+	case all:
+		return oReleased
+	}
 	return oOpen
 }
 
-func (lg *ledgerChecker) ensureStmt(s ast.Stmt, obj types.Object) outcome {
-	switch s := s.(type) {
+func (e *ensurer) block(b *cfgBlock) outcome {
+	if o, ok := e.memo[b]; ok {
+		return o
+	}
+	if e.busy[b] {
+		return oCycle
+	}
+	e.busy[b] = true
+	o := e.from(cfgPoint{b, 0})
+	e.busy[b] = false
+	if o != oCycle {
+		// oCycle is relative to which blocks were on the walk when it was
+		// computed; caching it would poison unrelated queries.
+		e.memo[b] = o
+	}
+	return o
+}
+
+// nodeOutcome classifies one CFG node's impact on the obligation for
+// obj: oReleased ends the path satisfied, oLeaked ends it leaking, and
+// oOpen continues the walk.
+func (lg *ledgerChecker) nodeOutcome(n cfgNode, obj types.Object) outcome {
+	if n.cond != nil {
+		// A release or hand-off buried in a control condition resolves
+		// the obligation before any branch is taken.
+		if lg.flatEffect(n.cond, obj) != effNone {
+			return oReleased
+		}
+		return oOpen
+	}
+	switch s := n.stmt.(type) {
 	case *ast.ReturnStmt:
 		if identUsedInExprs(lg.pass.Info, s.Results, obj) {
 			return oReleased // span returned: ownership moves to the caller
@@ -446,50 +484,6 @@ func (lg *ledgerChecker) ensureStmt(s ast.Stmt, obj types.Object) outcome {
 			return oReleased
 		}
 		return oOpen
-	case *ast.IfStmt:
-		if s.Init != nil {
-			if o := lg.ensureStmt(s.Init, obj); o != oOpen {
-				return o
-			}
-		}
-		if lg.flatEffect(s.Cond, obj) != effNone {
-			return oReleased
-		}
-		thenO := lg.ensureList(s.Body.List, obj)
-		elseO := oOpen
-		if s.Else != nil {
-			elseO = lg.ensureStmt(s.Else, obj)
-		}
-		if thenO == oLeaked || elseO == oLeaked {
-			return oLeaked
-		}
-		if thenO == oReleased && elseO == oReleased {
-			return oReleased
-		}
-		return oOpen
-	case *ast.BlockStmt:
-		return lg.ensureList(s.List, obj)
-	case *ast.LabeledStmt:
-		return lg.ensureStmt(s.Stmt, obj)
-	case *ast.SwitchStmt:
-		return lg.ensureClauses(s.Body.List, obj, hasDefaultClause(s.Body.List))
-	case *ast.TypeSwitchStmt:
-		return lg.ensureClauses(s.Body.List, obj, hasDefaultClause(s.Body.List))
-	case *ast.SelectStmt:
-		// A select always runs exactly one of its cases.
-		return lg.ensureClauses(s.Body.List, obj, true)
-	case *ast.ForStmt:
-		if lg.ensureList(s.Body.List, obj) == oLeaked {
-			return oLeaked
-		}
-		return oOpen // body may run zero times
-	case *ast.RangeStmt:
-		if lg.ensureList(s.Body.List, obj) == oLeaked {
-			return oLeaked
-		}
-		return oOpen
-	case *ast.BranchStmt:
-		return oOpen // break/continue/goto: lose the thread, stay silent
 	case *ast.ExprStmt:
 		switch lg.flatEffect(s, obj) {
 		case effRelease:
@@ -504,41 +498,6 @@ func (lg *ledgerChecker) ensureStmt(s ast.Stmt, obj types.Object) outcome {
 		}
 		return oOpen
 	}
-}
-
-// ensureClauses: every clause must release for the compound statement
-// to count as released; any leak is a leak; a missing default leaves
-// the obligation open even if all present clauses release.
-func (lg *ledgerChecker) ensureClauses(clauses []ast.Stmt, obj types.Object, exhaustive bool) outcome {
-	allReleased := len(clauses) > 0
-	for _, c := range clauses {
-		var body []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			body = c.Body
-		case *ast.CommClause:
-			body = c.Body
-		}
-		switch lg.ensureList(body, obj) {
-		case oLeaked:
-			return oLeaked
-		case oOpen:
-			allReleased = false
-		}
-	}
-	if allReleased && exhaustive {
-		return oReleased
-	}
-	return oOpen
-}
-
-func hasDefaultClause(clauses []ast.Stmt) bool {
-	for _, c := range clauses {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
-		}
-	}
-	return false
 }
 
 type effect int

@@ -77,7 +77,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns every analyzer this module ships, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxCheck, Ledger, LockCheck, MetricsName, ErrWrap, PoolCheck}
+	return []*Analyzer{CtxCheck, Ledger, LockCheck, MetricsName, ErrWrap, PoolCheck, GoLeak, SendBlock, HotPath}
 }
 
 // Run applies analyzers to each package, filters the findings through

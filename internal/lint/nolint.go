@@ -100,6 +100,45 @@ func parseNolint(pkg *Package, known map[string]bool) (suppressions, []Diagnosti
 	return sups, diags
 }
 
+// lineNolintRe is the raw-text form of nolintRe for drivers that scan
+// source lines rather than parsed comments. The reason is still
+// mandatory: a directive without one suppresses nothing.
+var lineNolintRe = regexp.MustCompile(`//\s*v2v:nolint\(([^)]*)\)\s*(\S.*)$`)
+
+// NolintLines scans raw source for //v2v:nolint directives naming
+// analyzer and returns the 1-based set of suppressed lines — the
+// directive's own line, or the next line when the directive stands
+// alone. It serves drivers that attribute findings from compiler output
+// instead of a type-checked load (v2vlint -escapes); the grammar
+// matches parseNolint, with malformed directives simply ignored here
+// (the type-checked path reports them).
+func NolintLines(src []byte, analyzer string) map[int]bool {
+	out := map[int]bool{}
+	for i, text := range strings.Split(string(src), "\n") {
+		loc := lineNolintRe.FindStringSubmatchIndex(text)
+		if loc == nil {
+			continue
+		}
+		names := text[loc[2]:loc[3]]
+		found := false
+		for _, name := range strings.Split(names, ",") {
+			if strings.TrimSpace(name) == analyzer {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		line := i + 1
+		if strings.TrimSpace(text[:loc[0]]) == "" {
+			line++ // standalone directive covers the next line
+		}
+		out[line] = true
+	}
+	return out
+}
+
 // directiveAlone reports whether only whitespace precedes the comment on
 // its line, i.e. the directive is not trailing a statement.
 func directiveAlone(pkg *Package, pos token.Position) bool {

@@ -34,8 +34,20 @@ func TestNolintDirectives(t *testing.T) {
 	if got := count("nolint", "unknown analyzer"); got != 1 {
 		t.Errorf("unknown-analyzer findings = %d, want 1:\n%s", got, dump(diags))
 	}
-	if len(diags) != 5 {
-		t.Errorf("total findings = %d, want 5:\n%s", len(diags), dump(diags))
+	// Stacked suppresses both analyzers at one line; StackedPartial names
+	// only ctxcheck, so its sendblock finding is the single survivor.
+	if got := count("sendblock", "channel send"); got != 1 {
+		t.Errorf("sendblock findings = %d, want 1 (StackedPartial only):\n%s", got, dump(diags))
+	}
+	// Each new analyzer is suppressible by name: GoLeakSuppressed,
+	// SendBlockSuppressed, and HotpathSuppressed must all stay silent.
+	for _, quiet := range []string{"goleak", "hotpath"} {
+		if got := count(quiet, ""); got != 0 {
+			t.Errorf("%s findings = %d, want 0 (suppressed by name):\n%s", quiet, got, dump(diags))
+		}
+	}
+	if len(diags) != 6 {
+		t.Errorf("total findings = %d, want 6:\n%s", len(diags), dump(diags))
 	}
 }
 

@@ -23,12 +23,12 @@ import (
 //     releasing at eviction) are beyond the analysis and carry a
 //     //v2v:nolint(poolcheck) with the reason.
 //
-// The walk is the same continuation-passing machinery as the ledger
-// analyzer, instantiated with Release as the discharging method.
-// Because any non-receiver use counts as a hand-off, the analyzer is
-// deliberately permissive: it catches the classic leak shapes (acquire
-// then early-return, acquire then fall off the end) without flagging
-// every custody transfer it cannot follow.
+// The walk is the same CFG-backed all-paths machinery as the ledger
+// analyzer (cfg.go), instantiated with Release as the discharging
+// method. Because any non-receiver use counts as a hand-off, the
+// analyzer is deliberately permissive: it catches the classic leak
+// shapes (acquire then early-return, acquire then fall off the end)
+// without flagging every custody transfer it cannot follow.
 var PoolCheck = &Analyzer{
 	Name: "poolcheck",
 	Doc:  "pool.Get/Retain frame acquisitions are Released on all paths or ownership is handed off",
@@ -41,11 +41,12 @@ func runPoolCheck(pass *Pass) error {
 			pc := &poolChecker{ledgerChecker{
 				pass:          pass,
 				closures:      collectClosures(pass, body),
+				cfg:           buildCFG(body, pass.Info),
 				releaseMethod: "Release",
 				noun:          "pooled frame",
 			}}
 			pc.checkStmt = pc.checkPoolStmt
-			pc.findAcquires(body.List, nil)
+			pc.findAcquires()
 		})
 	}
 	return nil
@@ -80,7 +81,7 @@ func (pc *poolChecker) isPoolAcquire(call *ast.CallExpr) (string, bool) {
 
 // checkPoolStmt is the acquire matcher the shared findAcquires scaffold
 // dispatches flat statements to.
-func (pc *poolChecker) checkPoolStmt(s ast.Stmt, rest [][]ast.Stmt) {
+func (pc *poolChecker) checkPoolStmt(s ast.Stmt, after cfgPoint) {
 	switch s := s.(type) {
 	case nil:
 		return
@@ -94,7 +95,7 @@ func (pc *poolChecker) checkPoolStmt(s ast.Stmt, rest [][]ast.Stmt) {
 			return
 		}
 		if kind == "Retain" {
-			pc.checkBareRetain(call, rest)
+			pc.checkBareRetain(call, after)
 			return
 		}
 		pc.pass.Reportf(call.Pos(), "pooled frame discarded at acquisition; it can never be released")
@@ -111,7 +112,7 @@ func (pc *poolChecker) checkPoolStmt(s ast.Stmt, rest [][]ast.Stmt) {
 		if _, ok := pc.isPoolAcquire(call); !ok {
 			return
 		}
-		pc.checkFrameAssign(s, call, rest)
+		pc.checkFrameAssign(s, call, after)
 	case *ast.GoStmt, *ast.DeferStmt:
 		return // ownership moves into the spawned/deferred call
 	}
@@ -120,11 +121,11 @@ func (pc *poolChecker) checkPoolStmt(s ast.Stmt, rest [][]ast.Stmt) {
 // checkBareRetain handles `fr.Retain()` with the result discarded: the
 // extra reference lives on the receiver, so the receiver itself must be
 // released or handed off afterwards.
-func (pc *poolChecker) checkBareRetain(call *ast.CallExpr, rest [][]ast.Stmt) {
+func (pc *poolChecker) checkBareRetain(call *ast.CallExpr, after cfgPoint) {
 	sel := call.Fun.(*ast.SelectorExpr)
 	if id, ok := sel.X.(*ast.Ident); ok {
 		if obj := pc.pass.Info.Uses[id]; obj != nil {
-			if pc.ensure(rest, obj) == oReleased {
+			if pc.ensure(after, obj) == oReleased {
 				return
 			}
 			pc.pass.Reportf(call.Pos(), "%s.Retain has no reachable %s.Release or hand-off; the extra reference is never dropped", id.Name, id.Name)
@@ -134,12 +135,12 @@ func (pc *poolChecker) checkBareRetain(call *ast.CallExpr, rest [][]ast.Stmt) {
 	// Non-ident receiver (e.g. a field or index expression): fall back to
 	// a textual reachability scan for Release on the same receiver.
 	recv := types.ExprString(sel.X)
-	if !pc.releaseReachable(rest, recv, nil) {
+	if !pc.releaseReachable(nil, after, recv, nil) {
 		pc.pass.Reportf(call.Pos(), "%s.Retain has no reachable %s.Release or hand-off; the extra reference is never dropped", recv, recv)
 	}
 }
 
-func (pc *poolChecker) checkFrameAssign(s *ast.AssignStmt, call *ast.CallExpr, rest [][]ast.Stmt) {
+func (pc *poolChecker) checkFrameAssign(s *ast.AssignStmt, call *ast.CallExpr, after cfgPoint) {
 	if len(s.Lhs) != 1 {
 		return
 	}
@@ -158,7 +159,7 @@ func (pc *poolChecker) checkFrameAssign(s *ast.AssignStmt, call *ast.CallExpr, r
 	if obj == nil {
 		return
 	}
-	if pc.ensure(rest, obj) != oReleased {
+	if pc.ensure(after, obj) != oReleased {
 		pc.pass.Reportf(call.Pos(), "pooled frame %s is not released on every path (call %s.Release(), defer it, or hand the frame off)", id.Name, id.Name)
 	}
 }

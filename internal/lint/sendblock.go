@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SendBlock is the static twin of the cancellation plumbing: code that
+// was handed a context.Context has promised its caller it can be
+// canceled, so it must not park forever on a bare channel operation. In
+// any function (or nested literal) with a context.Context parameter in
+// scope, every channel send and receive must sit in a `select` that
+// also has a `case <-ctx.Done()` arm or a `default` case — the two
+// shapes that keep the operation from outliving the caller's deadline.
+//
+// Receiving from ctx.Done() itself is exempt (that IS waiting for
+// cancellation), close() never blocks, and `for range ch` is exempt —
+// it is the canonical worker shape, ended by the producer closing the
+// channel. Operations that are provably
+// non-blocking for protocol reasons the analysis cannot see — a
+// buffered channel sized to its senders, a queue drained by the
+// function's own defer — carry //v2v:nolint(sendblock) with the
+// reason.
+var SendBlock = &Analyzer{
+	Name: "sendblock",
+	Doc:  "channel sends/receives in context-bearing code sit in a select with ctx.Done() or default",
+	Run:  runSendBlock,
+}
+
+func runSendBlock(pass *Pass) error {
+	sb := &sendblockChecker{pass: pass}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				sb.walk(fd.Body, hasCtxParam(pass, fd.Type))
+			}
+		}
+	}
+	return nil
+}
+
+type sendblockChecker struct {
+	pass *Pass
+}
+
+func hasCtxParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if t := pass.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// walk visits a function body. cancelable code descends into nested
+// literals (they capture the context); a literal with its own context
+// parameter becomes cancelable regardless of its surroundings.
+func (sb *sendblockChecker) walk(body *ast.BlockStmt, cancelable bool) {
+	// allowed maps each select communication operation to whether its
+	// select has an escape arm (ctx.Done() or default).
+	allowed := map[ast.Node]bool{}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			sb.walk(n.Body, cancelable || hasCtxParam(sb.pass, n.Type))
+			return false
+		case *ast.SelectStmt:
+			ok := selectEscapes(sb.pass, n)
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					continue
+				}
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						allowed[m] = ok
+					}
+					return true
+				})
+			}
+		case *ast.SendStmt:
+			if !cancelable {
+				return true
+			}
+			if ok, in := allowed[n]; !in || !ok {
+				sb.pass.Reportf(n.Pos(), "channel send in cancelable code must sit in a select with a ctx.Done() or default case")
+			}
+		case *ast.UnaryExpr:
+			if !cancelable || n.Op != token.ARROW {
+				return true
+			}
+			if isCtxDoneRecv(sb.pass, n) {
+				return true // waiting for cancellation is the point
+			}
+			if ok, in := allowed[n]; !in || !ok {
+				sb.pass.Reportf(n.Pos(), "channel receive in cancelable code must sit in a select with a ctx.Done() or default case")
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+// selectEscapes reports whether sel has a default case or a
+// case <-ctx.Done() arm.
+func selectEscapes(pass *Pass, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default case
+		}
+		found := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && isCtxDoneRecv(pass, u) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxDoneRecv reports whether u is `<-x.Done()` on a context.
+func isCtxDoneRecv(pass *Pass, u *ast.UnaryExpr) bool {
+	if u.Op != token.ARROW {
+		return false
+	}
+	call, ok := u.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	return t != nil && isContextType(t)
+}

@@ -1,0 +1,155 @@
+// Package cfgledger exercises the ledger analyzer over control-flow
+// shapes only the CFG backend tracks precisely: loops (both the
+// zero-iteration path and loop-transparency), labeled break, goto,
+// select arms, and switch without default. The plain straight-line
+// shapes live in testdata/src/ledger.
+package cfgledger
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) SetAttr(k string, v int) {}
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(name string) *Span { return &Span{} }
+
+func work() {}
+
+// The walk is loop-transparent: a loop between the acquire and the End
+// does not break the release path.
+func GoodAfterLoop(t *Tracer, xs []int) {
+	sp := t.StartSpan("x")
+	for _, x := range xs {
+		sp.SetAttr("x", x)
+	}
+	sp.End()
+}
+
+// A release only inside the loop body does not discharge the
+// zero-iteration path around it.
+func BadOnlyInLoop(t *Tracer, xs []int) {
+	sp := t.StartSpan("x") // want "span sp is not ended on every path"
+	for range xs {
+		sp.End()
+		return
+	}
+}
+
+// Looping forever while holding is a leak, not an excuse.
+func BadForever(t *Tracer) {
+	sp := t.StartSpan("x") // want "span sp is not ended on every path"
+	for {
+		sp.SetAttr("spin", 1)
+		work()
+	}
+}
+
+// An End on the sole terminating path of an infinite loop releases.
+func GoodForeverExit(t *Tracer, ch chan bool) {
+	sp := t.StartSpan("x")
+	for {
+		if <-ch {
+			sp.End()
+			return
+		}
+	}
+}
+
+// break with a label lands on the statement after the labeled loop; the
+// End there covers every path out.
+func GoodLabeledBreak(t *Tracer, xs []int) {
+	sp := t.StartSpan("x")
+outer:
+	for {
+		for _, x := range xs {
+			if x > 0 {
+				break outer
+			}
+		}
+		work()
+	}
+	sp.End()
+}
+
+// goto follows the real edge: both the jump and the fall-through reach
+// the End under the label.
+func GoodGoto(t *Tracer, n int) {
+	sp := t.StartSpan("x")
+	if n > 0 {
+		goto done
+	}
+	sp.SetAttr("n", n)
+done:
+	sp.End()
+}
+
+// ... and a goto that jumps over the only End leaks that path.
+func BadGotoSkip(t *Tracer, n int) {
+	sp := t.StartSpan("x") // want "span sp is not ended on every path"
+	if n > 0 {
+		goto out
+	}
+	sp.End()
+	return
+out:
+	work()
+}
+
+// Sending the span away in a select arm is an ownership hand-off; the
+// other arm ends it explicitly. Both arms resolve.
+func GoodSelectSend(t *Tracer, ch chan *Span, done chan struct{}) {
+	sp := t.StartSpan("x")
+	select {
+	case ch <- sp:
+	case <-done:
+		sp.End()
+	}
+}
+
+// A select arm that neither ends nor hands off leaks that path.
+func BadSelectLeak(t *Tracer, done chan struct{}, tick chan int) {
+	sp := t.StartSpan("x") // want "span sp is not ended on every path"
+	select {
+	case <-done:
+		sp.End()
+	case <-tick:
+	}
+}
+
+// switch without a default has an implicit no-case path that skips
+// every arm.
+func BadSwitchNoDefault(t *Tracer, n int) {
+	sp := t.StartSpan("x") // want "span sp is not ended on every path"
+	switch n {
+	case 0:
+		sp.End()
+	case 1:
+		sp.End()
+	}
+}
+
+// With a default the arms are exhaustive.
+func GoodSwitchDefault(t *Tracer, n int) {
+	sp := t.StartSpan("x")
+	switch n {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+// fallthrough chains into the next arm's End.
+func GoodFallthrough(t *Tracer, n int) {
+	sp := t.StartSpan("x")
+	switch n {
+	case 0:
+		sp.SetAttr("n", n)
+		fallthrough
+	case 1:
+		sp.End()
+	default:
+		sp.End()
+	}
+}

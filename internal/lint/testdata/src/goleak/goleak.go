@@ -1,0 +1,123 @@
+// Package goleak exercises the goleak analyzer: goroutines in library
+// code must be join-able or cancelable.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// Fire-and-forget loop: nothing can stop or observe it.
+func BadSpinner() {
+	go func() { // want "goroutine is not joinable or cancelable"
+		for {
+			work()
+		}
+	}()
+}
+
+// Named spawn whose body has no signal either.
+func spin() {
+	for {
+		work()
+	}
+}
+
+func BadNamedSpawn() {
+	go spin() // want "goroutine is not joinable or cancelable"
+}
+
+type server struct{ n int }
+
+func (s *server) tick() { s.n++ }
+
+// Method spawn with an unjoinable body.
+func BadMethodSpawn(s *server) {
+	go s.tick() // want "goroutine is not joinable or cancelable"
+}
+
+// A ctx.Done() check makes the worker cancelable.
+func GoodCtxDone(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Passing the context onward delegates cancellation.
+func helper(ctx context.Context) { <-ctx.Done() }
+
+func GoodCtxArg(ctx context.Context) {
+	go helper(ctx)
+}
+
+// WaitGroup.Done ties the goroutine to a visible join.
+func GoodWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// A channel send hands the result (and the lifetime) to a peer.
+func GoodChanSend(out chan int) {
+	go func() {
+		out <- 1
+	}()
+}
+
+// Draining a channel ends when the producer closes it.
+func GoodChanRange(in chan int) {
+	go func() {
+		for range in {
+			work()
+		}
+	}()
+}
+
+// Receiving in a nested defer counts: it runs in the same goroutine.
+func GoodDeferredRecv(sem chan struct{}) {
+	go func() {
+		defer func() { <-sem }()
+		work()
+	}()
+}
+
+// A channel-typed argument carries the signal into an opaque body.
+func feed(ch chan int) { ch <- 1 }
+
+func GoodChanArg(ch chan int) {
+	go feed(ch)
+}
+
+// Same-package method resolution: drain closes a done channel.
+type sink struct{ done chan struct{} }
+
+func (s *sink) drain() {
+	defer close(s.done)
+	work()
+}
+
+func GoodMethodSpawn(s *sink) {
+	go s.drain()
+}
+
+// Local closure resolution.
+func GoodLocalClosure(done chan struct{}) {
+	run := func() { <-done }
+	go run()
+}
+
+// A reasoned nolint acknowledges a protocol the analysis cannot see.
+func GoodNolint() {
+	go spin() //v2v:nolint(goleak) process-lifetime telemetry pump, stopped by exit
+}

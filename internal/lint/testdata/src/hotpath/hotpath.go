@@ -1,0 +1,49 @@
+// Package hotpath exercises the hotpath analyzer: directive grammar,
+// placement, and AST-visible allocation hazards.
+package hotpath
+
+func work() {}
+
+// sum is a well-formed zero-allocation hot function.
+//
+//v2v:hotpath
+func sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// spawns puts a goroutine on the hot path.
+//
+//v2v:hotpath
+func spawns(done chan struct{}) {
+	go func() { // want "hotpath function spawns spawns a goroutine"
+		close(done)
+	}()
+}
+
+// maker allocates a map and a channel per call.
+//
+//v2v:hotpath
+func maker() int {
+	m := make(map[int]int)  // want "hotpath function maker makes a map"
+	ch := make(chan int, 1) // want "hotpath function maker makes a channel"
+	ch <- 1
+	m[0] = <-ch
+	return m[0]
+}
+
+// A slice make is left to escape analysis (it may stay on the stack).
+//
+//v2v:hotpath
+func slicemaker() int {
+	var buf [8]int
+	s := buf[:0]
+	s = append(s, 1)
+	return s[0]
+}
+
+//v2v:hotpath extra words // want "malformed v2v:hotpath directive"
+func trailing() { work() }

@@ -1,0 +1,13 @@
+// Package hotpathbad holds v2v:hotpath directives in places where they
+// guard nothing; the misplacement diagnostics are asserted directly in
+// hotpath_test.go (the directive line cannot also carry a // want
+// annotation).
+package hotpathbad
+
+//v2v:hotpath
+type notAFunc struct{}
+
+func insideBody() notAFunc {
+	//v2v:hotpath
+	return notAFunc{}
+}

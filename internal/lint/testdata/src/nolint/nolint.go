@@ -27,3 +27,37 @@ func WrongAnalyzer() {
 	//v2v:nolint(errwrap) fixture: directive names the wrong analyzer, so the finding survives
 	_ = context.Background()
 }
+
+// ctxVal exists so one expression can trip ctxcheck and sendblock at
+// once: the send is the sendblock finding, the fresh root the ctxcheck
+// one, and both land on the same line.
+func ctxVal(context.Context) int { return 0 }
+
+func Stacked(ctx context.Context, ch chan int) {
+	_ = ctx.Err()
+	ch <- ctxVal(context.Background()) //v2v:nolint(ctxcheck,sendblock) fixture: one stacked directive suppresses both analyzers
+}
+
+func StackedPartial(ctx context.Context, ch chan int) {
+	_ = ctx.Err()
+	ch <- ctxVal(context.Background()) //v2v:nolint(ctxcheck) fixture: names only ctxcheck, so the sendblock finding survives
+}
+
+func spin() {
+	for {
+	}
+}
+
+func GoLeakSuppressed() {
+	go spin() //v2v:nolint(goleak) fixture: suppression by the goleak analyzer name
+}
+
+func SendBlockSuppressed(ctx context.Context, ch chan int) {
+	_ = ctx.Err()
+	ch <- 1 //v2v:nolint(sendblock) fixture: suppression by the sendblock analyzer name
+}
+
+//v2v:hotpath
+func HotpathSuppressed() map[int]int {
+	return make(map[int]int) //v2v:nolint(hotpath) fixture: suppression by the hotpath analyzer name
+}

@@ -1,0 +1,90 @@
+// Package sendblock exercises the sendblock analyzer: channel
+// operations in context-bearing code must not block past cancellation.
+package sendblock
+
+import "context"
+
+func work() {}
+
+// A bare send in a ctx-bearing function can outlive the caller's
+// deadline.
+func BadBareSend(ctx context.Context, out chan int) {
+	out <- 1 // want "channel send in cancelable code must sit in a select"
+}
+
+// Same for a bare receive.
+func BadBareRecv(ctx context.Context, in chan int) {
+	v := <-in // want "channel receive in cancelable code must sit in a select"
+	_ = v
+}
+
+// A select without an escape arm is still a park.
+func BadSelectNoEscape(ctx context.Context, a, b chan int) {
+	select {
+	case <-a: // want "channel receive in cancelable code must sit in a select"
+	case <-b: // want "channel receive in cancelable code must sit in a select"
+	}
+}
+
+// The canonical shape: select with a ctx.Done() arm.
+func GoodSelectDone(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// A default case makes the operation non-blocking.
+func GoodSelectDefault(ctx context.Context, out chan int) {
+	select {
+	case out <- 1:
+	default:
+	}
+}
+
+// Waiting on ctx.Done() itself is the point, not a park.
+func GoodDoneRecv(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Code without a context in scope made no cancellation promise.
+func GoodNoCtx(out chan int) {
+	out <- 1
+}
+
+// A nested literal captures the enclosing context: still cancelable.
+func BadNestedLit(ctx context.Context, out chan int) {
+	f := func() {
+		out <- 1 // want "channel send in cancelable code must sit in a select"
+	}
+	f()
+}
+
+// A literal with its own ctx parameter is cancelable even when the
+// enclosing function is not.
+func BadLitOwnCtx(out chan int) func(context.Context) {
+	return func(ctx context.Context) {
+		out <- 1 // want "channel send in cancelable code must sit in a select"
+	}
+}
+
+// Ranging over a channel is the joinable worker shape, ended by close.
+func GoodRange(ctx context.Context, in chan int) {
+	for range in {
+		work()
+	}
+}
+
+// Receives in a select clause BODY are past the select and count again.
+func BadRecvInClauseBody(ctx context.Context, a, b chan int) {
+	select {
+	case <-a:
+		<-b // want "channel receive in cancelable code must sit in a select"
+	case <-ctx.Done():
+	}
+}
+
+// A reasoned suppression for protocol-level non-blocking ops.
+func GoodNolint(ctx context.Context, sem chan struct{}) {
+	sem <- struct{}{} //v2v:nolint(sendblock) buffered to worker count; never blocks
+}

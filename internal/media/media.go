@@ -317,7 +317,9 @@ func (w *Writer) WriteFrame(fr *frame.Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := w.c.WritePacket(w.pts, pkt.Key, pkt.Data); err != nil {
+	err = w.c.WritePacket(w.pts, pkt.Key, pkt.Data)
+	w.enc.Recycle(pkt) // the container wrote the bytes; reuse the buffer
+	if err != nil {
 		return err
 	}
 	w.stats.FramesEncoded++

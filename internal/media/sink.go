@@ -175,7 +175,9 @@ func (s *StreamWriter) WriteFrame(fr *frame.Frame) error {
 	if err != nil {
 		return err
 	}
-	if err := s.writePacket(pkt.Key, pkt.Data); err != nil {
+	err = s.writePacket(pkt.Key, pkt.Data)
+	s.enc.Recycle(pkt) // the stream wrote the bytes; reuse the buffer
+	if err != nil {
 		return err
 	}
 	s.stats.FramesEncoded++

@@ -131,24 +131,25 @@ func planes3(fr *frame.Frame) [3][]byte {
 // a pooled dst with stale contents is safe. Shape mismatches against a
 // crossfade/wipe secondary frame panic with the standalone ops' messages.
 // ApplyFused performs no heap allocation.
+//
+//v2v:hotpath
 func ApplyFused(dst, src *frame.Frame, ops []PointOp) {
-	mustYUV(src, "ApplyFused")
+	mustYUV(src, "ApplyFused") //v2v:nolint(hotpath) inlined shape-check panic path; never taken on the warm loop
 	if dst != src {
-		mustYUV(dst, "ApplyFused")
+		mustYUV(dst, "ApplyFused") //v2v:nolint(hotpath) inlined shape-check panic path; never taken on the warm loop
 		if !dst.SameShape(src) {
-			panic(fmt.Sprintf("raster: ApplyFused dst %dx%d does not match src %dx%d",
-				dst.W, dst.H, src.W, src.H))
+			panic(fmt.Sprintf("raster: ApplyFused dst %dx%d does not match src %dx%d", dst.W, dst.H, src.W, src.H)) //v2v:nolint(hotpath) cold panic path; allocates only when the caller broke the shape contract
 		}
 	}
 	for i := range ops {
 		switch ops[i].kind {
 		case opCrossfade:
 			if !src.SameShape(ops[i].other) {
-				panic("raster: Crossfade frames must be same shape")
+				panic("raster: Crossfade frames must be same shape") //v2v:nolint(hotpath) cold panic path
 			}
 		case opWipe:
 			if !src.SameShape(ops[i].other) {
-				panic("raster: WipeLR frames must be same shape")
+				panic("raster: WipeLR frames must be same shape") //v2v:nolint(hotpath) cold panic path
 			}
 		}
 	}
@@ -208,6 +209,8 @@ func ApplyFused(dst, src *frame.Frame, ops []PointOp) {
 const gradeComposeMax = 8
 
 // applyRow applies the op to one plane row already resident in drow.
+//
+//v2v:hotpath
 func (op *PointOp) applyRow(dst *frame.Frame, plane, row, w int, drow []byte) {
 	switch op.kind {
 	case opGrade:
@@ -313,9 +316,11 @@ func (op *PointOp) applyRow(dst *frame.Frame, plane, row, w int, drow []byte) {
 // ScaleInto is Scale with a caller-provided destination, enabling pooled
 // buffers on the output-scaling hot path. dst's dimensions select the
 // target size; every byte of dst is written. dst must not alias src.
+//
+//v2v:hotpath
 func ScaleInto(dst, src *frame.Frame) {
 	if src.Format != frame.FormatYUV420 || dst.Format != frame.FormatYUV420 {
-		panic(fmt.Sprintf("raster: ScaleInto wants yuv420, got %v -> %v", src.Format, dst.Format))
+		panic(fmt.Sprintf("raster: ScaleInto wants yuv420, got %v -> %v", src.Format, dst.Format)) //v2v:nolint(hotpath) cold panic path; allocates only on a format contract violation
 	}
 	if dst.W == src.W && dst.H == src.H {
 		copy(dst.Pix, src.Pix)

@@ -41,6 +41,7 @@ func Scale(src *frame.Frame, w, h int) *frame.Frame {
 	return dst
 }
 
+//v2v:hotpath
 func scalePlane(src []byte, sw, sh int, dst []byte, dw, dh int) {
 	if sw == dw && sh == dh {
 		copy(dst, src)
